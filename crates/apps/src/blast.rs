@@ -1,0 +1,178 @@
+//! The UDP blast sink (Figure 3's server) and the compute-bound
+//! background process the paper runs to avoid the SunOS idle anomaly.
+
+use crate::Shared;
+use lrp_core::{AppCtx, AppLogic, SockProto, SyscallOp, SyscallRet};
+use lrp_sim::{RateSeries, SimDuration, SimTime};
+use lrp_stack::SockId;
+
+/// Metrics recorded by a [`BlastSink`].
+#[derive(Debug)]
+pub struct SinkMetrics {
+    /// Datagrams consumed by the application.
+    pub received: u64,
+    /// Payload bytes consumed.
+    pub bytes: u64,
+    /// Delivery rate over time (100 ms buckets).
+    pub series: RateSeries,
+    /// Time of first and last delivery.
+    pub first: Option<SimTime>,
+    /// Time of the last delivery.
+    pub last: Option<SimTime>,
+}
+
+impl Default for SinkMetrics {
+    fn default() -> Self {
+        SinkMetrics {
+            received: 0,
+            bytes: 0,
+            series: RateSeries::new(SimTime::ZERO, SimDuration::from_millis(100)),
+            first: None,
+            last: None,
+        }
+    }
+}
+
+impl SinkMetrics {
+    /// Average delivery rate between first and last delivery, pkts/s.
+    pub fn rate(&self) -> f64 {
+        match (self.first, self.last) {
+            (Some(a), Some(b)) if b > a => (self.received - 1) as f64 / b.since(a).as_secs_f64(),
+            _ => 0.0,
+        }
+    }
+}
+
+/// Receives datagrams on a port and discards them immediately (the
+/// paper's overload-test server process).
+pub struct BlastSink {
+    port: u16,
+    metrics: Shared<SinkMetrics>,
+    sock: Option<SockId>,
+}
+
+impl BlastSink {
+    /// Creates a sink bound to `port`.
+    pub fn new(port: u16, metrics: Shared<SinkMetrics>) -> Self {
+        BlastSink {
+            port,
+            metrics,
+            sock: None,
+        }
+    }
+}
+
+impl AppLogic for BlastSink {
+    fn start(&mut self, _ctx: AppCtx) -> SyscallOp {
+        SyscallOp::Socket(SockProto::Udp)
+    }
+
+    fn resume(&mut self, ctx: AppCtx, ret: SyscallRet) -> SyscallOp {
+        match ret {
+            SyscallRet::Socket(s) => {
+                self.sock = Some(s);
+                SyscallOp::Bind {
+                    sock: s,
+                    port: self.port,
+                }
+            }
+            SyscallRet::DataFrom(_, data) => {
+                let mut m = self.metrics.borrow_mut();
+                m.received += 1;
+                m.bytes += data.len() as u64;
+                m.series.record(ctx.now, 1);
+                if m.first.is_none() {
+                    m.first = Some(ctx.now);
+                }
+                m.last = Some(ctx.now);
+                drop(m);
+                SyscallOp::Recv {
+                    sock: self.sock.expect("socket created"),
+                    max_len: 65_536,
+                }
+            }
+            _ => SyscallOp::Recv {
+                sock: self.sock.expect("socket created"),
+                max_len: 65_536,
+            },
+        }
+    }
+}
+
+/// An infinite compute loop whose progress is measurable: counts 1 ms
+/// compute slices completed.
+pub struct MeteredCompute {
+    /// Completed 1 ms slices.
+    pub slices: Shared<u64>,
+}
+
+impl MeteredCompute {
+    /// Creates a metered compute loop.
+    pub fn new(slices: Shared<u64>) -> Self {
+        MeteredCompute { slices }
+    }
+}
+
+impl AppLogic for MeteredCompute {
+    fn start(&mut self, _ctx: AppCtx) -> SyscallOp {
+        SyscallOp::Compute(SimDuration::from_millis(1))
+    }
+
+    fn resume(&mut self, _ctx: AppCtx, _ret: SyscallRet) -> SyscallOp {
+        *self.slices.borrow_mut() += 1;
+        SyscallOp::Compute(SimDuration::from_millis(1))
+    }
+}
+
+/// An interactive "console" process: sleeps 10 ms, does 200 µs of work,
+/// and records how late it was scheduled — the paper's informal
+/// observation that under a SYN flood "the server console appears dead"
+/// on BSD but stays responsive under LRP.
+pub struct Console {
+    lag: Shared<lrp_sim::Welford>,
+    expected: Option<lrp_sim::SimTime>,
+}
+
+impl Console {
+    /// Creates a console measuring its scheduling lag into `lag`
+    /// (microseconds).
+    pub fn new(lag: Shared<lrp_sim::Welford>) -> Self {
+        Console {
+            lag,
+            expected: None,
+        }
+    }
+}
+
+impl AppLogic for Console {
+    fn start(&mut self, ctx: AppCtx) -> SyscallOp {
+        self.expected = Some(ctx.now + SimDuration::from_millis(10));
+        SyscallOp::Sleep(SimDuration::from_millis(10))
+    }
+
+    fn resume(&mut self, ctx: AppCtx, _ret: SyscallRet) -> SyscallOp {
+        if let Some(expected) = self.expected.take() {
+            // How late past the sleep deadline did we actually run?
+            let lag_us = ctx.now.since(expected).as_nanos() as f64 / 1_000.0;
+            self.lag.borrow_mut().record(lag_us);
+            SyscallOp::Compute(SimDuration::from_micros(200))
+        } else {
+            self.expected = Some(ctx.now + SimDuration::from_millis(10));
+            SyscallOp::Sleep(SimDuration::from_millis(10))
+        }
+    }
+}
+
+/// An infinite compute loop at a given niceness (the paper's `nice +20`
+/// background processes in the Figure 4 experiment).
+pub struct ComputeHog;
+
+impl AppLogic for ComputeHog {
+    fn start(&mut self, _ctx: AppCtx) -> SyscallOp {
+        SyscallOp::Compute(SimDuration::from_secs(3600))
+    }
+
+    fn resume(&mut self, _ctx: AppCtx, _ret: SyscallRet) -> SyscallOp {
+        SyscallOp::Compute(SimDuration::from_secs(3600))
+    }
+}

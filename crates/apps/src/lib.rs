@@ -1,0 +1,35 @@
+//! The paper's application workloads, written against the socket system
+//! call API as resumable state machines.
+//!
+//! Each application takes shared, reference-counted metric handles so the
+//! experiment drivers can observe throughput, latencies and completion
+//! times without any side channel through the kernel.
+
+#![warn(missing_docs)]
+
+pub mod blast;
+pub mod daemons;
+pub mod http;
+pub mod pingpong;
+pub mod rpc;
+pub mod tcp_bulk;
+pub mod udp_window;
+
+pub use blast::{BlastSink, ComputeHog, Console, MeteredCompute, SinkMetrics};
+pub use daemons::{IcmpEchoDaemon, IcmpMetrics, PingClient, PingMetrics};
+pub use http::{DummyListener, HttpClient, HttpMetrics, HttpWorker, SharedListener};
+pub use pingpong::{PingPongClient, PingPongMetrics, PingPongServer};
+pub use rpc::{PacedRpcClient, RpcClient, RpcMetrics, RpcServer};
+pub use tcp_bulk::{TcpBulkMetrics, TcpBulkReceiver, TcpBulkSender};
+pub use udp_window::{UdpWindowMetrics, UdpWindowSink, UdpWindowSource};
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Convenience alias for shared metric cells.
+pub type Shared<T> = Rc<RefCell<T>>;
+
+/// Creates a shared metric cell.
+pub fn shared<T: Default>() -> Shared<T> {
+    Rc::new(RefCell::new(T::default()))
+}

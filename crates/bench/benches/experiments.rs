@@ -1,0 +1,113 @@
+//! One Criterion benchmark per table/figure of the paper.
+//!
+//! Each benchmark regenerates a reduced instance of the experiment (short
+//! simulated duration, single representative parameter) so `cargo bench`
+//! exercises the full pipeline in reasonable time; the experiment binaries
+//! in `lrp-experiments` produce the complete sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lrp_core::Architecture;
+use lrp_experiments::{fig3, fig4, fig5, mlfrr, table1, table2};
+use lrp_sim::SimTime;
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.bench_function("rtt_bsd_100rounds", |b| {
+        b.iter(|| {
+            black_box(table1::measure_rtt(
+                lrp_core::HostConfig::new(Architecture::Bsd),
+                100,
+            ))
+        })
+    });
+    g.bench_function("udp_window_nilrp", |b| {
+        b.iter(|| {
+            black_box(table1::measure_udp_mbps(
+                lrp_core::HostConfig::new(Architecture::NiLrp),
+                100,
+            ))
+        })
+    });
+    g.bench_function("tcp_bulk_softlrp_2mb", |b| {
+        b.iter(|| {
+            black_box(table1::measure_tcp_mbps(
+                lrp_core::HostConfig::new(Architecture::SoftLrp),
+                2 << 20,
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    for arch in [
+        Architecture::Bsd,
+        Architecture::EarlyDemux,
+        Architecture::SoftLrp,
+        Architecture::NiLrp,
+    ] {
+        g.bench_function(format!("overload_12k_{}", arch.name()), |b| {
+            b.iter(|| black_box(fig3::measure(arch, 12_000.0, SimTime::from_secs(1))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    g.bench_function("latency_under_load_softlrp", |b| {
+        b.iter(|| black_box(fig4::measure(Architecture::SoftLrp, 6_000.0, 200)))
+    });
+    g.finish();
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    g.bench_function("rpc_fast_nilrp", |b| {
+        b.iter(|| black_box(table2::measure(Architecture::NiLrp, table2::Variant::Fast)))
+    });
+    g.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    for arch in [Architecture::Bsd, Architecture::SoftLrp] {
+        g.bench_function(format!("http_synflood_10k_{}", arch.name()), |b| {
+            b.iter(|| black_box(fig5::measure(arch, 10_000.0, SimTime::from_secs(2))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_mlfrr(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mlfrr");
+    g.sample_size(10);
+    g.bench_function("loss_free_probe_softlrp", |b| {
+        b.iter(|| {
+            black_box(mlfrr::loss_free(
+                Architecture::SoftLrp,
+                8_000.0,
+                SimTime::from_secs(1),
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table1,
+    bench_fig3,
+    bench_fig4,
+    bench_table2,
+    bench_fig5,
+    bench_mlfrr
+);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Benchmark support crate: see `benches/` for the Criterion harnesses
+//! that regenerate each of the paper's tables and figures, plus
+//! microbenchmarks of the hot kernel paths.
+
+#![warn(missing_docs)]

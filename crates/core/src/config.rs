@@ -1,0 +1,136 @@
+//! Host configuration: architecture selection and kernel parameters.
+
+use crate::cost::CostModel;
+use lrp_sim::SimDuration;
+use lrp_stack::tcp::TcpConfig;
+
+/// The four network-subsystem architectures compared in the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Architecture {
+    /// 4.4BSD: shared IP queue, eager softirq protocol processing, PCB
+    /// lookup, interrupt time charged to whoever runs.
+    Bsd,
+    /// Early demultiplexing + early discard, but eager softirq processing
+    /// and BSD accounting (the paper's control showing demux alone is not
+    /// enough).
+    EarlyDemux,
+    /// LRP with demultiplexing in the host interrupt handler.
+    SoftLrp,
+    /// LRP with demultiplexing on the network interface.
+    NiLrp,
+}
+
+impl Architecture {
+    /// True for the two LRP variants.
+    pub fn is_lrp(self) -> bool {
+        matches!(self, Architecture::SoftLrp | Architecture::NiLrp)
+    }
+
+    /// Short display name used in experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Architecture::Bsd => "4.4BSD",
+            Architecture::EarlyDemux => "Early-Demux",
+            Architecture::SoftLrp => "SOFT-LRP",
+            Architecture::NiLrp => "NI-LRP",
+        }
+    }
+}
+
+impl std::fmt::Display for Architecture {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Full host configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct HostConfig {
+    /// Which architecture the kernel runs.
+    pub arch: Architecture,
+    /// CPU cost model.
+    pub cost: CostModel,
+    /// TCP parameters.
+    pub tcp: TcpConfig,
+    /// Shared IP queue limit (BSD; `ipqmaxlen` = 50 in 4.4BSD).
+    pub ip_queue_limit: usize,
+    /// NI channel receive-queue limit, in packets.
+    pub channel_limit: usize,
+    /// UDP socket receive-buffer limit, in bytes.
+    pub sockbuf_limit: usize,
+    /// Compute UDP checksums (the paper's UDP tests disable them).
+    pub udp_checksum: bool,
+    /// LRP: perform the redundant PCB lookup anyway (the paper's Figure 5
+    /// control, eliminating demux-efficiency bias).
+    pub redundant_pcb_lookup: bool,
+    /// LRP: run the minimal-priority idle protocol thread (§3.3).
+    pub idle_thread: bool,
+    /// LRP: run the asynchronous protocol processing (APP) thread for TCP
+    /// (§3.4). Disabling it is the paper's thought experiment: receiver
+    /// processing only in `recv` context, at most one congestion window
+    /// per receive call.
+    pub tcp_app_processing: bool,
+    /// NI-LRP: reclaim a connection's NI channel when it enters TIME_WAIT
+    /// (§4.2 scaling discussion).
+    pub time_wait_channel_reclaim: bool,
+    /// Maximum sockets/channels.
+    pub max_sockets: usize,
+    /// Link MTU (ATM LAN: 9180).
+    pub mtu: usize,
+    /// Statclock tick.
+    pub tick: SimDuration,
+    /// Round-robin quantum.
+    pub quantum: SimDuration,
+}
+
+impl HostConfig {
+    /// Defaults for the given architecture.
+    pub fn new(arch: Architecture) -> Self {
+        HostConfig {
+            arch,
+            cost: CostModel::sparc20(),
+            tcp: TcpConfig::default(),
+            ip_queue_limit: 50,
+            channel_limit: 64,
+            sockbuf_limit: 41_600,
+            udp_checksum: false,
+            redundant_pcb_lookup: false,
+            idle_thread: true,
+            tcp_app_processing: true,
+            time_wait_channel_reclaim: true,
+            max_sockets: 4096,
+            mtu: 9180,
+            tick: SimDuration::from_millis(10),
+            quantum: SimDuration::from_millis(100),
+        }
+    }
+
+    /// The SunOS + FORE-driver baseline of Table 1: BSD architecture with
+    /// the slow vendor driver.
+    pub fn sunos_fore() -> Self {
+        let mut c = Self::new(Architecture::Bsd);
+        c.cost = CostModel::sunos_fore();
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names() {
+        assert_eq!(Architecture::Bsd.to_string(), "4.4BSD");
+        assert_eq!(Architecture::NiLrp.to_string(), "NI-LRP");
+        assert!(Architecture::SoftLrp.is_lrp());
+        assert!(!Architecture::EarlyDemux.is_lrp());
+    }
+
+    #[test]
+    fn defaults_sane() {
+        let c = HostConfig::new(Architecture::SoftLrp);
+        assert_eq!(c.ip_queue_limit, 50);
+        assert!(c.channel_limit > 0);
+        assert!(c.mtu >= 9000, "ATM LAN MTU");
+    }
+}

@@ -1,0 +1,323 @@
+//! The CPU cost model.
+//!
+//! Every processing step in the simulated kernel consumes a configurable
+//! amount of CPU time. The defaults are calibrated to the paper's
+//! SPARCstation-20/61 testbed using the costs the paper itself reports:
+//!
+//! - BSD "hardware plus software interrupt, including protocol
+//!   processing" ≈ 60 µs → `hw_intr + driver_rx_per_pkt` ≈ 18 µs and the
+//!   softirq path ≈ 42 µs.
+//! - SOFT-LRP "hardware interrupt, including demux" ≈ 25 µs →
+//!   `hw_intr + driver_rx_per_pkt + demux_per_pkt` ≈ 25 µs.
+//! - NI-LRP "hardware interrupt with minimal processing" → `hw_intr_ni`.
+//! - BSD peak UDP throughput ≈ 7 400 pkts/s → full BSD receive path
+//!   ≈ 135 µs/packet; SOFT-LRP ≈ 9 760 → ≈ 102 µs; NI-LRP ≈ 11 163 →
+//!   ≈ 90 µs.
+//!
+//! All values are [`SimDuration`]s; per-byte costs are in nanoseconds per
+//! byte.
+
+use lrp_sim::SimDuration;
+
+const fn us(n: u64) -> SimDuration {
+    SimDuration::from_micros(n)
+}
+
+/// CPU costs for every kernel processing step.
+///
+/// # Examples
+///
+/// ```
+/// use lrp_core::CostModel;
+///
+/// let mut c = CostModel::sparc20();
+/// // Double the demux cost to explore SOFT-LRP's livelock postponement.
+/// c.demux_per_pkt = c.demux_per_pkt * 2;
+/// assert!(c.copy(1000) > lrp_sim::SimDuration::ZERO);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    // ---- interrupt path ----
+    /// Hardware interrupt dispatch + return (trap overhead).
+    pub hw_intr: SimDuration,
+    /// Driver work per received packet in the interrupt handler (ring
+    /// maintenance, mbuf allocation, buffer replenish).
+    pub driver_rx_per_pkt: SimDuration,
+    /// Early demultiplexing per packet when performed on the host
+    /// (SOFT-LRP / Early-Demux).
+    pub demux_per_pkt: SimDuration,
+    /// NI-LRP host interrupt: "minimal processing" — wakeup notification
+    /// only.
+    pub hw_intr_ni: SimDuration,
+    /// Software interrupt dispatch per batch entry (posting + priority
+    /// level switching).
+    pub softirq_dispatch: SimDuration,
+
+    // ---- protocol processing ----
+    /// IP input: header validation, routing decision, dispatch.
+    pub ip_input: SimDuration,
+    /// Extra cost per fragment during reassembly.
+    pub ip_reasm_per_frag: SimDuration,
+    /// UDP input processing (excluding PCB lookup and checksum).
+    pub udp_input: SimDuration,
+    /// TCP input processing for an established connection (header
+    /// prediction failure path, state machine).
+    pub tcp_input: SimDuration,
+    /// TCP SYN processing at a listening socket (PCB creation or backlog
+    /// rejection) — the Figure 5 lever.
+    pub tcp_syn: SimDuration,
+    /// PCB lookup: base cost.
+    pub pcb_lookup_base: SimDuration,
+    /// PCB lookup: per entry scanned.
+    pub pcb_lookup_per_entry: SimDuration,
+    /// IP forwarding decision + header rewrite per packet.
+    pub ip_forward: SimDuration,
+    /// UDP output processing.
+    pub udp_output: SimDuration,
+    /// TCP output processing per segment.
+    pub tcp_output: SimDuration,
+    /// IP output per packet (incl. fragmentation per-fragment cost).
+    pub ip_output: SimDuration,
+    /// Driver transmit enqueue per frame.
+    pub driver_tx_per_pkt: SimDuration,
+
+    // ---- data movement ----
+    /// Copy between user and kernel space, ns per byte (SS20 ≈ 80 MB/s).
+    pub copy_ns_per_byte: u64,
+    /// Internet checksum, ns per byte.
+    pub csum_ns_per_byte: u64,
+    /// Per-byte protocol/mbuf handling on the receive path (mbuf chain
+    /// traversal, cache misses on DMA'd data). Dominates bulk-transfer
+    /// throughput; negligible for the 14-byte overload tests.
+    pub proto_ns_per_byte: u64,
+
+    // ---- socket & system call layer ----
+    /// System call entry (trap, argument copyin, fd lookup).
+    pub syscall_entry: SimDuration,
+    /// System call return.
+    pub syscall_return: SimDuration,
+    /// Socket-buffer enqueue (sbappendaddr) per packet.
+    pub sock_enqueue: SimDuration,
+    /// Socket-buffer dequeue + soreceive bookkeeping per packet.
+    pub sock_dequeue: SimDuration,
+    /// Wakeup of sleeping process (sowakeup + sched queue insertion).
+    pub wakeup: SimDuration,
+    /// Context switch (register/address-space switch, excluding cache
+    /// reload, which is per-process).
+    pub context_switch: SimDuration,
+    /// Cache-reload time per KB of the incoming process's working set.
+    pub cache_reload_per_kb: SimDuration,
+    /// Time away from the CPU after which the working set is assumed
+    /// fully evicted; shorter absences pay proportionally less reload.
+    pub cache_decay_window: SimDuration,
+    /// Accept: new socket/fd setup.
+    pub accept_sock: SimDuration,
+    /// Fraction (×1000) discount on protocol-processing costs when run
+    /// lazily in the receiving process's context — the paper's memory
+    /// access locality benefit. 1000 = no discount, 900 = 10% cheaper.
+    pub lazy_locality_permille: u32,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::sparc20()
+    }
+}
+
+impl CostModel {
+    /// Calibration for the paper's SPARCstation-20/61 testbed.
+    pub fn sparc20() -> Self {
+        CostModel {
+            hw_intr: us(13),
+            driver_rx_per_pkt: us(5),
+            demux_per_pkt: us(6),
+            hw_intr_ni: us(5),
+            softirq_dispatch: us(10),
+            ip_input: us(14),
+            ip_reasm_per_frag: us(8),
+            udp_input: us(14),
+            tcp_input: us(30),
+            tcp_syn: us(60),
+            pcb_lookup_base: us(2),
+            pcb_lookup_per_entry: SimDuration::from_nanos(200),
+            ip_forward: us(18),
+            udp_output: us(12),
+            tcp_output: us(25),
+            ip_output: us(12),
+            driver_tx_per_pkt: us(8),
+            copy_ns_per_byte: 12,
+            csum_ns_per_byte: 10,
+            proto_ns_per_byte: 62,
+            syscall_entry: us(15),
+            syscall_return: us(10),
+            sock_enqueue: us(10),
+            sock_dequeue: us(41),
+            wakeup: us(10),
+            context_switch: us(25),
+            cache_reload_per_kb: SimDuration::from_nanos(2_500),
+            cache_decay_window: SimDuration::from_millis(50),
+            accept_sock: us(40),
+            lazy_locality_permille: 850,
+        }
+    }
+
+    /// The SunOS + FORE-driver preset: same machine, slower vendor driver
+    /// (the paper's Table 1 baseline, ≈ 150 µs extra round-trip latency
+    /// and visibly lower UDP throughput).
+    pub fn sunos_fore() -> Self {
+        let mut c = Self::sparc20();
+        c.driver_rx_per_pkt = us(35);
+        c.driver_tx_per_pkt = us(45);
+        c.copy_ns_per_byte = 19;
+        c.proto_ns_per_byte = 95;
+        c
+    }
+
+    /// Returns this model with every cost multiplied by `factor` — a
+    /// crude but useful way to project a faster (`factor < 1`) or slower
+    /// CPU at fixed architecture (used by the technology-trend ablation).
+    pub fn scaled(&self, factor: f64) -> CostModel {
+        let d = |x: SimDuration| x.mul_f64(factor);
+        let b = |x: u64| ((x as f64 * factor).round() as u64).max(1);
+        CostModel {
+            hw_intr: d(self.hw_intr),
+            driver_rx_per_pkt: d(self.driver_rx_per_pkt),
+            demux_per_pkt: d(self.demux_per_pkt),
+            hw_intr_ni: d(self.hw_intr_ni),
+            softirq_dispatch: d(self.softirq_dispatch),
+            ip_input: d(self.ip_input),
+            ip_reasm_per_frag: d(self.ip_reasm_per_frag),
+            udp_input: d(self.udp_input),
+            tcp_input: d(self.tcp_input),
+            tcp_syn: d(self.tcp_syn),
+            pcb_lookup_base: d(self.pcb_lookup_base),
+            pcb_lookup_per_entry: d(self.pcb_lookup_per_entry),
+            ip_forward: d(self.ip_forward),
+            udp_output: d(self.udp_output),
+            tcp_output: d(self.tcp_output),
+            ip_output: d(self.ip_output),
+            driver_tx_per_pkt: d(self.driver_tx_per_pkt),
+            copy_ns_per_byte: b(self.copy_ns_per_byte),
+            csum_ns_per_byte: b(self.csum_ns_per_byte),
+            proto_ns_per_byte: b(self.proto_ns_per_byte),
+            syscall_entry: d(self.syscall_entry),
+            syscall_return: d(self.syscall_return),
+            sock_enqueue: d(self.sock_enqueue),
+            sock_dequeue: d(self.sock_dequeue),
+            wakeup: d(self.wakeup),
+            context_switch: d(self.context_switch),
+            cache_reload_per_kb: d(self.cache_reload_per_kb),
+            cache_decay_window: self.cache_decay_window,
+            accept_sock: d(self.accept_sock),
+            lazy_locality_permille: self.lazy_locality_permille,
+        }
+    }
+
+    /// Copy cost for `n` bytes.
+    pub fn copy(&self, n: usize) -> SimDuration {
+        SimDuration::from_nanos(self.copy_ns_per_byte * n as u64)
+    }
+
+    /// Checksum cost for `n` bytes.
+    pub fn csum(&self, n: usize) -> SimDuration {
+        SimDuration::from_nanos(self.csum_ns_per_byte * n as u64)
+    }
+
+    /// Per-byte receive-path handling cost for `n` bytes.
+    pub fn proto_bytes(&self, n: usize) -> SimDuration {
+        SimDuration::from_nanos(self.proto_ns_per_byte * n as u64)
+    }
+
+    /// PCB lookup cost for a scan of `steps` entries.
+    pub fn pcb_lookup(&self, steps: usize) -> SimDuration {
+        self.pcb_lookup_base + self.pcb_lookup_per_entry * steps as u64
+    }
+
+    /// Applies the lazy-processing locality discount.
+    pub fn lazy(&self, d: SimDuration) -> SimDuration {
+        d.mul_f64(self.lazy_locality_permille as f64 / 1000.0)
+    }
+
+    /// Cache reload penalty for a working set of `bytes`.
+    pub fn cache_reload(&self, bytes: usize) -> SimDuration {
+        self.cache_reload_per_kb * (bytes as u64 / 1024)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_interrupt_costs_match() {
+        let c = CostModel::sparc20();
+        // BSD hw+soft interrupt incl. protocol ≈ 60us (paper §4.2).
+        let bsd_intr = c.hw_intr
+            + c.driver_rx_per_pkt
+            + c.softirq_dispatch
+            + c.ip_input
+            + c.udp_input
+            + c.pcb_lookup(2)
+            + c.sock_enqueue;
+        let us60 = bsd_intr.as_micros();
+        assert!((52..=70).contains(&us60), "BSD intr path was {us60}us");
+        // SOFT-LRP hw interrupt incl. demux ≈ 25us.
+        let soft = (c.hw_intr + c.driver_rx_per_pkt + c.demux_per_pkt).as_micros();
+        assert!((22..=28).contains(&soft), "SOFT-LRP intr was {soft}us");
+        // NI-LRP: minimal.
+        assert!(c.hw_intr_ni.as_micros() <= 6);
+    }
+
+    #[test]
+    fn per_byte_helpers() {
+        let c = CostModel::sparc20();
+        assert_eq!(c.copy(1000), SimDuration::from_micros(12));
+        assert_eq!(c.csum(1000), SimDuration::from_micros(10));
+        assert_eq!(c.copy(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn lazy_discount() {
+        let c = CostModel::sparc20();
+        assert_eq!(
+            c.lazy(SimDuration::from_micros(100)),
+            SimDuration::from_micros(85)
+        );
+    }
+
+    #[test]
+    fn pcb_scan_scales() {
+        let c = CostModel::sparc20();
+        let short = c.pcb_lookup(1);
+        let long = c.pcb_lookup(1001);
+        assert_eq!(long - short, SimDuration::from_micros(200));
+    }
+
+    #[test]
+    fn sunos_driver_slower() {
+        let fast = CostModel::sparc20();
+        let slow = CostModel::sunos_fore();
+        assert!(slow.driver_rx_per_pkt > fast.driver_rx_per_pkt);
+        assert!(slow.driver_tx_per_pkt > fast.driver_tx_per_pkt);
+    }
+
+    #[test]
+    fn scaled_halves_costs() {
+        let c = CostModel::sparc20();
+        let f = c.scaled(0.5);
+        assert_eq!(f.hw_intr, c.hw_intr.mul_f64(0.5));
+        assert_eq!(f.copy_ns_per_byte, c.copy_ns_per_byte / 2);
+        assert_eq!(f.lazy_locality_permille, c.lazy_locality_permille);
+        // Per-byte costs never drop to zero.
+        let tiny = c.scaled(0.0001);
+        assert!(tiny.copy_ns_per_byte >= 1);
+    }
+
+    #[test]
+    fn cache_reload_proportional() {
+        let c = CostModel::sparc20();
+        // 350 KB working set (35% of the 1MB L2) ≈ 875us.
+        let d = c.cache_reload(350 * 1024);
+        assert_eq!(d, SimDuration::from_micros(875));
+    }
+}

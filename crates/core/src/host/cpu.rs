@@ -1,0 +1,404 @@
+//! The CPU execution engine: chunk scheduling, interrupt preemption and
+//! charge-as-you-go accounting.
+
+use super::{Cont, Cpu, Host, PhaseOut, ProcExec, Running, Suspended, WorkKind};
+use lrp_sched::{Account, Pid, ProcState};
+use lrp_sim::{SimDuration, SimTime};
+
+impl Cpu {
+    fn bump(&mut self) -> u64 {
+        self.gen += 1;
+        self.gen
+    }
+}
+
+/// The outcome of settling a running chunk: its kind, charge target, and
+/// unfinished duration.
+type Settled = (WorkKind, Option<(Pid, Account)>, SimDuration);
+
+impl Host {
+    /// Charges elapsed time of the running chunk up to `now` and returns
+    /// the remaining duration.
+    fn settle_running(&mut self, now: SimTime) -> Option<Settled> {
+        let r = self.cpu.running.take()?;
+        let elapsed = now.since(r.started);
+        let total = r.ends.since(r.started);
+        let remaining = total.saturating_sub(elapsed);
+        if let Some((pid, account)) = r.charge {
+            let used = elapsed.min(total);
+            if !used.is_zero() {
+                self.sched.charge(pid, account, used);
+            }
+        }
+        Some((r.kind, r.charge, remaining))
+    }
+
+    fn start_chunk(
+        &mut self,
+        now: SimTime,
+        kind: WorkKind,
+        charge: Option<(Pid, Account)>,
+        dur: SimDuration,
+    ) {
+        debug_assert!(self.cpu.running.is_none(), "CPU already busy");
+        self.cpu.bump();
+        self.cpu.running = Some(Running {
+            kind,
+            charge,
+            started: now,
+            ends: now + dur,
+        });
+    }
+
+    /// A hardware interrupt demands the CPU: suspend whatever runs and
+    /// execute (or queue) the interrupt work. The interrupt's *logic* has
+    /// already been applied by the caller; this models only its CPU cost.
+    pub(crate) fn raise_hw(&mut self, now: SimTime, cost: SimDuration) {
+        // BSD charges interrupt time to the process that happens to be
+        // running (or that the interrupt suspended); idle time is free.
+        let victim = self.current_proc_context();
+        match &self.cpu.running {
+            Some(r) if matches!(r.kind, WorkKind::Hw) => {
+                // Interrupts queue behind the current handler.
+                self.cpu.pending_hw.push_back((cost, victim));
+            }
+            Some(_) => {
+                // Preempt: settle and suspend the current chunk.
+                let (kind, charge, remaining) = self.settle_running(now).expect("running chunk");
+                match kind {
+                    WorkKind::Soft => {
+                        self.cpu.susp_soft = Some(Suspended {
+                            kind,
+                            charge,
+                            remaining,
+                        });
+                    }
+                    WorkKind::Proc { .. } => {
+                        self.cpu.susp_proc = Some(Suspended {
+                            kind,
+                            charge,
+                            remaining,
+                        });
+                    }
+                    WorkKind::Hw => unreachable!("handled above"),
+                }
+                self.stats.hw_chunks += 1;
+                self.start_chunk(
+                    now,
+                    WorkKind::Hw,
+                    victim.map(|p| (p, Account::Interrupt)),
+                    cost,
+                );
+            }
+            None => {
+                self.stats.hw_chunks += 1;
+                self.start_chunk(
+                    now,
+                    WorkKind::Hw,
+                    victim.map(|p| (p, Account::Interrupt)),
+                    cost,
+                );
+            }
+        }
+    }
+
+    /// The process whose context underlies the current CPU activity (for
+    /// BSD-style interrupt charging).
+    pub(crate) fn current_proc_context(&self) -> Option<Pid> {
+        if let Some(s) = &self.cpu.susp_proc {
+            if let WorkKind::Proc { pid, .. } = &s.kind {
+                return Some(*pid);
+            }
+        }
+        if let Some(r) = &self.cpu.running {
+            if let WorkKind::Proc { pid, .. } = &r.kind {
+                return Some(*pid);
+            }
+        }
+        None
+    }
+
+    /// CPU completion event: `gen` guards against stale events.
+    pub fn on_cpu_complete(&mut self, now: SimTime, gen: u64) {
+        if gen != self.cpu.gen || self.cpu.running.is_none() {
+            return; // Stale event (chunk was preempted/replaced).
+        }
+        if self.cpu.running.as_ref().is_some_and(|r| r.ends > now) {
+            return; // Stale (should not happen with gen check).
+        }
+        let (kind, _, _) = self.settle_running(now).expect("checked");
+        match kind {
+            WorkKind::Hw | WorkKind::Soft => {}
+            WorkKind::Proc { pid, next } => {
+                // The process continues with the next phase: requeue at
+                // the front of its bucket so it resumes immediately unless
+                // higher-priority work (interrupt, softirq, better
+                // process) claims the CPU first.
+                self.exec.insert(pid, ProcExec::Cont(next));
+                self.sched.requeue(pid, true);
+            }
+        }
+        self.dispatch(now);
+    }
+
+    /// If the CPU is idle, find work (used after enqueuing work from
+    /// timers etc.).
+    pub(crate) fn kick(&mut self, now: SimTime) {
+        if self.cpu.running.is_none() {
+            self.dispatch(now);
+        }
+    }
+
+    /// Mid-chunk preemption test for the running process (used at decay
+    /// boundaries when priorities shift).
+    pub(crate) fn maybe_preempt_running(&mut self, now: SimTime) {
+        let Some(r) = &self.cpu.running else { return };
+        let WorkKind::Proc { pid, .. } = &r.kind else {
+            return;
+        };
+        let pid = *pid;
+        let pri = self.sched.proc_ref(pid).effective_pri();
+        if self.sched.should_preempt(pri) {
+            let (kind, charge, remaining) = self.settle_running(now).expect("running");
+            let WorkKind::Proc { pid, next } = kind else {
+                unreachable!()
+            };
+            let account = charge.map(|(_, a)| a).unwrap_or(Account::System);
+            let charge_pid = charge.map(|(p, _)| p).unwrap_or(pid);
+            self.preempt_to_exec(pid, next, remaining, account, charge_pid);
+            self.dispatch(now);
+        }
+    }
+
+    /// Saves a preempted process phase back into its exec state and
+    /// requeues the process.
+    fn preempt_to_exec(
+        &mut self,
+        pid: Pid,
+        next: Cont,
+        remaining: SimDuration,
+        account: Account,
+        charge: Pid,
+    ) {
+        if remaining.is_zero() {
+            self.exec.insert(pid, ProcExec::Cont(next));
+        } else {
+            self.exec.insert(
+                pid,
+                ProcExec::Chunk {
+                    remaining,
+                    account,
+                    charge,
+                    next,
+                },
+            );
+        }
+        if self.sched.proc_ref(pid).state == ProcState::Running {
+            self.sched.requeue(pid, true);
+            self.stats.ctx_switches += 1;
+        }
+    }
+
+    /// The central dispatcher: picks the highest-priority work for the
+    /// CPU. Order: pending hardware interrupts, software interrupt work,
+    /// the suspended process (unless preempted), then the scheduler.
+    pub(crate) fn dispatch(&mut self, now: SimTime) {
+        if self.cpu.running.is_some() {
+            return;
+        }
+        loop {
+            // 1. Hardware interrupts first.
+            if let Some((cost, victim)) = self.cpu.pending_hw.pop_front() {
+                self.stats.hw_chunks += 1;
+                self.start_chunk(
+                    now,
+                    WorkKind::Hw,
+                    victim.map(|p| (p, Account::Interrupt)),
+                    cost,
+                );
+                return;
+            }
+            // 2. Suspended softirq resumes.
+            if let Some(s) = self.cpu.susp_soft.take() {
+                self.cpu.bump();
+                self.cpu.running = Some(Running {
+                    kind: s.kind,
+                    charge: s.charge,
+                    started: now,
+                    ends: now + s.remaining,
+                });
+                return;
+            }
+            // 3. New softirq job (BSD / Early-Demux protocol work, and
+            //    BSD-context TCP timer work).
+            if !self.cfg.arch.is_lrp() {
+                if let Some((cost, tag)) = self.next_soft_job(now) {
+                    self.stats.soft_jobs += 1;
+                    let victim = self.current_proc_context();
+                    let _ = tag;
+                    self.start_chunk(
+                        now,
+                        WorkKind::Soft,
+                        victim.map(|p| (p, Account::Interrupt)),
+                        cost,
+                    );
+                    return;
+                }
+            } else if let Some((cost, owner)) = self.next_lrp_timer_job(now) {
+                // LRP TCP timer work executes in kernel context charged to
+                // the socket owner, even if the APP thread is asleep — the
+                // clock interrupt hands it straight to the APP path.
+                self.stats.soft_jobs += 1;
+                self.start_chunk(
+                    now,
+                    WorkKind::Soft,
+                    owner.map(|p| (p, Account::System)),
+                    cost,
+                );
+                return;
+            }
+            // 4. Suspended process chunk: resume unless something better
+            //    is queued (preemption at interrupt return).
+            if let Some(s) = self.cpu.susp_proc.take() {
+                let WorkKind::Proc { pid, next } = s.kind else {
+                    unreachable!("susp_proc holds proc work")
+                };
+                let pri = self.sched.proc_ref(pid).effective_pri();
+                if self.sched.should_preempt(pri) {
+                    let account = s.charge.map(|(_, a)| a).unwrap_or(Account::System);
+                    let charge_pid = s.charge.map(|(p, _)| p).unwrap_or(pid);
+                    self.preempt_to_exec(pid, next, s.remaining, account, charge_pid);
+                    continue;
+                }
+                self.cpu.bump();
+                self.cpu.running = Some(Running {
+                    kind: WorkKind::Proc { pid, next },
+                    charge: s.charge,
+                    started: now,
+                    ends: now + s.remaining,
+                });
+                return;
+            }
+            // 5. Ask the scheduler.
+            if let Some(pid) = self.sched.pick_next() {
+                if self.begin_proc(now, pid) {
+                    return;
+                }
+                continue;
+            }
+            // 6. Idle. LRP: poll channels for the idle protocol thread.
+            if self.idle_work_available() {
+                if let Some(idle) = self.idle_thread {
+                    if matches!(self.exec.get(&idle), Some(ProcExec::Blocked(_))) {
+                        for w in self.sched.wakeup(super::WC_IDLE_THREAD) {
+                            self.unblock(w);
+                        }
+                        continue;
+                    }
+                }
+            }
+            return;
+        }
+    }
+
+    /// Runs phases for a process that just got the CPU until one of them
+    /// yields a cost-bearing chunk (returns true) or the process blocks /
+    /// exits / yields (returns false).
+    fn begin_proc(&mut self, now: SimTime, pid: Pid) -> bool {
+        // Context-switch accounting: switching to a different process
+        // costs switch time plus a cache reload for the incoming working
+        // set, scaled by how long the process has been off the CPU (a
+        // brief preemption evicts little of a large working set).
+        let mut switch_cost = SimDuration::ZERO;
+        if self.last_on_cpu != Some(pid) {
+            if let Some(prev) = self.last_on_cpu {
+                self.last_ran.insert(prev, now);
+            }
+            let reload = self.sched.proc_ref(pid).cache_reload;
+            let scaled = match self.last_ran.get(&pid) {
+                Some(&t) => {
+                    let away = now.since(t).as_nanos() as f64;
+                    let window = self.cfg.cost.cache_decay_window.as_nanos() as f64;
+                    reload.mul_f64((away / window).min(1.0))
+                }
+                None => reload,
+            };
+            switch_cost = self.cfg.cost.context_switch + scaled;
+            self.stats.ctx_switches += 1;
+            self.last_on_cpu = Some(pid);
+        }
+        loop {
+            let ex = self.exec.remove(&pid).unwrap_or(ProcExec::Exited);
+            let out = match ex {
+                ProcExec::Start => {
+                    let ctx = crate::syscall::AppCtx { now, pid };
+                    let op = self.apps.get_mut(&pid).expect("app for process").start(ctx);
+                    PhaseOut::Run {
+                        dur: SimDuration::ZERO,
+                        account: Account::System,
+                        next: Cont::SyscallEntry(Box::new(op)),
+                    }
+                }
+                ProcExec::Cont(cont) => self.exec_phase(now, pid, cont),
+                ProcExec::Chunk {
+                    remaining,
+                    account,
+                    charge,
+                    next,
+                } => {
+                    self.pending_charge = Some(charge);
+                    PhaseOut::Run {
+                        dur: remaining,
+                        account,
+                        next,
+                    }
+                }
+                ProcExec::Blocked(c) => {
+                    // Spurious pick of a blocked process — should not
+                    // happen; restore and bail.
+                    self.exec.insert(pid, ProcExec::Blocked(c));
+                    return false;
+                }
+                ProcExec::Exited => {
+                    self.sched.exit(pid);
+                    return false;
+                }
+            };
+            match out {
+                PhaseOut::Run { dur, account, next } => {
+                    let total = dur + switch_cost;
+                    let charge_pid = self.pending_charge.take().unwrap_or(pid);
+                    if total.is_zero() {
+                        // Zero-cost transition: immediately execute the
+                        // next phase.
+                        self.exec.insert(pid, ProcExec::Cont(next));
+                        continue;
+                    }
+                    self.start_chunk(
+                        now,
+                        WorkKind::Proc { pid, next },
+                        Some((charge_pid, account)),
+                        total,
+                    );
+                    return true;
+                }
+                PhaseOut::Block { wchan, pri, resume } => {
+                    self.exec.insert(pid, ProcExec::Blocked(resume));
+                    self.sched.sleep(pid, wchan, pri);
+                    self.last_on_cpu = Some(pid);
+                    return false;
+                }
+                PhaseOut::Yield(cont) => {
+                    self.exec.insert(pid, ProcExec::Cont(cont));
+                    self.sched.requeue(pid, false);
+                    return false;
+                }
+                PhaseOut::Done => {
+                    self.exec.insert(pid, ProcExec::Exited);
+                    self.sched.exit(pid);
+                    return false;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,673 @@
+//! The simulated server host: one CPU, a scheduler, a NIC and the
+//! protocol stack, glued together under one of the paper's four
+//! architectures.
+//!
+//! # Execution model
+//!
+//! The host is driven by the [`World`](crate::world::World): frames arrive
+//! via [`Host::on_frame`], CPU work completions via
+//! [`Host::on_cpu_complete`], kernel timers via [`Host::on_timer`], and
+//! the statclock via [`Host::on_tick`]. The host never blocks; it models
+//! the CPU as a single resource executing *work chunks* with three
+//! preemption levels, highest first:
+//!
+//! 1. **Hardware interrupts** — run to completion, queue FIFO behind each
+//!    other, preempt everything else.
+//! 2. **Software interrupts** (BSD / Early-Demux protocol processing, TCP
+//!    timers) — preempted by hardware interrupts, preempt processes.
+//! 3. **Processes** — scheduled by the 4.3BSD decay scheduler; system
+//!    calls decompose into cost-bearing phases.
+//!
+//! Protocol *logic* executes at chunk start (exact at interrupt level,
+//! and equivalent on a uniprocessor for the rest, since nothing else can
+//! observe intermediate state while the chunk occupies the CPU); the chunk
+//! then occupies the CPU for the modelled cost, charged to a process
+//! according to the architecture's accounting policy — the paper's central
+//! lever.
+
+mod cpu;
+mod proto;
+mod rx;
+mod syscalls;
+
+use crate::config::{Architecture, HostConfig};
+use crate::syscall::{AppLogic, SockProto, SyscallOp, SyscallRet};
+use lrp_demux::ChannelId;
+use lrp_nic::{DemuxMode, Nic};
+use lrp_sched::{Account, Pid, SchedConfig, Scheduler, WaitChannel};
+use lrp_sim::{SimDuration, SimTime};
+use lrp_stack::sockbuf::DatagramQueue;
+use lrp_stack::tcp::{TcpConn, TcpListener};
+use lrp_stack::{PcbTable, Reassembler, SockId};
+use lrp_wire::{Endpoint, Frame, Ipv4Addr};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// Where a packet was dropped — the paper's instrumentation distinguishes
+/// exactly these points to explain each architecture's overload behaviour.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DropPoint {
+    /// NIC receive ring overrun (host not servicing interrupts).
+    RxRing,
+    /// Early discard at an NI channel (LRP) or at demux time (Early-Demux).
+    Channel,
+    /// The shared IP queue overflowed (BSD beyond ~15k pkts/s).
+    IpQueue,
+    /// The socket receive buffer was full — BSD pays full protocol
+    /// processing before discovering this.
+    SockBuf,
+    /// Checksum or header validation failed in protocol processing.
+    BadPacket,
+    /// No socket bound to the destination port.
+    NoSocket,
+    /// Listen backlog exceeded (SYN dropped after processing — BSD path).
+    Backlog,
+    /// Reassembly gave up (table full or timeout).
+    Reasm,
+    /// Interface (transmit) queue overflow.
+    IfQueue,
+}
+
+/// Aggregate host statistics.
+#[derive(Clone, Debug, Default)]
+pub struct HostStats {
+    /// UDP datagrams delivered to applications.
+    pub udp_delivered: u64,
+    /// UDP payload bytes delivered to applications.
+    pub udp_delivered_bytes: u64,
+    /// TCP payload bytes delivered to applications.
+    pub tcp_delivered_bytes: u64,
+    /// Packet drops by location.
+    pub drops: HashMap<DropPoint, u64>,
+    /// Hardware interrupt work chunks executed.
+    pub hw_chunks: u64,
+    /// Software interrupt jobs executed.
+    pub soft_jobs: u64,
+    /// Context switches between different processes.
+    pub ctx_switches: u64,
+    /// TCP connections fully established (passive side).
+    pub tcp_accepted: u64,
+}
+
+impl HostStats {
+    /// Records a drop at the given point.
+    pub fn drop_at(&mut self, p: DropPoint) {
+        *self.drops.entry(p).or_insert(0) += 1;
+    }
+
+    /// Count of drops at a point.
+    pub fn dropped(&self, p: DropPoint) -> u64 {
+        self.drops.get(&p).copied().unwrap_or(0)
+    }
+
+    /// Total drops across all points.
+    pub fn total_drops(&self) -> u64 {
+        self.drops.values().sum()
+    }
+}
+
+/// Wait-channel kinds hung off a socket.
+pub(crate) const WC_RECV: u64 = 0;
+pub(crate) const WC_SEND: u64 = 1;
+pub(crate) const WC_ACCEPT: u64 = 2;
+pub(crate) const WC_CONNECT: u64 = 3;
+
+pub(crate) fn sock_wchan(sock: SockId, kind: u64) -> WaitChannel {
+    WaitChannel((sock.0 as u64) * 8 + kind)
+}
+
+/// Wait channel for the APP kernel thread.
+pub(crate) const WC_APP_THREAD: WaitChannel = WaitChannel(1 << 60);
+/// Wait channel for the idle protocol thread.
+pub(crate) const WC_IDLE_THREAD: WaitChannel = WaitChannel((1 << 60) + 1);
+/// Wait channel for the IP forwarding daemon.
+pub(crate) const WC_FORWARD: WaitChannel = WaitChannel((1 << 60) + 2);
+
+/// A socket in the host's socket table.
+#[derive(Debug)]
+pub(crate) struct Socket {
+    pub id: SockId,
+    pub owner: Pid,
+    pub proto: SockProto,
+    pub local: Option<Endpoint>,
+    pub remote: Option<Endpoint>,
+    /// The NI channel (LRP and Early-Demux architectures).
+    pub chan: Option<ChannelId>,
+    /// UDP receive queue: the socket queue (BSD/ED) or the processed-
+    /// and-ready queue (LRP).
+    pub rcvq: DatagramQueue,
+    /// TCP connection state.
+    pub tcp: Option<TcpConn>,
+    /// Listening state.
+    pub listener: Option<TcpListener>,
+    /// Completed connections awaiting accept (socket ids).
+    pub accept_q: VecDeque<SockId>,
+    /// For passive children: the listening socket.
+    pub parent: Option<SockId>,
+    /// Child has been counted into the parent's accept queue.
+    pub established_reported: bool,
+    /// The application has closed this socket.
+    pub closed_by_app: bool,
+    /// NI channel was reclaimed in TIME_WAIT (NI-LRP).
+    pub chan_reclaimed: bool,
+}
+
+/// Per-process execution state.
+#[derive(Debug)]
+pub(crate) enum ProcExec {
+    /// Process has not run yet; call `AppLogic::start` when scheduled.
+    Start,
+    /// Continue with this kernel phase when scheduled.
+    Cont(Cont),
+    /// Mid-phase preemption: finish `remaining` of the charged work, then
+    /// continue.
+    Chunk {
+        remaining: SimDuration,
+        account: Account,
+        /// Whom the remaining work is charged to (may differ from the
+        /// running thread for APP/idle kernel threads).
+        charge: Pid,
+        next: Cont,
+    },
+    /// Blocked; on wakeup becomes `Cont(resume)`.
+    Blocked(Cont),
+    /// Terminated.
+    Exited,
+}
+
+/// Kernel continuations: the next phase of an in-progress operation.
+#[derive(Debug, Clone)]
+pub(crate) enum Cont {
+    /// Deliver a result to the app and get its next operation.
+    AppNext(SyscallRet),
+    /// Begin a system call (pays entry cost).
+    SyscallEntry(Box<SyscallOp>),
+    /// Pay the return cost, then `AppNext`.
+    SyscallReturn(SyscallRet),
+    /// User-mode computation with `remaining` to burn.
+    ComputeSlice(SimDuration),
+    /// Quantum boundary inside a computation: round-robin check, then
+    /// continue computing.
+    ComputeMore(SimDuration),
+    /// UDP/TCP receive: check queues, maybe process lazily, maybe block.
+    RecvCheck { sock: SockId, max_len: usize },
+    /// TCP send: try to buffer more data starting at `off`.
+    TcpSend {
+        sock: SockId,
+        data: std::rc::Rc<Vec<u8>>,
+        off: usize,
+    },
+    /// Accept: check the accept queue, maybe block.
+    AcceptCheck { sock: SockId },
+    /// Connect: wait for the handshake outcome.
+    ConnectCheck { sock: SockId },
+    /// The APP kernel thread's main loop (LRP TCP processing).
+    AppThreadStep,
+    /// The IP forwarding daemon's main loop (LRP §3.5).
+    ForwardStep,
+    /// The idle protocol thread's main loop (LRP §3.3).
+    IdleThreadStep,
+}
+
+/// What a phase does after its cost is paid.
+pub(crate) enum PhaseOut {
+    /// Consume CPU, then continue.
+    Run {
+        dur: SimDuration,
+        account: Account,
+        next: Cont,
+    },
+    /// Block on a wait channel at a kernel priority.
+    Block {
+        wchan: WaitChannel,
+        pri: u8,
+        resume: Cont,
+    },
+    /// Voluntarily yield the CPU (round-robin), stay runnable.
+    Yield(Cont),
+    /// Process exited.
+    Done,
+}
+
+/// CPU work kinds.
+#[derive(Debug)]
+pub(crate) enum WorkKind {
+    /// Hardware interrupt tail (logic already applied at arrival).
+    Hw,
+    /// Software interrupt job (logic already applied at job start).
+    Soft,
+    /// A process phase; continuation runs at completion.
+    Proc { pid: Pid, next: Cont },
+}
+
+#[derive(Debug)]
+pub(crate) struct Running {
+    pub kind: WorkKind,
+    pub charge: Option<(Pid, Account)>,
+    pub started: SimTime,
+    pub ends: SimTime,
+}
+
+#[derive(Debug)]
+pub(crate) struct Suspended {
+    pub kind: WorkKind,
+    pub charge: Option<(Pid, Account)>,
+    pub remaining: SimDuration,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct Cpu {
+    pub gen: u64,
+    pub running: Option<Running>,
+    /// A process chunk displaced by an interrupt (resumed in place unless
+    /// preempted by a better process at interrupt return).
+    pub susp_proc: Option<Suspended>,
+    /// A softirq chunk displaced by a hardware interrupt.
+    pub susp_soft: Option<Suspended>,
+    /// Pending hardware interrupt work (cost, charge target decided at
+    /// arrival).
+    pub pending_hw: VecDeque<(SimDuration, Option<Pid>)>,
+}
+
+/// The simulated host.
+pub struct Host {
+    /// Configuration (architecture, costs, kernel parameters).
+    pub cfg: HostConfig,
+    /// This host's address.
+    pub addr: Ipv4Addr,
+    /// The process scheduler.
+    pub sched: Scheduler,
+    /// The network interface.
+    pub nic: Nic,
+    /// Aggregate statistics.
+    pub stats: HostStats,
+    pub(crate) pcb: PcbTable,
+    pub(crate) reasm: Reassembler,
+    pub(crate) sockets: Vec<Option<Socket>>,
+    pub(crate) apps: HashMap<Pid, Box<dyn AppLogic>>,
+    pub(crate) exec: HashMap<Pid, ProcExec>,
+    pub(crate) cpu: Cpu,
+    /// BSD shared IP queue.
+    pub(crate) ip_queue: VecDeque<Frame>,
+    /// Due TCP timer work (socket ids), processed in protocol context.
+    pub(crate) tcp_timer_work: VecDeque<SockId>,
+    /// Early-Demux: channels with frames awaiting softirq processing.
+    pub(crate) ed_pending: VecDeque<SockId>,
+    /// Timed sleeps.
+    pub(crate) sleep_until: BTreeMap<SimTime, Vec<Pid>>,
+    pub(crate) app_thread: Option<Pid>,
+    pub(crate) idle_thread: Option<Pid>,
+    /// The raw socket of the ICMP proxy daemon (§3.5), if one is bound.
+    pub(crate) icmp_sock: Option<SockId>,
+    /// The IP forwarding daemon (LRP) — forwarding runs at its priority.
+    pub(crate) forward_daemon: Option<Pid>,
+    /// BSD/Early-Demux: forward in softirq context when enabled.
+    pub(crate) forwarding_enabled: bool,
+    pub(crate) last_on_cpu: Option<Pid>,
+    /// When each process last held the CPU (for away-time-scaled cache
+    /// reload penalties).
+    pub(crate) last_ran: HashMap<Pid, SimTime>,
+    pub(crate) iss: u32,
+    pub(crate) ip_ident: u16,
+    pub(crate) ephemeral_port: u16,
+    pub(crate) ticks: u64,
+    /// Next reassembly-expiry sweep.
+    pub(crate) next_reasm_sweep: SimTime,
+    /// Charge target for the next process chunk, when it differs from the
+    /// running thread (APP/idle kernel threads billing socket owners).
+    pub(crate) pending_charge: Option<Pid>,
+    /// Index of live sockets (the `sockets` Vec keeps dead slots; scans
+    /// must stay proportional to *live* sockets, not history).
+    pub(crate) live_socks: std::collections::BTreeSet<SockId>,
+    /// Channel → socket index (replaces linear scans per packet).
+    pub(crate) chan_to_sock: HashMap<lrp_demux::ChannelId, SockId>,
+}
+
+impl Host {
+    /// Creates a host with the given configuration and address.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lrp_core::{Architecture, Host, HostConfig};
+    ///
+    /// let host = Host::new(
+    ///     HostConfig::new(Architecture::SoftLrp),
+    ///     "10.0.0.2".parse().unwrap(),
+    /// );
+    /// assert_eq!(host.rx_frames(), 0);
+    /// ```
+    pub fn new(cfg: HostConfig, addr: Ipv4Addr) -> Self {
+        let demux_mode = match cfg.arch {
+            Architecture::Bsd => DemuxMode::None,
+            Architecture::EarlyDemux | Architecture::SoftLrp => DemuxMode::Soft,
+            Architecture::NiLrp => DemuxMode::Ni,
+        };
+        let mut nic = Nic::new(demux_mode, addr, cfg.max_sockets);
+        nic.set_default_channel_limit(cfg.channel_limit);
+        let sched_cfg = SchedConfig {
+            tick: cfg.tick,
+            quantum: cfg.quantum,
+            decay_interval: SimDuration::from_secs(1),
+        };
+        let mut host = Host {
+            cfg,
+            addr,
+            sched: Scheduler::new(sched_cfg),
+            nic,
+            stats: HostStats::default(),
+            pcb: PcbTable::new(),
+            reasm: Reassembler::new(16, SimDuration::from_secs(30)),
+            sockets: Vec::new(),
+            apps: HashMap::new(),
+            exec: HashMap::new(),
+            cpu: Cpu::default(),
+            ip_queue: VecDeque::new(),
+            tcp_timer_work: VecDeque::new(),
+            ed_pending: VecDeque::new(),
+            sleep_until: BTreeMap::new(),
+            app_thread: None,
+            idle_thread: None,
+            icmp_sock: None,
+            forward_daemon: None,
+            forwarding_enabled: false,
+            last_on_cpu: None,
+            last_ran: HashMap::new(),
+            iss: 1000,
+            ip_ident: 1,
+            ephemeral_port: 40_000,
+            ticks: 0,
+            next_reasm_sweep: SimTime::from_secs(1),
+            pending_charge: None,
+            live_socks: std::collections::BTreeSet::new(),
+            chan_to_sock: HashMap::new(),
+        };
+        if host.cfg.arch == Architecture::NiLrp {
+            // Demand interrupts for the shared fragment channel so a
+            // blocked receiver learns about misordered fragments.
+            let frag = host.nic.fragment_channel;
+            host.nic.channel_mut(frag).intr_requested = true;
+        }
+        if host.cfg.arch.is_lrp() {
+            // The dedicated kernel process for asynchronous TCP protocol
+            // processing (§3.4); priority pinned dynamically to the owning
+            // application's priority.
+            if host.cfg.tcp_app_processing {
+                let app = host.sched.spawn_fixed("app-thread", lrp_sched::PUSER);
+                host.exec.insert(app, ProcExec::Cont(Cont::AppThreadStep));
+                host.app_thread = Some(app);
+            }
+            if host.cfg.idle_thread {
+                // Minimal-priority thread that performs protocol
+                // processing when the CPU would otherwise idle (§3.3).
+                let idle = host.sched.spawn_fixed("idle-proto", 126);
+                host.exec.insert(idle, ProcExec::Cont(Cont::IdleThreadStep));
+                host.idle_thread = Some(idle);
+            }
+        }
+        host
+    }
+
+    /// Spawns an application process.
+    ///
+    /// `working_set` is the cache working set in bytes (drives the
+    /// cache-reload penalty on context switches).
+    pub fn spawn_app(
+        &mut self,
+        name: &str,
+        nice: i8,
+        working_set: usize,
+        app: Box<dyn AppLogic>,
+    ) -> Pid {
+        let reload = self.cfg.cost.cache_reload(working_set);
+        let pid = self.sched.spawn(name, nice, reload);
+        self.apps.insert(pid, app);
+        self.exec.insert(pid, ProcExec::Start);
+        pid
+    }
+
+    /// Starts execution (initial dispatch). Call once after spawning apps.
+    pub fn start(&mut self, now: SimTime) {
+        self.dispatch(now);
+    }
+
+    /// The next CPU completion event the world must schedule:
+    /// `(time, generation)`.
+    pub fn cpu_event(&self) -> Option<(SimTime, u64)> {
+        self.cpu.running.as_ref().map(|r| (r.ends, self.cpu.gen))
+    }
+
+    /// The earliest kernel-timer deadline (TCP timers, timed sleeps,
+    /// reassembly sweeps).
+    pub fn next_timer_deadline(&self) -> Option<SimTime> {
+        let mut min: Option<SimTime> = None;
+        let mut fold = |t: Option<SimTime>| {
+            min = match (min, t) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, None) => a,
+                (None, b) => b,
+            };
+        };
+        for s in self.live_sockets() {
+            // A socket whose timer work is already queued must not keep
+            // re-arming the world's timer event (its deadline stays in the
+            // past until the protocol context runs the work).
+            if self.tcp_timer_work.contains(&s.id) {
+                continue;
+            }
+            if let Some(tcp) = &s.tcp {
+                fold(tcp.next_deadline());
+            }
+        }
+        fold(self.sleep_until.keys().next().copied());
+        if self.reasm.pending() > 0 {
+            fold(Some(self.next_reasm_sweep));
+        }
+        min
+    }
+
+    /// Total packets the NIC has accepted from the link.
+    pub fn rx_frames(&self) -> u64 {
+        self.nic.stats().rx_frames
+    }
+
+    /// Looks up a socket's owner (None if the socket is gone).
+    pub fn socket_owner(&self, sock: SockId) -> Option<Pid> {
+        self.sockets
+            .get(sock.0 as usize)
+            .and_then(|s| s.as_ref())
+            .map(|s| s.owner)
+    }
+
+    pub(crate) fn sock(&self, id: SockId) -> &Socket {
+        self.sockets[id.0 as usize].as_ref().expect("live socket")
+    }
+
+    pub(crate) fn sock_mut(&mut self, id: SockId) -> &mut Socket {
+        self.sockets[id.0 as usize].as_mut().expect("live socket")
+    }
+
+    pub(crate) fn sock_opt(&self, id: SockId) -> Option<&Socket> {
+        self.sockets.get(id.0 as usize).and_then(|s| s.as_ref())
+    }
+
+    pub(crate) fn alloc_sock(&mut self, owner: Pid, proto: SockProto) -> SockId {
+        let id = SockId(self.sockets.len() as u32);
+        let limit = self.cfg.sockbuf_limit;
+        self.live_socks.insert(id);
+        self.sockets.push(Some(Socket {
+            id,
+            owner,
+            proto,
+            local: None,
+            remote: None,
+            chan: None,
+            rcvq: DatagramQueue::new(limit),
+            tcp: None,
+            listener: None,
+            accept_q: VecDeque::new(),
+            parent: None,
+            established_reported: false,
+            closed_by_app: false,
+            chan_reclaimed: false,
+        }));
+        id
+    }
+
+    /// Iterates live sockets (allocation order).
+    pub(crate) fn live_sockets(&self) -> impl Iterator<Item = &Socket> + '_ {
+        self.live_socks
+            .iter()
+            .filter_map(|id| self.sockets[id.0 as usize].as_ref())
+    }
+
+    /// Records that `chan` now belongs to `sock`.
+    pub(crate) fn bind_channel(&mut self, chan: lrp_demux::ChannelId, sock: SockId) {
+        self.chan_to_sock.insert(chan, sock);
+    }
+
+    pub(crate) fn next_iss(&mut self) -> u32 {
+        self.iss = self.iss.wrapping_add(64_009);
+        self.iss
+    }
+
+    pub(crate) fn next_ident(&mut self) -> u16 {
+        self.ip_ident = self.ip_ident.wrapping_add(1);
+        self.ip_ident
+    }
+
+    pub(crate) fn next_ephemeral(&mut self) -> u16 {
+        // Skip ports until one is free (bounded by max sockets).
+        loop {
+            let p = self.ephemeral_port;
+            self.ephemeral_port = if p >= 65_000 { 40_000 } else { p + 1 };
+            let probe = Endpoint::new(self.addr, p);
+            let udp_free = !self
+                .pcb
+                .contains(&lrp_wire::FlowKey::listening(lrp_wire::proto::UDP, probe));
+            let tcp_free = !self
+                .pcb
+                .contains(&lrp_wire::FlowKey::listening(lrp_wire::proto::TCP, probe));
+            if udp_free && tcp_free {
+                return p;
+            }
+        }
+    }
+
+    /// Enables IP forwarding. Under the LRP architectures this spawns the
+    /// forwarding daemon of §3.5 at the given niceness — its scheduling
+    /// priority bounds the CPU spent on forwarding. Under BSD/Early-Demux,
+    /// forwarding runs eagerly in software-interrupt context.
+    pub fn enable_forwarding(&mut self, nice: i8) {
+        self.forwarding_enabled = true;
+        if self.cfg.arch.is_lrp() {
+            let pid = self.sched.spawn("ipfwd", nice, SimDuration::ZERO);
+            self.exec.insert(pid, ProcExec::Cont(Cont::ForwardStep));
+            self.forward_daemon = Some(pid);
+            let chan = self.nic.create_default_channel();
+            self.nic.set_forward_proxy(chan);
+            if self.cfg.arch == Architecture::NiLrp {
+                self.nic.channel_mut(chan).intr_requested = true;
+            }
+        }
+    }
+
+    /// Statclock tick: drives decay (1 Hz) and preemption checks.
+    pub fn on_tick(&mut self, now: SimTime) {
+        self.ticks += 1;
+        if self.ticks.is_multiple_of(100) {
+            self.sched.decay();
+            if let Some(t) = self.app_thread {
+                self.update_app_thread_pri(t);
+            }
+            self.maybe_preempt_running(now);
+        }
+    }
+
+    /// Kernel timer service: fires due TCP timers (queued as protocol
+    /// work), timed sleeps, and reassembly expiry.
+    pub fn on_timer(&mut self, now: SimTime) {
+        // Timed sleeps.
+        let due: Vec<SimTime> = self.sleep_until.range(..=now).map(|(t, _)| *t).collect();
+        for t in due {
+            if let Some(pids) = self.sleep_until.remove(&t) {
+                for pid in pids {
+                    let wc = WaitChannel(0xFFFF_0000 + pid.0 as u64);
+                    for w in self.sched.wakeup(wc) {
+                        self.unblock(w);
+                    }
+                }
+            }
+        }
+        // TCP timers: queue protocol work for due connections.
+        let mut due_socks = Vec::new();
+        for s in self.live_sockets() {
+            if let Some(tcp) = &s.tcp {
+                if tcp.next_deadline().is_some_and(|d| d <= now) {
+                    due_socks.push(s.id);
+                }
+            }
+        }
+        for id in due_socks {
+            if !self.tcp_timer_work.contains(&id) {
+                self.tcp_timer_work.push_back(id);
+            }
+        }
+        if !self.tcp_timer_work.is_empty() && self.cfg.arch.is_lrp() {
+            self.wake_app_thread();
+        }
+        // BSD/ED: the work is picked up by the softirq scan in
+        // dispatch.
+        // Reassembly expiry sweep.
+        if now >= self.next_reasm_sweep {
+            let expired = self.reasm.expire(now);
+            for _ in 0..expired {
+                self.stats.drop_at(DropPoint::Reasm);
+            }
+            self.next_reasm_sweep = now + SimDuration::from_secs(1);
+        }
+        self.kick(now);
+    }
+
+    /// Transitions a woken process from `Blocked` to its continuation.
+    pub(crate) fn unblock(&mut self, pid: Pid) {
+        if let Some(ex) = self.exec.get_mut(&pid) {
+            if let ProcExec::Blocked(cont) = ex {
+                let c = cont.clone();
+                *ex = ProcExec::Cont(c);
+            }
+        }
+    }
+
+    /// Wakes the APP kernel thread if sleeping.
+    pub(crate) fn wake_app_thread(&mut self) {
+        if let Some(t) = self.app_thread {
+            self.update_app_thread_pri(t);
+            for w in self.sched.wakeup(WC_APP_THREAD) {
+                self.unblock(w);
+            }
+        }
+    }
+
+    /// Pins the APP thread's priority to the best (numerically lowest)
+    /// priority among owners of sockets with pending TCP work (§3.4).
+    pub(crate) fn update_app_thread_pri(&mut self, thread: Pid) {
+        let mut best = lrp_sched::PRI_MAX;
+        let mut any = false;
+        for s in self.live_sockets() {
+            if s.proto != SockProto::Tcp {
+                continue;
+            }
+            let pending = s
+                .chan
+                .filter(|&c| self.nic.channel_exists(c))
+                .is_some_and(|c| !self.nic.channel(c).is_empty())
+                || self.tcp_timer_work.contains(&s.id);
+            if pending {
+                any = true;
+                best = best.min(self.sched.proc_ref(s.owner).user_pri);
+            }
+        }
+        let pri = if any { best } else { lrp_sched::PUSER };
+        self.sched.set_fixed_pri(thread, Some(pri));
+    }
+}

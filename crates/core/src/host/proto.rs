@@ -1,0 +1,670 @@
+//! Shared protocol processing: the one IP/UDP/TCP delivery path executed
+//! by all four architectures — in softirq context (BSD, Early-Demux), in
+//! the receive system call or the APP/idle threads (LRP).
+//!
+//! Each function *applies the protocol logic immediately* and *returns the
+//! CPU cost*; the caller turns that cost into a work chunk charged
+//! according to its architecture's policy.
+
+use super::{sock_wchan, DropPoint, Host, WC_CONNECT, WC_RECV, WC_SEND};
+use crate::config::Architecture;
+use crate::syscall::SockProto;
+use lrp_sim::{SimDuration, SimTime};
+use lrp_stack::sockbuf::Datagram;
+use lrp_stack::tcp::{Actions, ConnEvent, Segment, TcpConn};
+use lrp_stack::{ReasmOutcome, SockId};
+use lrp_wire::{ipv4, proto, tcp, udp, Endpoint, FlowKey, Frame};
+
+/// Execution context of protocol processing: determines cost discounts
+/// and whether the BSD PCB lookup is performed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum ProtoCtx {
+    /// BSD softirq: PCB lookup, eager costs.
+    BsdSoftirq,
+    /// Early-Demux softirq: socket known from the channel, no PCB lookup.
+    EarlyDemuxSoftirq {
+        /// The socket the channel identified.
+        sock: SockId,
+    },
+    /// LRP: lazy context (receive syscall or idle thread) — locality
+    /// discount applies; socket known from the channel.
+    Lrp {
+        /// The socket the channel identified.
+        sock: SockId,
+        /// True in the receive system call itself (full lazy benefit).
+        lazy: bool,
+    },
+}
+
+impl Host {
+    /// Full input processing for one IP frame. Returns the CPU cost; all
+    /// state changes are applied immediately.
+    pub(crate) fn ip_deliver(&mut self, now: SimTime, frame: Frame, ctx: ProtoCtx) -> SimDuration {
+        let cost = self.cfg.cost;
+        let lazy = matches!(ctx, ProtoCtx::Lrp { lazy: true, .. });
+        let scale = |d: SimDuration| if lazy { cost.lazy(d) } else { d };
+        let mut total = scale(cost.ip_input + cost.proto_bytes(frame.len()));
+        let bytes = match frame {
+            Frame::Ipv4(b) => b,
+            Frame::Arp(_) => {
+                // ARP handled by the proxy daemon path; count and ignore
+                // here.
+                return total;
+            }
+        };
+        let Ok((first_hdr, first_payload)) = ipv4::parse(&bytes) else {
+            self.stats.drop_at(DropPoint::BadPacket);
+            return total;
+        };
+        // Fragment reassembly; whole datagrams pass straight through.
+        let completed: Option<(ipv4::Ipv4Header, Vec<u8>)> = if first_hdr.is_fragment() {
+            total += scale(cost.ip_reasm_per_frag);
+            match self.reasm.input(now, &first_hdr, first_payload) {
+                ReasmOutcome::Complete {
+                    payload: p,
+                    src,
+                    dst,
+                    proto: pr,
+                } => Some((ipv4::Ipv4Header::new(src, dst, pr, 0, p.len()), p)),
+                ReasmOutcome::Incomplete => {
+                    // In LRP, the missing fragments may already be waiting
+                    // on the special NI fragment channel (§3.2).
+                    if self.cfg.arch.is_lrp() {
+                        let (extra, done) = self.drain_fragment_channel(now);
+                        total += if lazy { cost.lazy(extra) } else { extra };
+                        done
+                    } else {
+                        None
+                    }
+                }
+                ReasmOutcome::Dropped => {
+                    self.stats.drop_at(DropPoint::Reasm);
+                    None
+                }
+            }
+        } else {
+            Some((first_hdr, first_payload.to_vec()))
+        };
+        let Some((ih, payload)) = completed else {
+            return total;
+        };
+        // Packets for another host: IP forwarding (BSD path — under LRP
+        // the demux function already routed them to the forward channel).
+        if ih.dst != self.addr {
+            return total + self.do_forward(&bytes);
+        }
+        match ih.proto {
+            proto::UDP => total + self.udp_deliver(now, &ih, &payload, ctx),
+            proto::TCP => total + self.tcp_deliver(now, &ih, &payload, ctx),
+            proto::ICMP => total + self.icmp_deliver(&ih, &payload, ctx),
+            _ => {
+                // Unknown protocols are dropped after IP input.
+                self.stats.drop_at(DropPoint::NoSocket);
+                total
+            }
+        }
+    }
+
+    /// Forwards an IP datagram: TTL handling, header rewrite, transmit
+    /// queue. Returns the CPU cost.
+    pub(crate) fn do_forward(&mut self, bytes: &[u8]) -> SimDuration {
+        let cost = self.cfg.cost;
+        if !self.forwarding_enabled {
+            self.stats.drop_at(DropPoint::NoSocket);
+            return cost.ip_forward;
+        }
+        let Ok((mut ih, payload)) = ipv4::parse(bytes) else {
+            self.stats.drop_at(DropPoint::BadPacket);
+            return cost.ip_forward;
+        };
+        if ih.ttl <= 1 {
+            // TTL expired: a real router would emit ICMP Time Exceeded;
+            // count the drop.
+            self.stats.drop_at(DropPoint::BadPacket);
+            return cost.ip_forward;
+        }
+        ih.ttl -= 1;
+        let out = ipv4::build_datagram(&ih, payload);
+        let total = cost.ip_forward + cost.ip_output + cost.driver_tx_per_pkt;
+        if !self.nic.ifq_enqueue(Frame::Ipv4(out)) {
+            self.stats.drop_at(DropPoint::IfQueue);
+        }
+        total
+    }
+
+    /// The forwarding daemon processes one frame from the forward channel;
+    /// returns the cost, or `None` when the channel is empty.
+    pub(crate) fn forward_step(&mut self) -> Option<SimDuration> {
+        let chan = self.nic.proxies().forward?;
+        if !self.nic.channel_exists(chan) {
+            return None;
+        }
+        let frame = self.nic.channel_mut(chan).dequeue()?;
+        let cost = self.cfg.cost;
+        let d = match &frame {
+            Frame::Ipv4(b) => cost.ip_input + self.do_forward(b),
+            Frame::Arp(_) => cost.ip_input,
+        };
+        Some(d)
+    }
+
+    /// Delivers an ICMP message to the proxy daemon's raw socket (§3.5).
+    fn icmp_deliver(
+        &mut self,
+        ih: &ipv4::Ipv4Header,
+        payload: &[u8],
+        ctx: ProtoCtx,
+    ) -> SimDuration {
+        let cost = self.cfg.cost;
+        let lazy = matches!(ctx, ProtoCtx::Lrp { lazy: true, .. });
+        let scale = |d: SimDuration| if lazy { cost.lazy(d) } else { d };
+        let mut total = scale(cost.udp_input) + scale(cost.csum(payload.len()));
+        if lrp_wire::icmp::parse(payload).is_err() {
+            self.stats.drop_at(DropPoint::BadPacket);
+            return total;
+        }
+        let Some(sock) = self.icmp_sock.filter(|s| self.sock_opt(*s).is_some()) else {
+            self.stats.drop_at(DropPoint::NoSocket);
+            return total;
+        };
+        let dgram = Datagram {
+            from: Endpoint::new(ih.src, 0),
+            payload: payload.to_vec(),
+        };
+        if self.sock_mut(sock).rcvq.enqueue(dgram) {
+            if !lazy {
+                total += scale(cost.sock_enqueue);
+                if self.sched.has_sleeper(sock_wchan(sock, WC_RECV)) {
+                    total += cost.wakeup;
+                    self.wake_sock(sock, WC_RECV);
+                }
+            }
+        } else {
+            self.stats.drop_at(DropPoint::SockBuf);
+        }
+        total
+    }
+
+    /// LRP receive path helper: drains the fragment channel and delivers
+    /// any completed datagram to its socket (resolved through the demux
+    /// table, since the fragment channel is shared). Returns the cost.
+    pub(crate) fn pump_fragment_channel(&mut self, now: SimTime) -> SimDuration {
+        let (mut total, done) = self.drain_fragment_channel(now);
+        if let Some((ih, payload)) = done {
+            // Resolve the destination socket exactly as the demux function
+            // would have, had the transport header been present.
+            if ih.proto == proto::UDP {
+                let sock = udp::parse(&payload).ok().and_then(|(uh, _)| {
+                    let local = Endpoint::new(ih.dst, uh.dst_port);
+                    let remote = Endpoint::new(ih.src, uh.src_port);
+                    self.nic
+                        .demux
+                        .lookup_flow(proto::UDP, local, remote)
+                        .and_then(|c| self.sock_of_channel(c))
+                });
+                if let Some(sock) = sock {
+                    total +=
+                        self.udp_deliver(now, &ih, &payload, ProtoCtx::Lrp { sock, lazy: false });
+                    if self.sched.has_sleeper(sock_wchan(sock, WC_RECV)) {
+                        self.wake_sock(sock, WC_RECV);
+                    }
+                } else {
+                    self.stats.drop_at(DropPoint::NoSocket);
+                }
+            }
+        }
+        total
+    }
+
+    /// Pulls queued fragments from the special NI fragment channel into
+    /// the reassembler (LRP §3.2). Returns the cost and a completed
+    /// datagram if the drain finished one.
+    fn drain_fragment_channel(
+        &mut self,
+        now: SimTime,
+    ) -> (SimDuration, Option<(ipv4::Ipv4Header, Vec<u8>)>) {
+        let mut total = SimDuration::ZERO;
+        let mut done = None;
+        let frag_chan = self.nic.fragment_channel;
+        while let Some(f) = self.nic.channel_mut(frag_chan).dequeue() {
+            total += self.cfg.cost.ip_reasm_per_frag;
+            if let Frame::Ipv4(b) = f {
+                if let Ok((fh, fp)) = ipv4::parse(&b) {
+                    if let ReasmOutcome::Complete {
+                        payload,
+                        src,
+                        dst,
+                        proto: pr,
+                    } = self.reasm.input(now, &fh, fp)
+                    {
+                        if done.is_none() {
+                            done = Some((
+                                ipv4::Ipv4Header::new(src, dst, pr, 0, payload.len()),
+                                payload,
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        (total, done)
+    }
+
+    fn udp_deliver(
+        &mut self,
+        _now: SimTime,
+        ih: &ipv4::Ipv4Header,
+        payload: &[u8],
+        ctx: ProtoCtx,
+    ) -> SimDuration {
+        let cost = self.cfg.cost;
+        let lazy = matches!(ctx, ProtoCtx::Lrp { lazy: true, .. });
+        let scale = |d: SimDuration| if lazy { cost.lazy(d) } else { d };
+        let mut total = scale(cost.udp_input);
+        let Ok((uh, body)) = udp::parse(payload) else {
+            self.stats.drop_at(DropPoint::BadPacket);
+            return total;
+        };
+        // Checksum verification (skipped when the sender disabled it).
+        if uh.checksum != 0 {
+            total += scale(cost.csum(payload.len()));
+            if !udp::verify_checksum(ih.src, ih.dst, payload) {
+                self.stats.drop_at(DropPoint::BadPacket);
+                return total;
+            }
+        }
+        let local = Endpoint::new(ih.dst, uh.dst_port);
+        let remote = Endpoint::new(ih.src, uh.src_port);
+        // Socket resolution: PCB scan for BSD (and the redundant-lookup
+        // control for LRP, Figure 5), channel identity otherwise.
+        let sock = match ctx {
+            ProtoCtx::BsdSoftirq => {
+                let r = self.pcb.lookup(proto::UDP, local, remote);
+                total += cost.pcb_lookup(r.steps);
+                r.sock
+            }
+            ProtoCtx::EarlyDemuxSoftirq { sock } => Some(sock),
+            ProtoCtx::Lrp { sock, .. } => {
+                if self.cfg.redundant_pcb_lookup {
+                    let r = self.pcb.lookup(proto::UDP, local, remote);
+                    total += cost.pcb_lookup(r.steps);
+                }
+                Some(sock)
+            }
+        };
+        let Some(sock) = sock.filter(|s| self.sock_opt(*s).is_some()) else {
+            self.stats.drop_at(DropPoint::NoSocket);
+            return total;
+        };
+        let dgram = Datagram {
+            from: remote,
+            payload: body.to_vec(),
+        };
+        let nbytes = dgram.payload.len() as u64;
+        if self.sock_mut(sock).rcvq.enqueue(dgram) {
+            self.stats.udp_delivered += 1;
+            self.stats.udp_delivered_bytes += nbytes;
+            if !lazy {
+                total += scale(cost.sock_enqueue);
+                // Wake a blocked receiver (sowakeup).
+                if self.sched.has_sleeper(sock_wchan(sock, WC_RECV)) {
+                    total += cost.wakeup;
+                    for w in self.sched.wakeup(sock_wchan(sock, WC_RECV)) {
+                        self.unblock(w);
+                    }
+                }
+            }
+        } else {
+            // BSD pays everything above and only now discovers the full
+            // socket queue — the waste LRP eliminates.
+            self.stats.drop_at(DropPoint::SockBuf);
+        }
+        total
+    }
+
+    fn tcp_deliver(
+        &mut self,
+        now: SimTime,
+        ih: &ipv4::Ipv4Header,
+        payload: &[u8],
+        ctx: ProtoCtx,
+    ) -> SimDuration {
+        let cost = self.cfg.cost;
+        let mut total = cost.csum(payload.len());
+        if !tcp::verify_checksum(ih.src, ih.dst, payload) {
+            self.stats.drop_at(DropPoint::BadPacket);
+            return total;
+        }
+        let Ok((th, body)) = tcp::parse(payload) else {
+            self.stats.drop_at(DropPoint::BadPacket);
+            return total;
+        };
+        let local = Endpoint::new(ih.dst, th.dst_port);
+        let remote = Endpoint::new(ih.src, th.src_port);
+        let sock = match ctx {
+            ProtoCtx::BsdSoftirq => {
+                let r = self.pcb.lookup(proto::TCP, local, remote);
+                total += cost.pcb_lookup(r.steps);
+                r.sock
+            }
+            ProtoCtx::EarlyDemuxSoftirq { sock } => Some(sock),
+            ProtoCtx::Lrp { sock, .. } => {
+                if self.cfg.redundant_pcb_lookup {
+                    let r = self.pcb.lookup(proto::TCP, local, remote);
+                    total += cost.pcb_lookup(r.steps);
+                }
+                Some(sock)
+            }
+        };
+        let Some(sock) = sock.filter(|s| self.sock_opt(*s).is_some()) else {
+            // No socket: a RST would be generated by a real stack; cost
+            // only.
+            self.stats.drop_at(DropPoint::NoSocket);
+            return total + cost.tcp_input;
+        };
+        // Listening socket: SYN handling.
+        if self.sock(sock).listener.is_some() && th.has(tcp::flags::SYN) && !th.has(tcp::flags::ACK)
+        {
+            return total + self.tcp_handle_syn(now, sock, local, remote, &th);
+        }
+        // Established (or embryonic) connection.
+        if self.sock(sock).tcp.is_none() {
+            self.stats.drop_at(DropPoint::NoSocket);
+            return total + cost.tcp_input;
+        }
+        total += cost.tcp_input;
+        let mut conn = self.sock_mut(sock).tcp.take().expect("checked");
+        let actions = conn.on_segment(now, &th, body);
+        let delivered = conn.stats.bytes_in;
+        self.sock_mut(sock).tcp = Some(conn);
+        total += self.apply_tcp_actions(now, sock, actions);
+        let _ = delivered;
+        // TIME_WAIT channel reclamation (NI-LRP §4.2).
+        self.maybe_reclaim_channel(sock);
+        total
+    }
+
+    /// SYN arrival at a listening socket: backlog admission, child
+    /// creation, SYN|ACK transmission.
+    pub(crate) fn tcp_handle_syn(
+        &mut self,
+        now: SimTime,
+        lsock: SockId,
+        local: Endpoint,
+        remote: Endpoint,
+        th: &tcp::TcpHeader,
+    ) -> SimDuration {
+        let cost = self.cfg.cost;
+        let mut total = cost.tcp_syn;
+        // Duplicate SYN for an embryonic connection? Find the child by
+        // exact PCB key.
+        let exact = self.pcb.lookup(proto::TCP, local, remote);
+        if let Some(child) = exact.sock {
+            if child != lsock {
+                // Retransmitted SYN: let the child handle it.
+                if self.sock_opt(child).and_then(|s| s.tcp.as_ref()).is_some() {
+                    let mut conn = self.sock_mut(child).tcp.take().expect("checked");
+                    let actions = conn.on_segment(now, th, &[]);
+                    self.sock_mut(child).tcp = Some(conn);
+                    total += self.apply_tcp_actions(now, child, actions);
+                }
+                return total;
+            }
+        }
+        let can = self
+            .sock(lsock)
+            .listener
+            .as_ref()
+            .expect("listener")
+            .can_accept_syn();
+        if !can {
+            self.sock_mut(lsock)
+                .listener
+                .as_mut()
+                .expect("listener")
+                .on_syn_dropped();
+            self.stats.drop_at(DropPoint::Backlog);
+            return total;
+        }
+        // Admit: create the child socket + connection.
+        let owner = self.sock(lsock).owner;
+        let child = self.alloc_sock(owner, SockProto::Tcp);
+        let iss = self.next_iss();
+        let (conn, actions) = TcpConn::accept_syn(self.cfg.tcp, local, remote, iss, th, now);
+        {
+            let s = self.sock_mut(child);
+            s.local = Some(local);
+            s.remote = Some(remote);
+            s.tcp = Some(conn);
+            s.parent = Some(lsock);
+        }
+        self.sock_mut(lsock)
+            .listener
+            .as_mut()
+            .expect("listener")
+            .on_syn_admitted();
+        // PCB entry (exact match) for the child.
+        let key = FlowKey::new(proto::TCP, local, remote);
+        let _ = self.pcb.insert(key, child);
+        // LRP / Early-Demux: give the child its own NI channel + filter,
+        // with the demand interrupt armed for the APP thread.
+        if self.cfg.arch != Architecture::Bsd {
+            let chan = self.nic.create_default_channel();
+            self.sock_mut(child).chan = Some(chan);
+            self.bind_channel(chan, child);
+            let _ = self.nic.demux.register(key, chan);
+            self.nic.channel_mut(chan).intr_requested = true;
+        }
+        total += self.apply_tcp_actions(now, child, actions);
+        total
+    }
+
+    /// Transmits segments and dispatches events produced by a connection.
+    /// Returns the CPU cost of output processing.
+    pub(crate) fn apply_tcp_actions(
+        &mut self,
+        now: SimTime,
+        sock: SockId,
+        actions: Actions,
+    ) -> SimDuration {
+        let mut total = SimDuration::ZERO;
+        total += self.tx_segments(sock, &actions.segments);
+        for ev in &actions.events {
+            self.handle_conn_event(now, sock, *ev);
+        }
+        total
+    }
+
+    /// Builds and enqueues outgoing TCP segments; returns output cost.
+    pub(crate) fn tx_segments(&mut self, sock: SockId, segments: &[Segment]) -> SimDuration {
+        let cost = self.cfg.cost;
+        let mut total = SimDuration::ZERO;
+        if segments.is_empty() {
+            return total;
+        }
+        let (src, dst) = {
+            let s = self.sock(sock);
+            (
+                s.local.expect("connected socket has local"),
+                s.remote.expect("connected socket has remote"),
+            )
+        };
+        for seg in segments {
+            let ident = self.next_ident();
+            let dgram = tcp::build_datagram(src.addr, dst.addr, &seg.hdr, ident, &seg.payload);
+            total += cost.tcp_output
+                + cost.csum(seg.payload.len() + 20)
+                + cost.ip_output
+                + cost.driver_tx_per_pkt;
+            if !self.nic.ifq_enqueue(Frame::Ipv4(dgram)) {
+                self.stats.drop_at(DropPoint::IfQueue);
+            }
+        }
+        total
+    }
+
+    /// Reacts to a connection event: wakeups, accept-queue movement,
+    /// teardown.
+    pub(crate) fn handle_conn_event(&mut self, now: SimTime, sock: SockId, ev: ConnEvent) {
+        let _ = now;
+        match ev {
+            ConnEvent::Established => {
+                let parent = self.sock(sock).parent;
+                if let Some(p) = parent {
+                    if !self.sock(sock).established_reported {
+                        self.sock_mut(sock).established_reported = true;
+                        if self.sock_opt(p).is_some() {
+                            self.sock_mut(p).accept_q.push_back(sock);
+                            if let Some(l) = self.sock_mut(p).listener.as_mut() {
+                                l.on_child_established();
+                            }
+                            self.stats.tcp_accepted += 1;
+                            self.wake_sock(p, super::WC_ACCEPT);
+                        }
+                    }
+                } else {
+                    self.wake_sock(sock, WC_CONNECT);
+                }
+            }
+            ConnEvent::DataReady => self.wake_sock(sock, WC_RECV),
+            ConnEvent::SendSpace => self.wake_sock(sock, WC_SEND),
+            ConnEvent::PeerClosed => self.wake_sock(sock, WC_RECV),
+            ConnEvent::Reset | ConnEvent::TimedOut => {
+                self.wake_sock(sock, WC_RECV);
+                self.wake_sock(sock, WC_SEND);
+                self.wake_sock(sock, WC_CONNECT);
+            }
+            ConnEvent::Closed => {
+                self.wake_sock(sock, WC_RECV);
+                self.wake_sock(sock, WC_SEND);
+                self.wake_sock(sock, WC_CONNECT);
+                self.teardown_tcp_sock(sock);
+            }
+        }
+    }
+
+    /// Wakes all sleepers on a socket wait channel.
+    pub(crate) fn wake_sock(&mut self, sock: SockId, kind: u64) {
+        for w in self.sched.wakeup(sock_wchan(sock, kind)) {
+            self.unblock(w);
+        }
+    }
+
+    /// NI-LRP: reclaim the NI channel of a connection entering TIME_WAIT.
+    pub(crate) fn maybe_reclaim_channel(&mut self, sock: SockId) {
+        if self.cfg.arch != Architecture::NiLrp || !self.cfg.time_wait_channel_reclaim {
+            return;
+        }
+        let Some(s) = self.sock_opt(sock) else { return };
+        if s.chan_reclaimed || !s.tcp.as_ref().is_some_and(|t| t.in_time_wait()) {
+            return;
+        }
+        let (Some(chan), Some(local), Some(remote)) = (s.chan, s.local, s.remote) else {
+            return;
+        };
+        let key = FlowKey::new(proto::TCP, local, remote);
+        let _ = self.nic.demux.unregister(&key);
+        self.nic.destroy_channel(chan);
+        self.chan_to_sock.remove(&chan);
+        let s = self.sock_mut(sock);
+        s.chan = None;
+        s.chan_reclaimed = true;
+    }
+
+    /// Final teardown once a connection leaves the state machine: removes
+    /// PCB entries, channels and — if the app already closed it — the
+    /// socket itself.
+    pub(crate) fn teardown_tcp_sock(&mut self, sock: SockId) {
+        let Some(s) = self.sock_opt(sock) else { return };
+        let parent = s.parent;
+        let reported = s.established_reported;
+        let local = s.local;
+        let remote = s.remote;
+        let chan = s.chan;
+        let closed = s.closed_by_app;
+        // Embryonic child died before the handshake completed.
+        if let Some(p) = parent {
+            if !reported {
+                if let Some(ps) = self.sockets.get_mut(p.0 as usize).and_then(|x| x.as_mut()) {
+                    if let Some(l) = ps.listener.as_mut() {
+                        l.on_child_failed();
+                    }
+                }
+            }
+        }
+        if let (Some(l), Some(r)) = (local, remote) {
+            let key = FlowKey::new(proto::TCP, l, r);
+            self.pcb.remove(&key);
+            if self.cfg.arch != Architecture::Bsd {
+                let _ = self.nic.demux.unregister(&key);
+            }
+        }
+        if let Some(c) = chan {
+            if self.nic.channel_exists(c) {
+                self.nic.destroy_channel(c);
+            }
+            self.chan_to_sock.remove(&c);
+            self.sock_mut(sock).chan = None;
+        }
+        // Free the slot only when the application has also closed it, so
+        // in-flight syscall continuations never dangle. An orphaned child
+        // (never accepted) is freed immediately.
+        let orphan = parent.is_some() && !reported;
+        if closed || orphan {
+            self.free_socket(sock);
+        }
+    }
+
+    /// Releases a socket table slot and all remaining kernel state.
+    pub(crate) fn free_socket(&mut self, sock: SockId) {
+        let Some(s) = self.sockets.get_mut(sock.0 as usize).and_then(|x| x.take()) else {
+            return;
+        };
+        self.pcb.remove_socket(sock);
+        if s.proto == SockProto::Icmp && self.icmp_sock == Some(sock) {
+            self.icmp_sock = None;
+        }
+        if let Some(l) = s.local {
+            if s.proto == SockProto::Udp {
+                let key = FlowKey::listening(proto::UDP, l);
+                self.pcb.remove(&key);
+                if self.cfg.arch != Architecture::Bsd {
+                    let _ = self.nic.demux.unregister(&key);
+                }
+            } else if s.listener.is_some() || s.parent.is_none() {
+                // The wildcard key belongs to whoever *bound* the port: a
+                // listener, or an actively-opened socket (implicit bind at
+                // connect). A passive child shares `local` with its
+                // listener and must not tear the listener's filter down.
+                let key = FlowKey::listening(proto::TCP, l);
+                if self.cfg.arch != Architecture::Bsd {
+                    let _ = self.nic.demux.unregister(&key);
+                }
+            }
+        }
+        if let Some(c) = s.chan {
+            if self.nic.channel_exists(c) {
+                self.nic.destroy_channel(c);
+            }
+            self.chan_to_sock.remove(&c);
+        }
+        self.live_socks.remove(&sock);
+        self.tcp_timer_work.retain(|&x| x != sock);
+        self.ed_pending.retain(|&x| x != sock);
+    }
+
+    /// Processes one due TCP timer for `sock`; returns the CPU cost.
+    pub(crate) fn run_tcp_timer(&mut self, now: SimTime, sock: SockId) -> SimDuration {
+        let Some(s) = self.sock_opt(sock) else {
+            return SimDuration::ZERO;
+        };
+        if s.tcp.is_none() {
+            return SimDuration::ZERO;
+        }
+        let mut conn = self.sock_mut(sock).tcp.take().expect("checked");
+        let actions = conn.on_timer(now);
+        self.sock_mut(sock).tcp = Some(conn);
+        let base = SimDuration::from_micros(5);
+        base + self.apply_tcp_actions(now, sock, actions)
+    }
+}

@@ -1,0 +1,410 @@
+//! Frame reception: interrupt handling and software-interrupt protocol
+//! work — the point where the four architectures diverge.
+
+use super::{sock_wchan, DropPoint, Host, WC_RECV};
+use crate::config::Architecture;
+use crate::host::proto::ProtoCtx;
+use lrp_demux::{ChannelId, Verdict};
+use lrp_nic::RxOutcome;
+use lrp_sched::Pid;
+use lrp_sim::{SimDuration, SimTime};
+use lrp_stack::SockId;
+use lrp_wire::Frame;
+
+impl Host {
+    /// A frame arrives from the link.
+    ///
+    /// Interrupt-handler *logic* runs here (hardware interrupts preempt
+    /// everything instantly); the handler's CPU *cost* then occupies the
+    /// CPU via the interrupt-preemption machinery.
+    pub fn on_frame(&mut self, now: SimTime, frame: Frame) {
+        let cost = self.cfg.cost;
+        match self.cfg.arch {
+            Architecture::Bsd => {
+                match self.nic.rx_frame(frame) {
+                    RxOutcome::Interrupt => {
+                        let f = self.nic.ring_dequeue().expect("frame just queued");
+                        // Driver: mbuf encapsulation, then the shared IP
+                        // queue; drop (after the driver work!) if full.
+                        if self.ip_queue.len() >= self.cfg.ip_queue_limit {
+                            self.stats.drop_at(DropPoint::IpQueue);
+                        } else {
+                            self.ip_queue.push_back(f);
+                        }
+                        self.raise_hw(now, cost.hw_intr + cost.driver_rx_per_pkt);
+                    }
+                    RxOutcome::Dropped(_) => {
+                        self.stats.drop_at(DropPoint::RxRing);
+                    }
+                    RxOutcome::Queued => unreachable!("BSD NIC always interrupts"),
+                }
+            }
+            Architecture::EarlyDemux | Architecture::SoftLrp => match self.nic.rx_frame(frame) {
+                RxOutcome::Interrupt => {
+                    let f = self.nic.ring_dequeue().expect("frame just queued");
+                    let d = self.soft_demux_deliver(now, f);
+                    self.raise_hw(now, cost.hw_intr + cost.driver_rx_per_pkt + d);
+                }
+                RxOutcome::Dropped(_) => {
+                    self.stats.drop_at(DropPoint::RxRing);
+                }
+                RxOutcome::Queued => unreachable!("soft NIC always interrupts"),
+            },
+            Architecture::NiLrp => {
+                // Demux, early discard and queueing all happen on the NIC
+                // processor: zero host cost unless an interrupt was
+                // requested.
+                match self.nic.rx_frame(frame) {
+                    RxOutcome::Interrupt => {
+                        // Wake whoever requested notification for the
+                        // newly non-empty channel. We do not know which
+                        // channel fired; wake receivers with pending data.
+                        self.ni_interrupt_wakeups();
+                        self.raise_hw(now, cost.hw_intr_ni);
+                    }
+                    RxOutcome::Queued => {}
+                    RxOutcome::Dropped(_) => {
+                        // Early packet discard on the NIC: by design, no
+                        // host work at all. NIC stats carry the count.
+                    }
+                }
+            }
+        }
+        self.kick(now);
+    }
+
+    /// Host-interrupt-handler demux (SOFT-LRP and Early-Demux): classify,
+    /// enqueue or discard, wake receivers. Returns the extra handler cost
+    /// beyond the base interrupt cost.
+    fn soft_demux_deliver(&mut self, now: SimTime, frame: Frame) -> SimDuration {
+        let _ = now;
+        let cost = self.cfg.cost;
+        let mut extra = cost.demux_per_pkt;
+        let verdict = self.nic.demux.classify(&frame);
+        let chan = match verdict {
+            Verdict::Endpoint(c) => c,
+            Verdict::Fragment => self.nic.fragment_channel,
+            Verdict::IcmpDaemon | Verdict::ArpDaemon | Verdict::Forward => {
+                // Proxy daemons: queue on their channel if registered.
+                let p = self.nic.proxies();
+                match verdict {
+                    Verdict::IcmpDaemon => p.icmp,
+                    Verdict::ArpDaemon => p.arp,
+                    _ => p.forward,
+                }
+                .unwrap_or(self.nic.fragment_channel)
+            }
+            Verdict::NoMatch => {
+                self.stats.drop_at(DropPoint::NoSocket);
+                return extra;
+            }
+            Verdict::Malformed => {
+                self.stats.drop_at(DropPoint::BadPacket);
+                return extra;
+            }
+        };
+        if !self.nic.channel_exists(chan) {
+            self.stats.drop_at(DropPoint::Channel);
+            return extra;
+        }
+        // Forwarded traffic wakes the forwarding daemon.
+        let is_forward_chan = self.nic.proxies().forward == Some(chan);
+        let sock = self.sock_of_channel(chan);
+        if self.cfg.arch == Architecture::EarlyDemux {
+            // Early-Demux feedback: discard when the *socket queue* cannot
+            // take this packet — the receiver is not keeping up (§3,
+            // "early demultiplexing only"). Checking against the frame
+            // size (not just zero space) is what makes the feedback bind.
+            if let Some(s) = sock {
+                let sk = self.sock(s);
+                let rcvq_full = sk.rcvq.space() < frame.len();
+                if rcvq_full || self.nic.channel(chan).is_full() {
+                    self.stats.drop_at(DropPoint::Channel);
+                    return extra;
+                }
+            }
+        }
+        let was_empty = self.nic.channel(chan).is_empty();
+        if !self.nic.channel_mut(chan).enqueue(frame) {
+            self.stats.drop_at(DropPoint::Channel);
+            return extra;
+        }
+        match self.cfg.arch {
+            Architecture::EarlyDemux => {
+                // Schedule eager softirq protocol processing.
+                if let Some(s) = sock {
+                    if !self.ed_pending.contains(&s) {
+                        self.ed_pending.push_back(s);
+                    }
+                }
+            }
+            Architecture::SoftLrp => {
+                if is_forward_chan {
+                    if self.forward_daemon.is_some() {
+                        extra += cost.wakeup;
+                        for w in self.sched.wakeup(super::WC_FORWARD) {
+                            self.unblock(w);
+                        }
+                    }
+                } else if let Some(s) = sock {
+                    let sk = self.sock(s);
+                    let is_tcp = sk.proto == crate::syscall::SockProto::Tcp;
+                    if is_tcp {
+                        if self.app_thread.is_some() {
+                            // Asynchronous protocol processing thread.
+                            extra += cost.wakeup;
+                            self.wake_app_thread();
+                        } else {
+                            // A4 (no APP): lazy processing happens in the
+                            // blocked receive/accept/connect call; wake it
+                            // — for an embryonic child, the acceptor
+                            // sleeps on the parent listener.
+                            extra += cost.wakeup;
+                            self.wake_sock(s, WC_RECV);
+                            self.wake_sock(s, super::WC_SEND);
+                            self.wake_sock(s, super::WC_ACCEPT);
+                            self.wake_sock(s, super::WC_CONNECT);
+                            if let Some(parent) = self.sock(s).parent {
+                                self.wake_sock(parent, super::WC_ACCEPT);
+                            }
+                        }
+                    } else if self.sched.has_sleeper(sock_wchan(s, WC_RECV)) {
+                        extra += cost.wakeup;
+                        self.wake_sock(s, WC_RECV);
+                    } else if was_empty {
+                        self.wake_idle_thread_if_sleeping();
+                    }
+                } else if chan == self.nic.fragment_channel {
+                    // Wake blocked UDP receivers: their datagram's missing
+                    // fragments may have just arrived. They re-check, pump
+                    // the fragment channel, and re-sleep if idle.
+                    self.wake_udp_recv_sleepers();
+                }
+            }
+            _ => {}
+        }
+        extra
+    }
+
+    /// Wakes every process blocked receiving on a UDP socket (fragment
+    /// arrivals: the sleeper must pump the shared fragment channel).
+    pub(crate) fn wake_udp_recv_sleepers(&mut self) {
+        let socks: Vec<SockId> = self
+            .live_sockets()
+            .filter(|s| s.proto != crate::syscall::SockProto::Tcp)
+            .map(|s| s.id)
+            .collect();
+        for s in socks {
+            if self.sched.has_sleeper(sock_wchan(s, WC_RECV)) {
+                self.wake_sock(s, WC_RECV);
+            }
+        }
+    }
+
+    /// NI-LRP interrupt: a channel went empty→non-empty with notification
+    /// requested. Wake the corresponding sleepers.
+    fn ni_interrupt_wakeups(&mut self) {
+        // Wake receivers of any UDP socket with queued channel data, the
+        // APP thread if TCP channels have data, or the idle thread.
+        let mut wake: Vec<(SockId, bool)> = Vec::new();
+        for s in self.live_sockets() {
+            if let Some(c) = s.chan {
+                if self.nic.channel_exists(c) && !self.nic.channel(c).is_empty() {
+                    let is_tcp = s.proto == crate::syscall::SockProto::Tcp;
+                    wake.push((s.id, is_tcp));
+                }
+            }
+        }
+        let mut any_tcp = false;
+        for (sock, is_tcp) in wake {
+            if is_tcp {
+                any_tcp = true;
+                if self.app_thread.is_none() {
+                    self.wake_sock(sock, WC_RECV);
+                    self.wake_sock(sock, super::WC_SEND);
+                    self.wake_sock(sock, super::WC_ACCEPT);
+                    self.wake_sock(sock, super::WC_CONNECT);
+                    if let Some(parent) = self.sock(sock).parent {
+                        self.wake_sock(parent, super::WC_ACCEPT);
+                    }
+                }
+            } else if self.sched.has_sleeper(sock_wchan(sock, WC_RECV)) {
+                self.wake_sock(sock, WC_RECV);
+            } else {
+                self.wake_idle_thread_if_sleeping();
+            }
+        }
+        if any_tcp {
+            self.wake_app_thread();
+        }
+        // Forward-channel arrivals wake the forwarding daemon.
+        if let Some(fc) = self.nic.proxies().forward {
+            if self.nic.channel_exists(fc) && !self.nic.channel(fc).is_empty() {
+                for w in self.sched.wakeup(super::WC_FORWARD) {
+                    self.unblock(w);
+                }
+            }
+        }
+        // Fragment-channel arrivals: wake receivers so they pump it, and
+        // re-arm the demand interrupt (the flag auto-clears on delivery).
+        let frag = self.nic.fragment_channel;
+        if !self.nic.channel(frag).is_empty() {
+            self.wake_udp_recv_sleepers();
+        }
+        self.nic.channel_mut(frag).intr_requested = true;
+    }
+
+    pub(crate) fn wake_idle_thread_if_sleeping(&mut self) {
+        if self.idle_thread.is_some() {
+            for w in self.sched.wakeup(super::WC_IDLE_THREAD) {
+                self.unblock(w);
+            }
+        }
+    }
+
+    /// Maps an NI channel back to its socket (indexed; O(log n)).
+    pub(crate) fn sock_of_channel(&self, chan: ChannelId) -> Option<SockId> {
+        self.chan_to_sock
+            .get(&chan)
+            .copied()
+            .filter(|s| self.sock_opt(*s).is_some())
+    }
+
+    /// Produces the next software-interrupt job for BSD / Early-Demux:
+    /// TCP timer work first, then one packet of protocol processing.
+    /// Returns `(cost, tag)`; logic is applied immediately.
+    pub(crate) fn next_soft_job(&mut self, now: SimTime) -> Option<(SimDuration, &'static str)> {
+        let cost = self.cfg.cost;
+        if let Some(sock) = self.tcp_timer_work.pop_front() {
+            let d = self.run_tcp_timer(now, sock);
+            return Some((cost.softirq_dispatch + d, "tcp-timer"));
+        }
+        match self.cfg.arch {
+            Architecture::Bsd => {
+                let frame = self.ip_queue.pop_front()?;
+                let d = self.ip_deliver(now, frame, ProtoCtx::BsdSoftirq);
+                Some((cost.softirq_dispatch + d, "ip-input"))
+            }
+            Architecture::EarlyDemux => {
+                // Round-robin over sockets with pending channel frames.
+                while let Some(sock) = self.ed_pending.pop_front() {
+                    let Some(s) = self.sock_opt(sock) else {
+                        continue;
+                    };
+                    let Some(chan) = s.chan else { continue };
+                    if !self.nic.channel_exists(chan) {
+                        continue;
+                    }
+                    let Some(frame) = self.nic.channel_mut(chan).dequeue() else {
+                        continue;
+                    };
+                    // More frames pending? Re-queue for fairness.
+                    if !self.nic.channel(chan).is_empty() {
+                        self.ed_pending.push_back(sock);
+                    }
+                    let d = self.ip_deliver(now, frame, ProtoCtx::EarlyDemuxSoftirq { sock });
+                    return Some((cost.softirq_dispatch + d, "ed-input"));
+                }
+                None
+            }
+            _ => None,
+        }
+    }
+
+    /// LRP: TCP timer work runs in kernel context charged to the socket
+    /// owner even when the APP thread is not scheduled (the clock handler
+    /// dispatches it). Returns `(cost, charged_pid)`.
+    pub(crate) fn next_lrp_timer_job(
+        &mut self,
+        now: SimTime,
+    ) -> Option<(SimDuration, Option<Pid>)> {
+        let sock = self.tcp_timer_work.pop_front()?;
+        let owner = self.sock_opt(sock).map(|s| s.owner);
+        let d = self.run_tcp_timer(now, sock);
+        Some((SimDuration::from_micros(5) + d, owner))
+    }
+
+    /// Mark a process as wanting an interrupt when its socket's channel
+    /// receives data (NI-LRP demand interrupts).
+    pub(crate) fn request_channel_interrupt(&mut self, sock: SockId) {
+        if let Some(chan) = self.sock(sock).chan {
+            if self.nic.channel_exists(chan) {
+                self.nic.channel_mut(chan).intr_requested = true;
+            }
+        }
+    }
+
+    /// True if the LRP idle protocol thread has work: a UDP channel with
+    /// raw frames whose socket has receive-buffer space.
+    pub(crate) fn idle_work_available(&self) -> bool {
+        if self.idle_thread.is_none() {
+            return false;
+        }
+        self.live_sockets().any(|s| {
+            s.tcp.is_none()
+                && s.listener.is_none()
+                && s.rcvq.space() > 0
+                && s.chan
+                    .is_some_and(|c| self.nic.channel_exists(c) && !self.nic.channel(c).is_empty())
+        })
+    }
+
+    /// The idle thread processes one queued UDP packet; returns
+    /// `(cost, owner)` or `None` if no work.
+    pub(crate) fn idle_thread_step(&mut self, now: SimTime) -> Option<(SimDuration, Pid)> {
+        let target = self.live_sockets().find_map(|s| {
+            let udp = s.proto != crate::syscall::SockProto::Tcp;
+            let chan = s.chan?;
+            (udp && s.rcvq.space() > 0
+                && self.nic.channel_exists(chan)
+                && !self.nic.channel(chan).is_empty())
+            .then_some((s.id, chan, s.owner))
+        })?;
+        let (sock, chan, owner) = target;
+        let frame = self.nic.channel_mut(chan).dequeue()?;
+        let d = self.ip_deliver(now, frame, ProtoCtx::Lrp { sock, lazy: false });
+        // Wake a blocked receiver now that processed data is ready.
+        if self.sched.has_sleeper(sock_wchan(sock, WC_RECV)) {
+            self.wake_sock(sock, WC_RECV);
+        }
+        Some((d, owner))
+    }
+
+    /// The APP thread processes one queued TCP packet (or reports no
+    /// work). Returns `(cost, owner)`.
+    pub(crate) fn app_thread_step(&mut self, now: SimTime) -> Option<(SimDuration, Pid)> {
+        // Round-robin over TCP sockets with non-empty channels, skipping
+        // listeners whose backlog is exhausted: their channels fill and
+        // the NI discards further SYNs (§3.4).
+        let candidates: Vec<SockId> = self
+            .live_sockets()
+            .filter(|s| {
+                (s.proto == crate::syscall::SockProto::Tcp)
+                    && s.chan.is_some_and(|c| {
+                        self.nic.channel_exists(c) && !self.nic.channel(c).is_empty()
+                    })
+            })
+            .map(|s| s.id)
+            .collect();
+        for sock in candidates {
+            let chan = self.sock(sock).chan.expect("filtered");
+            if let Some(l) = &self.sock(sock).listener {
+                // §3.4: protocol processing is disabled for listeners
+                // whose backlog is exhausted; the channel then fills and
+                // the NI discards further SYNs without host work.
+                let enabled = l.can_accept_syn();
+                self.nic.channel_mut(chan).processing_enabled = enabled;
+                if !enabled {
+                    continue;
+                }
+            }
+            let Some(frame) = self.nic.channel_mut(chan).dequeue() else {
+                continue;
+            };
+            let owner = self.sock(sock).owner;
+            let d = self.ip_deliver(now, frame, ProtoCtx::Lrp { sock, lazy: false });
+            return Some((d, owner));
+        }
+        None
+    }
+}

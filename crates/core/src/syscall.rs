@@ -1,0 +1,188 @@
+//! The system-call interface between simulated applications and the
+//! kernel, and the application trait.
+//!
+//! Applications are resumable state machines: the kernel asks for the next
+//! operation, executes it (consuming simulated CPU time, possibly
+//! blocking), and delivers the result, at which point the application
+//! yields its next operation. This mirrors a single-threaded UNIX process
+//! alternating between user computation and system calls.
+
+use lrp_sim::{SimDuration, SimTime};
+use lrp_stack::SockId;
+use lrp_wire::Endpoint;
+
+/// Socket protocol selector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SockProto {
+    /// Datagram (UDP) socket.
+    Udp,
+    /// Stream (TCP) socket.
+    Tcp,
+    /// Raw ICMP socket: the proxy-daemon endpoint of §3.5. Binding one
+    /// routes all ICMP traffic to it (port is ignored).
+    Icmp,
+}
+
+/// Error numbers surfaced to applications.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Errno {
+    /// Address already in use.
+    AddrInUse,
+    /// Connection refused (RST during connect).
+    ConnRefused,
+    /// Connection reset.
+    ConnReset,
+    /// Operation timed out.
+    TimedOut,
+    /// Invalid argument / wrong socket state.
+    Invalid,
+    /// Out of socket or channel resources.
+    NoBufs,
+}
+
+/// One operation a process asks the kernel to perform.
+#[derive(Clone, Debug)]
+pub enum SyscallOp {
+    /// Burn CPU in user mode for the given duration.
+    Compute(SimDuration),
+    /// Create a socket.
+    Socket(SockProto),
+    /// Bind a socket to a local port.
+    Bind {
+        /// Socket to bind.
+        sock: SockId,
+        /// Local port.
+        port: u16,
+    },
+    /// Connect a socket to a remote endpoint (TCP handshake; UDP sets the
+    /// default destination and installs an exact demux filter).
+    Connect {
+        /// Socket to connect.
+        sock: SockId,
+        /// Remote endpoint.
+        dst: Endpoint,
+    },
+    /// Mark a TCP socket as listening.
+    Listen {
+        /// Socket.
+        sock: SockId,
+        /// Backlog limit.
+        backlog: usize,
+    },
+    /// Accept a completed connection from a listening socket (blocks).
+    Accept {
+        /// Listening socket.
+        sock: SockId,
+    },
+    /// Send a datagram (UDP).
+    SendTo {
+        /// Socket.
+        sock: SockId,
+        /// Destination.
+        dst: Endpoint,
+        /// Payload.
+        data: Vec<u8>,
+    },
+    /// Send stream data (TCP) — blocks until fully buffered.
+    Send {
+        /// Socket.
+        sock: SockId,
+        /// Payload.
+        data: Vec<u8>,
+    },
+    /// Receive a datagram (UDP) or stream data (TCP); blocks when empty.
+    Recv {
+        /// Socket.
+        sock: SockId,
+        /// Maximum bytes to return.
+        max_len: usize,
+    },
+    /// Close a socket.
+    Close {
+        /// Socket.
+        sock: SockId,
+    },
+    /// Sleep for a duration.
+    Sleep(SimDuration),
+    /// Terminate the process.
+    Exit,
+}
+
+/// The kernel's reply to a completed operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SyscallRet {
+    /// Operation succeeded with no payload.
+    Ok,
+    /// A socket was created.
+    Socket(SockId),
+    /// Bytes accepted for transmission.
+    Sent(usize),
+    /// Received data; for TCP an empty vec means end-of-stream.
+    Data(Vec<u8>),
+    /// Received datagram with source.
+    DataFrom(Endpoint, Vec<u8>),
+    /// A connection was accepted.
+    Accepted(SockId),
+    /// The operation failed.
+    Err(Errno),
+}
+
+/// Context handed to applications on each upcall.
+#[derive(Clone, Copy, Debug)]
+pub struct AppCtx {
+    /// Current simulated time.
+    pub now: SimTime,
+    /// The process id this application runs as.
+    pub pid: lrp_sched::Pid,
+}
+
+/// A simulated application: a resumable state machine over system calls.
+///
+/// Implementations must be deterministic given their construction
+/// parameters (use seeded RNGs).
+pub trait AppLogic {
+    /// Called once when the process first runs; returns its first
+    /// operation.
+    fn start(&mut self, ctx: AppCtx) -> SyscallOp;
+
+    /// Called each time an operation completes; returns the next one.
+    fn resume(&mut self, ctx: AppCtx, ret: SyscallRet) -> SyscallOp;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo {
+        sock: Option<SockId>,
+    }
+
+    impl AppLogic for Echo {
+        fn start(&mut self, _ctx: AppCtx) -> SyscallOp {
+            SyscallOp::Socket(SockProto::Udp)
+        }
+        fn resume(&mut self, _ctx: AppCtx, ret: SyscallRet) -> SyscallOp {
+            match ret {
+                SyscallRet::Socket(s) => {
+                    self.sock = Some(s);
+                    SyscallOp::Exit
+                }
+                _ => SyscallOp::Exit,
+            }
+        }
+    }
+
+    #[test]
+    fn app_state_machine_shape() {
+        let mut app = Echo { sock: None };
+        let ctx = AppCtx {
+            now: SimTime::ZERO,
+            pid: lrp_sched::Pid(0),
+        };
+        let op = app.start(ctx);
+        assert!(matches!(op, SyscallOp::Socket(SockProto::Udp)));
+        let op = app.resume(ctx, SyscallRet::Socket(SockId(3)));
+        assert!(matches!(op, SyscallOp::Exit));
+        assert_eq!(app.sock, Some(SockId(3)));
+    }
+}

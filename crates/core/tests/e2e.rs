@@ -1,0 +1,579 @@
+//! End-to-end tests: full hosts exchanging real packets through the world,
+//! under each of the four architectures.
+
+use lrp_core::{
+    AppCtx, AppLogic, Architecture, Host, HostConfig, SockProto, SyscallOp, SyscallRet, World,
+};
+use lrp_sim::{SimDuration, SimTime};
+use lrp_stack::SockId;
+use lrp_wire::{Endpoint, Ipv4Addr};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+const A: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+const B: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+/// Shared observation channel between a test and its apps.
+#[derive(Default, Debug)]
+struct Probe {
+    received: Vec<Vec<u8>>,
+    events: Vec<String>,
+}
+
+type ProbeRef = Rc<RefCell<Probe>>;
+
+/// Sends `count` datagrams of `payload` to `dst`, then exits.
+struct UdpSender {
+    dst: Endpoint,
+    payload: Vec<u8>,
+    count: usize,
+    gap: SimDuration,
+    sock: Option<SockId>,
+    sent: usize,
+}
+
+impl AppLogic for UdpSender {
+    fn start(&mut self, _ctx: AppCtx) -> SyscallOp {
+        SyscallOp::Socket(SockProto::Udp)
+    }
+    fn resume(&mut self, _ctx: AppCtx, ret: SyscallRet) -> SyscallOp {
+        match ret {
+            SyscallRet::Socket(s) => {
+                self.sock = Some(s);
+                SyscallOp::Bind {
+                    sock: s,
+                    port: 5555,
+                }
+            }
+            SyscallRet::Sent(_) if !self.gap.is_zero() => {
+                // Pace the stream: sleep between datagrams.
+                SyscallOp::Sleep(self.gap)
+            }
+            _ => {
+                if self.sent >= self.count {
+                    return SyscallOp::Exit;
+                }
+                self.sent += 1;
+                SyscallOp::SendTo {
+                    sock: self.sock.unwrap(),
+                    dst: self.dst,
+                    data: self.payload.clone(),
+                }
+            }
+        }
+    }
+}
+
+/// Receives datagrams forever, recording them in the probe.
+struct UdpSink {
+    port: u16,
+    probe: ProbeRef,
+    sock: Option<SockId>,
+}
+
+impl AppLogic for UdpSink {
+    fn start(&mut self, _ctx: AppCtx) -> SyscallOp {
+        SyscallOp::Socket(SockProto::Udp)
+    }
+    fn resume(&mut self, _ctx: AppCtx, ret: SyscallRet) -> SyscallOp {
+        match ret {
+            SyscallRet::Socket(s) => {
+                self.sock = Some(s);
+                SyscallOp::Bind {
+                    sock: s,
+                    port: self.port,
+                }
+            }
+            SyscallRet::Ok => SyscallOp::Recv {
+                sock: self.sock.unwrap(),
+                max_len: 65_536,
+            },
+            SyscallRet::DataFrom(_, data) => {
+                self.probe.borrow_mut().received.push(data);
+                SyscallOp::Recv {
+                    sock: self.sock.unwrap(),
+                    max_len: 65_536,
+                }
+            }
+            other => panic!("sink got {other:?}"),
+        }
+    }
+}
+
+fn world_pair(arch: Architecture) -> (World, ProbeRef) {
+    let mut w = World::with_defaults();
+    let probe: ProbeRef = Rc::new(RefCell::new(Probe::default()));
+    let mut ha = Host::new(HostConfig::new(arch), A);
+    ha.spawn_app(
+        "sender",
+        0,
+        0,
+        Box::new(UdpSender {
+            dst: Endpoint::new(B, 7000),
+            payload: b"hello through the stack".to_vec(),
+            count: 20,
+            gap: SimDuration::ZERO,
+            sock: None,
+            sent: 0,
+        }),
+    );
+    let mut hb = Host::new(HostConfig::new(arch), B);
+    hb.spawn_app(
+        "sink",
+        0,
+        0,
+        Box::new(UdpSink {
+            port: 7000,
+            probe: probe.clone(),
+            sock: None,
+        }),
+    );
+    w.add_host(ha);
+    w.add_host(hb);
+    (w, probe)
+}
+
+#[test]
+fn udp_delivery_all_architectures() {
+    for arch in [
+        Architecture::Bsd,
+        Architecture::EarlyDemux,
+        Architecture::SoftLrp,
+        Architecture::NiLrp,
+    ] {
+        let (mut w, probe) = world_pair(arch);
+        w.run_until(SimTime::from_millis(500));
+        let got = probe.borrow().received.len();
+        assert_eq!(got, 20, "{arch}: delivered {got} of 20");
+        assert!(probe
+            .borrow()
+            .received
+            .iter()
+            .all(|d| d == b"hello through the stack"));
+        // Host B's stats agree.
+        assert_eq!(w.hosts[1].stats.udp_delivered, 20, "{arch}");
+        assert_eq!(w.hosts[1].stats.total_drops(), 0, "{arch}: no drops");
+    }
+}
+
+#[test]
+fn udp_large_datagram_fragments_and_reassembles() {
+    for arch in [
+        Architecture::Bsd,
+        Architecture::SoftLrp,
+        Architecture::NiLrp,
+    ] {
+        let mut w = World::with_defaults();
+        let probe: ProbeRef = Rc::new(RefCell::new(Probe::default()));
+        let payload: Vec<u8> = (0..30_000u32).map(|i| (i % 251) as u8).collect();
+        let mut ha = Host::new(HostConfig::new(arch), A);
+        ha.spawn_app(
+            "sender",
+            0,
+            0,
+            Box::new(UdpSender {
+                dst: Endpoint::new(B, 7001),
+                payload: payload.clone(),
+                count: 3,
+                // 30 KB datagrams into a 41.6 KB socket buffer: pace them
+                // so consecutive datagrams do not legitimately overrun it.
+                gap: SimDuration::from_millis(10),
+                sock: None,
+                sent: 0,
+            }),
+        );
+        let mut hb = Host::new(HostConfig::new(arch), B);
+        hb.spawn_app(
+            "sink",
+            0,
+            0,
+            Box::new(UdpSink {
+                port: 7001,
+                probe: probe.clone(),
+                sock: None,
+            }),
+        );
+        w.add_host(ha);
+        w.add_host(hb);
+        w.run_until(SimTime::from_millis(500));
+        let p = probe.borrow();
+        assert_eq!(p.received.len(), 3, "{arch}: fragmented datagrams");
+        assert!(p.received.iter().all(|d| *d == payload), "{arch}");
+    }
+}
+
+// ---- TCP end-to-end ----
+
+/// Connects to a server, sends a request, reads the full response, closes.
+struct TcpClient {
+    dst: Endpoint,
+    request: Vec<u8>,
+    expect: usize,
+    probe: ProbeRef,
+    sock: Option<SockId>,
+    got: Vec<u8>,
+    state: u8,
+}
+
+impl AppLogic for TcpClient {
+    fn start(&mut self, _ctx: AppCtx) -> SyscallOp {
+        SyscallOp::Socket(SockProto::Tcp)
+    }
+    fn resume(&mut self, _ctx: AppCtx, ret: SyscallRet) -> SyscallOp {
+        match (self.state, ret) {
+            (0, SyscallRet::Socket(s)) => {
+                self.sock = Some(s);
+                self.state = 1;
+                SyscallOp::Connect {
+                    sock: s,
+                    dst: self.dst,
+                }
+            }
+            (1, SyscallRet::Ok) => {
+                self.state = 2;
+                self.probe.borrow_mut().events.push("connected".into());
+                SyscallOp::Send {
+                    sock: self.sock.unwrap(),
+                    data: self.request.clone(),
+                }
+            }
+            (2, SyscallRet::Sent(_)) => {
+                self.state = 3;
+                SyscallOp::Recv {
+                    sock: self.sock.unwrap(),
+                    max_len: 65_536,
+                }
+            }
+            (3, SyscallRet::Data(d)) => {
+                if d.is_empty() {
+                    // EOF before full response.
+                    self.probe.borrow_mut().events.push("eof".into());
+                    self.probe.borrow_mut().received.push(self.got.clone());
+                    self.state = 4;
+                    return SyscallOp::Close {
+                        sock: self.sock.unwrap(),
+                    };
+                }
+                self.got.extend_from_slice(&d);
+                if self.got.len() >= self.expect {
+                    self.probe.borrow_mut().received.push(self.got.clone());
+                    self.state = 4;
+                    return SyscallOp::Close {
+                        sock: self.sock.unwrap(),
+                    };
+                }
+                SyscallOp::Recv {
+                    sock: self.sock.unwrap(),
+                    max_len: 65_536,
+                }
+            }
+            (4, _) => SyscallOp::Exit,
+            (s, r) => panic!("client state {s} got {r:?}"),
+        }
+    }
+}
+
+/// Accepts one connection at a time; echoes a fixed-size response to any
+/// request, then closes the connection.
+struct TcpServer {
+    port: u16,
+    response: Vec<u8>,
+    lsock: Option<SockId>,
+    conn: Option<SockId>,
+    state: u8,
+}
+
+impl AppLogic for TcpServer {
+    fn start(&mut self, _ctx: AppCtx) -> SyscallOp {
+        SyscallOp::Socket(SockProto::Tcp)
+    }
+    fn resume(&mut self, _ctx: AppCtx, ret: SyscallRet) -> SyscallOp {
+        match (self.state, ret) {
+            (0, SyscallRet::Socket(s)) => {
+                self.lsock = Some(s);
+                self.state = 1;
+                SyscallOp::Bind {
+                    sock: s,
+                    port: self.port,
+                }
+            }
+            (1, SyscallRet::Ok) => {
+                self.state = 2;
+                SyscallOp::Listen {
+                    sock: self.lsock.unwrap(),
+                    backlog: 5,
+                }
+            }
+            (2, SyscallRet::Ok) => {
+                self.state = 3;
+                SyscallOp::Accept {
+                    sock: self.lsock.unwrap(),
+                }
+            }
+            (3, SyscallRet::Accepted(c)) => {
+                self.conn = Some(c);
+                self.state = 4;
+                SyscallOp::Recv {
+                    sock: c,
+                    max_len: 65_536,
+                }
+            }
+            (4, SyscallRet::Data(d)) => {
+                if d.is_empty() {
+                    self.state = 3;
+                    let c = self.conn.take().unwrap();
+                    // Peer closed without a request.
+                    return SyscallOp::Close { sock: c };
+                }
+                self.state = 5;
+                SyscallOp::Send {
+                    sock: self.conn.unwrap(),
+                    data: self.response.clone(),
+                }
+            }
+            (5, SyscallRet::Sent(_)) => {
+                self.state = 6;
+                SyscallOp::Close {
+                    sock: self.conn.take().unwrap(),
+                }
+            }
+            (6, SyscallRet::Ok) => {
+                self.state = 3;
+                SyscallOp::Accept {
+                    sock: self.lsock.unwrap(),
+                }
+            }
+            (s, r) => panic!("server state {s} got {r:?}"),
+        }
+    }
+}
+
+#[test]
+fn tcp_request_response_all_architectures() {
+    for arch in [
+        Architecture::Bsd,
+        Architecture::EarlyDemux,
+        Architecture::SoftLrp,
+        Architecture::NiLrp,
+    ] {
+        let mut w = World::with_defaults();
+        let probe: ProbeRef = Rc::new(RefCell::new(Probe::default()));
+        let response: Vec<u8> = (0..50_000u32).map(|i| (i % 201) as u8).collect();
+        let mut ha = Host::new(HostConfig::new(arch), A);
+        ha.spawn_app(
+            "client",
+            0,
+            0,
+            Box::new(TcpClient {
+                dst: Endpoint::new(B, 80),
+                request: b"GET /index.html".to_vec(),
+                expect: response.len(),
+                probe: probe.clone(),
+                sock: None,
+                got: Vec::new(),
+                state: 0,
+            }),
+        );
+        let mut hb = Host::new(HostConfig::new(arch), B);
+        hb.spawn_app(
+            "server",
+            0,
+            0,
+            Box::new(TcpServer {
+                port: 80,
+                response: response.clone(),
+                lsock: None,
+                conn: None,
+                state: 0,
+            }),
+        );
+        w.add_host(ha);
+        w.add_host(hb);
+        w.run_until(SimTime::from_secs(5));
+        let p = probe.borrow();
+        assert!(
+            p.events.contains(&"connected".to_string()),
+            "{arch}: handshake completed"
+        );
+        assert_eq!(p.received.len(), 1, "{arch}: one full response");
+        assert_eq!(p.received[0], response, "{arch}: bytes intact");
+    }
+}
+
+#[test]
+fn packet_conservation_under_blast() {
+    // Fire a fixed-rate UDP blast at a host; every received frame must be
+    // accounted: delivered, queued, or dropped at a named point.
+    for arch in [
+        Architecture::Bsd,
+        Architecture::EarlyDemux,
+        Architecture::SoftLrp,
+        Architecture::NiLrp,
+    ] {
+        let mut w = World::with_defaults();
+        let probe: ProbeRef = Rc::new(RefCell::new(Probe::default()));
+        let mut hb = Host::new(HostConfig::new(arch), B);
+        hb.spawn_app(
+            "sink",
+            0,
+            0,
+            Box::new(UdpSink {
+                port: 9000,
+                probe: probe.clone(),
+                sock: None,
+            }),
+        );
+        let hb_idx = w.add_host(hb);
+        let inj = lrp_net::Injector::new(
+            lrp_net::Pattern::FixedRate { pps: 12_000.0 },
+            SimTime::from_millis(10),
+            42,
+            move |_| {
+                lrp_wire::Frame::Ipv4(lrp_wire::udp::build_datagram(
+                    A, B, 1234, 9000, 1, &[0u8; 14], true,
+                ))
+            },
+        );
+        w.add_injector(hb_idx, inj);
+        w.run_until(SimTime::from_secs(2));
+        let host = &w.hosts[hb_idx];
+        let rx = host.nic.stats().rx_frames;
+        let delivered = host.stats.udp_delivered;
+        let host_drops = host.stats.total_drops();
+        let nic_early = host.nic.stats().early_discards + host.nic.stats().ring_drops;
+        // Remaining frames may still sit in queues at cutoff.
+        let in_queues: u64 = (0..host.nic.channel_count()).map(|_| 0u64).sum::<u64>()
+            + host.nic.stats().rx_frames
+            - host.nic.stats().rx_frames; // placeholder: counted below
+        let _ = in_queues;
+        let accounted = delivered + host_drops + nic_early;
+        assert!(
+            accounted <= rx,
+            "{arch}: over-accounted {accounted} > rx {rx}"
+        );
+        // Allow for frames still queued (channel/ipq/sockbuf) at cutoff.
+        let slack = rx - accounted;
+        assert!(
+            slack <= 200,
+            "{arch}: {slack} unaccounted frames (rx={rx} delivered={delivered} drops={host_drops} early={nic_early})"
+        );
+        assert!(delivered > 0, "{arch}: made progress");
+    }
+}
+
+// ---- ICMP proxy daemon (§3.5) ----
+
+#[test]
+fn icmp_echo_through_proxy_daemon() {
+    for arch in [
+        Architecture::Bsd,
+        Architecture::SoftLrp,
+        Architecture::NiLrp,
+    ] {
+        let mut w = World::with_defaults();
+        let ping = lrp_apps::shared::<lrp_apps::PingMetrics>();
+        let daemon = lrp_apps::shared::<lrp_apps::IcmpMetrics>();
+        let mut ha = Host::new(HostConfig::new(arch), A);
+        ha.spawn_app(
+            "ping",
+            0,
+            0,
+            Box::new(lrp_apps::PingClient::new(
+                Endpoint::new(B, 0),
+                10,
+                ping.clone(),
+            )),
+        );
+        let mut hb = Host::new(HostConfig::new(arch), B);
+        hb.spawn_app(
+            "icmp-daemon",
+            0,
+            0,
+            Box::new(lrp_apps::IcmpEchoDaemon::new(
+                SimDuration::from_micros(20),
+                daemon.clone(),
+            )),
+        );
+        w.add_host(ha);
+        w.add_host(hb);
+        w.run_until(SimTime::from_millis(500));
+        assert_eq!(daemon.borrow().replies, 10, "{arch}: daemon answered");
+        assert_eq!(ping.borrow().replies, 10, "{arch}: client saw replies");
+        // The daemon process was charged for the work (§3.5): it is the
+        // only process on B, so all protocol+compute charges land on it.
+        let d = w.hosts[1].sched.procs();
+        let daemon_proc = d.iter().find(|p| p.name == "icmp-daemon").unwrap();
+        assert!(
+            daemon_proc.acct.total() > lrp_sim::SimDuration::ZERO,
+            "{arch}: daemon charged"
+        );
+    }
+}
+
+// ---- IP forwarding through a gateway (§3.5) ----
+
+#[test]
+fn ip_forwarding_through_gateway() {
+    const D: Ipv4Addr = Ipv4Addr::new(10, 0, 1, 9);
+    for arch in [
+        Architecture::Bsd,
+        Architecture::SoftLrp,
+        Architecture::NiLrp,
+    ] {
+        let mut w = World::with_defaults();
+        let probe: ProbeRef = Rc::new(RefCell::new(Probe::default()));
+        // Sender on A sends to D, which is only reachable via gateway G.
+        let mut ha = Host::new(HostConfig::new(arch), A);
+        ha.spawn_app(
+            "sender",
+            0,
+            0,
+            Box::new(UdpSender {
+                dst: Endpoint::new(D, 7000),
+                payload: b"forwarded".to_vec(),
+                count: 15,
+                gap: SimDuration::from_millis(1),
+                sock: None,
+                sent: 0,
+            }),
+        );
+        let mut gw = Host::new(HostConfig::new(arch), B);
+        gw.enable_forwarding(0);
+        let mut hd = Host::new(HostConfig::new(arch), D);
+        hd.spawn_app(
+            "sink",
+            0,
+            0,
+            Box::new(UdpSink {
+                port: 7000,
+                probe: probe.clone(),
+                sock: None,
+            }),
+        );
+        w.add_host(ha);
+        let g = w.add_host(gw);
+        w.add_host(hd);
+        w.add_route_via(D, g);
+        w.run_until(SimTime::from_millis(500));
+        assert_eq!(
+            probe.borrow().received.len(),
+            15,
+            "{arch}: all datagrams forwarded"
+        );
+        // The gateway transmitted the forwarded frames.
+        assert!(w.hosts[g].nic.stats().tx_frames >= 15, "{arch}");
+        // Under LRP the forwarding daemon was charged for the work.
+        if arch.is_lrp() {
+            let fwd = w.hosts[g]
+                .sched
+                .procs()
+                .iter()
+                .find(|p| p.name == "ipfwd")
+                .expect("daemon spawned");
+            assert!(
+                fwd.acct.total() > lrp_sim::SimDuration::ZERO,
+                "{arch}: forwarding charged to the daemon"
+            );
+        }
+    }
+}

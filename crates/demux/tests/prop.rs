@@ -1,0 +1,212 @@
+//! Property test: the firmware-style demux table agrees with a naive
+//! reference classifier on arbitrary packets.
+
+use lrp_demux::{ChannelId, DemuxTable, Verdict};
+use lrp_wire::{ipv4, proto, tcp, udp, Endpoint, FlowKey, Frame, Ipv4Addr};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const LOCAL: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+/// A naive reference: linear scan over registered keys.
+struct Reference {
+    exact: HashMap<FlowKey, ChannelId>,
+}
+
+impl Reference {
+    fn classify(&self, frame: &Frame) -> Verdict {
+        let bytes = match frame {
+            Frame::Arp(_) => return Verdict::ArpDaemon,
+            Frame::Ipv4(b) => b,
+        };
+        let Ok((ih, payload)) = ipv4::parse(bytes) else {
+            return Verdict::Malformed;
+        };
+        if ih.dst != LOCAL {
+            return Verdict::Forward;
+        }
+        if ih.is_fragment() && !ih.is_first_fragment() {
+            return Verdict::Fragment;
+        }
+        let ports = match ih.proto {
+            proto::ICMP => return Verdict::IcmpDaemon,
+            proto::UDP => udp::parse_ports(payload).map(|(p, _)| p),
+            proto::TCP => tcp::parse_ports(payload).map(|(p, _)| p),
+            _ => return Verdict::NoMatch,
+        };
+        let Ok((sport, dport)) = ports else {
+            return Verdict::Malformed;
+        };
+        let local = Endpoint::new(ih.dst, dport);
+        let remote = Endpoint::new(ih.src, sport);
+        if let Some(&c) = self.exact.get(&FlowKey::new(ih.proto, local, remote)) {
+            return Verdict::Endpoint(c);
+        }
+        if let Some(&c) = self.exact.get(&FlowKey::listening(ih.proto, local)) {
+            return Verdict::Endpoint(c);
+        }
+        Verdict::NoMatch
+    }
+}
+
+#[derive(Debug, Clone)]
+enum PacketSpec {
+    Udp {
+        sport: u16,
+        dport: u16,
+        src_last: u8,
+        dst_local: bool,
+    },
+    Tcp {
+        sport: u16,
+        dport: u16,
+        src_last: u8,
+        syn: bool,
+    },
+    Frag {
+        dport: u16,
+        first: bool,
+    },
+    Icmp,
+    Arp,
+    Garbage(Vec<u8>),
+}
+
+fn arb_packet() -> impl Strategy<Value = PacketSpec> {
+    prop_oneof![
+        (any::<u16>(), 0u16..16, any::<u8>(), any::<bool>()).prop_map(
+            |(sport, dport, src_last, dst_local)| PacketSpec::Udp {
+                sport,
+                dport: 7000 + dport,
+                src_last,
+                dst_local
+            }
+        ),
+        (any::<u16>(), 0u16..16, any::<u8>(), any::<bool>()).prop_map(
+            |(sport, dport, src_last, syn)| PacketSpec::Tcp {
+                sport,
+                dport: 7000 + dport,
+                src_last,
+                syn
+            }
+        ),
+        (0u16..16, any::<bool>()).prop_map(|(dport, first)| PacketSpec::Frag {
+            dport: 7000 + dport,
+            first
+        }),
+        Just(PacketSpec::Icmp),
+        Just(PacketSpec::Arp),
+        proptest::collection::vec(any::<u8>(), 0..60).prop_map(PacketSpec::Garbage),
+    ]
+}
+
+fn materialize(spec: &PacketSpec) -> Frame {
+    let peer = |last: u8| Ipv4Addr::new(10, 0, 0, last);
+    match spec {
+        PacketSpec::Udp {
+            sport,
+            dport,
+            src_last,
+            dst_local,
+        } => {
+            let dst = if *dst_local {
+                LOCAL
+            } else {
+                Ipv4Addr::new(10, 0, 9, 9)
+            };
+            Frame::Ipv4(udp::build_datagram(
+                peer(*src_last),
+                dst,
+                *sport,
+                *dport,
+                1,
+                b"payload",
+                true,
+            ))
+        }
+        PacketSpec::Tcp {
+            sport,
+            dport,
+            src_last,
+            syn,
+        } => {
+            let h = tcp::TcpHeader {
+                src_port: *sport,
+                dst_port: *dport,
+                seq: 1,
+                ack: 0,
+                flags: if *syn {
+                    tcp::flags::SYN
+                } else {
+                    tcp::flags::ACK
+                },
+                window: 8192,
+                mss: None,
+            };
+            Frame::Ipv4(tcp::build_datagram(peer(*src_last), LOCAL, &h, 2, b""))
+        }
+        PacketSpec::Frag { dport, first } => {
+            let seg = udp::build(peer(1), LOCAL, 55, *dport, &[0u8; 3000], false);
+            let frags = ipv4::fragment(peer(1), LOCAL, proto::UDP, 3, &seg, 1500);
+            Frame::Ipv4(frags[usize::from(!*first)].clone())
+        }
+        PacketSpec::Icmp => Frame::Ipv4(lrp_wire::icmp::build_datagram(
+            peer(1),
+            LOCAL,
+            4,
+            &lrp_wire::icmp::IcmpMessage {
+                kind: lrp_wire::icmp::IcmpType::EchoRequest,
+                ident: 1,
+                seq: 1,
+                payload: vec![],
+            },
+        )),
+        PacketSpec::Arp => Frame::Arp(vec![
+            0, 1, 0, 0, 0, 0, 0, 1, 10, 0, 0, 1, 10, 0, 0, 2, 0, 0, 0, 0,
+        ]),
+        PacketSpec::Garbage(b) => Frame::Ipv4(b.clone()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn demux_matches_reference(
+        listeners in proptest::collection::btree_set(0u16..16, 0..8),
+        connected in proptest::collection::btree_set((0u16..16, any::<u16>(), any::<u8>()), 0..8),
+        packets in proptest::collection::vec(arb_packet(), 1..60),
+    ) {
+        let mut table = DemuxTable::new(64, LOCAL);
+        let mut reference = Reference { exact: HashMap::new() };
+        let mut next = 0u32;
+        for port in &listeners {
+            let k = FlowKey::listening(proto::UDP, Endpoint::new(LOCAL, 7000 + port));
+            table.register(k, ChannelId(next)).unwrap();
+            reference.exact.insert(k, ChannelId(next));
+            next += 1;
+            let kt = FlowKey::listening(proto::TCP, Endpoint::new(LOCAL, 7000 + port));
+            table.register(kt, ChannelId(next)).unwrap();
+            reference.exact.insert(kt, ChannelId(next));
+            next += 1;
+        }
+        for (dport, sport, src_last) in &connected {
+            let k = FlowKey::new(
+                proto::TCP,
+                Endpoint::new(LOCAL, 7000 + dport),
+                Endpoint::new(Ipv4Addr::new(10, 0, 0, *src_last), *sport),
+            );
+            if table.register(k, ChannelId(next)).is_ok() {
+                reference.exact.insert(k, ChannelId(next));
+                next += 1;
+            }
+        }
+        for spec in &packets {
+            let frame = materialize(spec);
+            prop_assert_eq!(
+                table.classify(&frame),
+                reference.classify(&frame),
+                "spec: {:?}", spec
+            );
+        }
+    }
+}

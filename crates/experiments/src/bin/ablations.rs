@@ -1,0 +1,61 @@
+//! Runs the ablation suite (A1–A6 in DESIGN.md).
+
+use lrp_experiments::ablations;
+use lrp_sim::SimTime;
+
+fn main() {
+    let d = SimTime::from_secs(2);
+    println!(
+        "{}",
+        ablations::render(
+            "A1: lazy vs eager (delivered pkts/s under overload)",
+            &ablations::a1_lazy_vs_eager(d)
+        )
+    );
+    println!(
+        "{}",
+        ablations::render("A2: channel queue depth", &[ablations::a2_queue_depth(d)])
+    );
+    println!(
+        "{}",
+        ablations::render(
+            "A3: soft-demux cost sensitivity",
+            &[ablations::a3_demux_cost(d)]
+        )
+    );
+    println!(
+        "{}",
+        ablations::render(
+            "A4: TCP APP thread on/off (Mb/s)",
+            &ablations::a4_app_thread()
+        )
+    );
+    println!(
+        "{}",
+        ablations::render(
+            "A5: control-packet flood vs early discard",
+            &ablations::a5_control_flood(d)
+        )
+    );
+    println!(
+        "{}",
+        ablations::render(
+            "A6: NI channel TIME_WAIT reclamation (channels in use)",
+            &ablations::a6_time_wait_reclaim(SimTime::from_secs(6))
+        )
+    );
+    println!(
+        "{}",
+        ablations::render(
+            "A7: forwarding daemon priority (gateway under 12k pkts/s transit)",
+            &ablations::a7_forwarding_priority(SimTime::from_secs(3))
+        )
+    );
+    println!(
+        "{}",
+        ablations::render(
+            "A8: technology trend — BSD livelock onset vs link capacity",
+            &ablations::a8_technology_trend(SimTime::from_secs(2))
+        )
+    );
+}

@@ -1,0 +1,13 @@
+//! Regenerates Figure 3.
+
+use lrp_experiments::fig3;
+use lrp_sim::SimTime;
+
+fn main() {
+    let secs: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let results = fig3::run(SimTime::from_secs(secs));
+    println!("{}", fig3::render(&results));
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 4.
+
+use lrp_experiments::fig4;
+
+fn main() {
+    let rounds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2000);
+    let results = fig4::run(rounds);
+    println!("{}", fig4::render(&results));
+}

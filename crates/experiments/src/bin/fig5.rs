@@ -1,0 +1,34 @@
+//! Regenerates Figure 5.
+
+use lrp_experiments::fig5;
+use lrp_sim::SimTime;
+
+fn main() {
+    let secs: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let results = fig5::run(SimTime::from_secs(secs));
+    println!("{}", fig5::render(&results));
+    println!("Console responsiveness at 10k SYN/s (mean scheduling lag of an");
+    println!("interactive process on the server; the paper: BSD console dead,");
+    println!("LRP console responsive):");
+    for arch in [lrp_core::Architecture::Bsd, lrp_core::Architecture::SoftLrp] {
+        let (lag, served) = fig5::measure_console_lag(arch, 10_000.0, SimTime::from_secs(3));
+        // ~300 wakeups expected over 3 s at a 10 ms period.
+        if served < 30 {
+            println!(
+                "  {:9}: DEAD ({} of ~300 wakeups served)",
+                arch.name(),
+                served
+            );
+        } else {
+            println!(
+                "  {:9}: responsive, mean lag {:>6.0} us ({} wakeups)",
+                arch.name(),
+                lag,
+                served
+            );
+        }
+    }
+}

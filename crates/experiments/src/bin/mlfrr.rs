@@ -1,0 +1,13 @@
+//! Regenerates the MLFRR comparison (§4.2 in-text).
+
+use lrp_experiments::mlfrr;
+use lrp_sim::SimTime;
+
+fn main() {
+    let secs: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
+    let rows = mlfrr::run(SimTime::from_secs(secs));
+    println!("{}", mlfrr::render(&rows));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Table 1.
+
+use lrp_experiments::table1;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let rows = table1::run(quick);
+    println!("{}", table1::render(&rows));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table 2.
+
+use lrp_experiments::table2;
+
+fn main() {
+    let rows = table2::run();
+    println!("{}", table2::render(&rows));
+}

@@ -1,0 +1,142 @@
+//! Figure 3: UDP throughput versus offered load.
+//!
+//! A client blasts 14-byte UDP datagrams at a fixed rate at a server
+//! process that receives and discards them. The paper's result: 4.4BSD
+//! peaks near 7 400 pkts/s then collapses toward livelock by ~20 000;
+//! NI-LRP climbs to ~11 000 and stays flat; SOFT-LRP peaks near 9 760 and
+//! declines only slightly (demux overhead); Early-Demux is stable but
+//! delivers only 40–65 % of SOFT-LRP.
+
+use crate::HOST_B;
+use lrp_apps::{shared, BlastSink, Shared, SinkMetrics};
+use lrp_core::{Architecture, Host, HostConfig, World};
+use lrp_net::{Injector, Pattern};
+use lrp_sim::SimTime;
+use lrp_wire::{udp, Frame, Ipv4Addr};
+
+/// One measured point.
+#[derive(Clone, Copy, Debug)]
+pub struct Point {
+    /// Offered load, packets/second.
+    pub offered: f64,
+    /// Delivered (consumed by the application) packets/second.
+    pub delivered: f64,
+}
+
+/// The source address blast packets claim to come from.
+const BLAST_SRC: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 3);
+/// The blast destination port.
+const BLAST_PORT: u16 = 9000;
+/// Blast payload size (the paper uses 14 bytes).
+const PAYLOAD: usize = 14;
+
+/// Builds the blast scenario and returns the world + sink metrics.
+pub fn build(arch: Architecture, offered_pps: f64, poisson: bool) -> (World, Shared<SinkMetrics>) {
+    let mut world = World::with_defaults();
+    let metrics = shared::<SinkMetrics>();
+    let mut server = Host::new(HostConfig::new(arch), HOST_B);
+    server.spawn_app(
+        "blast-sink",
+        0,
+        0,
+        Box::new(BlastSink::new(BLAST_PORT, metrics.clone())),
+    );
+    let b = world.add_host(server);
+    let pattern = if poisson {
+        Pattern::Poisson { pps: offered_pps }
+    } else {
+        Pattern::FixedRate { pps: offered_pps }
+    };
+    let inj = Injector::new(pattern, SimTime::from_millis(50), 7, move |seq| {
+        let mut payload = [0u8; PAYLOAD];
+        payload[..8].copy_from_slice(&seq.to_be_bytes());
+        Frame::Ipv4(udp::build_datagram(
+            BLAST_SRC,
+            HOST_B,
+            6000,
+            BLAST_PORT,
+            (seq & 0xFFFF) as u16,
+            &payload,
+            false,
+        ))
+    });
+    world.add_injector(b, inj);
+    (world, metrics)
+}
+
+/// Measures the delivered rate for one architecture at one offered load.
+pub fn measure(arch: Architecture, offered_pps: f64, duration: SimTime) -> Point {
+    let (mut world, metrics) = build(arch, offered_pps, false);
+    world.run_until(duration);
+    let m = metrics.borrow();
+    // Skip the first 5 buckets (500 ms warm-up) for the steady-state rate.
+    let delivered = m.series.steady_rate(5);
+    Point {
+        offered: offered_pps,
+        delivered,
+    }
+}
+
+/// The offered-load sweep of Figure 3.
+pub fn sweep_rates() -> Vec<f64> {
+    vec![
+        1_000.0, 2_000.0, 3_000.0, 4_000.0, 5_000.0, 6_000.0, 7_000.0, 8_000.0, 9_000.0, 10_000.0,
+        11_000.0, 12_000.0, 14_000.0, 16_000.0, 18_000.0, 20_000.0, 22_000.0, 25_000.0,
+    ]
+}
+
+/// Runs the whole figure: every architecture over the sweep.
+pub fn run(duration: SimTime) -> Vec<(Architecture, Vec<Point>)> {
+    crate::all_architectures()
+        .into_iter()
+        .map(|arch| {
+            let pts = sweep_rates()
+                .into_iter()
+                .map(|r| measure(arch, r, duration))
+                .collect();
+            (arch, pts)
+        })
+        .collect()
+}
+
+/// Renders the figure as a table plus an ASCII plot.
+pub fn render(results: &[(Architecture, Vec<Point>)]) -> String {
+    let mut rows = Vec::new();
+    if let Some((_, first)) = results.first() {
+        for (i, p) in first.iter().enumerate() {
+            let mut row = vec![format!("{:.0}", p.offered)];
+            for (_, pts) in results {
+                row.push(format!("{:.0}", pts[i].delivered));
+            }
+            rows.push(row);
+        }
+    }
+    let mut header = vec!["offered pkts/s"];
+    for (arch, _) in results {
+        header.push(arch.name());
+    }
+    let mut out = String::from("Figure 3: throughput vs offered load (UDP, 14-byte msgs)\n\n");
+    out.push_str(&crate::plot::table(&header, &rows));
+    out.push('\n');
+    let markers = ['b', 'e', 's', 'n'];
+    let series: Vec<crate::plot::Series<'_>> = results
+        .iter()
+        .zip(markers)
+        .map(|((arch, pts), m)| {
+            (
+                m,
+                arch.name(),
+                pts.iter().map(|p| (p.offered, p.delivered)).collect(),
+            )
+        })
+        .collect();
+    out.push_str(&crate::plot::scatter(
+        "delivered vs offered",
+        "offered pkts/s",
+        "delivered pkts/s",
+        &series,
+        70,
+        18,
+    ));
+    out
+}

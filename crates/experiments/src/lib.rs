@@ -1,0 +1,77 @@
+//! Experiment drivers regenerating every table and figure of the paper.
+//!
+//! Each module exposes a `run*` function returning structured rows, and a
+//! `render` helper producing the table/plot as text. The binaries in
+//! `src/bin/` print them. See `DESIGN.md` §4 for the experiment index and
+//! `EXPERIMENTS.md` for paper-vs-measured results.
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod mlfrr;
+pub mod plot;
+pub mod table1;
+pub mod table2;
+
+use lrp_wire::Ipv4Addr;
+
+/// Machine A (client) in the paper's three-machine setup.
+pub const HOST_A: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+/// Machine B (server).
+pub const HOST_B: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+/// Machine C (background traffic source).
+pub const HOST_C: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 3);
+
+/// The four architectures in the paper's presentation order.
+pub fn all_architectures() -> [lrp_core::Architecture; 4] {
+    use lrp_core::Architecture::*;
+    [Bsd, EarlyDemux, SoftLrp, NiLrp]
+}
+
+/// The three architectures of Figure 4 / Tables 1–2 (without Early-Demux).
+pub fn main_architectures() -> [lrp_core::Architecture; 3] {
+    use lrp_core::Architecture::*;
+    [Bsd, SoftLrp, NiLrp]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn architecture_lists() {
+        assert_eq!(all_architectures().len(), 4);
+        assert_eq!(main_architectures().len(), 3);
+        assert!(!main_architectures().contains(&lrp_core::Architecture::EarlyDemux));
+    }
+
+    #[test]
+    fn fig3_sweep_is_monotone() {
+        let rates = fig3::sweep_rates();
+        assert!(rates.windows(2).all(|w| w[0] < w[1]));
+        assert!(rates.contains(&20_000.0), "covers the livelock region");
+    }
+
+    #[test]
+    fn table1_has_four_systems() {
+        let names: Vec<&str> = table1::systems().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, ["SunOS+Fore", "4.4BSD", "NI-LRP", "SOFT-LRP"]);
+    }
+
+    #[test]
+    fn table2_variants_ordered_by_work() {
+        use table2::Variant::*;
+        assert!(Fast.work() < Medium.work());
+        assert!(Medium.work() < Slow.work());
+    }
+
+    #[test]
+    fn fig4_and_fig5_sweeps_cover_paper_range() {
+        assert!(fig4::sweep_rates().iter().any(|&r| r >= 14_000.0));
+        assert!(fig5::sweep_rates().iter().any(|&r| r >= 20_000.0));
+        assert!(fig5::sweep_rates().contains(&0.0), "baseline point");
+    }
+}

@@ -1,0 +1,125 @@
+//! Minimal ASCII rendering for experiment output: aligned tables and
+//! simple scatter plots, so every figure regenerates in a terminal.
+
+/// Renders an aligned table: `header` then `rows`.
+pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let ncol = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (i, c) in r.iter().enumerate().take(ncol) {
+            widths[i] = widths[i].max(c.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<String>, widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{c:>width$}", width = widths[i]));
+        }
+        line
+    };
+    out.push_str(&fmt_row(
+        header.iter().map(|s| s.to_string()).collect(),
+        &widths,
+    ));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncol - 1)));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&fmt_row(r.clone(), &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// One plotted series: `(marker, name, points)`.
+pub type Series<'a> = (char, &'a str, Vec<(f64, f64)>);
+
+/// Renders several named series as an ASCII scatter plot.
+///
+/// `series` maps a single-character marker to `(name, points)`.
+pub fn scatter(
+    title: &str,
+    xlabel: &str,
+    ylabel: &str,
+    series: &[Series<'_>],
+    width: usize,
+    height: usize,
+) -> String {
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|(_, _, pts)| pts.iter().copied())
+        .collect();
+    if all.is_empty() {
+        return format!("{title}\n(no data)\n");
+    }
+    let xmax = all.iter().map(|p| p.0).fold(f64::MIN, f64::max).max(1e-9);
+    let ymax = all.iter().map(|p| p.1).fold(f64::MIN, f64::max).max(1e-9);
+    let mut grid = vec![vec![' '; width]; height];
+    for (marker, _, pts) in series {
+        for (x, y) in pts {
+            let col = ((x / xmax) * (width - 1) as f64).round() as usize;
+            let row = ((y / ymax) * (height - 1) as f64).round() as usize;
+            let r = height - 1 - row.min(height - 1);
+            let c = col.min(width - 1);
+            grid[r][c] = *marker;
+        }
+    }
+    let mut out = format!("{title}\n  {ylabel} (max {ymax:.0})\n");
+    for row in grid {
+        out.push_str("  |");
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push_str("  +");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!("   {xlabel} (max {xmax:.0})\n"));
+    for (marker, name, _) in series {
+        out.push_str(&format!("   {marker} = {name}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns() {
+        let t = table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "123456".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[3].contains("123456"));
+    }
+
+    #[test]
+    fn scatter_renders_markers() {
+        let s = scatter(
+            "test",
+            "x",
+            "y",
+            &[('*', "one", vec![(0.0, 0.0), (10.0, 10.0)])],
+            20,
+            5,
+        );
+        assert!(s.contains('*'));
+        assert!(s.contains("one"));
+    }
+
+    #[test]
+    fn scatter_empty_ok() {
+        let s = scatter("t", "x", "y", &[('*', "none", vec![])], 10, 4);
+        assert!(s.contains("no data"));
+    }
+}

@@ -1,0 +1,180 @@
+//! Table 1: baseline round-trip latency, UDP throughput and TCP
+//! throughput for SunOS+Fore / 4.4BSD / NI-LRP / SOFT-LRP.
+//!
+//! Demonstrates the paper's point that LRP's overload robustness costs
+//! nothing at low load.
+
+use crate::{HOST_A, HOST_B};
+use lrp_apps::{
+    shared, PingPongClient, PingPongMetrics, PingPongServer, TcpBulkMetrics, TcpBulkReceiver,
+    TcpBulkSender, UdpWindowMetrics, UdpWindowSink, UdpWindowSource,
+};
+use lrp_core::{Architecture, Host, HostConfig, World};
+use lrp_sim::SimTime;
+use lrp_wire::Endpoint;
+
+/// One measured row of Table 1.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// System label.
+    pub system: &'static str,
+    /// Mean UDP round-trip latency in microseconds.
+    pub rtt_us: f64,
+    /// UDP sliding-window goodput, Mbit/s.
+    pub udp_mbps: f64,
+    /// TCP bulk-transfer goodput, Mbit/s.
+    pub tcp_mbps: f64,
+}
+
+/// The configurations of Table 1's four systems.
+pub fn systems() -> Vec<(&'static str, HostConfig)> {
+    vec![
+        ("SunOS+Fore", HostConfig::sunos_fore()),
+        ("4.4BSD", HostConfig::new(Architecture::Bsd)),
+        ("NI-LRP", HostConfig::new(Architecture::NiLrp)),
+        ("SOFT-LRP", HostConfig::new(Architecture::SoftLrp)),
+    ]
+}
+
+/// Measures the UDP round-trip latency (`rounds` 1-byte ping-pongs).
+pub fn measure_rtt(cfg: HostConfig, rounds: u64) -> f64 {
+    let mut world = World::with_defaults();
+    let metrics = shared::<PingPongMetrics>();
+    let mut a = Host::new(cfg, HOST_A);
+    a.spawn_app(
+        "pp-client",
+        0,
+        0,
+        Box::new(PingPongClient::new(
+            Endpoint::new(HOST_B, 6000),
+            1,
+            rounds,
+            metrics.clone(),
+        )),
+    );
+    let mut b = Host::new(cfg, HOST_B);
+    b.spawn_app("pp-server", 0, 0, Box::new(PingPongServer::new(6000)));
+    world.add_host(a);
+    world.add_host(b);
+    // Generous bound: rounds x 10 ms each.
+    world.run_until(SimTime::from_millis(10 * rounds + 1_000));
+    let m = metrics.borrow();
+    assert!(m.done, "ping-pong did not finish: {} rounds", m.count);
+    m.mean_rtt_us()
+}
+
+/// Measures sliding-window UDP goodput (checksums off, 8 KB datagrams).
+pub fn measure_udp_mbps(cfg: HostConfig, datagrams: u64) -> f64 {
+    let mut world = World::with_defaults();
+    let metrics = shared::<UdpWindowMetrics>();
+    let mut a = Host::new(cfg, HOST_A);
+    a.spawn_app(
+        "udp-src",
+        0,
+        0,
+        Box::new(UdpWindowSource::new(
+            Endpoint::new(HOST_B, 6300),
+            8_000,
+            datagrams,
+            // Window of 5: 40 KB outstanding fits the 41.6 KB socket
+            // buffer, so the unreliable window never deadlocks on a
+            // sockbuf drop, while still covering the pipe's
+            // bandwidth-delay product.
+            5,
+        )),
+    );
+    let mut b = Host::new(cfg, HOST_B);
+    b.spawn_app(
+        "udp-sink",
+        0,
+        0,
+        Box::new(UdpWindowSink::new(6300, datagrams, metrics.clone())),
+    );
+    world.add_host(a);
+    world.add_host(b);
+    world.run_until(SimTime::from_secs(60));
+    let m = metrics.borrow();
+    assert!(m.done, "udp window transfer incomplete: {}", m.count);
+    m.mbps()
+}
+
+/// Measures TCP bulk goodput (24 MB, 32 KB socket buffers).
+pub fn measure_tcp_mbps(cfg: HostConfig, total: usize) -> f64 {
+    let mut world = World::with_defaults();
+    let metrics = shared::<TcpBulkMetrics>();
+    let mut a = Host::new(cfg, HOST_A);
+    a.spawn_app(
+        "tcp-src",
+        0,
+        0,
+        Box::new(TcpBulkSender::new(
+            Endpoint::new(HOST_B, 6400),
+            total,
+            16_384,
+        )),
+    );
+    let mut b = Host::new(cfg, HOST_B);
+    b.spawn_app(
+        "tcp-sink",
+        0,
+        0,
+        Box::new(TcpBulkReceiver::new(6400, metrics.clone())),
+    );
+    world.add_host(a);
+    world.add_host(b);
+    world.run_until(SimTime::from_secs(120));
+    let m = metrics.borrow();
+    assert!(m.done, "tcp transfer incomplete: {} bytes", m.bytes);
+    m.mbps()
+}
+
+/// Runs the full table. `quick` reduces message counts for CI.
+pub fn run(quick: bool) -> Vec<Row> {
+    let (rounds, dgrams, tcp_bytes) = if quick {
+        (500, 300, 2 << 20)
+    } else {
+        (10_000, 3_000, 24 << 20)
+    };
+    systems()
+        .into_iter()
+        .map(|(name, cfg)| Row {
+            system: name,
+            rtt_us: measure_rtt(cfg, rounds),
+            udp_mbps: measure_udp_mbps(cfg, dgrams),
+            tcp_mbps: measure_tcp_mbps(cfg, tcp_bytes),
+        })
+        .collect()
+}
+
+/// Renders the table with the paper's values alongside.
+pub fn render(rows: &[Row]) -> String {
+    let paper = [
+        ("SunOS+Fore", 1006, 64, 63),
+        ("4.4BSD", 855, 82, 69),
+        ("NI-LRP", 840, 92, 67),
+        ("SOFT-LRP", 864, 86, 66),
+    ];
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let p = paper.iter().find(|p| p.0 == r.system);
+            vec![
+                r.system.to_string(),
+                format!("{:.0}", r.rtt_us),
+                p.map(|p| p.1.to_string()).unwrap_or_default(),
+                format!("{:.0}", r.udp_mbps),
+                p.map(|p| p.2.to_string()).unwrap_or_default(),
+                format!("{:.0}", r.tcp_mbps),
+                p.map(|p| p.3.to_string()).unwrap_or_default(),
+            ]
+        })
+        .collect();
+    let mut out = String::from("Table 1: latency and throughput (paper values in parentheses)\n\n");
+    out.push_str(&crate::plot::table(
+        &[
+            "system", "RTT us", "(paper)", "UDP Mb/s", "(paper)", "TCP Mb/s", "(paper)",
+        ],
+        &table_rows,
+    ));
+    out
+}

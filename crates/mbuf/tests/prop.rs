@@ -1,0 +1,114 @@
+//! Property tests for mbuf pool accounting and chain operations.
+
+use lrp_mbuf::{MbufChain, MbufPool, MCLBYTES, MLEN};
+use proptest::prelude::*;
+
+proptest! {
+    /// Any alloc/free interleaving leaves the pool balanced, and in-use
+    /// never exceeds the configured limits.
+    #[test]
+    fn pool_accounting_exact(ops in proptest::collection::vec(0u8..4, 1..200)) {
+        let pool = MbufPool::new(16, 8);
+        let mut held = Vec::new();
+        for op in ops {
+            match op {
+                0 => {
+                    if let Some(m) = pool.alloc() {
+                        held.push(m);
+                    }
+                }
+                1 => {
+                    if let Some(m) = pool.alloc_cluster() {
+                        held.push(m);
+                    }
+                }
+                2 => {
+                    if !held.is_empty() {
+                        held.remove(0);
+                    }
+                }
+                _ => {
+                    held.pop();
+                }
+            }
+            let s = pool.stats();
+            prop_assert_eq!(s.mbufs_in_use, held.len());
+            prop_assert!(s.mbufs_in_use <= 16);
+            prop_assert!(s.clusters_in_use <= 8);
+        }
+        drop(held);
+        let s = pool.stats();
+        prop_assert_eq!(s.mbufs_in_use, 0);
+        prop_assert_eq!(s.clusters_in_use, 0);
+    }
+
+    /// from_bytes/to_vec is the identity for any payload that fits.
+    #[test]
+    fn chain_roundtrip_identity(data in proptest::collection::vec(any::<u8>(), 0..20_000)) {
+        let pool = MbufPool::new(4096, 2048);
+        let chain = MbufChain::from_bytes(&pool, &data).expect("pool sized generously");
+        prop_assert_eq!(chain.len(), data.len());
+        prop_assert_eq!(chain.to_vec(), data);
+    }
+
+    /// trim_front(n) drops exactly the first n bytes.
+    #[test]
+    fn chain_trim_front_correct(
+        data in proptest::collection::vec(any::<u8>(), 1..8_000),
+        frac in 0.0f64..1.0,
+    ) {
+        let pool = MbufPool::new(4096, 2048);
+        let n = ((data.len() as f64) * frac) as usize;
+        let mut chain = MbufChain::from_bytes(&pool, &data).unwrap();
+        chain.trim_front(n);
+        prop_assert_eq!(chain.len(), data.len() - n);
+        prop_assert_eq!(chain.to_vec(), &data[n..]);
+    }
+
+    /// copy_out agrees with to_vec for any in-range window.
+    #[test]
+    fn chain_copy_out_window(
+        data in proptest::collection::vec(any::<u8>(), 1..8_000),
+        a in 0.0f64..1.0,
+        b in 0.0f64..1.0,
+    ) {
+        let pool = MbufPool::new(4096, 2048);
+        let chain = MbufChain::from_bytes(&pool, &data).unwrap();
+        let x = ((data.len() as f64) * a) as usize;
+        let y = ((data.len() as f64) * b) as usize;
+        let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
+        let mut buf = vec![0u8; hi - lo];
+        chain.copy_out(lo, &mut buf);
+        prop_assert_eq!(&buf[..], &data[lo..hi]);
+    }
+
+    /// Prepending then converting preserves header + payload.
+    #[test]
+    fn chain_prepend_roundtrip(
+        hdr in proptest::collection::vec(any::<u8>(), 0..64),
+        body in proptest::collection::vec(any::<u8>(), 0..4_000),
+    ) {
+        let pool = MbufPool::new(4096, 2048);
+        let mut chain = MbufChain::from_bytes(&pool, &body).unwrap();
+        prop_assert!(chain.prepend(&pool, &hdr));
+        let v = chain.to_vec();
+        prop_assert_eq!(&v[..hdr.len()], &hdr[..]);
+        prop_assert_eq!(&v[hdr.len()..], &body[..]);
+    }
+
+    /// Chains never waste more than one mbuf versus the optimal cluster
+    /// packing (sanity bound on fragmentation).
+    #[test]
+    fn chain_buf_count_bounded(len in 0usize..30_000) {
+        let pool = MbufPool::new(4096, 2048);
+        let data = vec![0xAB; len];
+        let chain = MbufChain::from_bytes(&pool, &data).unwrap();
+        let optimal = len.div_ceil(MCLBYTES).max(1);
+        // Allow headroom in the first mbuf plus one trailing small mbuf.
+        prop_assert!(
+            chain.buf_count() <= optimal + 2,
+            "len={} bufs={} optimal={}", len, chain.buf_count(), optimal
+        );
+        let _ = MLEN;
+    }
+}

@@ -1,0 +1,689 @@
+//! The network interface model: receive ring, NI channels, interface
+//! queue, and the three demultiplexing placements of the paper.
+//!
+//! A [`Nic`] sits between the simulated link and the host:
+//!
+//! - In **BSD** mode the NIC is dumb: every received frame lands in the
+//!   receive DMA ring and raises a host interrupt; the driver moves it to
+//!   the shared IP queue.
+//! - In **soft-demux** mode (SOFT-LRP and Early-Demux) the NIC is equally
+//!   dumb, but the *host interrupt handler* runs the demux function and
+//!   places frames directly on per-socket [`NiChannel`]s, discarding early
+//!   when a channel is full. The host pays the demux cost per packet.
+//! - In **NI-demux** mode (NI-LRP) the NIC itself runs the demux function
+//!   "in firmware": classification, channel placement and early discard
+//!   consume **no host CPU at all**, and a host interrupt is raised only
+//!   on an empty→non-empty channel transition when the receiver asked for
+//!   one.
+//!
+//! This crate is pure mechanism: costs and timing are attached by the host
+//! model in `lrp-core`.
+
+#![warn(missing_docs)]
+
+use lrp_demux::{ChannelId, DemuxTable, Verdict};
+use lrp_wire::{Frame, Ipv4Addr};
+
+/// Where the demultiplexing function executes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DemuxMode {
+    /// No early demux: frames go to the rx ring; the driver and softirq
+    /// implement the BSD path.
+    None,
+    /// Demux in the host interrupt handler (SOFT-LRP / Early-Demux).
+    Soft,
+    /// Demux in NIC firmware (NI-LRP).
+    Ni,
+}
+
+/// Why a frame was dropped at the NIC layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NicDrop {
+    /// The receive DMA ring overflowed (host not servicing interrupts).
+    RingOverrun,
+    /// Early discard: the destination channel was full.
+    ChannelFull,
+    /// Early discard: no endpoint matched (NI-demux mode only).
+    NoMatch,
+    /// Early discard: malformed packet (NI-demux mode only).
+    Malformed,
+}
+
+/// The outcome of frame reception, telling the host what to do.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RxOutcome {
+    /// Frame queued (ring or channel); raise a host interrupt.
+    Interrupt,
+    /// Frame queued silently (channel already non-empty, or interrupts not
+    /// requested). No host work.
+    Queued,
+    /// Frame dropped at the NIC with no host work.
+    Dropped(NicDrop),
+}
+
+/// Per-channel statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Frames enqueued.
+    pub enqueued: u64,
+    /// Frames dropped because the queue was full (early packet discard).
+    pub dropped_full: u64,
+    /// Frames dequeued by the host.
+    pub dequeued: u64,
+    /// High-water mark of queue depth.
+    pub peak_depth: usize,
+}
+
+/// A network-interface channel (§3.1): a receive queue shared between the
+/// NIC and the kernel, with a demand-interrupt flag.
+#[derive(Debug)]
+pub struct NiChannel {
+    /// This channel's id.
+    pub id: ChannelId,
+    queue: std::collections::VecDeque<Frame>,
+    limit: usize,
+    /// When true, the NIC raises a host interrupt on the empty→non-empty
+    /// transition (a blocked receiver is waiting).
+    pub intr_requested: bool,
+    /// Protocol processing enabled? Cleared for listening sockets whose
+    /// backlog is exceeded (§3.4): the channel then fills and the NIC
+    /// discards SYNs with no host work.
+    pub processing_enabled: bool,
+    stats: ChannelStats,
+}
+
+impl NiChannel {
+    fn new(id: ChannelId, limit: usize) -> Self {
+        NiChannel {
+            id,
+            queue: std::collections::VecDeque::new(),
+            limit,
+            intr_requested: false,
+            processing_enabled: true,
+            stats: ChannelStats::default(),
+        }
+    }
+
+    /// Current queue depth.
+    pub fn depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True if no frames are queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// True if the queue is at its limit.
+    pub fn is_full(&self) -> bool {
+        self.queue.len() >= self.limit
+    }
+
+    /// Queue capacity.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> ChannelStats {
+        self.stats
+    }
+
+    /// Enqueues a frame; returns false (and counts a drop) if full.
+    pub fn enqueue(&mut self, frame: Frame) -> bool {
+        if self.is_full() {
+            self.stats.dropped_full += 1;
+            return false;
+        }
+        self.queue.push_back(frame);
+        self.stats.enqueued += 1;
+        self.stats.peak_depth = self.stats.peak_depth.max(self.queue.len());
+        true
+    }
+
+    /// Dequeues the oldest frame.
+    pub fn dequeue(&mut self) -> Option<Frame> {
+        let f = self.queue.pop_front();
+        if f.is_some() {
+            self.stats.dequeued += 1;
+        }
+        f
+    }
+
+    /// Peeks at the oldest frame without removing it.
+    pub fn peek(&self) -> Option<&Frame> {
+        self.queue.front()
+    }
+}
+
+/// NIC-level statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NicStats {
+    /// Frames received from the link.
+    pub rx_frames: u64,
+    /// Host interrupts raised.
+    pub interrupts: u64,
+    /// Frames dropped at the rx ring.
+    pub ring_drops: u64,
+    /// Frames discarded early by NI-demux (channel full / no match /
+    /// malformed).
+    pub early_discards: u64,
+    /// Frames transmitted.
+    pub tx_frames: u64,
+    /// Frames dropped at the interface (tx) queue.
+    pub ifq_drops: u64,
+}
+
+/// The simulated network adaptor.
+///
+/// # Examples
+///
+/// ```
+/// use lrp_nic::{DemuxMode, Nic, RxOutcome};
+/// use lrp_wire::{udp, Endpoint, FlowKey, Frame, Ipv4Addr, proto};
+///
+/// let local = Ipv4Addr::new(10, 0, 0, 2);
+/// let mut nic = Nic::new(DemuxMode::Ni, local, 16);
+/// let chan = nic.create_default_channel();
+/// nic.demux
+///     .register(FlowKey::listening(proto::UDP, Endpoint::new(local, 7)), chan)
+///     .unwrap();
+/// let frame = Frame::Ipv4(udp::build_datagram(
+///     Ipv4Addr::new(10, 0, 0, 1), local, 9, 7, 1, b"hi", true,
+/// ));
+/// // Queued silently: no interrupt was requested for this channel.
+/// assert_eq!(nic.rx_frame(frame), RxOutcome::Queued);
+/// assert_eq!(nic.channel(chan).depth(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Nic {
+    mode: DemuxMode,
+    /// The demux table; owned by the NIC in NI mode, used by the host's
+    /// interrupt handler in Soft mode (the structure is identical — only
+    /// who pays for classification differs).
+    pub demux: DemuxTable,
+    rx_ring: std::collections::VecDeque<Frame>,
+    rx_ring_limit: usize,
+    channels: Vec<Option<NiChannel>>,
+    /// The special channel for non-first IP fragments (always present).
+    pub fragment_channel: ChannelId,
+    ifq: std::collections::VecDeque<Frame>,
+    ifq_limit: usize,
+    default_channel_limit: usize,
+    proxy: ProxyChannels,
+    stats: NicStats,
+}
+
+/// Default receive ring size (FORE SBA-200-ish).
+pub const DEFAULT_RX_RING: usize = 256;
+/// Default interface (tx) queue limit (BSD `ifq_maxlen`).
+pub const DEFAULT_IFQ_LIMIT: usize = 50;
+/// Default NI channel queue limit, in packets.
+pub const DEFAULT_CHANNEL_LIMIT: usize = 64;
+
+impl Nic {
+    /// Creates a NIC for a host with address `local_addr`.
+    pub fn new(mode: DemuxMode, local_addr: Ipv4Addr, max_channels: usize) -> Self {
+        let mut nic = Nic {
+            mode,
+            demux: DemuxTable::new(max_channels.max(4), local_addr),
+            rx_ring: std::collections::VecDeque::new(),
+            rx_ring_limit: DEFAULT_RX_RING,
+            channels: Vec::new(),
+            fragment_channel: ChannelId(0),
+            ifq: std::collections::VecDeque::new(),
+            ifq_limit: DEFAULT_IFQ_LIMIT,
+            default_channel_limit: DEFAULT_CHANNEL_LIMIT,
+            proxy: ProxyChannels::default(),
+            stats: NicStats::default(),
+        };
+        // Channel 0 is reserved for misordered fragments.
+        let frag = nic.create_channel(DEFAULT_CHANNEL_LIMIT);
+        debug_assert_eq!(frag, ChannelId(0));
+        nic.fragment_channel = frag;
+        nic
+    }
+
+    /// The demux placement mode.
+    pub fn mode(&self) -> DemuxMode {
+        self.mode
+    }
+
+    /// Overrides the default per-channel queue limit for future channels.
+    pub fn set_default_channel_limit(&mut self, limit: usize) {
+        self.default_channel_limit = limit;
+    }
+
+    /// The default per-channel queue limit.
+    pub fn default_channel_limit(&self) -> usize {
+        self.default_channel_limit
+    }
+
+    /// NIC statistics snapshot.
+    pub fn stats(&self) -> NicStats {
+        self.stats
+    }
+
+    /// Creates a channel with an explicit queue limit.
+    pub fn create_channel(&mut self, limit: usize) -> ChannelId {
+        // Reuse a freed slot if available (NI resources are finite).
+        for (i, slot) in self.channels.iter_mut().enumerate() {
+            if slot.is_none() {
+                let id = ChannelId(i as u32);
+                *slot = Some(NiChannel::new(id, limit));
+                return id;
+            }
+        }
+        let id = ChannelId(self.channels.len() as u32);
+        self.channels.push(Some(NiChannel::new(id, limit)));
+        id
+    }
+
+    /// Creates a channel with the default queue limit.
+    pub fn create_default_channel(&mut self) -> ChannelId {
+        self.create_channel(self.default_channel_limit)
+    }
+
+    /// Destroys a channel (e.g. TIME_WAIT reclamation, §4.2), dropping any
+    /// queued frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if asked to destroy the fragment channel.
+    pub fn destroy_channel(&mut self, id: ChannelId) {
+        assert_ne!(id, self.fragment_channel, "fragment channel is permanent");
+        if let Some(slot) = self.channels.get_mut(id.0 as usize) {
+            *slot = None;
+        }
+    }
+
+    /// Number of live channels (including the fragment channel).
+    pub fn channel_count(&self) -> usize {
+        self.channels.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Accesses a channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel does not exist.
+    pub fn channel(&self, id: ChannelId) -> &NiChannel {
+        self.channels[id.0 as usize]
+            .as_ref()
+            .expect("channel exists")
+    }
+
+    /// Mutable access to a channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel does not exist.
+    pub fn channel_mut(&mut self, id: ChannelId) -> &mut NiChannel {
+        self.channels[id.0 as usize]
+            .as_mut()
+            .expect("channel exists")
+    }
+
+    /// True if the channel id refers to a live channel.
+    pub fn channel_exists(&self, id: ChannelId) -> bool {
+        self.channels
+            .get(id.0 as usize)
+            .is_some_and(|c| c.is_some())
+    }
+
+    /// Delivers a frame from the link to the NIC.
+    ///
+    /// The returned [`RxOutcome`] tells the host whether an interrupt was
+    /// raised. In NI-demux mode classification happens here, on the NIC's
+    /// own processor; the host learns nothing about discarded frames.
+    pub fn rx_frame(&mut self, frame: Frame) -> RxOutcome {
+        self.stats.rx_frames += 1;
+        match self.mode {
+            DemuxMode::None | DemuxMode::Soft => {
+                // Dumb adaptor: DMA into the ring, interrupt per frame.
+                if self.rx_ring.len() >= self.rx_ring_limit {
+                    self.stats.ring_drops += 1;
+                    return RxOutcome::Dropped(NicDrop::RingOverrun);
+                }
+                self.rx_ring.push_back(frame);
+                self.stats.interrupts += 1;
+                RxOutcome::Interrupt
+            }
+            DemuxMode::Ni => {
+                let verdict = self.demux.classify(&frame);
+                let chan = match verdict {
+                    Verdict::Endpoint(c) => c,
+                    Verdict::Fragment => self.fragment_channel,
+                    // Proxy daemon channels must be registered by the host
+                    // via `register_proxy`; unregistered protocols drop.
+                    Verdict::IcmpDaemon => match self.proxy.icmp {
+                        Some(c) => c,
+                        None => {
+                            self.stats.early_discards += 1;
+                            return RxOutcome::Dropped(NicDrop::NoMatch);
+                        }
+                    },
+                    Verdict::ArpDaemon => match self.proxy.arp {
+                        Some(c) => c,
+                        None => {
+                            self.stats.early_discards += 1;
+                            return RxOutcome::Dropped(NicDrop::NoMatch);
+                        }
+                    },
+                    Verdict::Forward => match self.proxy.forward {
+                        Some(c) => c,
+                        None => {
+                            self.stats.early_discards += 1;
+                            return RxOutcome::Dropped(NicDrop::NoMatch);
+                        }
+                    },
+                    Verdict::NoMatch => {
+                        self.stats.early_discards += 1;
+                        return RxOutcome::Dropped(NicDrop::NoMatch);
+                    }
+                    Verdict::Malformed => {
+                        self.stats.early_discards += 1;
+                        return RxOutcome::Dropped(NicDrop::Malformed);
+                    }
+                };
+                if !self.channel_exists(chan) {
+                    self.stats.early_discards += 1;
+                    return RxOutcome::Dropped(NicDrop::NoMatch);
+                }
+                let ch = self.channels[chan.0 as usize].as_mut().expect("checked");
+                let was_empty = ch.is_empty();
+                if !ch.enqueue(frame) {
+                    self.stats.early_discards += 1;
+                    return RxOutcome::Dropped(NicDrop::ChannelFull);
+                }
+                if was_empty && ch.intr_requested {
+                    ch.intr_requested = false;
+                    self.stats.interrupts += 1;
+                    RxOutcome::Interrupt
+                } else {
+                    RxOutcome::Queued
+                }
+            }
+        }
+    }
+
+    /// Takes the next frame from the receive ring (driver interrupt
+    /// handler, BSD/Soft modes).
+    pub fn ring_dequeue(&mut self) -> Option<Frame> {
+        self.rx_ring.pop_front()
+    }
+
+    /// Frames currently waiting in the receive ring.
+    pub fn ring_depth(&self) -> usize {
+        self.rx_ring.len()
+    }
+
+    /// Enqueues a frame for transmission; returns false (counting a drop)
+    /// if the interface queue is full.
+    pub fn ifq_enqueue(&mut self, frame: Frame) -> bool {
+        if self.ifq.len() >= self.ifq_limit {
+            self.stats.ifq_drops += 1;
+            return false;
+        }
+        self.ifq.push_back(frame);
+        true
+    }
+
+    /// Takes the next frame for the link to transmit.
+    pub fn ifq_dequeue(&mut self) -> Option<Frame> {
+        let f = self.ifq.pop_front();
+        if f.is_some() {
+            self.stats.tx_frames += 1;
+        }
+        f
+    }
+
+    /// Frames currently waiting to transmit.
+    pub fn ifq_depth(&self) -> usize {
+        self.ifq.len()
+    }
+}
+
+/// Proxy-daemon channel registrations (§3.5).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ProxyChannels {
+    /// ICMP daemon channel.
+    pub icmp: Option<ChannelId>,
+    /// ARP daemon channel.
+    pub arp: Option<ChannelId>,
+    /// IP-forwarding daemon channel.
+    pub forward: Option<ChannelId>,
+}
+
+impl Nic {
+    /// Registers a proxy daemon channel for ICMP.
+    pub fn set_icmp_proxy(&mut self, c: ChannelId) {
+        self.proxy.icmp = Some(c);
+    }
+
+    /// Registers a proxy daemon channel for ARP.
+    pub fn set_arp_proxy(&mut self, c: ChannelId) {
+        self.proxy.arp = Some(c);
+    }
+
+    /// Registers a proxy daemon channel for IP forwarding.
+    pub fn set_forward_proxy(&mut self, c: ChannelId) {
+        self.proxy.forward = Some(c);
+    }
+
+    /// Current proxy registrations.
+    pub fn proxies(&self) -> ProxyChannels {
+        self.proxy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrp_wire::{proto, udp, Endpoint, FlowKey};
+
+    const LOCAL: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+    const PEER: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+
+    fn udp_frame(dport: u16) -> Frame {
+        Frame::Ipv4(udp::build_datagram(PEER, LOCAL, 5, dport, 1, b"hi", true))
+    }
+
+    #[test]
+    fn bsd_mode_ring_and_interrupt() {
+        let mut nic = Nic::new(DemuxMode::None, LOCAL, 8);
+        assert_eq!(nic.rx_frame(udp_frame(80)), RxOutcome::Interrupt);
+        assert_eq!(nic.ring_depth(), 1);
+        assert!(nic.ring_dequeue().is_some());
+        assert_eq!(nic.ring_depth(), 0);
+        assert_eq!(nic.stats().interrupts, 1);
+    }
+
+    #[test]
+    fn ring_overrun_drops() {
+        let mut nic = Nic::new(DemuxMode::None, LOCAL, 8);
+        nic.rx_ring_limit = 2;
+        assert_eq!(nic.rx_frame(udp_frame(1)), RxOutcome::Interrupt);
+        assert_eq!(nic.rx_frame(udp_frame(1)), RxOutcome::Interrupt);
+        assert_eq!(
+            nic.rx_frame(udp_frame(1)),
+            RxOutcome::Dropped(NicDrop::RingOverrun)
+        );
+        assert_eq!(nic.stats().ring_drops, 1);
+    }
+
+    #[test]
+    fn ni_mode_demux_to_channel() {
+        let mut nic = Nic::new(DemuxMode::Ni, LOCAL, 8);
+        let chan = nic.create_default_channel();
+        nic.demux
+            .register(
+                FlowKey::listening(proto::UDP, Endpoint::new(LOCAL, 9000)),
+                chan,
+            )
+            .unwrap();
+        // No interrupt requested: frame queued silently.
+        assert_eq!(nic.rx_frame(udp_frame(9000)), RxOutcome::Queued);
+        assert_eq!(nic.channel(chan).depth(), 1);
+        assert_eq!(nic.stats().interrupts, 0);
+    }
+
+    #[test]
+    fn ni_mode_interrupt_on_empty_transition_only() {
+        let mut nic = Nic::new(DemuxMode::Ni, LOCAL, 8);
+        let chan = nic.create_default_channel();
+        nic.demux
+            .register(
+                FlowKey::listening(proto::UDP, Endpoint::new(LOCAL, 9000)),
+                chan,
+            )
+            .unwrap();
+        nic.channel_mut(chan).intr_requested = true;
+        assert_eq!(nic.rx_frame(udp_frame(9000)), RxOutcome::Interrupt);
+        // Flag auto-clears; queue non-empty => no further interrupts.
+        assert_eq!(nic.rx_frame(udp_frame(9000)), RxOutcome::Queued);
+        assert_eq!(nic.stats().interrupts, 1);
+    }
+
+    #[test]
+    fn ni_mode_early_discard_when_full() {
+        let mut nic = Nic::new(DemuxMode::Ni, LOCAL, 8);
+        let chan = nic.create_channel(2);
+        nic.demux
+            .register(
+                FlowKey::listening(proto::UDP, Endpoint::new(LOCAL, 9000)),
+                chan,
+            )
+            .unwrap();
+        assert_eq!(nic.rx_frame(udp_frame(9000)), RxOutcome::Queued);
+        assert_eq!(nic.rx_frame(udp_frame(9000)), RxOutcome::Queued);
+        assert_eq!(
+            nic.rx_frame(udp_frame(9000)),
+            RxOutcome::Dropped(NicDrop::ChannelFull)
+        );
+        assert_eq!(nic.channel(chan).stats().dropped_full, 1);
+        assert_eq!(nic.stats().early_discards, 1);
+    }
+
+    #[test]
+    fn ni_mode_unmatched_discard() {
+        let mut nic = Nic::new(DemuxMode::Ni, LOCAL, 8);
+        assert_eq!(
+            nic.rx_frame(udp_frame(12345)),
+            RxOutcome::Dropped(NicDrop::NoMatch)
+        );
+        // Malformed packets die on the NIC too.
+        assert_eq!(
+            nic.rx_frame(Frame::Ipv4(vec![0u8; 5])),
+            RxOutcome::Dropped(NicDrop::Malformed)
+        );
+        assert_eq!(nic.stats().early_discards, 2);
+    }
+
+    #[test]
+    fn fragment_channel_receives_fragments() {
+        let mut nic = Nic::new(DemuxMode::Ni, LOCAL, 8);
+        let chan = nic.create_default_channel();
+        nic.demux
+            .register(
+                FlowKey::listening(proto::UDP, Endpoint::new(LOCAL, 9000)),
+                chan,
+            )
+            .unwrap();
+        let seg = udp::build(PEER, LOCAL, 5, 9000, &[0u8; 3000], false);
+        let frags = lrp_wire::ipv4::fragment(PEER, LOCAL, proto::UDP, 3, &seg, 1500);
+        nic.rx_frame(Frame::Ipv4(frags[1].clone()));
+        assert_eq!(nic.channel(nic.fragment_channel).depth(), 1);
+        nic.rx_frame(Frame::Ipv4(frags[0].clone()));
+        assert_eq!(nic.channel(chan).depth(), 1);
+    }
+
+    #[test]
+    fn proxy_channels_route() {
+        let mut nic = Nic::new(DemuxMode::Ni, LOCAL, 8);
+        let icmp_chan = nic.create_default_channel();
+        nic.set_icmp_proxy(icmp_chan);
+        let pkt = lrp_wire::icmp::build_datagram(
+            PEER,
+            LOCAL,
+            3,
+            &lrp_wire::icmp::IcmpMessage {
+                kind: lrp_wire::icmp::IcmpType::EchoRequest,
+                ident: 1,
+                seq: 1,
+                payload: vec![],
+            },
+        );
+        assert_eq!(nic.rx_frame(Frame::Ipv4(pkt)), RxOutcome::Queued);
+        assert_eq!(nic.channel(icmp_chan).depth(), 1);
+    }
+
+    #[test]
+    fn channel_destroy_and_reuse() {
+        let mut nic = Nic::new(DemuxMode::Ni, LOCAL, 8);
+        let a = nic.create_default_channel();
+        assert_eq!(nic.channel_count(), 2); // Fragment channel + a.
+        nic.destroy_channel(a);
+        assert!(!nic.channel_exists(a));
+        assert_eq!(nic.channel_count(), 1);
+        let b = nic.create_default_channel();
+        assert_eq!(b, a, "slot reused");
+    }
+
+    #[test]
+    fn ifq_limit_enforced() {
+        let mut nic = Nic::new(DemuxMode::None, LOCAL, 8);
+        for _ in 0..DEFAULT_IFQ_LIMIT {
+            assert!(nic.ifq_enqueue(udp_frame(1)));
+        }
+        assert!(!nic.ifq_enqueue(udp_frame(1)));
+        assert_eq!(nic.stats().ifq_drops, 1);
+        let mut n = 0;
+        while nic.ifq_dequeue().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, DEFAULT_IFQ_LIMIT);
+        assert_eq!(nic.stats().tx_frames, DEFAULT_IFQ_LIMIT as u64);
+    }
+
+    #[test]
+    fn channel_stats_track_lifecycle() {
+        let mut nic = Nic::new(DemuxMode::Ni, LOCAL, 8);
+        let c = nic.create_channel(4);
+        nic.demux
+            .register(
+                FlowKey::listening(proto::UDP, Endpoint::new(LOCAL, 9000)),
+                c,
+            )
+            .unwrap();
+        for _ in 0..6 {
+            nic.rx_frame(udp_frame(9000));
+        }
+        let ch = nic.channel_mut(c);
+        assert_eq!(ch.stats().enqueued, 4);
+        assert_eq!(ch.stats().dropped_full, 2);
+        assert_eq!(ch.stats().peak_depth, 4);
+        assert!(ch.peek().is_some());
+        let _ = ch.dequeue();
+        assert_eq!(ch.stats().dequeued, 1);
+        assert_eq!(ch.depth(), 3);
+        assert_eq!(ch.limit(), 4);
+    }
+
+    #[test]
+    fn processing_enabled_flag_defaults_true() {
+        let mut nic = Nic::new(DemuxMode::Ni, LOCAL, 8);
+        let c = nic.create_default_channel();
+        assert!(nic.channel(c).processing_enabled);
+        nic.channel_mut(c).processing_enabled = false;
+        assert!(!nic.channel(c).processing_enabled);
+    }
+
+    #[test]
+    #[should_panic]
+    fn fragment_channel_cannot_be_destroyed() {
+        let mut nic = Nic::new(DemuxMode::Ni, LOCAL, 8);
+        let frag = nic.fragment_channel;
+        nic.destroy_channel(frag);
+    }
+}

@@ -1,0 +1,521 @@
+//! The decay-usage scheduler.
+
+use crate::process::{Account, CpuAccounting, Pid, ProcState, Process, WaitChannel};
+use crate::runq::RunQueue;
+use crate::{PRI_MAX, PUSER};
+use lrp_sim::SimDuration;
+
+/// Scheduler tuning parameters (4.3BSD defaults).
+#[derive(Clone, Copy, Debug)]
+pub struct SchedConfig {
+    /// The statclock tick: the unit in which `estcpu` is accumulated.
+    pub tick: SimDuration,
+    /// Round-robin quantum for processes of equal priority.
+    pub quantum: SimDuration,
+    /// Interval between decay passes (`schedcpu` runs once per second).
+    pub decay_interval: SimDuration,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        SchedConfig {
+            tick: SimDuration::from_millis(10),
+            quantum: SimDuration::from_millis(100),
+            decay_interval: SimDuration::from_secs(1),
+        }
+    }
+}
+
+/// The 4.3BSD-style scheduler: decay-usage priorities, kernel sleep
+/// priorities, and caller-directed CPU charging.
+///
+/// The scheduler never advances time itself; the host model drives it.
+///
+/// # Examples
+///
+/// ```
+/// use lrp_sched::{Account, SchedConfig, Scheduler};
+/// use lrp_sim::SimDuration;
+///
+/// let mut s = Scheduler::new(SchedConfig::default());
+/// let fg = s.spawn("fg", 0, SimDuration::ZERO);
+/// let bg = s.spawn("bg", 20, SimDuration::ZERO);
+/// // nice +20 loses the first pick.
+/// assert_eq!(s.pick_next(), Some(fg));
+/// // Heavy charged usage eventually worsens priority past even nice +20,
+/// // exactly as accumulated statclock ticks would.
+/// s.charge(fg, Account::User, SimDuration::from_secs(2));
+/// s.requeue(fg, false);
+/// assert_eq!(s.pick_next(), Some(bg));
+/// ```
+#[derive(Debug)]
+pub struct Scheduler {
+    procs: Vec<Process>,
+    runq: RunQueue,
+    config: SchedConfig,
+    /// Exponentially smoothed count of runnable processes (the `loadav`
+    /// input to the decay factor).
+    load_avg: f64,
+    /// Total CPU time charged across all processes (for conservation
+    /// checks).
+    total_charged: SimDuration,
+}
+
+impl Scheduler {
+    /// Creates an empty scheduler.
+    pub fn new(config: SchedConfig) -> Self {
+        Scheduler {
+            procs: Vec::new(),
+            runq: RunQueue::new(),
+            config,
+            load_avg: 0.0,
+            total_charged: SimDuration::ZERO,
+        }
+    }
+
+    /// The configured round-robin quantum.
+    pub fn quantum(&self) -> SimDuration {
+        self.config.quantum
+    }
+
+    /// The configured decay interval.
+    pub fn decay_interval(&self) -> SimDuration {
+        self.config.decay_interval
+    }
+
+    /// Creates a new process in the `Sleeping`-free `Runnable` state.
+    ///
+    /// `cache_reload` is the cache-refill penalty the process pays when
+    /// scheduled after another process has run.
+    pub fn spawn(&mut self, name: &str, nice: i8, cache_reload: SimDuration) -> Pid {
+        let pid = Pid(self.procs.len() as u32);
+        let mut p = Process {
+            pid,
+            name: name.to_string(),
+            nice,
+            estcpu: 0.0,
+            user_pri: PUSER,
+            kernel_pri: None,
+            fixed_pri: None,
+            state: ProcState::Runnable,
+            acct: CpuAccounting::default(),
+            cache_reload,
+            nivcsw: 0,
+            nvcsw: 0,
+        };
+        Self::recompute_pri(&mut p);
+        let pri = p.effective_pri();
+        self.procs.push(p);
+        self.runq.enqueue(pid, pri);
+        pid
+    }
+
+    /// Creates a kernel thread pinned to a fixed priority, outside the
+    /// decay machinery (LRP's idle protocol thread and APP thread).
+    pub fn spawn_fixed(&mut self, name: &str, pri: u8) -> Pid {
+        let pid = self.spawn(name, 0, SimDuration::ZERO);
+        // Re-file it under its pinned priority.
+        self.runq.remove(pid);
+        let p = &mut self.procs[pid.0 as usize];
+        p.fixed_pri = Some(pri);
+        self.runq.enqueue(pid, pri);
+        pid
+    }
+
+    /// Changes (or clears) a process's pinned priority; requeues it if
+    /// runnable so the new priority takes effect immediately.
+    pub fn set_fixed_pri(&mut self, pid: Pid, pri: Option<u8>) {
+        let p = &mut self.procs[pid.0 as usize];
+        p.fixed_pri = pri;
+        if p.state == ProcState::Runnable {
+            let eff = p.effective_pri();
+            self.runq.remove(pid);
+            self.runq.enqueue(pid, eff);
+        }
+    }
+
+    /// Immutable access to a process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pid was never spawned.
+    pub fn proc_ref(&self, pid: Pid) -> &Process {
+        &self.procs[pid.0 as usize]
+    }
+
+    /// Mutable access to a process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pid was never spawned.
+    pub fn proc_mut(&mut self, pid: Pid) -> &mut Process {
+        &mut self.procs[pid.0 as usize]
+    }
+
+    /// All processes (for reporting).
+    pub fn procs(&self) -> &[Process] {
+        &self.procs
+    }
+
+    /// Total CPU time charged to all processes since start.
+    pub fn total_charged(&self) -> SimDuration {
+        self.total_charged
+    }
+
+    fn recompute_pri(p: &mut Process) {
+        // 4.3BSD: p_usrpri = PUSER + p_estcpu/4 + 2*p_nice, clamped.
+        let raw = PUSER as f64 + p.estcpu / 4.0 + 2.0 * p.nice as f64;
+        p.user_pri = raw.clamp(PUSER as f64, PRI_MAX as f64) as u8;
+    }
+
+    /// Charges CPU time to `pid` under the given account.
+    ///
+    /// Feeds `estcpu` (converted to statclock ticks) and recomputes the
+    /// user priority, exactly as accumulated `statclock` ticks would.
+    pub fn charge(&mut self, pid: Pid, kind: Account, d: SimDuration) {
+        self.total_charged += d;
+        let tick = self.config.tick;
+        let p = &mut self.procs[pid.0 as usize];
+        p.acct.add(kind, d);
+        p.estcpu += d.as_nanos() as f64 / tick.as_nanos() as f64;
+        // BSD clamps p_estcpu so priorities stay in range.
+        p.estcpu = p.estcpu.min(255.0);
+        Self::recompute_pri(p);
+    }
+
+    /// Runs the once-per-second `schedcpu` decay:
+    /// `estcpu = estcpu * (2·load)/(2·load + 1) + nice`, and refreshes the
+    /// load average from the current runnable count.
+    pub fn decay(&mut self) {
+        // Smooth the load like BSD's 1-minute loadav (coarse but stable).
+        let runnable = self
+            .procs
+            .iter()
+            .filter(|p| matches!(p.state, ProcState::Runnable | ProcState::Running))
+            .count() as f64;
+        let alpha = (-1.0f64 / 12.0).exp(); // ~1-minute window at 5s steps.
+        self.load_avg = self.load_avg * alpha + runnable * (1.0 - alpha);
+
+        let factor = (2.0 * self.load_avg) / (2.0 * self.load_avg + 1.0);
+        for p in &mut self.procs {
+            if p.state == ProcState::Exited {
+                continue;
+            }
+            p.estcpu = (p.estcpu * factor + p.nice.max(0) as f64).min(255.0);
+            Self::recompute_pri(p);
+        }
+        // Re-sort queued processes under their new priorities.
+        self.requeue_all();
+    }
+
+    fn requeue_all(&mut self) {
+        let queued: Vec<Pid> = self
+            .procs
+            .iter()
+            .filter(|p| p.state == ProcState::Runnable)
+            .map(|p| p.pid)
+            .collect();
+        for pid in &queued {
+            self.runq.remove(*pid);
+        }
+        for pid in queued {
+            let pri = self.procs[pid.0 as usize].effective_pri();
+            self.runq.enqueue(pid, pri);
+        }
+    }
+
+    /// The current smoothed load average.
+    pub fn load_avg(&self) -> f64 {
+        self.load_avg
+    }
+
+    /// Picks the best runnable process and marks it `Running`.
+    pub fn pick_next(&mut self) -> Option<Pid> {
+        let pid = self.runq.dequeue()?;
+        self.procs[pid.0 as usize].state = ProcState::Running;
+        Some(pid)
+    }
+
+    /// The priority of the best queued process, if any.
+    pub fn best_queued_pri(&self) -> Option<u8> {
+        self.runq.best_pri()
+    }
+
+    /// True if a queued process has strictly better (lower) priority than
+    /// `pri` — the preemption test.
+    pub fn should_preempt(&self, pri: u8) -> bool {
+        match self.runq.best_pri() {
+            // Compare bucket-aligned priorities: preempt only when the
+            // queued process is in a strictly better bucket.
+            Some(best) => best < (pri & !3u8),
+            None => false,
+        }
+    }
+
+    /// Returns a running/current process to the run queue (quantum expiry
+    /// or preemption). `front` puts it at the head of its bucket.
+    pub fn requeue(&mut self, pid: Pid, front: bool) {
+        let p = &mut self.procs[pid.0 as usize];
+        debug_assert_eq!(p.state, ProcState::Running, "requeue of non-running");
+        p.state = ProcState::Runnable;
+        let pri = p.effective_pri();
+        if front {
+            p.nivcsw += 1;
+            self.runq.enqueue_front(pid, pri);
+        } else {
+            self.runq.enqueue(pid, pri);
+        }
+    }
+
+    /// Puts a process to sleep on a wait channel at the given kernel
+    /// priority (BSD `tsleep(wchan, pri, ...)`).
+    pub fn sleep(&mut self, pid: Pid, wchan: WaitChannel, pri: u8) {
+        let p = &mut self.procs[pid.0 as usize];
+        p.state = ProcState::Sleeping(wchan);
+        p.kernel_pri = Some(pri);
+        p.nvcsw += 1;
+        self.runq.remove(pid);
+    }
+
+    /// Wakes every process sleeping on `wchan` (BSD `wakeup` semantics).
+    ///
+    /// Woken processes are queued at their sleep (kernel) priority, which
+    /// is what lets I/O-bound processes preempt compute-bound ones. When
+    /// several sleepers share the channel (a shared socket), they are
+    /// enqueued best-user-priority first, so "the process with the highest
+    /// priority performs the protocol processing" (LRP paper, note 8).
+    pub fn wakeup(&mut self, wchan: WaitChannel) -> Vec<Pid> {
+        let mut woken: Vec<Pid> = self
+            .procs
+            .iter()
+            .filter(|p| p.state == ProcState::Sleeping(wchan))
+            .map(|p| p.pid)
+            .collect();
+        woken.sort_by_key(|pid| self.procs[pid.0 as usize].user_pri);
+        for &pid in &woken {
+            let p = &mut self.procs[pid.0 as usize];
+            p.state = ProcState::Runnable;
+            let pri = p.effective_pri();
+            self.runq.enqueue(pid, pri);
+        }
+        woken
+    }
+
+    /// True if any process is sleeping on `wchan` (used to decide whether
+    /// a wakeup — and its cost — is needed).
+    pub fn has_sleeper(&self, wchan: WaitChannel) -> bool {
+        self.procs
+            .iter()
+            .any(|p| p.state == ProcState::Sleeping(wchan))
+    }
+
+    /// Marks the process as back in user mode: clears its kernel priority
+    /// so it competes at its decayed user priority again.
+    pub fn return_to_user(&mut self, pid: Pid) {
+        self.procs[pid.0 as usize].kernel_pri = None;
+    }
+
+    /// Terminates a process.
+    pub fn exit(&mut self, pid: Pid) {
+        self.procs[pid.0 as usize].state = ProcState::Exited;
+        self.runq.remove(pid);
+    }
+
+    /// Count of live (non-exited) processes.
+    pub fn live_count(&self) -> usize {
+        self.procs
+            .iter()
+            .filter(|p| p.state != ProcState::Exited)
+            .count()
+    }
+
+    /// Snapshot of one process's accounting.
+    pub fn accounting(&self, pid: Pid) -> CpuAccounting {
+        self.procs[pid.0 as usize].acct
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PSOCK;
+
+    fn sched() -> Scheduler {
+        Scheduler::new(SchedConfig::default())
+    }
+
+    #[test]
+    fn spawn_is_runnable_at_puser() {
+        let mut s = sched();
+        let pid = s.spawn("a", 0, SimDuration::ZERO);
+        assert_eq!(s.proc_ref(pid).user_pri, PUSER);
+        assert_eq!(s.pick_next(), Some(pid));
+        assert_eq!(s.proc_ref(pid).state, ProcState::Running);
+        assert_eq!(s.pick_next(), None);
+    }
+
+    #[test]
+    fn nice_worsens_priority() {
+        let mut s = sched();
+        let a = s.spawn("fg", 0, SimDuration::ZERO);
+        let b = s.spawn("bg", 20, SimDuration::ZERO);
+        assert!(s.proc_ref(b).user_pri > s.proc_ref(a).user_pri);
+        assert_eq!(s.pick_next(), Some(a));
+    }
+
+    #[test]
+    fn charging_degrades_priority() {
+        let mut s = sched();
+        let a = s.spawn("a", 0, SimDuration::ZERO);
+        let before = s.proc_ref(a).user_pri;
+        s.charge(a, Account::User, SimDuration::from_millis(400));
+        let after = s.proc_ref(a).user_pri;
+        assert!(after > before, "40 ticks of usage must worsen priority");
+        assert_eq!(s.proc_ref(a).acct.user, SimDuration::from_millis(400));
+    }
+
+    #[test]
+    fn interrupt_charge_counts_toward_priority() {
+        // The mis-accounting lever: interrupt time charged to a process
+        // degrades its future priority just like its own usage.
+        let mut s = sched();
+        let a = s.spawn("victim", 0, SimDuration::ZERO);
+        s.charge(a, Account::Interrupt, SimDuration::from_millis(200));
+        assert!(s.proc_ref(a).user_pri > PUSER);
+        assert_eq!(s.proc_ref(a).acct.interrupt, SimDuration::from_millis(200));
+    }
+
+    #[test]
+    fn decay_recovers_priority() {
+        let mut s = sched();
+        let a = s.spawn("a", 0, SimDuration::ZERO);
+        s.charge(a, Account::User, SimDuration::from_secs(1));
+        let degraded = s.proc_ref(a).user_pri;
+        assert!(degraded > PUSER);
+        // With zero other load, many decay rounds drive estcpu toward 0.
+        // (Process is still runnable so load stays ~1; factor ~2/3.)
+        for _ in 0..40 {
+            s.decay();
+        }
+        assert!(s.proc_ref(a).user_pri < degraded);
+    }
+
+    #[test]
+    fn estcpu_saturates() {
+        let mut s = sched();
+        let a = s.spawn("a", 0, SimDuration::ZERO);
+        s.charge(a, Account::User, SimDuration::from_secs(100));
+        assert!(s.proc_ref(a).estcpu <= 255.0);
+        assert!(s.proc_ref(a).user_pri <= PRI_MAX);
+    }
+
+    #[test]
+    fn sleep_wakeup_cycle() {
+        let mut s = sched();
+        let a = s.spawn("a", 0, SimDuration::ZERO);
+        assert_eq!(s.pick_next(), Some(a));
+        let ch = WaitChannel(42);
+        s.sleep(a, ch, PSOCK);
+        assert_eq!(s.pick_next(), None);
+        assert_eq!(s.wakeup(ch), vec![a]);
+        assert_eq!(s.proc_ref(a).effective_pri(), PSOCK);
+        assert_eq!(s.pick_next(), Some(a));
+        s.return_to_user(a);
+        assert_eq!(s.proc_ref(a).effective_pri(), s.proc_ref(a).user_pri);
+    }
+
+    #[test]
+    fn wakeup_wakes_all_on_channel() {
+        let mut s = sched();
+        let a = s.spawn("a", 0, SimDuration::ZERO);
+        let b = s.spawn("b", 0, SimDuration::ZERO);
+        let c = s.spawn("c", 0, SimDuration::ZERO);
+        for p in [a, b, c] {
+            s.pick_next();
+            let _ = p;
+        }
+        s.sleep(a, WaitChannel(1), PSOCK);
+        s.sleep(b, WaitChannel(1), PSOCK);
+        s.sleep(c, WaitChannel(2), PSOCK);
+        let woken = s.wakeup(WaitChannel(1));
+        assert_eq!(woken.len(), 2);
+        assert!(woken.contains(&a) && woken.contains(&b));
+        assert_eq!(s.proc_ref(c).state, ProcState::Sleeping(WaitChannel(2)));
+    }
+
+    #[test]
+    fn woken_sleeper_preempts_user_process() {
+        let mut s = sched();
+        let worker = s.spawn("worker", 0, SimDuration::ZERO);
+        let io = s.spawn("io", 0, SimDuration::ZERO);
+        // io runs, blocks on a socket.
+        assert_eq!(s.pick_next(), Some(worker));
+        // Worker is running; io sleeps (it was never picked: force state).
+        s.runq.remove(io);
+        s.proc_mut(io).state = ProcState::Running;
+        s.sleep(io, WaitChannel(9), PSOCK);
+        // Worker at PUSER; io wakes at PSOCK < PUSER => preemption.
+        assert!(!s.should_preempt(s.proc_ref(worker).effective_pri()));
+        s.wakeup(WaitChannel(9));
+        assert!(s.should_preempt(s.proc_ref(worker).effective_pri()));
+    }
+
+    #[test]
+    fn should_preempt_requires_strictly_better_bucket() {
+        let mut s = sched();
+        let a = s.spawn("a", 0, SimDuration::ZERO);
+        let b = s.spawn("b", 0, SimDuration::ZERO);
+        assert_eq!(s.pick_next(), Some(a));
+        // b is queued at the same bucket: no preemption.
+        assert!(!s.should_preempt(s.proc_ref(a).effective_pri()));
+        let _ = b;
+    }
+
+    #[test]
+    fn exit_removes_from_queue() {
+        let mut s = sched();
+        let a = s.spawn("a", 0, SimDuration::ZERO);
+        s.exit(a);
+        assert_eq!(s.pick_next(), None);
+        assert_eq!(s.live_count(), 0);
+    }
+
+    #[test]
+    fn charge_conservation() {
+        let mut s = sched();
+        let a = s.spawn("a", 0, SimDuration::ZERO);
+        let b = s.spawn("b", 0, SimDuration::ZERO);
+        s.charge(a, Account::User, SimDuration::from_micros(300));
+        s.charge(b, Account::System, SimDuration::from_micros(200));
+        s.charge(a, Account::Interrupt, SimDuration::from_micros(100));
+        assert_eq!(s.total_charged(), SimDuration::from_micros(600));
+        let sum = s.accounting(a).total() + s.accounting(b).total();
+        assert_eq!(sum, s.total_charged());
+    }
+
+    #[test]
+    fn decay_requeues_under_new_priorities() {
+        let mut s = sched();
+        let a = s.spawn("hot", 0, SimDuration::ZERO);
+        let b = s.spawn("cold", 0, SimDuration::ZERO);
+        // Make `a` very hot; both runnable/queued.
+        s.charge(a, Account::User, SimDuration::from_secs(2));
+        s.decay();
+        // After requeue, b should be picked first.
+        assert_eq!(s.pick_next(), Some(b));
+        let _ = a;
+    }
+
+    #[test]
+    fn quantum_requeue_round_robin() {
+        let mut s = sched();
+        let a = s.spawn("a", 0, SimDuration::ZERO);
+        let b = s.spawn("b", 0, SimDuration::ZERO);
+        let first = s.pick_next().unwrap();
+        assert_eq!(first, a);
+        s.requeue(a, false);
+        assert_eq!(s.pick_next(), Some(b));
+        s.requeue(b, false);
+        assert_eq!(s.pick_next(), Some(a));
+    }
+}

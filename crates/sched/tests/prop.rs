@@ -1,0 +1,167 @@
+//! Property tests for the scheduler: conservation of charged CPU time,
+//! priority monotonicity, exactly-one-running, and queue consistency
+//! under arbitrary operation sequences.
+
+use lrp_sched::{
+    Account, Pid, ProcState, SchedConfig, Scheduler, WaitChannel, PRI_MAX, PSOCK, PUSER,
+};
+use lrp_sim::SimDuration;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Spawn { nice: i8 },
+    Pick,
+    RequeueCurrent,
+    SleepCurrent { wchan: u8 },
+    Wakeup { wchan: u8 },
+    Charge { which: u8, kind: u8, us: u32 },
+    Decay,
+    ReturnToUser { which: u8 },
+    ExitCurrent,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (-20i8..=20).prop_map(|nice| Op::Spawn { nice }),
+        Just(Op::Pick),
+        Just(Op::RequeueCurrent),
+        (0u8..4).prop_map(|wchan| Op::SleepCurrent { wchan }),
+        (0u8..4).prop_map(|wchan| Op::Wakeup { wchan }),
+        (any::<u8>(), 0u8..3, 1u32..500_000).prop_map(|(which, kind, us)| Op::Charge {
+            which,
+            kind,
+            us
+        }),
+        Just(Op::Decay),
+        any::<u8>().prop_map(|which| Op::ReturnToUser { which }),
+        Just(Op::ExitCurrent),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+    #[test]
+    fn scheduler_invariants(ops in proptest::collection::vec(arb_op(), 1..200)) {
+        let mut s = Scheduler::new(SchedConfig::default());
+        let mut pids: Vec<Pid> = Vec::new();
+        let mut current: Option<Pid> = None;
+        let mut expected_total = SimDuration::ZERO;
+        for op in ops {
+            match op {
+                Op::Spawn { nice } => {
+                    pids.push(s.spawn("p", nice, SimDuration::ZERO));
+                }
+                Op::Pick => {
+                    if current.is_none() {
+                        current = s.pick_next();
+                        if let Some(p) = current {
+                            prop_assert_eq!(s.proc_ref(p).state, ProcState::Running);
+                        }
+                    }
+                }
+                Op::RequeueCurrent => {
+                    if let Some(p) = current.take() {
+                        s.requeue(p, false);
+                        prop_assert_eq!(s.proc_ref(p).state, ProcState::Runnable);
+                    }
+                }
+                Op::SleepCurrent { wchan } => {
+                    if let Some(p) = current.take() {
+                        s.sleep(p, WaitChannel(wchan as u64), PSOCK);
+                        prop_assert!(s.has_sleeper(WaitChannel(wchan as u64)));
+                    }
+                }
+                Op::Wakeup { wchan } => {
+                    for p in s.wakeup(WaitChannel(wchan as u64)) {
+                        prop_assert_eq!(s.proc_ref(p).state, ProcState::Runnable);
+                    }
+                }
+                Op::Charge { which, kind, us } => {
+                    if !pids.is_empty() {
+                        let p = pids[which as usize % pids.len()];
+                        if s.proc_ref(p).state != ProcState::Exited {
+                            let kind = match kind {
+                                0 => Account::User,
+                                1 => Account::System,
+                                _ => Account::Interrupt,
+                            };
+                            let d = SimDuration::from_micros(us as u64);
+                            s.charge(p, kind, d);
+                            expected_total += d;
+                        }
+                    }
+                }
+                Op::Decay => s.decay(),
+                Op::ReturnToUser { which } => {
+                    if !pids.is_empty() {
+                        let p = pids[which as usize % pids.len()];
+                        if s.proc_ref(p).state != ProcState::Exited {
+                            s.return_to_user(p);
+                        }
+                    }
+                }
+                Op::ExitCurrent => {
+                    if let Some(p) = current.take() {
+                        s.exit(p);
+                        prop_assert_eq!(s.proc_ref(p).state, ProcState::Exited);
+                    }
+                }
+            }
+            // Invariant: charged time is conserved exactly.
+            prop_assert_eq!(s.total_charged(), expected_total);
+            // Invariant: at most one process is Running.
+            let running = s
+                .procs()
+                .iter()
+                .filter(|p| p.state == ProcState::Running)
+                .count();
+            prop_assert!(running <= 1, "{} processes running", running);
+            // Invariant: priorities stay within the legal band, and estcpu
+            // stays bounded.
+            for p in s.procs() {
+                prop_assert!(p.user_pri >= PUSER && p.user_pri <= PRI_MAX);
+                prop_assert!(p.estcpu >= 0.0 && p.estcpu <= 255.0);
+            }
+        }
+        // Per-process sums equal the scheduler's running total.
+        let sum = s
+            .procs()
+            .iter()
+            .map(|p| p.acct.total())
+            .fold(SimDuration::ZERO, |a, b| a + b);
+        prop_assert_eq!(sum, s.total_charged());
+    }
+
+    /// Priority is monotone in estcpu for equal niceness.
+    #[test]
+    fn priority_monotone_in_usage(a_us in 0u64..3_000_000, b_us in 0u64..3_000_000) {
+        let mut s = Scheduler::new(SchedConfig::default());
+        let a = s.spawn("a", 0, SimDuration::ZERO);
+        let b = s.spawn("b", 0, SimDuration::ZERO);
+        s.charge(a, Account::User, SimDuration::from_micros(a_us));
+        s.charge(b, Account::User, SimDuration::from_micros(b_us));
+        if a_us <= b_us {
+            prop_assert!(s.proc_ref(a).user_pri <= s.proc_ref(b).user_pri);
+        } else {
+            prop_assert!(s.proc_ref(a).user_pri >= s.proc_ref(b).user_pri);
+        }
+    }
+
+    /// Decay never increases estcpu for nice-0 processes, and repeated
+    /// decay with no new charges drives priority back toward PUSER.
+    #[test]
+    fn decay_converges(us in 0u64..10_000_000) {
+        let mut s = Scheduler::new(SchedConfig::default());
+        let a = s.spawn("a", 0, SimDuration::ZERO);
+        s.charge(a, Account::User, SimDuration::from_micros(us));
+        let mut last = s.proc_ref(a).estcpu;
+        for _ in 0..100 {
+            s.decay();
+            let now = s.proc_ref(a).estcpu;
+            prop_assert!(now <= last + 1e-9, "estcpu rose: {last} -> {now}");
+            last = now;
+        }
+        prop_assert!(s.proc_ref(a).user_pri <= PUSER + 2);
+    }
+}

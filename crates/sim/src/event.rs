@@ -1,0 +1,216 @@
+//! The event queue at the heart of the simulation.
+//!
+//! [`EventQueue`] is a priority queue of `(SimTime, E)` pairs ordered by
+//! time, with ties broken by insertion order (FIFO). Every scheduled event
+//! gets an [`EventKey`] that can be used to cancel it later — cancellation
+//! is how the CPU model revokes a "work completes at T" event when an
+//! interrupt preempts the work.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::SimTime;
+
+/// A handle identifying one scheduled event, usable for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventKey(u64);
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest time (then the
+        // lowest sequence number) pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic discrete-event queue.
+///
+/// Events scheduled for the same instant pop in the order they were
+/// scheduled, which keeps multi-component simulations reproducible.
+///
+/// Cancellation is lazy: cancelled entries stay in the heap and are skipped
+/// on pop, so `cancel` is O(1) and `pop` is amortized O(log n).
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    /// Sequence numbers of events that are scheduled and neither fired nor
+    /// cancelled. Heap entries whose seq is absent are skipped on pop.
+    pending: HashSet<u64>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            pending: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at absolute time `time`.
+    ///
+    /// Returns a key that can cancel the event as long as it has not fired.
+    pub fn schedule(&mut self, time: SimTime, event: E) -> EventKey {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+        self.pending.insert(seq);
+        EventKey(seq)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event was still pending (and is now cancelled),
+    /// `false` if it had already fired or been cancelled.
+    pub fn cancel(&mut self, key: EventKey) -> bool {
+        self.pending.remove(&key.0)
+    }
+
+    /// Removes and returns the earliest pending event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.pending.remove(&entry.seq) {
+                return Some((entry.time, entry.event));
+            }
+        }
+        None
+    }
+
+    /// The time of the earliest pending event, without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(entry) = self.heap.peek() {
+            if self.pending.contains(&entry.seq) {
+                return Some(entry.time);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(30), 3);
+        q.schedule(t(10), 1);
+        q.schedule(t(20), 2);
+        assert_eq!(q.pop(), Some((t(10), 1)));
+        assert_eq!(q.pop(), Some((t(20), 2)));
+        assert_eq!(q.pop(), Some((t(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(t(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t(5), i)));
+        }
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let k1 = q.schedule(t(10), "a");
+        q.schedule(t(20), "b");
+        assert!(q.cancel(k1));
+        assert!(!q.cancel(k1), "double cancel must fail");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((t(20), "b")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_after_fire_fails() {
+        let mut q = EventQueue::new();
+        let k = q.schedule(t(10), "a");
+        assert_eq!(q.pop(), Some((t(10), "a")));
+        assert!(!q.cancel(k));
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let k = q.schedule(t(10), "a");
+        q.schedule(t(20), "b");
+        q.cancel(k);
+        assert_eq!(q.peek_time(), Some(t(20)));
+        assert_eq!(q.pop(), Some((t(20), "b")));
+    }
+
+    #[test]
+    fn len_tracks_live_events() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        let a = q.schedule(t(1), 1);
+        let _b = q.schedule(t(2), 2);
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), 1);
+        let (now, e) = q.pop().unwrap();
+        assert_eq!(e, 1);
+        q.schedule(now + SimDuration::from_micros(5), 2);
+        q.schedule(now + SimDuration::from_micros(1), 3);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert_eq!(q.pop().unwrap().1, 2);
+    }
+}

@@ -1,0 +1,201 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! The simulation must replay bit-identically from a seed, so we use a
+//! small, self-contained SplitMix64 generator rather than an OS-seeded
+//! source. SplitMix64 passes BigCrush and is more than adequate for
+//! workload-generation purposes (inter-arrival jitter, request sizes).
+
+/// A SplitMix64 pseudo-random number generator.
+///
+/// # Examples
+///
+/// ```
+/// use lrp_sim::SplitMix64;
+///
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a uniformly distributed `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random bits / 2^53.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniform integer in `[0, bound)`.
+    ///
+    /// Uses Lemire's multiply-shift rejection method to avoid modulo bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below bound must be positive");
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            let low = m as u64;
+            if low >= bound || low >= (bound.wrapping_neg() % bound) {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Returns a uniform integer in `[lo, hi]` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn next_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "next_range requires lo <= hi");
+        if lo == 0 && hi == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.next_below(hi - lo + 1)
+    }
+
+    /// Samples an exponential distribution with the given mean.
+    ///
+    /// Used for Poisson inter-arrival times in workload generators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is negative or not finite.
+    pub fn next_exp(&mut self, mean: f64) -> f64 {
+        assert!(mean.is_finite() && mean >= 0.0, "invalid mean: {mean}");
+        // Avoid ln(0): next_f64 is in [0,1), so 1 - u is in (0,1].
+        let u = 1.0 - self.next_f64();
+        -mean * u.ln()
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn next_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "invalid probability: {p}");
+        self.next_f64() < p
+    }
+
+    /// Derives an independent child generator (for per-component streams).
+    pub fn fork(&mut self) -> SplitMix64 {
+        SplitMix64::new(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SplitMix64::new(3);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = SplitMix64::new(4);
+        for bound in [1u64, 2, 3, 10, 1000] {
+            for _ in 0..1000 {
+                assert!(r.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn range_inclusive() {
+        let mut r = SplitMix64::new(5);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..10_000 {
+            let x = r.next_range(10, 12);
+            assert!((10..=12).contains(&x));
+            seen_lo |= x == 10;
+            seen_hi |= x == 12;
+        }
+        assert!(seen_lo && seen_hi, "endpoints should both occur");
+    }
+
+    #[test]
+    fn exp_mean_roughly_right() {
+        let mut r = SplitMix64::new(6);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| r.next_exp(50.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 50.0).abs() < 1.5, "mean was {mean}");
+    }
+
+    #[test]
+    fn bool_probability_roughly_right() {
+        let mut r = SplitMix64::new(8);
+        let hits = (0..100_000).filter(|_| r.next_bool(0.25)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.25).abs() < 0.01, "frac was {frac}");
+    }
+
+    #[test]
+    fn fork_streams_independent() {
+        let mut root = SplitMix64::new(9);
+        let mut c1 = root.fork();
+        let mut c2 = root.fork();
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn uniformity_chi_square_smoke() {
+        // 16 buckets over 160k draws: each should be near 10k.
+        let mut r = SplitMix64::new(10);
+        let mut buckets = [0u32; 16];
+        for _ in 0..160_000 {
+            buckets[(r.next_u64() >> 60) as usize] += 1;
+        }
+        for (i, b) in buckets.iter().enumerate() {
+            assert!(
+                (9_500..10_500).contains(b),
+                "bucket {i} had {b} (expected ~10000)"
+            );
+        }
+    }
+}

@@ -1,0 +1,484 @@
+//! Measurement primitives used by experiments and kernels.
+//!
+//! Everything here is deliberately simple and allocation-light:
+//!
+//! - [`Counter`] — monotonically increasing event counts with named drops.
+//! - [`Welford`] — streaming mean / variance (for latency summaries).
+//! - [`Histogram`] — log-bucketed latency histogram with percentiles.
+//! - [`TimeWeighted`] — time-weighted average of a gauge (queue lengths).
+//! - [`RateSeries`] — per-interval event rates (throughput-over-time plots).
+
+use crate::time::{SimDuration, SimTime};
+
+/// A simple monotonically increasing counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub const fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds one.
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current count.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+}
+
+/// Streaming mean and variance via Welford's algorithm.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Welford {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample standard deviation, or 0 for fewer than two samples.
+    pub fn stddev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+
+    /// Smallest sample, or 0 if empty.
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0 if empty.
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+/// A log-bucketed histogram for non-negative integer samples (e.g. latency
+/// in nanoseconds).
+///
+/// Buckets have ~9% relative width (32 sub-buckets per power of two), which
+/// is plenty for percentile reporting in the experiments.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    max: u64,
+    min: u64,
+}
+
+const SUB_BUCKET_BITS: u32 = 5;
+const SUB_BUCKETS: u64 = 1 << SUB_BUCKET_BITS;
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; ((64 - SUB_BUCKET_BITS as usize) + 1) * SUB_BUCKETS as usize],
+            count: 0,
+            sum: 0,
+            max: 0,
+            min: u64::MAX,
+        }
+    }
+
+    fn index_of(value: u64) -> usize {
+        if value < SUB_BUCKETS {
+            return value as usize;
+        }
+        let msb = 63 - value.leading_zeros() as u64;
+        let shift = msb - SUB_BUCKET_BITS as u64 + 1;
+        let exp = shift as usize;
+        let mantissa = ((value >> shift) - SUB_BUCKETS / 2) as usize;
+        // Each exponent level above the linear range contributes half a
+        // sub-bucket row of new buckets.
+        SUB_BUCKETS as usize + exp * (SUB_BUCKETS as usize / 2) + mantissa
+            - (SUB_BUCKETS as usize / 2)
+    }
+
+    fn value_of(index: usize) -> u64 {
+        if index < SUB_BUCKETS as usize {
+            return index as u64;
+        }
+        let rel = index - SUB_BUCKETS as usize / 2;
+        let exp = rel / (SUB_BUCKETS as usize / 2);
+        let mantissa = rel % (SUB_BUCKETS as usize / 2) + SUB_BUCKETS as usize / 2;
+        (mantissa as u64) << exp
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = Self::index_of(value);
+        if idx < self.buckets.len() {
+            self.buckets[idx] += 1;
+        } else {
+            *self.buckets.last_mut().expect("histogram has buckets") += 1;
+        }
+        self.count += 1;
+        self.sum += value as u128;
+        self.max = self.max.max(value);
+        self.min = self.min.min(value);
+    }
+
+    /// Records a duration sample in nanoseconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_nanos());
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all samples, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Exact maximum sample, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Exact minimum sample, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`, to bucket precision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "invalid quantile: {q}");
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::value_of(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (p50) to bucket precision.
+    pub fn median(&self) -> u64 {
+        self.quantile(0.5)
+    }
+}
+
+/// Time-weighted average of a gauge, e.g. a queue length.
+#[derive(Clone, Copy, Debug)]
+pub struct TimeWeighted {
+    value: f64,
+    last_change: SimTime,
+    weighted_sum: f64,
+    start: SimTime,
+    max: f64,
+}
+
+impl TimeWeighted {
+    /// Creates a gauge with initial value 0 at time `start`.
+    pub fn new(start: SimTime) -> Self {
+        TimeWeighted {
+            value: 0.0,
+            last_change: start,
+            weighted_sum: 0.0,
+            start,
+            max: 0.0,
+        }
+    }
+
+    /// Sets the gauge to `value` at time `now`.
+    pub fn set(&mut self, now: SimTime, value: f64) {
+        let dt = now.since(self.last_change).as_nanos() as f64;
+        self.weighted_sum += self.value * dt;
+        self.value = value;
+        self.last_change = now;
+        self.max = self.max.max(value);
+    }
+
+    /// Current gauge value.
+    pub fn current(&self) -> f64 {
+        self.value
+    }
+
+    /// Largest value the gauge has held.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Time-weighted average over `[start, now]`.
+    pub fn average(&self, now: SimTime) -> f64 {
+        let total = now.since(self.start).as_nanos() as f64;
+        if total == 0.0 {
+            return self.value;
+        }
+        let dt = now.since(self.last_change).as_nanos() as f64;
+        (self.weighted_sum + self.value * dt) / total
+    }
+}
+
+/// Event counts bucketed into fixed time intervals, for rate-over-time
+/// series (e.g. delivered packets per second during an overload run).
+#[derive(Clone, Debug)]
+pub struct RateSeries {
+    interval: SimDuration,
+    start: SimTime,
+    buckets: Vec<u64>,
+}
+
+impl RateSeries {
+    /// Creates a series with the given bucketing interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn new(start: SimTime, interval: SimDuration) -> Self {
+        assert!(!interval.is_zero(), "interval must be positive");
+        RateSeries {
+            interval,
+            start,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Records `n` events at time `now`.
+    pub fn record(&mut self, now: SimTime, n: u64) {
+        let idx = (now.since(self.start).as_nanos() / self.interval.as_nanos()) as usize;
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += n;
+    }
+
+    /// Per-bucket event counts.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Per-bucket rates in events/second.
+    pub fn rates_per_sec(&self) -> Vec<f64> {
+        let secs = self.interval.as_secs_f64();
+        self.buckets.iter().map(|&b| b as f64 / secs).collect()
+    }
+
+    /// Average rate over buckets `[skip..]`, events/second.
+    ///
+    /// Skipping leading buckets discards warm-up transients.
+    pub fn steady_rate(&self, skip: usize) -> f64 {
+        if self.buckets.len() <= skip {
+            return 0.0;
+        }
+        let slice = &self.buckets[skip..];
+        let total: u64 = slice.iter().sum();
+        total as f64 / (slice.len() as f64 * self.interval.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn welford_known_values() {
+        let mut w = Welford::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            w.record(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - 5.0).abs() < 1e-9);
+        // Sample variance of this classic set is 32/7.
+        assert!((w.stddev() - (32.0f64 / 7.0).sqrt()).abs() < 1e-9);
+        assert_eq!(w.min(), 2.0);
+        assert_eq!(w.max(), 9.0);
+    }
+
+    #[test]
+    fn welford_empty_is_zero() {
+        let w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.stddev(), 0.0);
+        assert_eq!(w.min(), 0.0);
+        assert_eq!(w.max(), 0.0);
+    }
+
+    #[test]
+    fn histogram_small_values_exact() {
+        let mut h = Histogram::new();
+        for v in 0..32 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 32);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 31);
+        assert_eq!(h.quantile(1.0), 31);
+        assert_eq!(h.quantile(0.0), 0);
+    }
+
+    #[test]
+    fn histogram_quantiles_ordered() {
+        let mut h = Histogram::new();
+        let mut rng = crate::rng::SplitMix64::new(11);
+        for _ in 0..10_000 {
+            h.record(rng.next_below(1_000_000));
+        }
+        let p50 = h.quantile(0.5);
+        let p90 = h.quantile(0.9);
+        let p99 = h.quantile(0.99);
+        assert!(p50 <= p90 && p90 <= p99);
+        // Uniform distribution: p50 should be near 500k within bucket error.
+        assert!((400_000..600_000).contains(&p50), "p50 was {p50}");
+    }
+
+    #[test]
+    fn histogram_mean_exact() {
+        let mut h = Histogram::new();
+        h.record(100);
+        h.record(300);
+        assert!((h.mean() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_large_value_bucket_error_bounded() {
+        let mut h = Histogram::new();
+        let v = 1_000_000_007;
+        h.record(v);
+        let q = h.quantile(0.5);
+        let err = (q as f64 - v as f64).abs() / v as f64;
+        assert!(err < 0.10, "bucket error {err} too large (q={q})");
+    }
+
+    #[test]
+    fn time_weighted_average() {
+        let t0 = SimTime::ZERO;
+        let mut g = TimeWeighted::new(t0);
+        g.set(SimTime::from_micros(0), 10.0);
+        g.set(SimTime::from_micros(10), 20.0);
+        // 10us at 10, then 10us at 20 => average 15 over 20us.
+        assert!((g.average(SimTime::from_micros(20)) - 15.0).abs() < 1e-9);
+        assert_eq!(g.max(), 20.0);
+        assert_eq!(g.current(), 20.0);
+    }
+
+    #[test]
+    fn rate_series_buckets() {
+        let mut r = RateSeries::new(SimTime::ZERO, SimDuration::from_secs(1));
+        r.record(SimTime::from_millis(100), 5);
+        r.record(SimTime::from_millis(900), 5);
+        r.record(SimTime::from_millis(1500), 7);
+        assert_eq!(r.buckets(), &[10, 7]);
+        assert_eq!(r.rates_per_sec(), vec![10.0, 7.0]);
+        assert!((r.steady_rate(0) - 8.5).abs() < 1e-9);
+        assert!((r.steady_rate(1) - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rate_series_skip_beyond_len() {
+        let r = RateSeries::new(SimTime::ZERO, SimDuration::from_secs(1));
+        assert_eq!(r.steady_rate(5), 0.0);
+    }
+
+    #[test]
+    fn histogram_index_value_monotone() {
+        // value_of(index_of(v)) must be <= v and within ~9% below it.
+        for v in [0u64, 1, 31, 32, 33, 63, 64, 100, 1000, 65_535, 1 << 30] {
+            let idx = Histogram::index_of(v);
+            let back = Histogram::value_of(idx);
+            assert!(back <= v, "v={v} back={back}");
+            if v >= 32 {
+                assert!((v - back) as f64 / v as f64 <= 0.07, "v={v} back={back}");
+            } else {
+                assert_eq!(back, v);
+            }
+        }
+    }
+}

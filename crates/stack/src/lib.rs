@@ -1,0 +1,25 @@
+//! Protocol engines for the LRP reproduction: PCB tables, IP reassembly,
+//! socket buffers and a full TCP state machine.
+//!
+//! This crate is deliberately *kernel-agnostic*: it contains pure state
+//! machines that consume parsed packets and produce output segments and
+//! events. The host model in `lrp-core` decides **in which execution
+//! context** (software interrupt, receive system call, APP thread) each
+//! state machine runs and **who is charged** for the CPU time — that
+//! placement is exactly the difference between the BSD and LRP
+//! architectures, so keeping it out of this crate lets all four
+//! architectures share identical protocol code, mirroring the paper's
+//! methodology ("all four kernels execute the same 4.4BSD networking
+//! code").
+
+#![warn(missing_docs)]
+
+pub mod pcb;
+pub mod reasm;
+pub mod sockbuf;
+pub mod tcp;
+
+pub use pcb::{PcbTable, SockId};
+pub use reasm::{ReasmOutcome, Reassembler};
+pub use sockbuf::{ByteBuffer, DatagramQueue};
+pub use tcp::{ConnEvent, TcpConfig, TcpConn, TcpListener, TcpState};

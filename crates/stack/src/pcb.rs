@@ -1,0 +1,214 @@
+//! Protocol control block (PCB) tables.
+//!
+//! BSD finds the socket for an incoming packet by scanning a linked list
+//! of PCBs (`in_pcblookup`), preferring the most specific match. The scan
+//! cost grows with the number of sockets — a real problem for busy HTTP
+//! servers (reference 16 in the paper; the Figure 5 experiment shortens TIME_WAIT
+//! to keep it bounded). The table here reports the number of entries
+//! examined so the host can charge a per-step cost, and the LRP kernels
+//! can bypass it entirely (early demux already identified the socket).
+
+use lrp_wire::{Endpoint, FlowKey};
+
+/// A socket identifier (index into the host's socket table).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SockId(pub u32);
+
+#[derive(Clone, Copy, Debug)]
+struct PcbEntry {
+    key: FlowKey,
+    sock: SockId,
+}
+
+/// The result of a PCB lookup: the match (if any) and how many entries
+/// were examined (for cost accounting).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LookupResult {
+    /// The matched socket.
+    pub sock: Option<SockId>,
+    /// Entries scanned during the lookup.
+    pub steps: usize,
+}
+
+/// A linear-scan PCB table in 4.3BSD style.
+#[derive(Debug, Default)]
+pub struct PcbTable {
+    entries: Vec<PcbEntry>,
+}
+
+impl PcbTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        PcbTable {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of PCBs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no PCBs exist.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts a PCB. Duplicate keys are rejected.
+    pub fn insert(&mut self, key: FlowKey, sock: SockId) -> Result<(), PcbError> {
+        if self.entries.iter().any(|e| e.key == key) {
+            return Err(PcbError::InUse);
+        }
+        self.entries.push(PcbEntry { key, sock });
+        Ok(())
+    }
+
+    /// Removes the PCB with this exact key; returns its socket.
+    pub fn remove(&mut self, key: &FlowKey) -> Option<SockId> {
+        let pos = self.entries.iter().position(|e| e.key == *key)?;
+        Some(self.entries.remove(pos).sock)
+    }
+
+    /// Removes every PCB belonging to `sock`.
+    pub fn remove_socket(&mut self, sock: SockId) {
+        self.entries.retain(|e| e.sock != sock);
+    }
+
+    /// BSD-style lookup: scans the whole list, preferring an exact 5-tuple
+    /// match over a wildcard match, and reports the scan length.
+    pub fn lookup(&self, proto: u8, local: Endpoint, remote: Endpoint) -> LookupResult {
+        let mut wildcard: Option<SockId> = None;
+        let mut steps = 0;
+        for e in &self.entries {
+            steps += 1;
+            if e.key.proto != proto || e.key.local != local {
+                continue;
+            }
+            if e.key.remote == remote {
+                return LookupResult {
+                    sock: Some(e.sock),
+                    steps,
+                };
+            }
+            if e.key.is_wildcard() && wildcard.is_none() {
+                wildcard = Some(e.sock);
+            }
+        }
+        LookupResult {
+            sock: wildcard,
+            steps,
+        }
+    }
+
+    /// True if a key is present (for bind conflict checks).
+    pub fn contains(&self, key: &FlowKey) -> bool {
+        self.entries.iter().any(|e| e.key == *key)
+    }
+}
+
+/// PCB errors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PcbError {
+    /// Address already in use.
+    InUse,
+}
+
+impl std::fmt::Display for PcbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PcbError::InUse => write!(f, "address already in use"),
+        }
+    }
+}
+
+impl std::error::Error for PcbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrp_wire::{proto, Ipv4Addr};
+
+    const LOCAL: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+    const PEER: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+
+    fn ep(addr: Ipv4Addr, port: u16) -> Endpoint {
+        Endpoint::new(addr, port)
+    }
+
+    #[test]
+    fn exact_preferred_over_wildcard() {
+        let mut t = PcbTable::new();
+        t.insert(FlowKey::listening(proto::TCP, ep(LOCAL, 80)), SockId(1))
+            .unwrap();
+        t.insert(
+            FlowKey::new(proto::TCP, ep(LOCAL, 80), ep(PEER, 999)),
+            SockId(2),
+        )
+        .unwrap();
+        let r = t.lookup(proto::TCP, ep(LOCAL, 80), ep(PEER, 999));
+        assert_eq!(r.sock, Some(SockId(2)));
+        let r2 = t.lookup(proto::TCP, ep(LOCAL, 80), ep(PEER, 1000));
+        assert_eq!(r2.sock, Some(SockId(1)));
+    }
+
+    #[test]
+    fn lookup_reports_scan_steps() {
+        let mut t = PcbTable::new();
+        for i in 0..50u16 {
+            t.insert(
+                FlowKey::new(proto::TCP, ep(LOCAL, 80), ep(PEER, 1000 + i)),
+                SockId(i as u32),
+            )
+            .unwrap();
+        }
+        // Wildcard-only miss scans everything.
+        let r = t.lookup(proto::TCP, ep(LOCAL, 81), ep(PEER, 1));
+        assert_eq!(r.sock, None);
+        assert_eq!(r.steps, 50);
+        // Early exact hit scans a prefix.
+        let r2 = t.lookup(proto::TCP, ep(LOCAL, 80), ep(PEER, 1000));
+        assert_eq!(r2.steps, 1);
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let mut t = PcbTable::new();
+        let k = FlowKey::listening(proto::UDP, ep(LOCAL, 53));
+        t.insert(k, SockId(1)).unwrap();
+        assert_eq!(t.insert(k, SockId(2)), Err(PcbError::InUse));
+        assert!(t.contains(&k));
+    }
+
+    #[test]
+    fn remove_by_key_and_socket() {
+        let mut t = PcbTable::new();
+        let k1 = FlowKey::listening(proto::UDP, ep(LOCAL, 1));
+        let k2 = FlowKey::listening(proto::UDP, ep(LOCAL, 2));
+        let k3 = FlowKey::listening(proto::UDP, ep(LOCAL, 3));
+        t.insert(k1, SockId(1)).unwrap();
+        t.insert(k2, SockId(1)).unwrap();
+        t.insert(k3, SockId(2)).unwrap();
+        assert_eq!(t.remove(&k3), Some(SockId(2)));
+        t.remove_socket(SockId(1));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn time_wait_bloat_increases_scan_cost() {
+        // The Figure 5 phenomenon: thousands of TIME_WAIT PCBs make every
+        // lookup expensive.
+        let mut t = PcbTable::new();
+        for i in 0..1000u32 {
+            t.insert(
+                FlowKey::new(proto::TCP, ep(LOCAL, 80), ep(PEER, (i % 60_000) as u16 + 1)),
+                SockId(i),
+            )
+            .unwrap();
+        }
+        t.insert(FlowKey::listening(proto::TCP, ep(LOCAL, 80)), SockId(9999))
+            .unwrap();
+        let r = t.lookup(proto::TCP, ep(LOCAL, 80), ep(PEER, 60_001));
+        assert_eq!(r.sock, Some(SockId(9999)));
+        assert_eq!(r.steps, 1001, "wildcard hit requires a full scan");
+    }
+}

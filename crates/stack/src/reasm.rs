@@ -1,0 +1,352 @@
+//! IP fragment reassembly.
+//!
+//! Fragments are keyed by `(src, dst, proto, ident)` as in RFC 791. The
+//! reassembler is a pure data structure: the host feeds it fragments (from
+//! the normal input path *or* from the special fragment NI channel of LRP
+//! §3.2) and drives expiry from its own clock.
+
+use lrp_sim::{SimDuration, SimTime};
+use lrp_wire::ipv4::{Ipv4Header, FLAG_MF};
+use lrp_wire::Ipv4Addr;
+use std::collections::HashMap;
+
+/// Reassembly key per RFC 791.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct FragKey {
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    proto: u8,
+    ident: u16,
+}
+
+#[derive(Debug)]
+struct FragFlow {
+    /// Received runs `(offset, bytes)`, kept sorted and non-overlapping.
+    runs: Vec<(usize, Vec<u8>)>,
+    /// Total length once the final fragment arrives.
+    total_len: Option<usize>,
+    /// When this flow was created, for expiry.
+    born: SimTime,
+}
+
+impl FragFlow {
+    fn insert(&mut self, offset: usize, data: &[u8]) {
+        // Trim against existing runs (exact-duplicate and overlap safety).
+        let mut start = offset;
+        let mut end = offset + data.len();
+        for (o, d) in &self.runs {
+            let (ro, re) = (*o, *o + d.len());
+            if start >= ro && end <= re {
+                return; // Fully covered: duplicate.
+            }
+            // Trim the front/back against this run.
+            if start >= ro && start < re {
+                start = re;
+            }
+            if end > ro && end <= re {
+                end = ro;
+            }
+        }
+        if start >= end {
+            return;
+        }
+        let slice = &data[(start - offset)..(end - offset)];
+        self.runs.push((start, slice.to_vec()));
+        self.runs.sort_by_key(|(o, _)| *o);
+    }
+
+    fn complete(&self) -> Option<Vec<u8>> {
+        let total = self.total_len?;
+        let mut expect = 0usize;
+        for (o, d) in &self.runs {
+            if *o > expect {
+                return None; // Hole.
+            }
+            expect = expect.max(o + d.len());
+        }
+        if expect < total {
+            return None;
+        }
+        let mut out = vec![0u8; total];
+        for (o, d) in &self.runs {
+            let end = (o + d.len()).min(total);
+            out[*o..end].copy_from_slice(&d[..end - o]);
+        }
+        Some(out)
+    }
+}
+
+/// The outcome of feeding one fragment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReasmOutcome {
+    /// The datagram is complete: `(proto, src, dst, payload)`.
+    Complete {
+        /// IP protocol of the reassembled datagram.
+        proto: u8,
+        /// Source address.
+        src: Ipv4Addr,
+        /// Destination address.
+        dst: Ipv4Addr,
+        /// The reassembled transport payload.
+        payload: Vec<u8>,
+    },
+    /// More fragments are needed.
+    Incomplete,
+    /// The fragment was dropped (table full).
+    Dropped,
+}
+
+/// Reassembly statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReasmStats {
+    /// Fragments accepted.
+    pub fragments: u64,
+    /// Datagrams completed.
+    pub completed: u64,
+    /// Flows expired with missing fragments.
+    pub expired: u64,
+    /// Fragments dropped because the flow table was full.
+    pub dropped: u64,
+}
+
+/// The IP reassembler.
+#[derive(Debug)]
+pub struct Reassembler {
+    flows: HashMap<FragKey, FragFlow>,
+    max_flows: usize,
+    ttl: SimDuration,
+    stats: ReasmStats,
+}
+
+impl Reassembler {
+    /// Creates a reassembler holding at most `max_flows` concurrent
+    /// datagrams, each expiring `ttl` after its first fragment.
+    pub fn new(max_flows: usize, ttl: SimDuration) -> Self {
+        Reassembler {
+            flows: HashMap::new(),
+            max_flows,
+            ttl,
+            stats: ReasmStats::default(),
+        }
+    }
+
+    /// Creates a reassembler with BSD-ish defaults (16 flows, 30 s TTL).
+    pub fn with_defaults() -> Self {
+        Self::new(16, SimDuration::from_secs(30))
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> ReasmStats {
+        self.stats
+    }
+
+    /// Number of in-progress datagrams.
+    pub fn pending(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Feeds one fragment (header must satisfy `is_fragment()`; whole
+    /// datagrams may also be fed and complete immediately).
+    pub fn input(&mut self, now: SimTime, h: &Ipv4Header, payload: &[u8]) -> ReasmOutcome {
+        if !h.is_fragment() {
+            // Whole datagram: nothing to do.
+            return ReasmOutcome::Complete {
+                proto: h.proto,
+                src: h.src,
+                dst: h.dst,
+                payload: payload.to_vec(),
+            };
+        }
+        let key = FragKey {
+            src: h.src,
+            dst: h.dst,
+            proto: h.proto,
+            ident: h.ident,
+        };
+        if !self.flows.contains_key(&key) && self.flows.len() >= self.max_flows {
+            self.stats.dropped += 1;
+            return ReasmOutcome::Dropped;
+        }
+        let flow = self.flows.entry(key).or_insert_with(|| FragFlow {
+            runs: Vec::new(),
+            total_len: None,
+            born: now,
+        });
+        self.stats.fragments += 1;
+        let offset = h.frag_offset as usize * 8;
+        flow.insert(offset, payload);
+        if h.flags & FLAG_MF == 0 {
+            flow.total_len = Some(offset + payload.len());
+        }
+        if let Some(data) = flow.complete() {
+            self.flows.remove(&key);
+            self.stats.completed += 1;
+            return ReasmOutcome::Complete {
+                proto: h.proto,
+                src: h.src,
+                dst: h.dst,
+                payload: data,
+            };
+        }
+        ReasmOutcome::Incomplete
+    }
+
+    /// Expires flows older than the TTL; returns how many were discarded.
+    pub fn expire(&mut self, now: SimTime) -> usize {
+        let ttl = self.ttl;
+        let before = self.flows.len();
+        self.flows.retain(|_, f| now.since(f.born) < ttl);
+        let expired = before - self.flows.len();
+        self.stats.expired += expired as u64;
+        expired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrp_wire::{ipv4, proto};
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const DST: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+    fn frags(payload: &[u8], mtu: usize, ident: u16) -> Vec<(Ipv4Header, Vec<u8>)> {
+        ipv4::fragment(SRC, DST, proto::UDP, ident, payload, mtu)
+            .into_iter()
+            .map(|d| {
+                let (h, p) = ipv4::parse(&d).unwrap();
+                (h, p.to_vec())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn in_order_reassembly() {
+        let payload: Vec<u8> = (0..5000).map(|i| (i % 256) as u8).collect();
+        let mut r = Reassembler::with_defaults();
+        let fs = frags(&payload, 1500, 7);
+        let mut done = None;
+        for (h, p) in &fs {
+            match r.input(SimTime::ZERO, h, p) {
+                ReasmOutcome::Complete { payload, .. } => done = Some(payload),
+                ReasmOutcome::Incomplete => {}
+                ReasmOutcome::Dropped => panic!("unexpected drop"),
+            }
+        }
+        assert_eq!(done.unwrap(), payload);
+        assert_eq!(r.pending(), 0);
+        assert_eq!(r.stats().completed, 1);
+    }
+
+    #[test]
+    fn out_of_order_reassembly() {
+        let payload: Vec<u8> = (0..5000).map(|i| (i % 251) as u8).collect();
+        let mut r = Reassembler::with_defaults();
+        let mut fs = frags(&payload, 1500, 8);
+        fs.reverse();
+        let mut done = None;
+        for (h, p) in &fs {
+            if let ReasmOutcome::Complete { payload, .. } = r.input(SimTime::ZERO, h, p) {
+                done = Some(payload);
+            }
+        }
+        assert_eq!(done.unwrap(), payload);
+    }
+
+    #[test]
+    fn duplicate_fragments_harmless() {
+        let payload = vec![9u8; 4000];
+        let mut r = Reassembler::with_defaults();
+        let fs = frags(&payload, 1500, 9);
+        for (h, p) in &fs[..fs.len() - 1] {
+            assert_eq!(r.input(SimTime::ZERO, h, p), ReasmOutcome::Incomplete);
+            assert_eq!(r.input(SimTime::ZERO, h, p), ReasmOutcome::Incomplete);
+        }
+        let (h, p) = &fs[fs.len() - 1];
+        match r.input(SimTime::ZERO, h, p) {
+            ReasmOutcome::Complete { payload: got, .. } => assert_eq!(got, payload),
+            other => panic!("expected completion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn interleaved_flows_separate() {
+        let pa = vec![1u8; 3000];
+        let pb = vec![2u8; 3000];
+        let fa = frags(&pa, 1500, 1);
+        let fb = frags(&pb, 1500, 2);
+        let mut r = Reassembler::with_defaults();
+        let mut results = Vec::new();
+        for ((ha, da), (hb, db)) in fa.iter().zip(fb.iter()) {
+            if let ReasmOutcome::Complete { payload, .. } = r.input(SimTime::ZERO, ha, da) {
+                results.push(payload);
+            }
+            if let ReasmOutcome::Complete { payload, .. } = r.input(SimTime::ZERO, hb, db) {
+                results.push(payload);
+            }
+        }
+        assert_eq!(results.len(), 2);
+        assert!(results.contains(&pa) && results.contains(&pb));
+    }
+
+    #[test]
+    fn whole_datagram_immediate() {
+        let mut r = Reassembler::with_defaults();
+        let h = Ipv4Header::new(SRC, DST, proto::UDP, 5, 10);
+        match r.input(SimTime::ZERO, &h, &[3u8; 10]) {
+            ReasmOutcome::Complete { payload, .. } => assert_eq!(payload, vec![3u8; 10]),
+            other => panic!("expected completion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flow_table_limit() {
+        let mut r = Reassembler::new(2, SimDuration::from_secs(30));
+        for ident in 0..3u16 {
+            let fs = frags(&vec![0u8; 3000], 1500, ident);
+            let (h, p) = &fs[0];
+            let out = r.input(SimTime::ZERO, h, p);
+            if ident < 2 {
+                assert_eq!(out, ReasmOutcome::Incomplete);
+            } else {
+                assert_eq!(out, ReasmOutcome::Dropped);
+            }
+        }
+        assert_eq!(r.stats().dropped, 1);
+    }
+
+    #[test]
+    fn expiry_discards_stale_flows() {
+        let mut r = Reassembler::new(16, SimDuration::from_secs(30));
+        let fs = frags(&vec![0u8; 3000], 1500, 11);
+        let (h, p) = &fs[0];
+        r.input(SimTime::ZERO, h, p);
+        assert_eq!(r.expire(SimTime::from_secs(10)), 0);
+        assert_eq!(r.expire(SimTime::from_secs(31)), 1);
+        assert_eq!(r.pending(), 0);
+        assert_eq!(r.stats().expired, 1);
+    }
+
+    #[test]
+    fn overlapping_fragments_first_wins() {
+        // Overlap handling: earlier data is kept, later overlap trimmed.
+        let mut r = Reassembler::with_defaults();
+        let mut h1 = Ipv4Header::new(SRC, DST, proto::UDP, 30, 16);
+        h1.flags = FLAG_MF;
+        h1.frag_offset = 0;
+        assert_eq!(
+            r.input(SimTime::ZERO, &h1, &[1u8; 16]),
+            ReasmOutcome::Incomplete
+        );
+        let mut h2 = Ipv4Header::new(SRC, DST, proto::UDP, 30, 16);
+        h2.flags = 0;
+        h2.frag_offset = 1; // Offset 8: overlaps [8,16).
+        match r.input(SimTime::ZERO, &h2, &[2u8; 16]) {
+            ReasmOutcome::Complete { payload, .. } => {
+                assert_eq!(&payload[..16], &[1u8; 16], "first data wins");
+                assert_eq!(&payload[16..24], &[2u8; 8]);
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Socket buffers: the BSD `sockbuf` in two flavours.
+//!
+//! [`DatagramQueue`] is the receive queue of a UDP socket: a bounded queue
+//! of datagrams with byte accounting (`sbspace`). Packets arriving at a
+//! full queue are dropped — under BSD this drop happens *after* all
+//! protocol processing has been paid for, which is the waste LRP removes.
+//!
+//! [`ByteBuffer`] is the byte-stream buffer used by TCP for both send and
+//! receive sides.
+
+use lrp_wire::Endpoint;
+use std::collections::VecDeque;
+
+/// Minimum buffer space one datagram occupies: a small packet still
+/// consumes a whole mbuf, and BSD's `sbspace` accounts for that (`sb_mbcnt`
+/// against `sb_mbmax`). This is what bounds the socket queue to a few
+/// hundred small packets rather than thousands.
+pub const DGRAM_MIN_SPACE: usize = 128;
+
+/// A received datagram: source endpoint and payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Datagram {
+    /// Sender endpoint.
+    pub from: Endpoint,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Statistics for a datagram queue.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DgramStats {
+    /// Datagrams enqueued.
+    pub enqueued: u64,
+    /// Datagrams dropped because the buffer was full.
+    pub dropped_full: u64,
+    /// Datagrams dequeued by the application.
+    pub dequeued: u64,
+}
+
+/// A bounded queue of datagrams (UDP socket receive buffer).
+#[derive(Debug)]
+pub struct DatagramQueue {
+    queue: VecDeque<Datagram>,
+    bytes: usize,
+    limit_bytes: usize,
+    stats: DgramStats,
+}
+
+/// Default socket receive-buffer size (BSD default `sb_hiwat`).
+pub const DEFAULT_SOCKBUF: usize = 41_600;
+
+impl DatagramQueue {
+    /// Creates a queue bounded at `limit_bytes` of payload.
+    pub fn new(limit_bytes: usize) -> Self {
+        DatagramQueue {
+            queue: VecDeque::new(),
+            bytes: 0,
+            limit_bytes,
+            stats: DgramStats::default(),
+        }
+    }
+
+    /// Buffered payload bytes.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Number of queued datagrams.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> DgramStats {
+        self.stats
+    }
+
+    /// Space remaining, in bytes (`sbspace`).
+    pub fn space(&self) -> usize {
+        self.limit_bytes.saturating_sub(self.bytes)
+    }
+
+    /// Enqueues a datagram; returns false (counting the drop) if it does
+    /// not fit. Every datagram occupies at least [`DGRAM_MIN_SPACE`]
+    /// (mbuf-granularity accounting, as in BSD's `sbspace`).
+    pub fn enqueue(&mut self, dgram: Datagram) -> bool {
+        let cost = dgram.payload.len().max(DGRAM_MIN_SPACE);
+        if self.bytes + cost > self.limit_bytes {
+            self.stats.dropped_full += 1;
+            return false;
+        }
+        self.bytes += cost;
+        self.queue.push_back(dgram);
+        self.stats.enqueued += 1;
+        true
+    }
+
+    /// Dequeues the oldest datagram.
+    pub fn dequeue(&mut self) -> Option<Datagram> {
+        let d = self.queue.pop_front()?;
+        self.bytes -= d.payload.len().max(DGRAM_MIN_SPACE);
+        self.stats.dequeued += 1;
+        Some(d)
+    }
+}
+
+/// A bounded FIFO byte buffer (TCP socket buffer).
+#[derive(Debug)]
+pub struct ByteBuffer {
+    data: VecDeque<u8>,
+    limit: usize,
+}
+
+impl ByteBuffer {
+    /// Creates a buffer bounded at `limit` bytes.
+    pub fn new(limit: usize) -> Self {
+        ByteBuffer {
+            data: VecDeque::new(),
+            limit,
+        }
+    }
+
+    /// Bytes currently buffered.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Free space in bytes.
+    pub fn space(&self) -> usize {
+        self.limit - self.data.len()
+    }
+
+    /// The configured limit.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Appends as much of `bytes` as fits; returns the number appended.
+    pub fn write(&mut self, bytes: &[u8]) -> usize {
+        let n = bytes.len().min(self.space());
+        self.data.extend(&bytes[..n]);
+        n
+    }
+
+    /// Removes and returns up to `n` bytes from the front.
+    pub fn read(&mut self, n: usize) -> Vec<u8> {
+        let take = n.min(self.data.len());
+        self.data.drain(..take).collect()
+    }
+
+    /// Copies bytes `[offset, offset+n)` without removing them (for
+    /// retransmission from the send buffer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the buffered data.
+    pub fn peek_at(&self, offset: usize, n: usize) -> Vec<u8> {
+        assert!(offset + n <= self.data.len(), "peek beyond buffer");
+        self.data.iter().skip(offset).take(n).copied().collect()
+    }
+
+    /// Discards `n` bytes from the front (data acknowledged by the peer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the buffered data.
+    pub fn discard(&mut self, n: usize) {
+        assert!(n <= self.data.len(), "discard beyond buffer");
+        self.data.drain(..n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrp_wire::Ipv4Addr;
+
+    fn from() -> Endpoint {
+        Endpoint::new(Ipv4Addr::new(10, 0, 0, 1), 1234)
+    }
+
+    #[test]
+    fn dgram_queue_fifo() {
+        let mut q = DatagramQueue::new(1000);
+        q.enqueue(Datagram {
+            from: from(),
+            payload: b"a".to_vec(),
+        });
+        q.enqueue(Datagram {
+            from: from(),
+            payload: b"b".to_vec(),
+        });
+        assert_eq!(q.dequeue().unwrap().payload, b"a");
+        assert_eq!(q.dequeue().unwrap().payload, b"b");
+        assert!(q.dequeue().is_none());
+    }
+
+    #[test]
+    fn dgram_queue_byte_limit() {
+        let mut q = DatagramQueue::new(300);
+        assert!(q.enqueue(Datagram {
+            from: from(),
+            payload: vec![0; 200]
+        }));
+        assert!(!q.enqueue(Datagram {
+            from: from(),
+            payload: vec![0; 200]
+        }));
+        assert_eq!(q.stats().dropped_full, 1);
+        assert_eq!(q.space(), 100);
+        q.dequeue();
+        assert!(q.enqueue(Datagram {
+            from: from(),
+            payload: vec![0; 200]
+        }));
+    }
+
+    #[test]
+    fn dgram_small_packets_cost_an_mbuf() {
+        let mut q = DatagramQueue::new(2 * DGRAM_MIN_SPACE);
+        assert!(q.enqueue(Datagram {
+            from: from(),
+            payload: vec![7]
+        }));
+        assert!(q.enqueue(Datagram {
+            from: from(),
+            payload: vec![7]
+        }));
+        assert!(!q.enqueue(Datagram {
+            from: from(),
+            payload: vec![7]
+        }));
+        assert_eq!(q.bytes(), 2 * DGRAM_MIN_SPACE);
+    }
+
+    #[test]
+    fn byte_buffer_write_read() {
+        let mut b = ByteBuffer::new(8);
+        assert_eq!(b.write(b"hello"), 5);
+        assert_eq!(b.write(b"world"), 3, "bounded at limit");
+        assert_eq!(b.read(4), b"hell");
+        assert_eq!(b.space(), 4);
+        assert_eq!(b.read(100), b"owor");
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn byte_buffer_peek_discard() {
+        let mut b = ByteBuffer::new(100);
+        b.write(b"abcdefgh");
+        assert_eq!(b.peek_at(2, 3), b"cde");
+        assert_eq!(b.len(), 8, "peek does not consume");
+        b.discard(4);
+        assert_eq!(b.peek_at(0, 2), b"ef");
+    }
+
+    #[test]
+    #[should_panic]
+    fn byte_buffer_peek_out_of_range() {
+        let mut b = ByteBuffer::new(10);
+        b.write(b"ab");
+        let _ = b.peek_at(1, 5);
+    }
+}

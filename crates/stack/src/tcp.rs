@@ -1,0 +1,1109 @@
+//! The TCP state machine: RFC 793 connection management plus 4.4BSD-style
+//! congestion control (slow start, congestion avoidance, fast retransmit,
+//! Jacobson/Karn RTT estimation, exponential backoff).
+//!
+//! The machine is *pure*: it consumes parsed segments and produces
+//! [`Actions`] — segments to transmit and events for the socket layer. It
+//! never performs I/O, takes no locks, and reads time only from arguments,
+//! so the identical code runs under all four simulated architectures (the
+//! paper's "all kernels execute the same networking code"), with the host
+//! choosing the execution context and CPU charging policy.
+//!
+//! Implemented: 3-way handshake (active and passive), listen backlog
+//! accounting, sliding-window data transfer, slow start + congestion
+//! avoidance, fast retransmit on three duplicate ACKs, RTO with Karn's
+//! rule and exponential backoff, delayed ACKs, zero-window probing,
+//! FIN teardown in all orders, TIME_WAIT with a configurable duration
+//! (the paper's Figure 5 sets 500 ms), and RST handling.
+//!
+//! Not implemented (irrelevant to the paper's experiments, documented for
+//! honesty): urgent data, window scaling, SACK, timestamps/PAWS, Nagle.
+
+use crate::sockbuf::ByteBuffer;
+use lrp_sim::{SimDuration, SimTime};
+use lrp_wire::tcp::{flags, seq_ge, seq_gt, seq_le, seq_lt, TcpHeader};
+use lrp_wire::Endpoint;
+use std::collections::BTreeMap;
+
+/// TCP connection states (RFC 793).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TcpState {
+    /// No connection.
+    Closed,
+    /// Passive open (represented by [`TcpListener`], never by a conn).
+    Listen,
+    /// Active open: SYN sent.
+    SynSent,
+    /// Passive open: SYN received, SYN|ACK sent.
+    SynReceived,
+    /// Data transfer.
+    Established,
+    /// Our close sent, awaiting its ACK and the peer's FIN.
+    FinWait1,
+    /// Our FIN acked; awaiting peer's FIN.
+    FinWait2,
+    /// Peer closed; we may still send.
+    CloseWait,
+    /// Simultaneous close.
+    Closing,
+    /// Our FIN sent after CloseWait; awaiting its ACK.
+    LastAck,
+    /// Connection done; draining old duplicates.
+    TimeWait,
+}
+
+/// Events surfaced to the socket layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConnEvent {
+    /// The connection reached `Established`.
+    Established,
+    /// New in-order data is available to read.
+    DataReady,
+    /// Send-buffer space opened up (acked data released).
+    SendSpace,
+    /// The peer sent FIN: end of its data stream.
+    PeerClosed,
+    /// The connection was reset by the peer.
+    Reset,
+    /// The connection fully closed (left the state machine).
+    Closed,
+    /// Retransmission limit exceeded.
+    TimedOut,
+}
+
+/// A segment to transmit: header fields plus payload. Ports are filled in;
+/// the host adds IP framing.
+#[derive(Clone, Debug)]
+pub struct Segment {
+    /// The TCP header.
+    pub hdr: TcpHeader,
+    /// Segment payload.
+    pub payload: Vec<u8>,
+}
+
+/// The result of feeding the machine: segments to send and events to
+/// deliver.
+#[derive(Debug, Default)]
+pub struct Actions {
+    /// Segments to transmit, in order.
+    pub segments: Vec<Segment>,
+    /// Events for the socket layer.
+    pub events: Vec<ConnEvent>,
+}
+
+impl Actions {
+    fn merge(&mut self, other: Actions) {
+        self.segments.extend(other.segments);
+        self.events.extend(other.events);
+    }
+}
+
+/// TCP tuning parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct TcpConfig {
+    /// Maximum segment size we advertise and default to (ATM LAN: 9140).
+    pub mss: u16,
+    /// Send buffer size in bytes.
+    pub snd_buf: usize,
+    /// Receive buffer size in bytes.
+    pub rcv_buf: usize,
+    /// Initial retransmission timeout.
+    pub rto_init: SimDuration,
+    /// Minimum RTO.
+    pub rto_min: SimDuration,
+    /// Maximum RTO.
+    pub rto_max: SimDuration,
+    /// Give up after this many consecutive retransmissions.
+    pub max_retries: u32,
+    /// TIME_WAIT duration (2·MSL; the paper's HTTP test uses 500 ms).
+    pub time_wait: SimDuration,
+    /// Delayed-ACK timer; `None` acks every segment immediately.
+    pub delack: Option<SimDuration>,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            mss: 9140,
+            snd_buf: 32 * 1024,
+            rcv_buf: 32 * 1024,
+            rto_init: SimDuration::from_millis(1000),
+            rto_min: SimDuration::from_millis(500),
+            rto_max: SimDuration::from_secs(64),
+            max_retries: 12,
+            time_wait: SimDuration::from_secs(30),
+            delack: Some(SimDuration::from_millis(200)),
+        }
+    }
+}
+
+/// Per-connection statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TcpStats {
+    /// Segments received.
+    pub segs_in: u64,
+    /// Segments sent.
+    pub segs_out: u64,
+    /// Payload bytes received in order.
+    pub bytes_in: u64,
+    /// Payload bytes sent (first transmission).
+    pub bytes_out: u64,
+    /// Retransmitted segments.
+    pub retransmits: u64,
+    /// Fast retransmits triggered.
+    pub fast_retransmits: u64,
+    /// RTO timer fires.
+    pub timeouts: u64,
+    /// Duplicate ACKs received.
+    pub dup_acks: u64,
+}
+
+/// A TCP connection.
+#[derive(Debug)]
+pub struct TcpConn {
+    cfg: TcpConfig,
+    /// Current state.
+    pub state: TcpState,
+    /// Local endpoint.
+    pub local: Endpoint,
+    /// Remote endpoint.
+    pub remote: Endpoint,
+    /// Statistics.
+    pub stats: TcpStats,
+
+    // Send sequence space.
+    iss: u32,
+    snd_una: u32,
+    snd_nxt: u32,
+    /// Highest sequence ever sent (for distinguishing retransmits).
+    snd_max: u32,
+    snd_wnd: u32,
+    snd_buf: ByteBuffer,
+    /// Sequence number of the first byte in `snd_buf`.
+    snd_base: u32,
+    mss_effective: u16,
+    fin_requested: bool,
+    /// Sequence number our FIN occupies, once sent.
+    fin_seq: Option<u32>,
+
+    // Receive sequence space.
+    irs: u32,
+    rcv_nxt: u32,
+    rcv_buf: ByteBuffer,
+    ooo: BTreeMap<u32, Vec<u8>>,
+    /// Last window we advertised (for update decisions).
+    last_adv_wnd: u32,
+
+    // Congestion control.
+    cwnd: usize,
+    ssthresh: usize,
+    dup_ack_count: u32,
+
+    // RTT estimation (Jacobson), in seconds.
+    srtt: Option<f64>,
+    rttvar: f64,
+    rto: SimDuration,
+    backoff_shift: u32,
+    /// In-flight timed segment: `(seq, sent_at)`; Karn's rule clears it on
+    /// retransmission.
+    rtt_probe: Option<(u32, SimTime)>,
+
+    // Timers (absolute deadlines).
+    rexmt_deadline: Option<SimTime>,
+    delack_deadline: Option<SimTime>,
+    timewait_deadline: Option<SimTime>,
+    retries: u32,
+    /// Set while a zero peer window forces probing.
+    persist_mode: bool,
+}
+
+impl TcpConn {
+    /// Creates a closed connection bound to the given endpoints with the
+    /// given initial send sequence number.
+    pub fn new(cfg: TcpConfig, local: Endpoint, remote: Endpoint, iss: u32) -> Self {
+        let mss = cfg.mss;
+        TcpConn {
+            cfg,
+            state: TcpState::Closed,
+            local,
+            remote,
+            stats: TcpStats::default(),
+            iss,
+            snd_una: iss,
+            snd_nxt: iss,
+            snd_max: iss,
+            snd_wnd: 0,
+            snd_buf: ByteBuffer::new(cfg.snd_buf),
+            snd_base: iss.wrapping_add(1),
+            mss_effective: mss,
+            fin_requested: false,
+            fin_seq: None,
+            irs: 0,
+            rcv_nxt: 0,
+            rcv_buf: ByteBuffer::new(cfg.rcv_buf),
+            ooo: BTreeMap::new(),
+            last_adv_wnd: cfg.rcv_buf as u32,
+            cwnd: mss as usize,
+            ssthresh: 65_535,
+            dup_ack_count: 0,
+            srtt: None,
+            rttvar: 0.0,
+            rto: cfg.rto_init,
+            backoff_shift: 0,
+            rtt_probe: None,
+            rexmt_deadline: None,
+            delack_deadline: None,
+            timewait_deadline: None,
+            retries: 0,
+            persist_mode: false,
+        }
+    }
+
+    /// The effective maximum segment size after MSS negotiation.
+    pub fn mss(&self) -> u16 {
+        self.mss_effective
+    }
+
+    /// The configuration this connection runs with.
+    pub fn config(&self) -> &TcpConfig {
+        &self.cfg
+    }
+
+    /// Current congestion window in bytes.
+    pub fn cwnd(&self) -> usize {
+        self.cwnd
+    }
+
+    /// Bytes of in-order data available to read.
+    pub fn available(&self) -> usize {
+        self.rcv_buf.len()
+    }
+
+    /// Free space in the send buffer.
+    pub fn send_space(&self) -> usize {
+        self.snd_buf.space()
+    }
+
+    /// True once the connection has left the state machine entirely.
+    pub fn is_closed(&self) -> bool {
+        self.state == TcpState::Closed
+    }
+
+    /// True if in TIME_WAIT (NI-LRP reclaims the NI channel here, §4.2).
+    pub fn in_time_wait(&self) -> bool {
+        self.state == TcpState::TimeWait
+    }
+
+    fn adv_wnd(&self) -> u16 {
+        self.rcv_buf.space().min(65_535) as u16
+    }
+
+    fn make_seg(&mut self, fl: u8, seq: u32, payload: Vec<u8>, with_mss: bool) -> Segment {
+        self.stats.segs_out += 1;
+        let wnd = self.adv_wnd();
+        self.last_adv_wnd = wnd as u32;
+        Segment {
+            hdr: TcpHeader {
+                src_port: self.local.port,
+                dst_port: self.remote.port,
+                seq,
+                ack: if fl & flags::ACK != 0 {
+                    self.rcv_nxt
+                } else {
+                    0
+                },
+                flags: fl,
+                window: wnd,
+                mss: if with_mss { Some(self.cfg.mss) } else { None },
+            },
+            payload,
+        }
+    }
+
+    fn make_ack(&mut self) -> Segment {
+        self.delack_deadline = None;
+        self.make_seg(flags::ACK, self.snd_nxt, Vec::new(), false)
+    }
+
+    /// Begins an active open. Must be called in `Closed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the connection is not in `Closed`.
+    pub fn connect(&mut self, now: SimTime) -> Actions {
+        assert_eq!(self.state, TcpState::Closed, "connect on open connection");
+        self.state = TcpState::SynSent;
+        self.snd_nxt = self.iss.wrapping_add(1);
+        self.snd_max = self.snd_nxt;
+        let syn = self.make_seg(flags::SYN, self.iss, Vec::new(), true);
+        self.arm_rexmt(now);
+        Actions {
+            segments: vec![syn],
+            events: vec![],
+        }
+    }
+
+    /// Creates a connection in `SynReceived` in response to a SYN received
+    /// by a listener, emitting the SYN|ACK.
+    pub fn accept_syn(
+        cfg: TcpConfig,
+        local: Endpoint,
+        remote: Endpoint,
+        iss: u32,
+        syn: &TcpHeader,
+        now: SimTime,
+    ) -> (TcpConn, Actions) {
+        let mut c = TcpConn::new(cfg, local, remote, iss);
+        c.state = TcpState::SynReceived;
+        c.irs = syn.seq;
+        c.rcv_nxt = syn.seq.wrapping_add(1);
+        if let Some(m) = syn.mss {
+            c.mss_effective = c.cfg.mss.min(m);
+            c.cwnd = c.mss_effective as usize;
+        }
+        c.snd_wnd = syn.window as u32;
+        c.snd_nxt = iss.wrapping_add(1);
+        c.snd_max = c.snd_nxt;
+        let synack = c.make_seg(flags::SYN | flags::ACK, c.iss, Vec::new(), true);
+        c.arm_rexmt(now);
+        let acts = Actions {
+            segments: vec![synack],
+            events: vec![],
+        };
+        (c, acts)
+    }
+
+    // ---- timers ----
+
+    fn arm_rexmt(&mut self, now: SimTime) {
+        let timeout = self
+            .rto
+            .mul_f64((1u64 << self.backoff_shift.min(12)) as f64)
+            .min(self.cfg.rto_max)
+            .max(self.cfg.rto_min);
+        self.rexmt_deadline = Some(now + timeout);
+    }
+
+    /// The earliest pending timer deadline, if any.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        [
+            self.rexmt_deadline,
+            self.delack_deadline,
+            self.timewait_deadline,
+        ]
+        .into_iter()
+        .flatten()
+        .min()
+    }
+
+    /// Fires any timers whose deadline has passed.
+    pub fn on_timer(&mut self, now: SimTime) -> Actions {
+        let mut acts = Actions::default();
+        if let Some(d) = self.timewait_deadline {
+            if now >= d {
+                self.timewait_deadline = None;
+                self.state = TcpState::Closed;
+                acts.events.push(ConnEvent::Closed);
+                return acts;
+            }
+        }
+        if let Some(d) = self.delack_deadline {
+            if now >= d {
+                let ack = self.make_ack();
+                acts.segments.push(ack);
+            }
+        }
+        if let Some(d) = self.rexmt_deadline {
+            if now >= d {
+                self.rexmt_deadline = None;
+                acts.merge(self.on_rexmt_timeout(now));
+            }
+        }
+        acts
+    }
+
+    fn on_rexmt_timeout(&mut self, now: SimTime) -> Actions {
+        let mut acts = Actions::default();
+        self.stats.timeouts += 1;
+        // A zero-window probe cycle is BSD's persist timer: the peer is
+        // alive and acking, so it must not consume the retry budget or the
+        // connection would die while the receiver is merely slow.
+        let persisting =
+            self.snd_wnd == 0 && !self.snd_buf.is_empty() && self.snd_nxt == self.snd_una;
+        if persisting {
+            self.backoff_shift = (self.backoff_shift + 1).min(6);
+            self.rtt_probe = None;
+            acts.merge(self.send_probe(now));
+            self.arm_rexmt(now);
+            return acts;
+        }
+        self.retries += 1;
+        if self.retries > self.cfg.max_retries {
+            self.state = TcpState::Closed;
+            acts.events.push(ConnEvent::TimedOut);
+            acts.events.push(ConnEvent::Closed);
+            return acts;
+        }
+        self.backoff_shift += 1;
+        // Karn: do not time retransmitted segments.
+        self.rtt_probe = None;
+        match self.state {
+            TcpState::SynSent => {
+                let syn = self.make_seg(flags::SYN, self.iss, Vec::new(), true);
+                self.stats.retransmits += 1;
+                acts.segments.push(syn);
+                self.arm_rexmt(now);
+            }
+            TcpState::SynReceived => {
+                let synack = self.make_seg(flags::SYN | flags::ACK, self.iss, Vec::new(), true);
+                self.stats.retransmits += 1;
+                acts.segments.push(synack);
+                self.arm_rexmt(now);
+            }
+            TcpState::Established
+            | TcpState::FinWait1
+            | TcpState::Closing
+            | TcpState::CloseWait
+            | TcpState::LastAck => {
+                // Collapse the window: classic timeout response.
+                let flight = self.snd_nxt.wrapping_sub(self.snd_una) as usize;
+                self.ssthresh = (flight / 2).max(2 * self.mss_effective as usize);
+                self.cwnd = self.mss_effective as usize;
+                self.dup_ack_count = 0;
+                // Go-back-N: rewind and retransmit from snd_una.
+                self.snd_nxt = self.snd_una;
+                acts.merge(self.output(now, true));
+                if acts.segments.is_empty() {
+                    // Nothing to send (e.g. zero window probe case) — probe
+                    // with one byte if data is pending.
+                    acts.merge(self.send_probe(now));
+                }
+                self.arm_rexmt(now);
+            }
+            _ => {}
+        }
+        acts
+    }
+
+    fn send_probe(&mut self, _now: SimTime) -> Actions {
+        let mut acts = Actions::default();
+        let data_end = self.snd_base.wrapping_add(self.snd_buf.len() as u32);
+        if seq_lt(self.snd_nxt, data_end) {
+            let off = self.snd_nxt.wrapping_sub(self.snd_base) as usize;
+            let payload = self.snd_buf.peek_at(off, 1);
+            let seq = self.snd_nxt;
+            let seg = self.make_seg(flags::ACK | flags::PSH, seq, payload, false);
+            self.stats.retransmits += 1;
+            acts.segments.push(seg);
+        }
+        acts
+    }
+
+    // ---- RTT estimation ----
+
+    fn rtt_sample(&mut self, sample: f64) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(sample);
+                self.rttvar = sample / 2.0;
+            }
+            Some(srtt) => {
+                let err = sample - srtt;
+                self.srtt = Some(srtt + err / 8.0);
+                self.rttvar += (err.abs() - self.rttvar) / 4.0;
+            }
+        }
+        let rto = self.srtt.unwrap_or(0.0) + 4.0 * self.rttvar;
+        self.rto = SimDuration::from_secs_f64(rto.max(0.0))
+            .max(self.cfg.rto_min)
+            .min(self.cfg.rto_max);
+    }
+
+    // ---- app interface ----
+
+    /// Writes application data into the send buffer; returns how many bytes
+    /// were accepted and any segments that can be sent immediately.
+    pub fn write(&mut self, now: SimTime, data: &[u8]) -> (usize, Actions) {
+        match self.state {
+            TcpState::Established | TcpState::CloseWait => {}
+            _ => return (0, Actions::default()),
+        }
+        let n = self.snd_buf.write(data);
+        let acts = self.output(now, false);
+        (n, acts)
+    }
+
+    /// Reads up to `n` bytes of in-order data; may emit a window update if
+    /// the advertised window grows substantially (BSD policy).
+    pub fn read(&mut self, n: usize) -> (Vec<u8>, Actions) {
+        let data = self.rcv_buf.read(n);
+        let mut acts = Actions::default();
+        if !data.is_empty() {
+            let new_wnd = self.adv_wnd() as u32;
+            // Window-update policy: announce if the window grew by two
+            // segments or half the buffer since last advertised.
+            if matches!(
+                self.state,
+                TcpState::Established | TcpState::FinWait1 | TcpState::FinWait2
+            ) && new_wnd >= self.last_adv_wnd + 2 * self.mss_effective as u32
+                || new_wnd >= self.last_adv_wnd + (self.cfg.rcv_buf as u32) / 2
+            {
+                let ack = self.make_ack();
+                acts.segments.push(ack);
+            }
+        }
+        (data, acts)
+    }
+
+    /// Initiates a close: sends FIN once all buffered data is out.
+    pub fn close(&mut self, now: SimTime) -> Actions {
+        match self.state {
+            TcpState::Established | TcpState::SynReceived => {
+                self.fin_requested = true;
+                self.state = TcpState::FinWait1;
+                self.output(now, false)
+            }
+            TcpState::CloseWait => {
+                self.fin_requested = true;
+                self.state = TcpState::LastAck;
+                self.output(now, false)
+            }
+            TcpState::SynSent => {
+                self.state = TcpState::Closed;
+                Actions {
+                    segments: vec![],
+                    events: vec![ConnEvent::Closed],
+                }
+            }
+            _ => Actions::default(),
+        }
+    }
+
+    /// Aborts the connection with a RST.
+    pub fn abort(&mut self) -> Actions {
+        let mut acts = Actions::default();
+        if !matches!(self.state, TcpState::Closed | TcpState::TimeWait) {
+            let seg = self.make_seg(flags::RST | flags::ACK, self.snd_nxt, Vec::new(), false);
+            acts.segments.push(seg);
+        }
+        self.state = TcpState::Closed;
+        acts.events.push(ConnEvent::Closed);
+        acts
+    }
+
+    // ---- output engine ----
+
+    /// Attempts to transmit: respects the send window, congestion window
+    /// and MSS; appends the FIN when requested and all data is out.
+    ///
+    /// `rexmit` forces sending from `snd_nxt` even if already sent
+    /// (retransmission after go-back-N rewind).
+    pub fn output(&mut self, now: SimTime, rexmit: bool) -> Actions {
+        let mut acts = Actions::default();
+        if !matches!(
+            self.state,
+            TcpState::Established
+                | TcpState::CloseWait
+                | TcpState::FinWait1
+                | TcpState::Closing
+                | TcpState::LastAck
+        ) {
+            return acts;
+        }
+        let data_end = self.snd_base.wrapping_add(self.snd_buf.len() as u32);
+        loop {
+            let flight = self.snd_nxt.wrapping_sub(self.snd_una) as usize;
+            let wnd = (self.snd_wnd as usize).min(self.cwnd);
+            let usable = wnd.saturating_sub(flight);
+            // snd_nxt can sit past data_end once the FIN has been sent;
+            // plain wrapping subtraction would then be bogus-huge.
+            let avail = if seq_lt(self.snd_nxt, data_end) {
+                data_end.wrapping_sub(self.snd_nxt) as usize
+            } else {
+                0
+            };
+            let chunk = usable.min(avail).min(self.mss_effective as usize);
+            if chunk > 0 {
+                let off = self.snd_nxt.wrapping_sub(self.snd_base) as usize;
+                let payload = self.snd_buf.peek_at(off, chunk);
+                let seq = self.snd_nxt;
+                let is_rexmit = seq_lt(seq, self.snd_max);
+                let push = off + chunk == self.snd_buf.len();
+                let fl = if push {
+                    flags::ACK | flags::PSH
+                } else {
+                    flags::ACK
+                };
+                let seg = self.make_seg(fl, seq, payload, false);
+                acts.segments.push(seg);
+                self.snd_nxt = self.snd_nxt.wrapping_add(chunk as u32);
+                if is_rexmit {
+                    self.stats.retransmits += 1;
+                } else {
+                    self.stats.bytes_out += chunk as u64;
+                    self.snd_max = self.snd_nxt;
+                    // Time one segment per window (Karn).
+                    if self.rtt_probe.is_none() {
+                        self.rtt_probe = Some((seq, now));
+                    }
+                }
+                if self.rexmt_deadline.is_none() {
+                    self.arm_rexmt(now);
+                }
+                continue;
+            }
+            break;
+        }
+        // FIN when requested, all data sent, and FIN not yet sent.
+        if self.fin_requested && self.fin_seq.is_none() && self.snd_nxt == data_end {
+            let flight = self.snd_nxt.wrapping_sub(self.snd_una) as usize;
+            let wnd = (self.snd_wnd as usize).min(self.cwnd).max(1);
+            if flight < wnd || rexmit {
+                let seq = self.snd_nxt;
+                self.fin_seq = Some(seq);
+                let seg = self.make_seg(flags::FIN | flags::ACK, seq, Vec::new(), false);
+                acts.segments.push(seg);
+                self.snd_nxt = self.snd_nxt.wrapping_add(1);
+                self.snd_max = self.snd_max.max(self.snd_nxt);
+                if self.rexmt_deadline.is_none() {
+                    self.arm_rexmt(now);
+                }
+            }
+        }
+        // Zero-window: keep the rexmt timer alive as a persist probe.
+        if self.snd_wnd == 0 && !self.snd_buf.is_empty() && self.rexmt_deadline.is_none() {
+            self.persist_mode = true;
+            self.arm_rexmt(now);
+        }
+        acts
+    }
+
+    // ---- input engine ----
+
+    /// Processes one arriving segment.
+    pub fn on_segment(&mut self, now: SimTime, th: &TcpHeader, payload: &[u8]) -> Actions {
+        self.stats.segs_in += 1;
+        let mut acts = Actions::default();
+        match self.state {
+            TcpState::Closed => {
+                // RFC 793: respond to anything but a RST with a RST.
+                if !th.has(flags::RST) {
+                    let seg = if th.has(flags::ACK) {
+                        self.make_seg(flags::RST, th.ack, Vec::new(), false)
+                    } else {
+                        self.rcv_nxt = th.seq.wrapping_add(payload.len() as u32 + 1);
+                        self.make_seg(flags::RST | flags::ACK, 0, Vec::new(), false)
+                    };
+                    acts.segments.push(seg);
+                }
+                acts
+            }
+            TcpState::SynSent => self.on_segment_syn_sent(now, th, &mut acts),
+            TcpState::TimeWait => {
+                // Re-ACK retransmitted FINs; restart the 2MSL timer.
+                if th.has(flags::FIN) {
+                    let ack = self.make_ack();
+                    acts.segments.push(ack);
+                    self.timewait_deadline = Some(now + self.cfg.time_wait);
+                }
+                acts
+            }
+            _ => self.on_segment_synchronized(now, th, payload, &mut acts),
+        }
+    }
+
+    fn on_segment_syn_sent(&mut self, now: SimTime, th: &TcpHeader, acts: &mut Actions) -> Actions {
+        let mut out = Actions::default();
+        if th.has(flags::ACK) && (seq_le(th.ack, self.iss) || seq_gt(th.ack, self.snd_nxt)) {
+            if !th.has(flags::RST) {
+                let seg = self.make_seg(flags::RST, th.ack, Vec::new(), false);
+                out.segments.push(seg);
+            }
+            out.merge(std::mem::take(acts));
+            return out;
+        }
+        if th.has(flags::RST) {
+            if th.has(flags::ACK) {
+                self.state = TcpState::Closed;
+                out.events.push(ConnEvent::Reset);
+                out.events.push(ConnEvent::Closed);
+            }
+            return out;
+        }
+        if th.has(flags::SYN) {
+            self.irs = th.seq;
+            self.rcv_nxt = th.seq.wrapping_add(1);
+            self.snd_wnd = th.window as u32;
+            if let Some(m) = th.mss {
+                self.mss_effective = self.cfg.mss.min(m);
+                self.cwnd = self.mss_effective as usize;
+            }
+            if th.has(flags::ACK) {
+                self.snd_una = th.ack;
+                if let Some((_, t0)) = self.rtt_probe.take() {
+                    self.rtt_sample(now.since(t0).as_secs_f64());
+                }
+            }
+            if seq_gt(self.snd_una, self.iss) {
+                self.state = TcpState::Established;
+                self.retries = 0;
+                self.backoff_shift = 0;
+                self.rexmt_deadline = None;
+                out.events.push(ConnEvent::Established);
+                let ack = self.make_ack();
+                out.segments.push(ack);
+                out.merge(self.output(now, false));
+            } else {
+                // Simultaneous open.
+                self.state = TcpState::SynReceived;
+                let synack = self.make_seg(flags::SYN | flags::ACK, self.iss, Vec::new(), true);
+                out.segments.push(synack);
+                self.arm_rexmt(now);
+            }
+        }
+        out
+    }
+
+    fn seq_acceptable(&self, th: &TcpHeader, len: usize) -> bool {
+        // RFC 793 acceptability test, simplified for a non-zero window.
+        let wnd = self.cfg.rcv_buf as u32;
+        let seq_end = th.seq.wrapping_add(len as u32);
+        // Accept if any part of [seq, seq_end) overlaps [rcv_nxt,
+        // rcv_nxt+wnd), or it is a bare re-ACK at the left edge.
+        if len == 0 {
+            return seq_ge(th.seq, self.rcv_nxt.wrapping_sub(wnd))
+                && seq_le(th.seq, self.rcv_nxt.wrapping_add(wnd));
+        }
+        seq_gt(seq_end, self.rcv_nxt) && seq_lt(th.seq, self.rcv_nxt.wrapping_add(wnd))
+    }
+
+    fn on_segment_synchronized(
+        &mut self,
+        now: SimTime,
+        th: &TcpHeader,
+        payload: &[u8],
+        acts: &mut Actions,
+    ) -> Actions {
+        let mut out = std::mem::take(acts);
+        // RST: kill the connection if plausibly in-window.
+        if th.has(flags::RST) {
+            if self.seq_acceptable(th, payload.len().max(1)) || th.seq == self.rcv_nxt {
+                self.state = TcpState::Closed;
+                out.events.push(ConnEvent::Reset);
+                out.events.push(ConnEvent::Closed);
+            }
+            return out;
+        }
+        // Duplicate SYN in SynReceived: retransmit the SYN|ACK.
+        if th.has(flags::SYN) && self.state == TcpState::SynReceived && th.seq == self.irs {
+            let synack = self.make_seg(flags::SYN | flags::ACK, self.iss, Vec::new(), true);
+            self.stats.retransmits += 1;
+            out.segments.push(synack);
+            return out;
+        }
+        // Sequence acceptability; unacceptable segments get a bare ACK.
+        if !self.seq_acceptable(th, payload.len()) {
+            let ack = self.make_ack();
+            out.segments.push(ack);
+            return out;
+        }
+        // ACK processing.
+        if th.has(flags::ACK) {
+            self.process_ack(now, th, &mut out);
+            if self.state == TcpState::Closed {
+                return out;
+            }
+        }
+        // Data.
+        if !payload.is_empty() {
+            self.process_data(now, th, payload, &mut out);
+        }
+        // FIN.
+        if th.has(flags::FIN) {
+            let fin_seq = th.seq.wrapping_add(payload.len() as u32);
+            if fin_seq == self.rcv_nxt {
+                self.rcv_nxt = self.rcv_nxt.wrapping_add(1);
+                out.events.push(ConnEvent::PeerClosed);
+                match self.state {
+                    TcpState::SynReceived | TcpState::Established => {
+                        self.state = TcpState::CloseWait;
+                    }
+                    TcpState::FinWait1 => {
+                        // Did they also ack our FIN? process_ack may have
+                        // already moved us to FinWait2.
+                        self.state = TcpState::Closing;
+                    }
+                    TcpState::FinWait2 => {
+                        self.state = TcpState::TimeWait;
+                        self.timewait_deadline = Some(now + self.cfg.time_wait);
+                        self.rexmt_deadline = None;
+                    }
+                    _ => {}
+                }
+                let ack = self.make_ack();
+                out.segments.push(ack);
+            }
+        }
+        // Try to push more data out (window may have opened).
+        out.merge(self.output(now, false));
+        out
+    }
+
+    fn process_ack(&mut self, now: SimTime, th: &TcpHeader, out: &mut Actions) {
+        let ack = th.ack;
+        if seq_gt(ack, self.snd_max) {
+            // Acks something never sent.
+            let seg = self.make_ack();
+            out.segments.push(seg);
+            return;
+        }
+        if seq_le(ack, self.snd_una) {
+            // Duplicate ACK.
+            if th.seq == self.rcv_nxt
+                && ack == self.snd_una
+                && self.snd_nxt != self.snd_una
+                && th.window as u32 == self.snd_wnd
+            {
+                self.dup_ack_count += 1;
+                self.stats.dup_acks += 1;
+                if self.dup_ack_count == 3 {
+                    self.fast_retransmit(now, out);
+                }
+            }
+            self.snd_wnd = th.window as u32;
+            return;
+        }
+        // New data acknowledged.
+        let had_zero_window = self.snd_wnd == 0;
+        self.snd_wnd = th.window as u32;
+        self.dup_ack_count = 0;
+        self.retries = 0;
+        self.backoff_shift = 0;
+        if let Some((seq, t0)) = self.rtt_probe {
+            if seq_lt(seq, ack) {
+                self.rtt_sample(now.since(t0).as_secs_f64());
+                self.rtt_probe = None;
+            }
+        }
+        // Congestion window growth.
+        if self.cwnd < self.ssthresh {
+            self.cwnd += self.mss_effective as usize;
+        } else {
+            self.cwnd +=
+                ((self.mss_effective as usize * self.mss_effective as usize) / self.cwnd).max(1);
+        }
+        self.cwnd = self.cwnd.min(self.cfg.snd_buf * 2);
+        // Release acked bytes from the send buffer.
+        let data_end = self.snd_base.wrapping_add(self.snd_buf.len() as u32);
+        let acked_data_end = if seq_lt(ack, data_end) { ack } else { data_end };
+        if seq_gt(acked_data_end, self.snd_base) {
+            let n = acked_data_end.wrapping_sub(self.snd_base) as usize;
+            self.snd_buf.discard(n);
+            self.snd_base = acked_data_end;
+            out.events.push(ConnEvent::SendSpace);
+        }
+        self.snd_una = ack;
+        // After a go-back-N rewind, the ACK of an original (pre-rewind)
+        // transmission can overtake snd_nxt; pull it forward as BSD does.
+        if seq_lt(self.snd_nxt, self.snd_una) {
+            self.snd_nxt = self.snd_una;
+        }
+        if seq_gt(self.snd_nxt, self.snd_una) || had_zero_window && self.snd_wnd == 0 {
+            self.arm_rexmt(now);
+        } else {
+            self.rexmt_deadline = None;
+            self.persist_mode = false;
+        }
+        // FIN-related transitions.
+        let fin_acked = self.fin_seq.is_some_and(|fs| seq_gt(ack, fs));
+        match self.state {
+            TcpState::SynReceived if seq_gt(ack, self.iss) => {
+                self.state = TcpState::Established;
+                out.events.push(ConnEvent::Established);
+            }
+            TcpState::FinWait1 if fin_acked => {
+                self.state = TcpState::FinWait2;
+                self.rexmt_deadline = None;
+            }
+            TcpState::Closing if fin_acked => {
+                self.state = TcpState::TimeWait;
+                self.timewait_deadline = Some(now + self.cfg.time_wait);
+                self.rexmt_deadline = None;
+            }
+            TcpState::LastAck if fin_acked => {
+                self.state = TcpState::Closed;
+                self.rexmt_deadline = None;
+                out.events.push(ConnEvent::Closed);
+            }
+            _ => {}
+        }
+    }
+
+    fn fast_retransmit(&mut self, now: SimTime, out: &mut Actions) {
+        self.stats.fast_retransmits += 1;
+        let flight = self.snd_nxt.wrapping_sub(self.snd_una) as usize;
+        self.ssthresh = (flight / 2).max(2 * self.mss_effective as usize);
+        self.cwnd = self.ssthresh + 3 * self.mss_effective as usize;
+        self.rtt_probe = None;
+        // Retransmit the lost segment.
+        let data_end = self.snd_base.wrapping_add(self.snd_buf.len() as u32);
+        if seq_lt(self.snd_una, data_end) {
+            let off = self.snd_una.wrapping_sub(self.snd_base) as usize;
+            let n = (self.mss_effective as usize).min(self.snd_buf.len() - off);
+            let payload = self.snd_buf.peek_at(off, n);
+            let seq = self.snd_una;
+            let seg = self.make_seg(flags::ACK, seq, payload, false);
+            self.stats.retransmits += 1;
+            out.segments.push(seg);
+        } else if let Some(fs) = self.fin_seq {
+            if self.snd_una == fs {
+                let seg = self.make_seg(flags::FIN | flags::ACK, fs, Vec::new(), false);
+                self.stats.retransmits += 1;
+                out.segments.push(seg);
+            }
+        }
+        self.arm_rexmt(now);
+    }
+
+    fn process_data(&mut self, now: SimTime, th: &TcpHeader, payload: &[u8], out: &mut Actions) {
+        if !matches!(
+            self.state,
+            TcpState::Established | TcpState::FinWait1 | TcpState::FinWait2
+        ) {
+            return;
+        }
+        let mut seq = th.seq;
+        let mut data = payload;
+        // Trim old data.
+        if seq_lt(seq, self.rcv_nxt) {
+            let skip = self.rcv_nxt.wrapping_sub(seq) as usize;
+            if skip >= data.len() {
+                // Entirely old: re-ACK immediately.
+                let ack = self.make_ack();
+                out.segments.push(ack);
+                return;
+            }
+            data = &data[skip..];
+            seq = self.rcv_nxt;
+        }
+        if seq == self.rcv_nxt {
+            let n = self.rcv_buf.write(data);
+            // Data beyond buffer space is dropped (sender exceeded our
+            // advertised window).
+            self.rcv_nxt = self.rcv_nxt.wrapping_add(n as u32);
+            self.stats.bytes_in += n as u64;
+            if n > 0 {
+                out.events.push(ConnEvent::DataReady);
+            }
+            // Drain contiguous out-of-order segments.
+            while let Some((&oseq, _)) = self.ooo.iter().next() {
+                if seq_gt(oseq, self.rcv_nxt) {
+                    break;
+                }
+                let (oseq, od) = self.ooo.pop_first().expect("non-empty");
+                let skip = self.rcv_nxt.wrapping_sub(oseq) as usize;
+                if skip < od.len() {
+                    let m = self.rcv_buf.write(&od[skip..]);
+                    self.rcv_nxt = self.rcv_nxt.wrapping_add(m as u32);
+                    self.stats.bytes_in += m as u64;
+                }
+            }
+            // ACK policy: delayed ack unless one is already pending or the
+            // segment is pushed... BSD acks every other segment.
+            match self.cfg.delack {
+                Some(d) => {
+                    if self.delack_deadline.is_some() {
+                        let ack = self.make_ack();
+                        out.segments.push(ack);
+                    } else {
+                        self.delack_deadline = Some(now + d);
+                    }
+                }
+                None => {
+                    let ack = self.make_ack();
+                    out.segments.push(ack);
+                }
+            }
+        } else {
+            // Out of order: stash and send a duplicate ACK.
+            if self.ooo.len() < 64 {
+                self.ooo.entry(seq).or_insert_with(|| data.to_vec());
+            }
+            let ack = self.make_ack();
+            out.segments.push(ack);
+        }
+        let _ = th;
+    }
+}
+
+/// A listening socket: backlog accounting for SYN handling.
+///
+/// The listener does not own child connections (the host's socket table
+/// does); it tracks how many embryonic + accepted-but-unclaimed
+/// connections exist so the kernel can enforce the backlog — and, in LRP,
+/// disable protocol processing when the backlog is exceeded so the NI
+/// discards further SYNs at the channel queue (§3.4).
+#[derive(Debug)]
+pub struct TcpListener {
+    /// The local endpoint.
+    pub local: Endpoint,
+    /// Maximum embryonic + completed-unaccepted connections.
+    pub backlog: usize,
+    /// Current embryonic (SynReceived) children.
+    pub syn_queue: usize,
+    /// Completed connections awaiting `accept`.
+    pub accept_queue: usize,
+    /// SYNs dropped due to a full backlog.
+    pub syn_drops: u64,
+}
+
+impl TcpListener {
+    /// Creates a listener.
+    pub fn new(local: Endpoint, backlog: usize) -> Self {
+        TcpListener {
+            local,
+            backlog,
+            syn_queue: 0,
+            accept_queue: 0,
+            syn_drops: 0,
+        }
+    }
+
+    /// True if another SYN can be admitted (BSD: `sonewconn` checks
+    /// `q0len + qlen < 3 * backlog / 2`; we use the plain backlog).
+    pub fn can_accept_syn(&self) -> bool {
+        self.syn_queue + self.accept_queue < self.backlog
+    }
+
+    /// Records admission of a SYN (a child enters SynReceived).
+    pub fn on_syn_admitted(&mut self) {
+        self.syn_queue += 1;
+    }
+
+    /// Records rejection of a SYN.
+    pub fn on_syn_dropped(&mut self) {
+        self.syn_drops += 1;
+    }
+
+    /// A child completed the handshake: moves from SYN to accept queue.
+    pub fn on_child_established(&mut self) {
+        debug_assert!(self.syn_queue > 0);
+        self.syn_queue -= 1;
+        self.accept_queue += 1;
+    }
+
+    /// A child died before the handshake completed.
+    pub fn on_child_failed(&mut self) {
+        debug_assert!(self.syn_queue > 0);
+        self.syn_queue = self.syn_queue.saturating_sub(1);
+    }
+
+    /// The application accepted a completed connection.
+    pub fn on_accept(&mut self) {
+        debug_assert!(self.accept_queue > 0);
+        self.accept_queue -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,122 @@
+//! A minimal ARP message format.
+//!
+//! ARP is not routed through IP; frames carry it as a distinct link-level
+//! type. In LRP, ARP processing is charged to a proxy daemon (§3.5), so the
+//! simulation needs real ARP request/reply packets.
+
+use crate::{Ipv4Addr, WireError};
+
+/// Length of an ARP message for IPv4-over-simulated-link.
+pub const MESSAGE_LEN: usize = 16;
+
+/// ARP operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArpOp {
+    /// Who-has request.
+    Request,
+    /// Is-at reply.
+    Reply,
+}
+
+/// A parsed ARP message. Hardware addresses are simulated 4-byte NIC ids.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ArpMessage {
+    /// Operation.
+    pub op: ArpOp,
+    /// Sender hardware address (simulated NIC id).
+    pub sender_hw: u32,
+    /// Sender protocol (IPv4) address.
+    pub sender_ip: Ipv4Addr,
+    /// Target hardware address (zero in requests).
+    pub target_hw: u32,
+    /// Target protocol (IPv4) address.
+    pub target_ip: Ipv4Addr,
+}
+
+/// Encodes an ARP message.
+pub fn build(msg: &ArpMessage) -> Vec<u8> {
+    let mut out = Vec::with_capacity(MESSAGE_LEN);
+    out.extend_from_slice(
+        &match msg.op {
+            ArpOp::Request => 1u16,
+            ArpOp::Reply => 2u16,
+        }
+        .to_be_bytes(),
+    );
+    out.extend_from_slice(&[0, 0]); // Reserved/padding.
+    out.extend_from_slice(&msg.sender_hw.to_be_bytes()[..2]);
+    out.extend_from_slice(&msg.sender_hw.to_be_bytes()[2..]);
+    out.extend_from_slice(&msg.sender_ip.octets());
+    out.extend_from_slice(&msg.target_ip.octets());
+    // Target hw goes in the reserved+hw lanes of a real ARP; keep the
+    // simulated format simple: append it.
+    out.extend_from_slice(&msg.target_hw.to_be_bytes());
+    out
+}
+
+/// Parses an ARP message.
+pub fn parse(bytes: &[u8]) -> Result<ArpMessage, WireError> {
+    if bytes.len() < MESSAGE_LEN + 4 {
+        return Err(WireError::Truncated);
+    }
+    let op = match u16::from_be_bytes([bytes[0], bytes[1]]) {
+        1 => ArpOp::Request,
+        2 => ArpOp::Reply,
+        _ => return Err(WireError::Malformed),
+    };
+    Ok(ArpMessage {
+        op,
+        sender_hw: u32::from_be_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]),
+        sender_ip: Ipv4Addr::new(bytes[8], bytes[9], bytes[10], bytes[11]),
+        target_ip: Ipv4Addr::new(bytes[12], bytes[13], bytes[14], bytes[15]),
+        target_hw: u32::from_be_bytes([bytes[16], bytes[17], bytes[18], bytes[19]]),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let msg = ArpMessage {
+            op: ArpOp::Request,
+            sender_hw: 0xAABBCCDD,
+            sender_ip: Ipv4Addr::new(10, 0, 0, 1),
+            target_hw: 0,
+            target_ip: Ipv4Addr::new(10, 0, 0, 2),
+        };
+        assert_eq!(parse(&build(&msg)).unwrap(), msg);
+    }
+
+    #[test]
+    fn reply_roundtrip() {
+        let msg = ArpMessage {
+            op: ArpOp::Reply,
+            sender_hw: 2,
+            sender_ip: Ipv4Addr::new(10, 0, 0, 2),
+            target_hw: 1,
+            target_ip: Ipv4Addr::new(10, 0, 0, 1),
+        };
+        assert_eq!(parse(&build(&msg)).unwrap(), msg);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(parse(&[0u8; 8]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn bad_op_rejected() {
+        let msg = ArpMessage {
+            op: ArpOp::Request,
+            sender_hw: 1,
+            sender_ip: Ipv4Addr::new(1, 1, 1, 1),
+            target_hw: 0,
+            target_ip: Ipv4Addr::new(2, 2, 2, 2),
+        };
+        let mut bytes = build(&msg);
+        bytes[1] = 9;
+        assert_eq!(parse(&bytes), Err(WireError::Malformed));
+    }
+}

@@ -1,0 +1,125 @@
+//! The Internet checksum (RFC 1071).
+//!
+//! Used by IPv4 headers, and by UDP/TCP together with the pseudo-header.
+
+use crate::Ipv4Addr;
+
+/// Accumulates 16-bit one's-complement sums over byte slices.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Checksum {
+    sum: u32,
+}
+
+impl Checksum {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Checksum { sum: 0 }
+    }
+
+    /// Feeds bytes into the sum. Odd-length slices are padded with a zero
+    /// byte, matching RFC 1071's treatment of a trailing odd byte.
+    ///
+    /// Note: `add` must therefore only be called with odd-length data for
+    /// the *final* slice of a message.
+    pub fn add(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(2);
+        for c in &mut chunks {
+            self.sum += u16::from_be_bytes([c[0], c[1]]) as u32;
+        }
+        if let [last] = chunks.remainder() {
+            self.sum += u16::from_be_bytes([*last, 0]) as u32;
+        }
+    }
+
+    /// Feeds one big-endian 16-bit word.
+    pub fn add_u16(&mut self, v: u16) {
+        self.sum += v as u32;
+    }
+
+    /// Feeds the UDP/TCP pseudo-header.
+    pub fn add_pseudo_header(&mut self, src: Ipv4Addr, dst: Ipv4Addr, proto: u8, len: u16) {
+        self.add(&src.octets());
+        self.add(&dst.octets());
+        self.add_u16(proto as u16);
+        self.add_u16(len);
+    }
+
+    /// Finalizes to the one's-complement checksum value.
+    pub fn finish(self) -> u16 {
+        let mut s = self.sum;
+        while s >> 16 != 0 {
+            s = (s & 0xFFFF) + (s >> 16);
+        }
+        !(s as u16)
+    }
+}
+
+/// Checksum of a single contiguous buffer.
+pub fn checksum(bytes: &[u8]) -> u16 {
+    let mut c = Checksum::new();
+    c.add(bytes);
+    c.finish()
+}
+
+/// Verifies a buffer whose checksum field is already in place: the folded
+/// sum over the whole buffer must be zero.
+pub fn verify(bytes: &[u8]) -> bool {
+    let mut c = Checksum::new();
+    c.add(bytes);
+    c.finish() == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_example() {
+        // The classic example from RFC 1071 §3.
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn verify_roundtrip() {
+        let mut data = vec![1u8, 2, 3, 4, 5, 6, 0, 0, 9, 10];
+        let c = checksum(&data);
+        data[6..8].copy_from_slice(&c.to_be_bytes());
+        assert!(verify(&data));
+        data[0] ^= 0xFF;
+        assert!(!verify(&data));
+    }
+
+    #[test]
+    fn odd_length_padding() {
+        // Checksum of [0xAB] equals checksum of [0xAB, 0x00].
+        assert_eq!(checksum(&[0xAB]), checksum(&[0xAB, 0x00]));
+    }
+
+    #[test]
+    fn incremental_matches_single_shot() {
+        let data: Vec<u8> = (0..100u8).collect();
+        let mut inc = Checksum::new();
+        inc.add(&data[..40]);
+        inc.add(&data[40..]);
+        assert_eq!(inc.finish(), checksum(&data));
+    }
+
+    #[test]
+    fn pseudo_header_contributes() {
+        let src = Ipv4Addr::new(192, 168, 0, 1);
+        let dst = Ipv4Addr::new(192, 168, 0, 2);
+        let mut a = Checksum::new();
+        a.add_pseudo_header(src, dst, 17, 8);
+        a.add(b"datagram");
+        let mut b = Checksum::new();
+        b.add(b"datagram");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn zero_buffer_checksum() {
+        assert_eq!(checksum(&[0u8; 20]), 0xFFFF);
+        assert_eq!(checksum(&[]), 0xFFFF);
+    }
+}

@@ -1,0 +1,156 @@
+//! Link-level frames.
+//!
+//! The simulated link (an ATM LAN in the paper) carries either IPv4
+//! datagrams or ARP messages; the frame type plays the role of the
+//! LLC/SNAP type field. Per-frame link overhead (AAL5 trailer, cell tax) is
+//! modelled by the network crate, not stored here.
+
+use crate::{ipv4, proto, tcp, udp};
+
+/// A frame on the simulated link.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// An IPv4 datagram (header + payload bytes).
+    Ipv4(Vec<u8>),
+    /// An ARP message.
+    Arp(Vec<u8>),
+}
+
+impl Frame {
+    /// The frame's payload bytes.
+    pub fn bytes(&self) -> &[u8] {
+        match self {
+            Frame::Ipv4(b) | Frame::Arp(b) => b,
+        }
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes().len()
+    }
+
+    /// True if the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes().is_empty()
+    }
+
+    /// True for IPv4 frames.
+    pub fn is_ipv4(&self) -> bool {
+        matches!(self, Frame::Ipv4(_))
+    }
+}
+
+impl Frame {
+    /// A one-line human-readable summary ("tcpdump for the simulator"),
+    /// for captures and debugging.
+    pub fn describe(&self) -> String {
+        match self {
+            Frame::Arp(b) => format!("ARP {} bytes", b.len()),
+            Frame::Ipv4(b) => match ipv4::parse(b) {
+                Err(_) => format!("IP? {} bytes (malformed)", b.len()),
+                Ok((ih, payload)) => {
+                    if ih.is_fragment() && !ih.is_first_fragment() {
+                        return format!(
+                            "IP {} > {} frag id={} off={}",
+                            ih.src,
+                            ih.dst,
+                            ih.ident,
+                            ih.frag_offset as usize * 8
+                        );
+                    }
+                    match ih.proto {
+                        proto::UDP => match udp::parse(payload) {
+                            Ok((uh, body)) => format!(
+                                "UDP {}:{} > {}:{} len={}",
+                                ih.src,
+                                uh.src_port,
+                                ih.dst,
+                                uh.dst_port,
+                                body.len()
+                            ),
+                            Err(_) => format!("UDP {} > {} (truncated)", ih.src, ih.dst),
+                        },
+                        proto::TCP => match tcp::parse(payload) {
+                            Ok((th, body)) => {
+                                let mut fl = String::new();
+                                for (bit, ch) in [
+                                    (tcp::flags::SYN, 'S'),
+                                    (tcp::flags::FIN, 'F'),
+                                    (tcp::flags::RST, 'R'),
+                                    (tcp::flags::PSH, 'P'),
+                                    (tcp::flags::ACK, '.'),
+                                ] {
+                                    if th.has(bit) {
+                                        fl.push(ch);
+                                    }
+                                }
+                                format!(
+                                    "TCP {}:{} > {}:{} [{}] seq={} ack={} win={} len={}",
+                                    ih.src,
+                                    th.src_port,
+                                    ih.dst,
+                                    th.dst_port,
+                                    fl,
+                                    th.seq,
+                                    th.ack,
+                                    th.window,
+                                    body.len()
+                                )
+                            }
+                            Err(_) => format!("TCP {} > {} (truncated)", ih.src, ih.dst),
+                        },
+                        proto::ICMP => {
+                            format!("ICMP {} > {} len={}", ih.src, ih.dst, payload.len())
+                        }
+                        p => format!(
+                            "IP proto={} {} > {} len={}",
+                            p,
+                            ih.src,
+                            ih.dst,
+                            payload.len()
+                        ),
+                    }
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn describe_formats() {
+        use crate::Ipv4Addr;
+        let src = Ipv4Addr::new(10, 0, 0, 1);
+        let dst = Ipv4Addr::new(10, 0, 0, 2);
+        let u = Frame::Ipv4(udp::build_datagram(src, dst, 5, 9000, 1, b"xyz", true));
+        assert_eq!(u.describe(), "UDP 10.0.0.1:5 > 10.0.0.2:9000 len=3");
+        let h = tcp::TcpHeader {
+            src_port: 1,
+            dst_port: 80,
+            seq: 9,
+            ack: 0,
+            flags: tcp::flags::SYN,
+            window: 100,
+            mss: None,
+        };
+        let t = Frame::Ipv4(tcp::build_datagram(src, dst, &h, 2, b""));
+        assert!(t.describe().contains("[S] seq=9"));
+        assert!(Frame::Ipv4(vec![9, 9]).describe().contains("malformed"));
+        assert!(Frame::Arp(vec![0; 20]).describe().starts_with("ARP"));
+    }
+
+    #[test]
+    fn accessors() {
+        let f = Frame::Ipv4(vec![1, 2, 3]);
+        assert_eq!(f.bytes(), &[1, 2, 3]);
+        assert_eq!(f.len(), 3);
+        assert!(!f.is_empty());
+        assert!(f.is_ipv4());
+        let a = Frame::Arp(vec![]);
+        assert!(a.is_empty());
+        assert!(!a.is_ipv4());
+    }
+}

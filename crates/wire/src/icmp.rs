@@ -1,0 +1,161 @@
+//! ICMP messages: echo request/reply and destination unreachable.
+//!
+//! In LRP, ICMP traffic is demultiplexed to a proxy daemon's NI channel
+//! (§3.5 of the paper), so the simulation needs real ICMP packets to route.
+
+use crate::checksum;
+use crate::{ipv4, proto, Ipv4Addr, WireError};
+
+/// ICMP header length (type, code, checksum, rest-of-header).
+pub const HEADER_LEN: usize = 8;
+
+/// ICMP message types used in the simulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IcmpType {
+    /// Echo reply (type 0).
+    EchoReply,
+    /// Destination unreachable (type 3), with code.
+    Unreachable(u8),
+    /// Echo request (type 8).
+    EchoRequest,
+}
+
+impl IcmpType {
+    fn type_code(self) -> (u8, u8) {
+        match self {
+            IcmpType::EchoReply => (0, 0),
+            IcmpType::Unreachable(c) => (3, c),
+            IcmpType::EchoRequest => (8, 0),
+        }
+    }
+
+    fn from_type_code(t: u8, c: u8) -> Option<IcmpType> {
+        match t {
+            0 => Some(IcmpType::EchoReply),
+            3 => Some(IcmpType::Unreachable(c)),
+            8 => Some(IcmpType::EchoRequest),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed ICMP message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IcmpMessage {
+    /// Message type.
+    pub kind: IcmpType,
+    /// Identifier (echo) or zero.
+    pub ident: u16,
+    /// Sequence number (echo) or zero.
+    pub seq: u16,
+    /// Message body.
+    pub payload: Vec<u8>,
+}
+
+/// Encodes an ICMP message with a valid checksum.
+pub fn build(msg: &IcmpMessage) -> Vec<u8> {
+    let (t, c) = msg.kind.type_code();
+    let mut out = Vec::with_capacity(HEADER_LEN + msg.payload.len());
+    out.push(t);
+    out.push(c);
+    out.extend_from_slice(&[0, 0]);
+    out.extend_from_slice(&msg.ident.to_be_bytes());
+    out.extend_from_slice(&msg.seq.to_be_bytes());
+    out.extend_from_slice(&msg.payload);
+    let sum = checksum::checksum(&out);
+    out[2..4].copy_from_slice(&sum.to_be_bytes());
+    out
+}
+
+/// Builds a complete IP datagram carrying an ICMP message.
+pub fn build_datagram(src: Ipv4Addr, dst: Ipv4Addr, ident: u16, msg: &IcmpMessage) -> Vec<u8> {
+    let icmp = build(msg);
+    let h = ipv4::Ipv4Header::new(src, dst, proto::ICMP, ident, icmp.len());
+    ipv4::build_datagram(&h, &icmp)
+}
+
+/// Parses and checksum-verifies an ICMP message.
+pub fn parse(bytes: &[u8]) -> Result<IcmpMessage, WireError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(WireError::Truncated);
+    }
+    if !checksum::verify(bytes) {
+        return Err(WireError::BadChecksum);
+    }
+    let kind = IcmpType::from_type_code(bytes[0], bytes[1]).ok_or(WireError::Malformed)?;
+    Ok(IcmpMessage {
+        kind,
+        ident: u16::from_be_bytes([bytes[4], bytes[5]]),
+        seq: u16::from_be_bytes([bytes[6], bytes[7]]),
+        payload: bytes[HEADER_LEN..].to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_roundtrip() {
+        let msg = IcmpMessage {
+            kind: IcmpType::EchoRequest,
+            ident: 77,
+            seq: 3,
+            payload: b"abcdefgh".to_vec(),
+        };
+        let bytes = build(&msg);
+        assert_eq!(parse(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn unreachable_roundtrip() {
+        let msg = IcmpMessage {
+            kind: IcmpType::Unreachable(3),
+            ident: 0,
+            seq: 0,
+            payload: vec![0u8; 28],
+        };
+        let bytes = build(&msg);
+        assert_eq!(parse(&bytes).unwrap().kind, IcmpType::Unreachable(3));
+    }
+
+    #[test]
+    fn corrupt_rejected() {
+        let msg = IcmpMessage {
+            kind: IcmpType::EchoReply,
+            ident: 1,
+            seq: 1,
+            payload: vec![],
+        };
+        let mut bytes = build(&msg);
+        bytes[4] ^= 1;
+        assert_eq!(parse(&bytes), Err(WireError::BadChecksum));
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let mut bytes = vec![42u8, 0, 0, 0, 0, 0, 0, 0];
+        let sum = checksum::checksum(&bytes);
+        bytes[2..4].copy_from_slice(&sum.to_be_bytes());
+        assert_eq!(parse(&bytes), Err(WireError::Malformed));
+    }
+
+    #[test]
+    fn datagram_carries_icmp_proto() {
+        let msg = IcmpMessage {
+            kind: IcmpType::EchoRequest,
+            ident: 5,
+            seq: 9,
+            payload: vec![1, 2, 3],
+        };
+        let d = build_datagram(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            11,
+            &msg,
+        );
+        let (h, p) = ipv4::parse(&d).unwrap();
+        assert_eq!(h.proto, proto::ICMP);
+        assert_eq!(parse(p).unwrap(), msg);
+    }
+}

@@ -1,0 +1,302 @@
+//! IPv4 header encoding, parsing and fragmentation.
+//!
+//! The simulation uses options-free headers (IHL = 5) — the 4.4BSD fast
+//! path — so the header is always [`HEADER_LEN`] bytes.
+
+use crate::checksum;
+use crate::{Ipv4Addr, WireError};
+
+/// Length of an options-free IPv4 header.
+pub const HEADER_LEN: usize = 20;
+
+/// Don't Fragment flag.
+pub const FLAG_DF: u8 = 0b010;
+/// More Fragments flag.
+pub const FLAG_MF: u8 = 0b001;
+
+/// Default initial time-to-live.
+pub const DEFAULT_TTL: u8 = 64;
+
+/// A parsed (or to-be-encoded) IPv4 header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Ipv4Header {
+    /// Type of service.
+    pub tos: u8,
+    /// Total datagram length including header, in bytes.
+    pub total_len: u16,
+    /// Identification (shared by all fragments of a datagram).
+    pub ident: u16,
+    /// Flags: bit 1 = DF, bit 0 = MF (3-bit field, top bit reserved).
+    pub flags: u8,
+    /// Fragment offset in 8-byte units.
+    pub frag_offset: u16,
+    /// Time to live.
+    pub ttl: u8,
+    /// IP protocol number.
+    pub proto: u8,
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+}
+
+impl Ipv4Header {
+    /// Creates a header for an unfragmented datagram carrying `payload_len`
+    /// bytes.
+    pub fn new(src: Ipv4Addr, dst: Ipv4Addr, proto: u8, ident: u16, payload_len: usize) -> Self {
+        Ipv4Header {
+            tos: 0,
+            total_len: (HEADER_LEN + payload_len) as u16,
+            ident,
+            flags: 0,
+            frag_offset: 0,
+            ttl: DEFAULT_TTL,
+            proto,
+            src,
+            dst,
+        }
+    }
+
+    /// True if this is a fragment (MF set or non-zero offset).
+    pub fn is_fragment(&self) -> bool {
+        self.flags & FLAG_MF != 0 || self.frag_offset != 0
+    }
+
+    /// True if this is the first fragment of a fragmented datagram (offset
+    /// zero with MF set), or an unfragmented datagram.
+    pub fn is_first_fragment(&self) -> bool {
+        self.frag_offset == 0
+    }
+
+    /// Payload length in bytes.
+    pub fn payload_len(&self) -> usize {
+        self.total_len as usize - HEADER_LEN
+    }
+
+    /// Encodes the header (with correct checksum) into 20 bytes.
+    pub fn encode(&self) -> [u8; HEADER_LEN] {
+        let mut b = [0u8; HEADER_LEN];
+        b[0] = 0x45; // Version 4, IHL 5.
+        b[1] = self.tos;
+        b[2..4].copy_from_slice(&self.total_len.to_be_bytes());
+        b[4..6].copy_from_slice(&self.ident.to_be_bytes());
+        let fl_off = ((self.flags as u16) << 13) | (self.frag_offset & 0x1FFF);
+        b[6..8].copy_from_slice(&fl_off.to_be_bytes());
+        b[8] = self.ttl;
+        b[9] = self.proto;
+        // b[10..12] checksum, zero for now.
+        b[12..16].copy_from_slice(&self.src.octets());
+        b[16..20].copy_from_slice(&self.dst.octets());
+        let c = checksum::checksum(&b);
+        b[10..12].copy_from_slice(&c.to_be_bytes());
+        b
+    }
+
+    /// Decodes and validates a header from the front of `bytes`.
+    pub fn decode(bytes: &[u8]) -> Result<Ipv4Header, WireError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        if bytes[0] != 0x45 {
+            return Err(WireError::Malformed);
+        }
+        if !checksum::verify(&bytes[..HEADER_LEN]) {
+            return Err(WireError::BadChecksum);
+        }
+        let total_len = u16::from_be_bytes([bytes[2], bytes[3]]);
+        if (total_len as usize) < HEADER_LEN || total_len as usize > bytes.len() {
+            return Err(WireError::Malformed);
+        }
+        let fl_off = u16::from_be_bytes([bytes[6], bytes[7]]);
+        Ok(Ipv4Header {
+            tos: bytes[1],
+            total_len,
+            ident: u16::from_be_bytes([bytes[4], bytes[5]]),
+            flags: (fl_off >> 13) as u8,
+            frag_offset: fl_off & 0x1FFF,
+            ttl: bytes[8],
+            proto: bytes[9],
+            src: Ipv4Addr::new(bytes[12], bytes[13], bytes[14], bytes[15]),
+            dst: Ipv4Addr::new(bytes[16], bytes[17], bytes[18], bytes[19]),
+        })
+    }
+}
+
+/// Builds a complete datagram: header + payload.
+pub fn build_datagram(header: &Ipv4Header, payload: &[u8]) -> Vec<u8> {
+    debug_assert_eq!(header.payload_len(), payload.len());
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&header.encode());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Splits a datagram at the front of `bytes` into `(header, payload)`.
+pub fn parse(bytes: &[u8]) -> Result<(Ipv4Header, &[u8]), WireError> {
+    let h = Ipv4Header::decode(bytes)?;
+    Ok((h, &bytes[HEADER_LEN..h.total_len as usize]))
+}
+
+/// Fragments a transport payload into IP datagrams that fit within `mtu`.
+///
+/// Returns complete datagrams (header + fragment payload). For payloads
+/// that fit, a single unfragmented datagram is produced. Fragment payload
+/// sizes are multiples of 8 bytes except for the last fragment, per
+/// RFC 791.
+///
+/// # Panics
+///
+/// Panics if `mtu` leaves no room for data (`mtu < HEADER_LEN + 8`).
+pub fn fragment(
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    proto: u8,
+    ident: u16,
+    payload: &[u8],
+    mtu: usize,
+) -> Vec<Vec<u8>> {
+    assert!(mtu >= HEADER_LEN + 8, "mtu {mtu} too small to fragment");
+    let max_frag = (mtu - HEADER_LEN) & !7;
+    if HEADER_LEN + payload.len() <= mtu {
+        let h = Ipv4Header::new(src, dst, proto, ident, payload.len());
+        return vec![build_datagram(&h, payload)];
+    }
+    let mut out = Vec::new();
+    let mut offset = 0usize;
+    while offset < payload.len() {
+        let remaining = payload.len() - offset;
+        let take = remaining.min(max_frag);
+        let last = offset + take >= payload.len();
+        let mut h = Ipv4Header::new(src, dst, proto, ident, take);
+        h.flags = if last { 0 } else { FLAG_MF };
+        h.frag_offset = (offset / 8) as u16;
+        out.push(build_datagram(&h, &payload[offset..offset + take]));
+        offset += take;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto;
+
+    fn addrs() -> (Ipv4Addr, Ipv4Addr) {
+        (Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2))
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let (src, dst) = addrs();
+        let h = Ipv4Header::new(src, dst, proto::UDP, 0x1234, 100);
+        let bytes = h.encode();
+        let mut full = bytes.to_vec();
+        full.extend_from_slice(&[0u8; 100]);
+        let parsed = Ipv4Header::decode(&full).unwrap();
+        assert_eq!(parsed, h);
+    }
+
+    #[test]
+    fn decode_rejects_truncated() {
+        assert_eq!(Ipv4Header::decode(&[0x45; 10]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn decode_rejects_bad_version() {
+        let (src, dst) = addrs();
+        let h = Ipv4Header::new(src, dst, proto::UDP, 1, 0);
+        let mut b = h.encode().to_vec();
+        b[0] = 0x46; // IHL 6: options unsupported.
+        assert_eq!(Ipv4Header::decode(&b), Err(WireError::Malformed));
+    }
+
+    #[test]
+    fn decode_rejects_corrupt_checksum() {
+        let (src, dst) = addrs();
+        let h = Ipv4Header::new(src, dst, proto::UDP, 1, 0);
+        let mut b = h.encode().to_vec();
+        b[8] ^= 0xFF; // Corrupt TTL.
+        assert_eq!(Ipv4Header::decode(&b), Err(WireError::BadChecksum));
+    }
+
+    #[test]
+    fn decode_rejects_short_total_len() {
+        let (src, dst) = addrs();
+        let mut h = Ipv4Header::new(src, dst, proto::UDP, 1, 0);
+        h.total_len = 10;
+        let b = h.encode();
+        assert_eq!(Ipv4Header::decode(&b), Err(WireError::Malformed));
+    }
+
+    #[test]
+    fn parse_extracts_payload() {
+        let (src, dst) = addrs();
+        let h = Ipv4Header::new(src, dst, proto::UDP, 1, 5);
+        let d = build_datagram(&h, b"hello");
+        let (ph, payload) = parse(&d).unwrap();
+        assert_eq!(payload, b"hello");
+        assert_eq!(ph.proto, proto::UDP);
+    }
+
+    #[test]
+    fn parse_ignores_trailing_padding() {
+        // Links may pad frames; total_len governs the payload extent.
+        let (src, dst) = addrs();
+        let h = Ipv4Header::new(src, dst, proto::UDP, 1, 3);
+        let mut d = build_datagram(&h, b"abc");
+        d.extend_from_slice(&[0u8; 17]);
+        let (_, payload) = parse(&d).unwrap();
+        assert_eq!(payload, b"abc");
+    }
+
+    #[test]
+    fn no_fragmentation_when_fits() {
+        let (src, dst) = addrs();
+        let frags = fragment(src, dst, proto::UDP, 9, &[1u8; 100], 1500);
+        assert_eq!(frags.len(), 1);
+        let (h, p) = parse(&frags[0]).unwrap();
+        assert!(!h.is_fragment());
+        assert_eq!(p.len(), 100);
+    }
+
+    #[test]
+    fn fragmentation_layout() {
+        let (src, dst) = addrs();
+        let payload: Vec<u8> = (0..4000).map(|i| (i % 256) as u8).collect();
+        let frags = fragment(src, dst, proto::UDP, 9, &payload, 1500);
+        assert!(frags.len() > 1);
+        let mut reassembled = vec![0u8; payload.len()];
+        let mut seen_last = false;
+        for f in &frags {
+            let (h, p) = parse(f).unwrap();
+            assert!(f.len() <= 1500);
+            assert_eq!(h.ident, 9);
+            let off = h.frag_offset as usize * 8;
+            if h.flags & FLAG_MF == 0 {
+                seen_last = true;
+            } else {
+                assert_eq!(p.len() % 8, 0, "non-final fragments 8-aligned");
+            }
+            reassembled[off..off + p.len()].copy_from_slice(p);
+        }
+        assert!(seen_last);
+        assert_eq!(reassembled, payload);
+    }
+
+    #[test]
+    fn fragment_flags_helpers() {
+        let (src, dst) = addrs();
+        let frags = fragment(src, dst, proto::UDP, 9, &[0u8; 3000], 1500);
+        let (h0, _) = parse(&frags[0]).unwrap();
+        assert!(h0.is_fragment() && h0.is_first_fragment());
+        let (h1, _) = parse(&frags[1]).unwrap();
+        assert!(h1.is_fragment() && !h1.is_first_fragment());
+    }
+
+    #[test]
+    #[should_panic]
+    fn fragment_rejects_tiny_mtu() {
+        let (src, dst) = addrs();
+        let _ = fragment(src, dst, proto::UDP, 9, &[0u8; 100], 20);
+    }
+}

@@ -1,0 +1,152 @@
+//! Property tests: encode∘decode identity, checksum detection, and
+//! fragmentation/reassembly identity at the wire level.
+
+use lrp_wire::{icmp, ipv4, proto, tcp, udp, Ipv4Addr};
+use proptest::prelude::*;
+
+fn arb_addr() -> impl Strategy<Value = Ipv4Addr> {
+    any::<[u8; 4]>().prop_map(|o| Ipv4Addr::new(o[0], o[1], o[2], o[3]))
+}
+
+proptest! {
+    #[test]
+    fn ipv4_header_roundtrip(
+        src in arb_addr(),
+        dst in arb_addr(),
+        p in any::<u8>(),
+        ident in any::<u16>(),
+        payload_len in 0usize..1400,
+        ttl in 1u8..=255,
+        tos in any::<u8>(),
+    ) {
+        let mut h = ipv4::Ipv4Header::new(src, dst, p, ident, payload_len);
+        h.ttl = ttl;
+        h.tos = tos;
+        let mut buf = h.encode().to_vec();
+        buf.resize(ipv4::HEADER_LEN + payload_len, 0);
+        let parsed = ipv4::Ipv4Header::decode(&buf).unwrap();
+        prop_assert_eq!(parsed, h);
+    }
+
+    #[test]
+    fn ipv4_single_bit_flip_detected(
+        src in arb_addr(),
+        dst in arb_addr(),
+        bit in 0usize..(ipv4::HEADER_LEN * 8),
+    ) {
+        let h = ipv4::Ipv4Header::new(src, dst, proto::UDP, 1, 0);
+        let mut buf = h.encode().to_vec();
+        buf[bit / 8] ^= 1 << (bit % 8);
+        // Any single-bit corruption must be rejected (checksum or version
+        // or length check).
+        prop_assert!(ipv4::Ipv4Header::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn udp_roundtrip(
+        src in arb_addr(),
+        dst in arb_addr(),
+        sp in any::<u16>(),
+        dp in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..2000),
+        csum in any::<bool>(),
+    ) {
+        let pkt = udp::build(src, dst, sp, dp, &payload, csum);
+        let (h, body) = udp::parse(&pkt).unwrap();
+        prop_assert_eq!(h.src_port, sp);
+        prop_assert_eq!(h.dst_port, dp);
+        prop_assert_eq!(body, &payload[..]);
+        prop_assert!(udp::verify_checksum(src, dst, &pkt));
+    }
+
+    #[test]
+    fn udp_payload_corruption_detected(
+        src in arb_addr(),
+        dst in arb_addr(),
+        payload in proptest::collection::vec(any::<u8>(), 1..500),
+        which in any::<proptest::sample::Index>(),
+        flip in 1u8..=255,
+    ) {
+        let mut pkt = udp::build(src, dst, 7, 8, &payload, true);
+        let idx = udp::HEADER_LEN + which.index(payload.len());
+        pkt[idx] ^= flip;
+        prop_assert!(!udp::verify_checksum(src, dst, &pkt));
+    }
+
+    #[test]
+    fn tcp_roundtrip(
+        src in arb_addr(),
+        dst in arb_addr(),
+        sp in any::<u16>(),
+        dp in any::<u16>(),
+        seq in any::<u32>(),
+        ack in any::<u32>(),
+        fl in 0u8..0x40,
+        window in any::<u16>(),
+        mss in proptest::option::of(536u16..=9180),
+        payload in proptest::collection::vec(any::<u8>(), 0..2000),
+    ) {
+        let h = tcp::TcpHeader {
+            src_port: sp, dst_port: dp, seq, ack, flags: fl, window, mss,
+        };
+        let seg = tcp::build(src, dst, &h, &payload);
+        prop_assert!(tcp::verify_checksum(src, dst, &seg));
+        let (ph, body) = tcp::parse(&seg).unwrap();
+        prop_assert_eq!(ph, h);
+        prop_assert_eq!(body, &payload[..]);
+    }
+
+    #[test]
+    fn tcp_seq_ordering_total(a in any::<u32>(), b in any::<u32>()) {
+        // In sequence space exactly one of <, ==, > holds (for spans
+        // < 2^31, which TCP guarantees by windowing).
+        let lt = tcp::seq_lt(a, b);
+        let gt = tcp::seq_gt(a, b);
+        let eq = a == b;
+        prop_assert_eq!(u8::from(lt) + u8::from(gt) + u8::from(eq), 1);
+        prop_assert_eq!(tcp::seq_le(a, b), lt || eq);
+        prop_assert_eq!(tcp::seq_ge(a, b), gt || eq);
+    }
+
+    #[test]
+    fn fragmentation_reassembles_exactly(
+        src in arb_addr(),
+        dst in arb_addr(),
+        payload in proptest::collection::vec(any::<u8>(), 0..20_000),
+        mtu in 68usize..=9180,
+    ) {
+        let frags = ipv4::fragment(src, dst, proto::UDP, 99, &payload, mtu);
+        prop_assert!(!frags.is_empty());
+        let mut buf = vec![0u8; payload.len()];
+        let mut total = 0usize;
+        let mut finals = 0;
+        for f in &frags {
+            prop_assert!(f.len() <= mtu, "fragment exceeds mtu");
+            let (h, p) = ipv4::parse(f).unwrap();
+            let off = h.frag_offset as usize * 8;
+            buf[off..off + p.len()].copy_from_slice(p);
+            total += p.len();
+            if h.flags & ipv4::FLAG_MF == 0 {
+                finals += 1;
+            }
+        }
+        prop_assert_eq!(finals, 1, "exactly one final fragment");
+        prop_assert_eq!(total, payload.len());
+        prop_assert_eq!(buf, payload);
+    }
+
+    #[test]
+    fn icmp_roundtrip(
+        ident in any::<u16>(),
+        seq in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..500),
+        req in any::<bool>(),
+    ) {
+        let msg = icmp::IcmpMessage {
+            kind: if req { icmp::IcmpType::EchoRequest } else { icmp::IcmpType::EchoReply },
+            ident, seq, payload,
+        };
+        let bytes = icmp::build(&msg);
+        prop_assert_eq!(icmp::parse(&bytes).unwrap(), msg);
+    }
+}

@@ -1,0 +1,32 @@
+//! A web server under SYN-flood attack (the paper's Figure 5 scenario,
+//! condensed): eight HTTP clients against a server while a flood of fake
+//! connection requests hits another port on the same machine.
+//!
+//! Run with: `cargo run --release --example webserver_overload`
+
+use lrp::core::Architecture;
+use lrp::experiments::fig5;
+use lrp::sim::SimTime;
+
+fn main() {
+    let duration = SimTime::from_secs(5);
+    println!("HTTP transactions/s while a SYN flood hits a dummy port:\n");
+    println!("SYN flood pkts/s |  4.4BSD | SOFT-LRP");
+    println!("-----------------+---------+---------");
+    for rate in [0.0, 5_000.0, 10_000.0, 20_000.0] {
+        let bsd = fig5::measure(Architecture::Bsd, rate, duration);
+        let lrp = fig5::measure(Architecture::SoftLrp, rate, duration);
+        println!(
+            "{:>16} | {:>7.0} | {:>7.0}",
+            rate, bsd.http_tps, lrp.http_tps
+        );
+    }
+    println!();
+    println!("Under 4.4BSD, SYN processing runs in software-interrupt context at");
+    println!("a priority above every server process: a high enough SYN rate");
+    println!("starves the HTTP daemons outright. Under SOFT-LRP the dummy");
+    println!("socket's listen backlog fills, protocol processing for it is");
+    println!("disabled, and the flood is discarded at its own NI channel for the");
+    println!("cost of demultiplexing alone — HTTP traffic never shares a queue");
+    println!("with it.");
+}

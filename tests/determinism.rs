@@ -1,0 +1,52 @@
+//! Determinism: the repository's reproducibility claim. Identical
+//! configurations must produce bit-identical results — this is what makes
+//! the regenerated figures trustworthy.
+
+use lrp::core::Architecture;
+use lrp::experiments::{fig3, fig5, table2};
+use lrp::sim::SimTime;
+
+#[test]
+fn fig3_point_is_bit_identical_across_runs() {
+    let a = fig3::measure(Architecture::SoftLrp, 9_500.0, SimTime::from_secs(1));
+    let b = fig3::measure(Architecture::SoftLrp, 9_500.0, SimTime::from_secs(1));
+    assert_eq!(a.delivered.to_bits(), b.delivered.to_bits());
+}
+
+#[test]
+fn fig5_point_is_bit_identical_across_runs() {
+    let a = fig5::measure(Architecture::Bsd, 8_000.0, SimTime::from_secs(2));
+    let b = fig5::measure(Architecture::Bsd, 8_000.0, SimTime::from_secs(2));
+    assert_eq!(a.http_tps.to_bits(), b.http_tps.to_bits());
+    assert_eq!(a.fail_rate.to_bits(), b.fail_rate.to_bits());
+}
+
+#[test]
+fn full_host_state_identical_across_runs() {
+    // Deeper than a summary statistic: every counter the kernel kept.
+    let run = || {
+        let (mut world, _m) = fig3::build(Architecture::NiLrp, 11_000.0, true);
+        world.run_until(SimTime::from_secs(1));
+        let h = &world.hosts[0];
+        (
+            h.stats.clone(),
+            h.nic.stats(),
+            h.sched.total_charged(),
+            h.rx_frames(),
+        )
+    };
+    let (s1, n1, c1, r1) = run();
+    let (s2, n2, c2, r2) = run();
+    assert_eq!(format!("{s1:?}"), format!("{s2:?}"));
+    assert_eq!(n1, n2);
+    assert_eq!(c1, c2);
+    assert_eq!(r1, r2);
+}
+
+#[test]
+fn table2_cell_is_identical_across_runs() {
+    let a = table2::measure(Architecture::SoftLrp, table2::Variant::Fast);
+    let b = table2::measure(Architecture::SoftLrp, table2::Variant::Fast);
+    assert_eq!(a.worker_elapsed_s.to_bits(), b.worker_elapsed_s.to_bits());
+    assert_eq!(a.rpc_rate.to_bits(), b.rpc_rate.to_bits());
+}

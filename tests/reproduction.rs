@@ -1,0 +1,169 @@
+//! Reproduction shape tests: small-scale versions of the paper's
+//! experiments with assertions on *who wins and by roughly how much* —
+//! the invariants that make this a reproduction rather than a demo.
+//!
+//! Durations are kept short so the suite stays fast; the full sweeps live
+//! in the `lrp-experiments` binaries.
+
+use lrp::core::Architecture;
+use lrp::experiments::{fig3, fig5, mlfrr, table1};
+use lrp::sim::SimTime;
+
+const SECS2: SimTime = SimTime::from_secs(2);
+
+#[test]
+fn fig3_overload_ordering() {
+    // At 16k pkts/s offered — past every system's saturation — the paper's
+    // ordering must hold: NI-LRP > SOFT-LRP > Early-Demux ≈> BSD.
+    let bsd = fig3::measure(Architecture::Bsd, 16_000.0, SECS2).delivered;
+    let ed = fig3::measure(Architecture::EarlyDemux, 16_000.0, SECS2).delivered;
+    let soft = fig3::measure(Architecture::SoftLrp, 16_000.0, SECS2).delivered;
+    let ni = fig3::measure(Architecture::NiLrp, 16_000.0, SECS2).delivered;
+    assert!(ni > soft, "NI-LRP ({ni}) must beat SOFT-LRP ({soft})");
+    assert!(soft > ed, "SOFT-LRP ({soft}) must beat Early-Demux ({ed})");
+    assert!(
+        ed > bsd,
+        "Early-Demux ({ed}) must beat BSD ({bsd}) in deep overload"
+    );
+    assert!(
+        bsd < 0.3 * ni,
+        "BSD ({bsd}) must have collapsed relative to NI-LRP ({ni})"
+    );
+}
+
+#[test]
+fn fig3_bsd_livelocks() {
+    // The paper: BSD approaches livelock near 20k pkts/s.
+    let p = fig3::measure(Architecture::Bsd, 22_000.0, SECS2);
+    assert!(
+        p.delivered < 500.0,
+        "BSD at 22k pkts/s should be (nearly) livelocked, got {}",
+        p.delivered
+    );
+}
+
+#[test]
+fn fig3_ni_lrp_flat_under_overload() {
+    // NI-LRP's throughput stays at its maximum as offered load grows.
+    let at12k = fig3::measure(Architecture::NiLrp, 12_000.0, SECS2).delivered;
+    let at20k = fig3::measure(Architecture::NiLrp, 20_000.0, SECS2).delivered;
+    let ratio = at20k / at12k;
+    assert!(
+        (0.9..=1.1).contains(&ratio),
+        "NI-LRP must be flat: 12k->{at12k}, 20k->{at20k}"
+    );
+    // And the plateau lands near the paper's 11 163 pkts/s.
+    assert!(
+        (9_500.0..=12_500.0).contains(&at20k),
+        "NI-LRP plateau {at20k} out of calibration"
+    );
+}
+
+#[test]
+fn fig3_bsd_peak_calibated() {
+    // The paper's BSD peak is ~7 400 pkts/s.
+    let peak = fig3::measure(Architecture::Bsd, 7_000.0, SECS2).delivered;
+    assert!(
+        (6_300.0..=8_100.0).contains(&peak),
+        "BSD near-peak throughput {peak} out of calibration"
+    );
+}
+
+#[test]
+fn fig3_soft_lrp_declines_gently() {
+    // SOFT-LRP declines with demux overhead but far outlives BSD.
+    let peak = fig3::measure(Architecture::SoftLrp, 9_000.0, SECS2).delivered;
+    let deep = fig3::measure(Architecture::SoftLrp, 22_000.0, SECS2).delivered;
+    assert!(
+        deep > 0.5 * peak,
+        "SOFT-LRP at 22k ({deep}) vs peak ({peak})"
+    );
+    assert!(deep < peak, "soft demux cost must show up as a decline");
+}
+
+#[test]
+fn fig5_syn_flood_separation() {
+    // At 12k SYN/s the BSD HTTP server is (nearly) livelocked; SOFT-LRP
+    // keeps serving.
+    let d = SimTime::from_secs(3);
+    let bsd = fig5::measure(Architecture::Bsd, 12_000.0, d).http_tps;
+    let lrp = fig5::measure(Architecture::SoftLrp, 12_000.0, d).http_tps;
+    assert!(
+        lrp > 5.0 * bsd.max(1.0),
+        "SOFT-LRP ({lrp}) must dwarf BSD ({bsd}) under SYN flood"
+    );
+    assert!(lrp > 200.0, "SOFT-LRP must still serve real traffic: {lrp}");
+}
+
+#[test]
+fn mlfrr_ordering_spot_checks() {
+    // Spot checks in place of the full binary search: BSD loses packets at
+    // 8k Poisson; SOFT-LRP does not; NI-LRP survives 9.5k.
+    let d = SimTime::from_secs(2);
+    assert!(
+        !mlfrr::loss_free(Architecture::Bsd, 8_000.0, d),
+        "BSD should drop at 8k Poisson"
+    );
+    assert!(
+        mlfrr::loss_free(Architecture::SoftLrp, 7_800.0, d),
+        "SOFT-LRP should be loss-free at 7.8k"
+    );
+    assert!(
+        mlfrr::loss_free(Architecture::NiLrp, 9_500.0, d),
+        "NI-LRP should be loss-free at 9.5k"
+    );
+}
+
+#[test]
+fn table1_low_load_parity() {
+    // The paper's point: LRP costs nothing at low load. RTTs within 20%.
+    let bsd = table1::measure_rtt(lrp::core::HostConfig::new(Architecture::Bsd), 300);
+    let soft = table1::measure_rtt(lrp::core::HostConfig::new(Architecture::SoftLrp), 300);
+    let ni = table1::measure_rtt(lrp::core::HostConfig::new(Architecture::NiLrp), 300);
+    for (name, v) in [("SOFT-LRP", soft), ("NI-LRP", ni)] {
+        let ratio = v / bsd;
+        assert!(
+            (0.7..=1.2).contains(&ratio),
+            "{name} RTT {v:.0}us vs BSD {bsd:.0}us: outside parity band"
+        );
+    }
+}
+
+#[test]
+fn table1_udp_bandwidth_ordering() {
+    // UDP goodput: NI-LRP >= SOFT-LRP >= BSD > SunOS+Fore (paper: 92/86/82/64).
+    let bsd = table1::measure_udp_mbps(lrp::core::HostConfig::new(Architecture::Bsd), 200);
+    let soft = table1::measure_udp_mbps(lrp::core::HostConfig::new(Architecture::SoftLrp), 200);
+    let ni = table1::measure_udp_mbps(lrp::core::HostConfig::new(Architecture::NiLrp), 200);
+    let sunos = table1::measure_udp_mbps(lrp::core::HostConfig::sunos_fore(), 200);
+    assert!(
+        ni >= soft && soft >= bsd,
+        "ordering: ni={ni:.0} soft={soft:.0} bsd={bsd:.0}"
+    );
+    assert!(
+        sunos < bsd,
+        "the Fore-driver baseline must be slowest: {sunos:.0}"
+    );
+    assert!(
+        (70.0..=110.0).contains(&bsd),
+        "BSD UDP goodput {bsd:.0} Mb/s out of range"
+    );
+}
+
+#[test]
+fn fig5_console_dead_vs_responsive() {
+    // The paper's informal result: at 10k SYN/s the BSD server console
+    // appears dead; the LRP console stays responsive.
+    let d = SimTime::from_secs(3);
+    let (_, bsd_served) = fig5::measure_console_lag(Architecture::Bsd, 10_000.0, d);
+    let (lrp_lag, lrp_served) = fig5::measure_console_lag(Architecture::SoftLrp, 10_000.0, d);
+    assert!(
+        bsd_served < 30,
+        "BSD console must be dead: served {bsd_served}"
+    );
+    assert!(
+        lrp_served > 200,
+        "LRP console must be responsive: served {lrp_served}"
+    );
+    assert!(lrp_lag < 10_000.0, "LRP console lag small: {lrp_lag}us");
+}
