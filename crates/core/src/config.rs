@@ -81,6 +81,10 @@ pub struct HostConfig {
     pub tick: SimDuration,
     /// Round-robin quantum.
     pub quantum: SimDuration,
+    /// Number of simulated CPUs. 1 (the default) reproduces the classic
+    /// uniprocessor host bit-for-bit; larger values enable per-CPU run
+    /// queues, multi-queue RX steering and IPI-based cross-CPU wakeups.
+    pub ncpus: usize,
 }
 
 impl HostConfig {
@@ -102,7 +106,15 @@ impl HostConfig {
             mtu: 9180,
             tick: SimDuration::from_millis(10),
             quantum: SimDuration::from_millis(100),
+            ncpus: 1,
         }
+    }
+
+    /// The given architecture with `ncpus` simulated CPUs.
+    pub fn smp(arch: Architecture, ncpus: usize) -> Self {
+        let mut c = Self::new(arch);
+        c.ncpus = ncpus;
+        c
     }
 
     /// The SunOS + FORE-driver baseline of Table 1: BSD architecture with

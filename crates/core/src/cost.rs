@@ -105,6 +105,11 @@ pub struct CostModel {
     /// Context switch (register/address-space switch, excluding cache
     /// reload, which is per-process).
     pub context_switch: SimDuration,
+    /// Inter-processor interrupt: cross-CPU wakeup delivery (send on one
+    /// CPU + trap on the target). Charged on the *target* CPU when a
+    /// wakeup must run a process homed on another CPU. Anchored to the
+    /// SPARCcenter-2000 cross-call cost (~½ a local interrupt trap).
+    pub ipi: SimDuration,
     /// Cache-reload time per KB of the incoming process's working set.
     pub cache_reload_per_kb: SimDuration,
     /// Time away from the CPU after which the working set is assumed
@@ -154,6 +159,7 @@ impl CostModel {
             sock_dequeue: us(41),
             wakeup: us(10),
             context_switch: us(25),
+            ipi: us(6),
             cache_reload_per_kb: SimDuration::from_nanos(2_500),
             cache_decay_window: SimDuration::from_millis(50),
             accept_sock: us(40),
@@ -206,6 +212,7 @@ impl CostModel {
             sock_dequeue: d(self.sock_dequeue),
             wakeup: d(self.wakeup),
             context_switch: d(self.context_switch),
+            ipi: d(self.ipi),
             cache_reload_per_kb: d(self.cache_reload_per_kb),
             cache_decay_window: self.cache_decay_window,
             accept_sock: d(self.accept_sock),
@@ -306,6 +313,7 @@ mod tests {
         let c = CostModel::sparc20();
         let f = c.scaled(0.5);
         assert_eq!(f.hw_intr, c.hw_intr.mul_f64(0.5));
+        assert_eq!(f.ipi, c.ipi.mul_f64(0.5));
         assert_eq!(f.copy_ns_per_byte, c.copy_ns_per_byte / 2);
         assert_eq!(f.lazy_locality_permille, c.lazy_locality_permille);
         // Per-byte costs never drop to zero.

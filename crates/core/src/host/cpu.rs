@@ -1,5 +1,5 @@
 //! The CPU execution engine: chunk scheduling, interrupt preemption and
-//! charge-as-you-go accounting.
+//! charge-as-you-go accounting, per simulated CPU.
 
 use super::{Cont, Cpu, Host, PhaseOut, ProcExec, Running, Suspended, WorkKind};
 use lrp_sched::{Account, Pid, ProcState};
@@ -17,17 +17,18 @@ impl Cpu {
 type Settled = (WorkKind, Option<(Pid, Account)>, SimDuration);
 
 impl Host {
-    /// Charges elapsed time of the running chunk up to `now` and returns
-    /// the remaining duration.
-    fn settle_running(&mut self, now: SimTime) -> Option<Settled> {
-        let r = self.cpu.running.take()?;
+    /// Charges elapsed time of the chunk running on `cpu` up to `now` and
+    /// returns the remaining duration.
+    fn settle_running(&mut self, now: SimTime, cpu: usize) -> Option<Settled> {
+        let r = self.cpus[cpu].running.take()?;
         let elapsed = now.since(r.started);
         let total = r.ends.since(r.started);
         let remaining = total.saturating_sub(elapsed);
+        let used = elapsed.min(total);
+        self.cpus[cpu].busy += used;
         if let Some((pid, account)) = r.charge {
-            let used = elapsed.min(total);
             if !used.is_zero() {
-                self.sched.charge(pid, account, used);
+                self.sched.charge_on(cpu, pid, account, used);
             }
         }
         Some((r.kind, r.charge, remaining))
@@ -36,13 +37,14 @@ impl Host {
     fn start_chunk(
         &mut self,
         now: SimTime,
+        cpu: usize,
         kind: WorkKind,
         charge: Option<(Pid, Account)>,
         dur: SimDuration,
     ) {
-        debug_assert!(self.cpu.running.is_none(), "CPU already busy");
-        self.cpu.bump();
-        self.cpu.running = Some(Running {
+        debug_assert!(self.cpus[cpu].running.is_none(), "CPU already busy");
+        self.cpus[cpu].bump();
+        self.cpus[cpu].running = Some(Running {
             kind,
             charge,
             started: now,
@@ -50,31 +52,33 @@ impl Host {
         });
     }
 
-    /// A hardware interrupt demands the CPU: suspend whatever runs and
+    /// A hardware interrupt demands `cpu`: suspend whatever runs there and
     /// execute (or queue) the interrupt work. The interrupt's *logic* has
     /// already been applied by the caller; this models only its CPU cost.
-    pub(crate) fn raise_hw(&mut self, now: SimTime, cost: SimDuration) {
+    pub(crate) fn raise_hw_on(&mut self, now: SimTime, cpu: usize, cost: SimDuration) {
+        self.cur_cpu = cpu;
         // BSD charges interrupt time to the process that happens to be
         // running (or that the interrupt suspended); idle time is free.
-        let victim = self.current_proc_context();
-        match &self.cpu.running {
+        let victim = self.current_proc_context_on(cpu);
+        match &self.cpus[cpu].running {
             Some(r) if matches!(r.kind, WorkKind::Hw) => {
                 // Interrupts queue behind the current handler.
-                self.cpu.pending_hw.push_back((cost, victim));
+                self.cpus[cpu].pending_hw.push_back((cost, victim));
             }
             Some(_) => {
                 // Preempt: settle and suspend the current chunk.
-                let (kind, charge, remaining) = self.settle_running(now).expect("running chunk");
+                let (kind, charge, remaining) =
+                    self.settle_running(now, cpu).expect("running chunk");
                 match kind {
                     WorkKind::Soft => {
-                        self.cpu.susp_soft = Some(Suspended {
+                        self.cpus[cpu].susp_soft = Some(Suspended {
                             kind,
                             charge,
                             remaining,
                         });
                     }
                     WorkKind::Proc { .. } => {
-                        self.cpu.susp_proc = Some(Suspended {
+                        self.cpus[cpu].susp_proc = Some(Suspended {
                             kind,
                             charge,
                             remaining,
@@ -85,6 +89,7 @@ impl Host {
                 self.stats.hw_chunks += 1;
                 self.start_chunk(
                     now,
+                    cpu,
                     WorkKind::Hw,
                     victim.map(|p| (p, Account::Interrupt)),
                     cost,
@@ -94,6 +99,7 @@ impl Host {
                 self.stats.hw_chunks += 1;
                 self.start_chunk(
                     now,
+                    cpu,
                     WorkKind::Hw,
                     victim.map(|p| (p, Account::Interrupt)),
                     cost,
@@ -102,15 +108,15 @@ impl Host {
         }
     }
 
-    /// The process whose context underlies the current CPU activity (for
+    /// The process whose context underlies `cpu`'s current activity (for
     /// BSD-style interrupt charging).
-    pub(crate) fn current_proc_context(&self) -> Option<Pid> {
-        if let Some(s) = &self.cpu.susp_proc {
+    pub(crate) fn current_proc_context_on(&self, cpu: usize) -> Option<Pid> {
+        if let Some(s) = &self.cpus[cpu].susp_proc {
             if let WorkKind::Proc { pid, .. } = &s.kind {
                 return Some(*pid);
             }
         }
-        if let Some(r) = &self.cpu.running {
+        if let Some(r) = &self.cpus[cpu].running {
             if let WorkKind::Proc { pid, .. } = &r.kind {
                 return Some(*pid);
             }
@@ -119,14 +125,19 @@ impl Host {
     }
 
     /// CPU completion event: `gen` guards against stale events.
-    pub fn on_cpu_complete(&mut self, now: SimTime, gen: u64) {
-        if gen != self.cpu.gen || self.cpu.running.is_none() {
+    pub fn on_cpu_complete(&mut self, now: SimTime, cpu: usize, gen: u64) {
+        if gen != self.cpus[cpu].gen || self.cpus[cpu].running.is_none() {
             return; // Stale event (chunk was preempted/replaced).
         }
-        if self.cpu.running.as_ref().is_some_and(|r| r.ends > now) {
+        if self.cpus[cpu]
+            .running
+            .as_ref()
+            .is_some_and(|r| r.ends > now)
+        {
             return; // Stale (should not happen with gen check).
         }
-        let (kind, _, _) = self.settle_running(now).expect("checked");
+        self.cur_cpu = cpu;
+        let (kind, _, _) = self.settle_running(now, cpu).expect("checked");
         match kind {
             WorkKind::Hw | WorkKind::Soft => {}
             WorkKind::Proc { pid, next } => {
@@ -141,31 +152,37 @@ impl Host {
         self.dispatch(now);
     }
 
-    /// If the CPU is idle, find work (used after enqueuing work from
+    /// Finds work for every idle CPU (used after enqueuing work from
     /// timers etc.).
     pub(crate) fn kick(&mut self, now: SimTime) {
-        if self.cpu.running.is_none() {
-            self.dispatch(now);
-        }
+        self.dispatch(now);
     }
 
-    /// Mid-chunk preemption test for the running process (used at decay
-    /// boundaries when priorities shift).
+    /// Mid-chunk preemption test for the processes running on each CPU
+    /// (used at decay boundaries when priorities shift).
     pub(crate) fn maybe_preempt_running(&mut self, now: SimTime) {
-        let Some(r) = &self.cpu.running else { return };
-        let WorkKind::Proc { pid, .. } = &r.kind else {
-            return;
-        };
-        let pid = *pid;
-        let pri = self.sched.proc_ref(pid).effective_pri();
-        if self.sched.should_preempt(pri) {
-            let (kind, charge, remaining) = self.settle_running(now).expect("running");
-            let WorkKind::Proc { pid, next } = kind else {
-                unreachable!()
+        let mut preempted = false;
+        for cpu in 0..self.cpus.len() {
+            let Some(r) = &self.cpus[cpu].running else {
+                continue;
             };
-            let account = charge.map(|(_, a)| a).unwrap_or(Account::System);
-            let charge_pid = charge.map(|(p, _)| p).unwrap_or(pid);
-            self.preempt_to_exec(pid, next, remaining, account, charge_pid);
+            let WorkKind::Proc { pid, .. } = &r.kind else {
+                continue;
+            };
+            let pid = *pid;
+            let pri = self.sched.proc_ref(pid).effective_pri();
+            if self.sched.should_preempt_on(cpu, pri) {
+                let (kind, charge, remaining) = self.settle_running(now, cpu).expect("running");
+                let WorkKind::Proc { pid, next } = kind else {
+                    unreachable!()
+                };
+                let account = charge.map(|(_, a)| a).unwrap_or(Account::System);
+                let charge_pid = charge.map(|(p, _)| p).unwrap_or(pid);
+                self.preempt_to_exec(pid, next, remaining, account, charge_pid);
+                preempted = true;
+            }
+        }
+        if preempted {
             self.dispatch(now);
         }
     }
@@ -199,19 +216,40 @@ impl Host {
         }
     }
 
-    /// The central dispatcher: picks the highest-priority work for the
-    /// CPU. Order: pending hardware interrupts, software interrupt work,
-    /// the suspended process (unless preempted), then the scheduler.
+    /// Dispatches every idle CPU, in CPU order, until no idle CPU can find
+    /// work. The extra passes matter only on SMP: work queued for CPU `i`
+    /// by CPU `j > i` (an IPI, a wakeup of a process homed there) is
+    /// picked up in the next pass instead of waiting for the next event.
     pub(crate) fn dispatch(&mut self, now: SimTime) {
-        if self.cpu.running.is_some() {
+        loop {
+            let mut progressed = false;
+            for cpu in 0..self.cpus.len() {
+                if self.cpus[cpu].running.is_none() {
+                    self.dispatch_on(now, cpu);
+                    progressed |= self.cpus[cpu].running.is_some();
+                }
+            }
+            if !progressed {
+                return;
+            }
+        }
+    }
+
+    /// The central dispatcher: picks the highest-priority work for `cpu`.
+    /// Order: pending hardware interrupts, software interrupt work, the
+    /// suspended process (unless preempted), then the scheduler.
+    fn dispatch_on(&mut self, now: SimTime, cpu: usize) {
+        if self.cpus[cpu].running.is_some() {
             return;
         }
+        self.cur_cpu = cpu;
         loop {
             // 1. Hardware interrupts first.
-            if let Some((cost, victim)) = self.cpu.pending_hw.pop_front() {
+            if let Some((cost, victim)) = self.cpus[cpu].pending_hw.pop_front() {
                 self.stats.hw_chunks += 1;
                 self.start_chunk(
                     now,
+                    cpu,
                     WorkKind::Hw,
                     victim.map(|p| (p, Account::Interrupt)),
                     cost,
@@ -219,9 +257,9 @@ impl Host {
                 return;
             }
             // 2. Suspended softirq resumes.
-            if let Some(s) = self.cpu.susp_soft.take() {
-                self.cpu.bump();
-                self.cpu.running = Some(Running {
+            if let Some(s) = self.cpus[cpu].susp_soft.take() {
+                self.cpus[cpu].bump();
+                self.cpus[cpu].running = Some(Running {
                     kind: s.kind,
                     charge: s.charge,
                     started: now,
@@ -230,14 +268,16 @@ impl Host {
                 return;
             }
             // 3. New softirq job (BSD / Early-Demux protocol work, and
-            //    BSD-context TCP timer work).
+            //    BSD-context TCP timer work). The queues are global; any
+            //    CPU may drain them.
             if !self.cfg.arch.is_lrp() {
                 if let Some((cost, tag)) = self.next_soft_job(now) {
                     self.stats.soft_jobs += 1;
-                    let victim = self.current_proc_context();
+                    let victim = self.current_proc_context_on(cpu);
                     let _ = tag;
                     self.start_chunk(
                         now,
+                        cpu,
                         WorkKind::Soft,
                         victim.map(|p| (p, Account::Interrupt)),
                         cost,
@@ -251,6 +291,7 @@ impl Host {
                 self.stats.soft_jobs += 1;
                 self.start_chunk(
                     now,
+                    cpu,
                     WorkKind::Soft,
                     owner.map(|p| (p, Account::System)),
                     cost,
@@ -259,19 +300,19 @@ impl Host {
             }
             // 4. Suspended process chunk: resume unless something better
             //    is queued (preemption at interrupt return).
-            if let Some(s) = self.cpu.susp_proc.take() {
+            if let Some(s) = self.cpus[cpu].susp_proc.take() {
                 let WorkKind::Proc { pid, next } = s.kind else {
                     unreachable!("susp_proc holds proc work")
                 };
                 let pri = self.sched.proc_ref(pid).effective_pri();
-                if self.sched.should_preempt(pri) {
+                if self.sched.should_preempt_on(cpu, pri) {
                     let account = s.charge.map(|(_, a)| a).unwrap_or(Account::System);
                     let charge_pid = s.charge.map(|(p, _)| p).unwrap_or(pid);
                     self.preempt_to_exec(pid, next, s.remaining, account, charge_pid);
                     continue;
                 }
-                self.cpu.bump();
-                self.cpu.running = Some(Running {
+                self.cpus[cpu].bump();
+                self.cpus[cpu].running = Some(Running {
                     kind: WorkKind::Proc { pid, next },
                     charge: s.charge,
                     started: now,
@@ -279,9 +320,9 @@ impl Host {
                 });
                 return;
             }
-            // 5. Ask the scheduler.
-            if let Some(pid) = self.sched.pick_next() {
-                if self.begin_proc(now, pid) {
+            // 5. Ask the scheduler (own run queue first, then idle-steal).
+            if let Some(pid) = self.sched.pick_next_on(cpu) {
+                if self.begin_proc(now, cpu, pid) {
                     return;
                 }
                 continue;
@@ -301,17 +342,17 @@ impl Host {
         }
     }
 
-    /// Runs phases for a process that just got the CPU until one of them
+    /// Runs phases for a process that just got `cpu` until one of them
     /// yields a cost-bearing chunk (returns true) or the process blocks /
     /// exits / yields (returns false).
-    fn begin_proc(&mut self, now: SimTime, pid: Pid) -> bool {
+    fn begin_proc(&mut self, now: SimTime, cpu: usize, pid: Pid) -> bool {
         // Context-switch accounting: switching to a different process
         // costs switch time plus a cache reload for the incoming working
         // set, scaled by how long the process has been off the CPU (a
         // brief preemption evicts little of a large working set).
         let mut switch_cost = SimDuration::ZERO;
-        if self.last_on_cpu != Some(pid) {
-            if let Some(prev) = self.last_on_cpu {
+        if self.cpus[cpu].last_on_cpu != Some(pid) {
+            if let Some(prev) = self.cpus[cpu].last_on_cpu {
                 self.last_ran.insert(prev, now);
             }
             let reload = self.sched.proc_ref(pid).cache_reload;
@@ -325,7 +366,7 @@ impl Host {
             };
             switch_cost = self.cfg.cost.context_switch + scaled;
             self.stats.ctx_switches += 1;
-            self.last_on_cpu = Some(pid);
+            self.cpus[cpu].last_on_cpu = Some(pid);
         }
         loop {
             let ex = self.exec.remove(&pid).unwrap_or(ProcExec::Exited);
@@ -376,6 +417,7 @@ impl Host {
                     }
                     self.start_chunk(
                         now,
+                        cpu,
                         WorkKind::Proc { pid, next },
                         Some((charge_pid, account)),
                         total,
@@ -385,7 +427,7 @@ impl Host {
                 PhaseOut::Block { wchan, pri, resume } => {
                     self.exec.insert(pid, ProcExec::Blocked(resume));
                     self.sched.sleep(pid, wchan, pri);
-                    self.last_on_cpu = Some(pid);
+                    self.cpus[cpu].last_on_cpu = Some(pid);
                     return false;
                 }
                 PhaseOut::Yield(cont) => {

@@ -1,5 +1,5 @@
-//! The simulated server host: one CPU, a scheduler, a NIC and the
-//! protocol stack, glued together under one of the paper's four
+//! The simulated server host: one or more CPUs, a scheduler, a NIC and
+//! the protocol stack, glued together under one of the paper's four
 //! architectures.
 //!
 //! # Execution model
@@ -8,8 +8,8 @@
 //! via [`Host::on_frame`], CPU work completions via
 //! [`Host::on_cpu_complete`], kernel timers via [`Host::on_timer`], and
 //! the statclock via [`Host::on_tick`]. The host never blocks; it models
-//! the CPU as a single resource executing *work chunks* with three
-//! preemption levels, highest first:
+//! each CPU as a resource executing *work chunks* with three preemption
+//! levels, highest first:
 //!
 //! 1. **Hardware interrupts** — run to completion, queue FIFO behind each
 //!    other, preempt everything else.
@@ -24,6 +24,14 @@
 //! then occupies the CPU for the modelled cost, charged to a process
 //! according to the architecture's accounting policy — the paper's central
 //! lever.
+//!
+//! With `ncpus > 1` ([`HostConfig::ncpus`]) the host models an SMP
+//! machine: each CPU keeps its own run queue, interrupt/softirq suspend
+//! state and generation counter, NIC RX interrupts are steered to the
+//! queue's target CPU (`rxq % ncpus`), and a wakeup that makes a process
+//! runnable on another CPU posts an IPI whose delivery cost is paid on
+//! the target. `ncpus = 1` reproduces the classic uniprocessor host
+//! bit-for-bit.
 
 mod cpu;
 mod proto;
@@ -86,6 +94,8 @@ pub struct HostStats {
     pub ctx_switches: u64,
     /// TCP connections fully established (passive side).
     pub tcp_accepted: u64,
+    /// Inter-processor interrupts posted for cross-CPU wakeups (SMP).
+    pub ipis: u64,
 }
 
 impl HostStats {
@@ -266,6 +276,11 @@ pub(crate) struct Cpu {
     /// Pending hardware interrupt work (cost, charge target decided at
     /// arrival).
     pub pending_hw: VecDeque<(SimDuration, Option<Pid>)>,
+    /// The process whose context was last on this CPU (context-switch
+    /// detection for cache-reload penalties).
+    pub last_on_cpu: Option<Pid>,
+    /// Total time this CPU spent executing chunks (utilization).
+    pub busy: SimDuration,
 }
 
 /// The simulated host.
@@ -285,7 +300,12 @@ pub struct Host {
     pub(crate) sockets: Vec<Option<Socket>>,
     pub(crate) apps: HashMap<Pid, Box<dyn AppLogic>>,
     pub(crate) exec: HashMap<Pid, ProcExec>,
-    pub(crate) cpu: Cpu,
+    /// The simulated CPUs (length `cfg.ncpus`).
+    pub(crate) cpus: Vec<Cpu>,
+    /// The CPU whose context the host is currently executing in (set at
+    /// every entry point; used for cross-CPU wakeup detection and per-CPU
+    /// scheduler queries from syscall phases).
+    pub(crate) cur_cpu: usize,
     /// BSD shared IP queue.
     pub(crate) ip_queue: VecDeque<Frame>,
     /// Due TCP timer work (socket ids), processed in protocol context.
@@ -302,8 +322,7 @@ pub struct Host {
     pub(crate) forward_daemon: Option<Pid>,
     /// BSD/Early-Demux: forward in softirq context when enabled.
     pub(crate) forwarding_enabled: bool,
-    pub(crate) last_on_cpu: Option<Pid>,
-    /// When each process last held the CPU (for away-time-scaled cache
+    /// When each process last held a CPU (for away-time-scaled cache
     /// reload penalties).
     pub(crate) last_ran: HashMap<Pid, SimTime>,
     pub(crate) iss: u32,
@@ -342,12 +361,15 @@ impl Host {
             Architecture::EarlyDemux | Architecture::SoftLrp => DemuxMode::Soft,
             Architecture::NiLrp => DemuxMode::Ni,
         };
+        assert!(cfg.ncpus > 0, "a host needs at least one CPU");
         let mut nic = Nic::new(demux_mode, addr, cfg.max_sockets);
         nic.set_default_channel_limit(cfg.channel_limit);
+        nic.set_rx_queues(cfg.ncpus);
         let sched_cfg = SchedConfig {
             tick: cfg.tick,
             quantum: cfg.quantum,
             decay_interval: SimDuration::from_secs(1),
+            ncpus: cfg.ncpus,
         };
         let mut host = Host {
             cfg,
@@ -360,7 +382,8 @@ impl Host {
             sockets: Vec::new(),
             apps: HashMap::new(),
             exec: HashMap::new(),
-            cpu: Cpu::default(),
+            cpus: (0..cfg.ncpus).map(|_| Cpu::default()).collect(),
+            cur_cpu: 0,
             ip_queue: VecDeque::new(),
             tcp_timer_work: VecDeque::new(),
             ed_pending: VecDeque::new(),
@@ -370,7 +393,6 @@ impl Host {
             icmp_sock: None,
             forward_daemon: None,
             forwarding_enabled: false,
-            last_on_cpu: None,
             last_ran: HashMap::new(),
             iss: 1000,
             ip_ident: 1,
@@ -394,6 +416,9 @@ impl Host {
             if host.cfg.tcp_app_processing {
                 let app = host.sched.spawn_fixed("app-thread", lrp_sched::PUSER);
                 host.exec.insert(app, ProcExec::Cont(Cont::AppThreadStep));
+                // Kernel threads drain global protocol state; pin them to
+                // CPU 0 so the idle-steal balancer cannot migrate them.
+                host.sched.set_affinity(app, Some(0));
                 host.app_thread = Some(app);
             }
             if host.cfg.idle_thread {
@@ -401,6 +426,7 @@ impl Host {
                 // processing when the CPU would otherwise idle (§3.3).
                 let idle = host.sched.spawn_fixed("idle-proto", 126);
                 host.exec.insert(idle, ProcExec::Cont(Cont::IdleThreadStep));
+                host.sched.set_affinity(idle, Some(0));
                 host.idle_thread = Some(idle);
             }
         }
@@ -430,10 +456,22 @@ impl Host {
         self.dispatch(now);
     }
 
-    /// The next CPU completion event the world must schedule:
+    /// Number of simulated CPUs.
+    pub fn ncpus(&self) -> usize {
+        self.cpus.len()
+    }
+
+    /// The next completion event the world must schedule for `cpu`:
     /// `(time, generation)`.
-    pub fn cpu_event(&self) -> Option<(SimTime, u64)> {
-        self.cpu.running.as_ref().map(|r| (r.ends, self.cpu.gen))
+    pub fn cpu_event_on(&self, cpu: usize) -> Option<(SimTime, u64)> {
+        let c = &self.cpus[cpu];
+        c.running.as_ref().map(|r| (r.ends, c.gen))
+    }
+
+    /// Time `cpu` has spent executing work chunks (for utilization
+    /// reports; divide by elapsed simulated time).
+    pub fn cpu_busy(&self, cpu: usize) -> SimDuration {
+        self.cpus[cpu].busy
     }
 
     /// The earliest kernel-timer deadline (TCP timers, timed sleeps,
@@ -562,6 +600,7 @@ impl Host {
         if self.cfg.arch.is_lrp() {
             let pid = self.sched.spawn("ipfwd", nice, SimDuration::ZERO);
             self.exec.insert(pid, ProcExec::Cont(Cont::ForwardStep));
+            self.sched.set_affinity(pid, Some(0));
             self.forward_daemon = Some(pid);
             let chan = self.nic.create_default_channel();
             self.nic.set_forward_proxy(chan);
@@ -571,8 +610,10 @@ impl Host {
         }
     }
 
-    /// Statclock tick: drives decay (1 Hz) and preemption checks.
+    /// Statclock tick: drives decay (1 Hz) and preemption checks. The
+    /// clock interrupt is wired to CPU 0 (the boot CPU).
     pub fn on_tick(&mut self, now: SimTime) {
+        self.cur_cpu = 0;
         self.ticks += 1;
         if self.ticks.is_multiple_of(100) {
             self.sched.decay();
@@ -586,6 +627,8 @@ impl Host {
     /// Kernel timer service: fires due TCP timers (queued as protocol
     /// work), timed sleeps, and reassembly expiry.
     pub fn on_timer(&mut self, now: SimTime) {
+        // Kernel timers fire on the boot CPU.
+        self.cur_cpu = 0;
         // Timed sleeps.
         let due: Vec<SimTime> = self.sleep_until.range(..=now).map(|(t, _)| *t).collect();
         for t in due {
@@ -629,13 +672,34 @@ impl Host {
     }
 
     /// Transitions a woken process from `Blocked` to its continuation.
+    /// If the process is homed on another CPU, delivering the wakeup
+    /// costs an IPI on that CPU (SMP only).
     pub(crate) fn unblock(&mut self, pid: Pid) {
         if let Some(ex) = self.exec.get_mut(&pid) {
             if let ProcExec::Blocked(cont) = ex {
                 let c = cont.clone();
                 *ex = ProcExec::Cont(c);
+                self.post_ipi(pid);
             }
         }
+    }
+
+    /// Posts an inter-processor interrupt to `pid`'s home CPU when the
+    /// wakeup originates on a different CPU. The IPI's cost is charged on
+    /// the target like any hardware interrupt (BSD policy: to whoever
+    /// happens to run there). No-op on a uniprocessor.
+    fn post_ipi(&mut self, pid: Pid) {
+        if self.cpus.len() <= 1 {
+            return;
+        }
+        let home = self.sched.proc_ref(pid).home_cpu;
+        if home == self.cur_cpu {
+            return;
+        }
+        let victim = self.current_proc_context_on(home);
+        let cost = self.cfg.cost.ipi;
+        self.cpus[home].pending_hw.push_back((cost, victim));
+        self.stats.ipis += 1;
     }
 
     /// Wakes the APP kernel thread if sleeping.

@@ -15,15 +15,18 @@ impl Host {
     /// A frame arrives from the link.
     ///
     /// Interrupt-handler *logic* runs here (hardware interrupts preempt
-    /// everything instantly); the handler's CPU *cost* then occupies the
-    /// CPU via the interrupt-preemption machinery.
+    /// everything instantly); the handler's CPU *cost* then occupies a
+    /// CPU via the interrupt-preemption machinery. On SMP, each RX queue
+    /// interrupts its target CPU (`rxq % ncpus`) — the RSS steering that
+    /// spreads flows across processors.
     pub fn on_frame(&mut self, now: SimTime, frame: Frame) {
         let cost = self.cfg.cost;
+        let ncpus = self.cpus.len();
         match self.cfg.arch {
             Architecture::Bsd => {
                 match self.nic.rx_frame(frame) {
-                    RxOutcome::Interrupt => {
-                        let f = self.nic.ring_dequeue().expect("frame just queued");
+                    RxOutcome::Interrupt(rxq) => {
+                        let f = self.nic.ring_dequeue_from(rxq).expect("frame just queued");
                         // Driver: mbuf encapsulation, then the shared IP
                         // queue; drop (after the driver work!) if full.
                         if self.ip_queue.len() >= self.cfg.ip_queue_limit {
@@ -31,7 +34,7 @@ impl Host {
                         } else {
                             self.ip_queue.push_back(f);
                         }
-                        self.raise_hw(now, cost.hw_intr + cost.driver_rx_per_pkt);
+                        self.raise_hw_on(now, rxq % ncpus, cost.hw_intr + cost.driver_rx_per_pkt);
                     }
                     RxOutcome::Dropped(_) => {
                         self.stats.drop_at(DropPoint::RxRing);
@@ -40,10 +43,11 @@ impl Host {
                 }
             }
             Architecture::EarlyDemux | Architecture::SoftLrp => match self.nic.rx_frame(frame) {
-                RxOutcome::Interrupt => {
-                    let f = self.nic.ring_dequeue().expect("frame just queued");
+                RxOutcome::Interrupt(rxq) => {
+                    let f = self.nic.ring_dequeue_from(rxq).expect("frame just queued");
+                    self.cur_cpu = rxq % ncpus;
                     let d = self.soft_demux_deliver(now, f);
-                    self.raise_hw(now, cost.hw_intr + cost.driver_rx_per_pkt + d);
+                    self.raise_hw_on(now, rxq % ncpus, cost.hw_intr + cost.driver_rx_per_pkt + d);
                 }
                 RxOutcome::Dropped(_) => {
                     self.stats.drop_at(DropPoint::RxRing);
@@ -55,12 +59,13 @@ impl Host {
                 // processor: zero host cost unless an interrupt was
                 // requested.
                 match self.nic.rx_frame(frame) {
-                    RxOutcome::Interrupt => {
+                    RxOutcome::Interrupt(rxq) => {
                         // Wake whoever requested notification for the
                         // newly non-empty channel. We do not know which
                         // channel fired; wake receivers with pending data.
+                        self.cur_cpu = rxq % ncpus;
                         self.ni_interrupt_wakeups();
-                        self.raise_hw(now, cost.hw_intr_ni);
+                        self.raise_hw_on(now, rxq % ncpus, cost.hw_intr_ni);
                     }
                     RxOutcome::Queued => {}
                     RxOutcome::Dropped(_) => {

@@ -56,9 +56,13 @@ impl Host {
             }
             Cont::ComputeMore(remaining) => {
                 // Round-robin at the quantum boundary: give the CPU away
-                // if a process of equal or better priority is queued.
+                // if a process of equal or better priority is queued on
+                // this CPU's run queue.
                 let my_bucket = self.sched.proc_ref(pid).effective_pri() & !3u8;
-                let others = self.sched.best_queued_pri().is_some_and(|b| b <= my_bucket);
+                let others = self
+                    .sched
+                    .best_queued_pri_on(self.cur_cpu)
+                    .is_some_and(|b| b <= my_bucket);
                 if others {
                     PhaseOut::Yield(Cont::ComputeSlice(remaining))
                 } else {

@@ -22,8 +22,8 @@ pub type CaptureEntry = (SimTime, usize, String);
 pub enum Event {
     /// A frame arrives at a host's NIC.
     Frame(usize, Frame),
-    /// A host CPU work chunk completes (generation-guarded).
-    Cpu(usize, u64),
+    /// A work chunk completes on `(host, cpu)` (generation-guarded).
+    Cpu(usize, usize, u64),
     /// A host kernel timer may be due.
     Timer(usize),
     /// Statclock tick for a host.
@@ -64,8 +64,8 @@ pub struct World {
     queue: EventQueue<Event>,
     /// Per host: the earliest Timer event already scheduled.
     timer_at: Vec<SimTime>,
-    /// Per host: the CPU generation last scheduled.
-    cpu_gen: Vec<u64>,
+    /// Per host, per CPU: the generation last scheduled.
+    cpu_gen: Vec<Vec<u64>>,
     link_cfg: LinkConfig,
     tick: SimDuration,
     started: bool,
@@ -103,10 +103,10 @@ impl World {
     pub fn add_host(&mut self, host: Host) -> usize {
         let idx = self.hosts.len();
         self.routes.insert(host.addr, idx);
+        self.cpu_gen.push(vec![0; host.ncpus()]);
         self.hosts.push(host);
         self.links.push(TxLink::new(self.link_cfg));
         self.timer_at.push(SimTime::NEVER);
-        self.cpu_gen.push(0);
         idx
     }
 
@@ -172,11 +172,13 @@ impl World {
     /// After any host interaction: schedule its CPU completion, its next
     /// kernel timer, and pull frames onto its link.
     fn post_host(&mut self, h: usize) {
-        // CPU completion.
-        if let Some((t, gen)) = self.hosts[h].cpu_event() {
-            if gen != self.cpu_gen[h] {
-                self.cpu_gen[h] = gen;
-                self.schedule(t, Event::Cpu(h, gen));
+        // CPU completions, one event per busy CPU.
+        for c in 0..self.hosts[h].ncpus() {
+            if let Some((t, gen)) = self.hosts[h].cpu_event_on(c) {
+                if gen != self.cpu_gen[h][c] {
+                    self.cpu_gen[h][c] = gen;
+                    self.schedule(t, Event::Cpu(h, c, gen));
+                }
             }
         }
         // Kernel timer.
@@ -245,8 +247,8 @@ impl World {
                     self.hosts[h].on_frame(t, frame);
                     self.post_host(h);
                 }
-                Event::Cpu(h, gen) => {
-                    self.hosts[h].on_cpu_complete(t, gen);
+                Event::Cpu(h, c, gen) => {
+                    self.hosts[h].on_cpu_complete(t, c, gen);
                     self.post_host(h);
                 }
                 Event::Timer(h) => {

@@ -171,13 +171,11 @@ fn forwarding_respects_ttl() {
     world.add_route_via(D, g);
     // Inject one normal packet and one with TTL=1 (expires at the
     // gateway).
-    let mut n = 0u64;
     let inj = Injector::new(
         Pattern::FixedRate { pps: 1_000.0 },
         SimTime::from_millis(5),
         12,
         move |seq| {
-            n += 1;
             let seg = lrp_wire::udp::build(A, D, 6000, 7000, &[0u8; 14], false);
             let mut h = lrp_wire::ipv4::Ipv4Header::new(
                 A,

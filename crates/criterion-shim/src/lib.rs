@@ -1,0 +1,168 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The real criterion cannot be fetched in this build environment, so this
+//! crate provides the API subset the workspace's benches use: `Criterion`,
+//! `benchmark_group` / `sample_size` / `throughput` / `bench_function` /
+//! `finish`, `Bencher::iter`, `Throughput`, and the `criterion_group!` /
+//! `criterion_main!` macros. Measurement is simple wall-clock timing with
+//! a mean/min/max report — no statistics, plots, or HTML output.
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+            _parent: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates per-iteration throughput for the following benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark: a warm-up iteration, then `sample_size` timed
+    /// samples, and prints mean/min/max (plus throughput if annotated).
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        // Warm-up (untimed in the report).
+        f(&mut b);
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.elapsed = Duration::ZERO;
+            b.iters = 0;
+            f(&mut b);
+            let per_iter = if b.iters > 0 {
+                b.elapsed / b.iters as u32
+            } else {
+                b.elapsed
+            };
+            samples.push(per_iter);
+        }
+        let min = samples.iter().min().copied().unwrap_or_default();
+        let max = samples.iter().max().copied().unwrap_or_default();
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        print!(
+            "{}/{:<40} mean {:>12?}  min {:>12?}  max {:>12?}",
+            self.name, id, mean, min, max
+        );
+        match self.throughput {
+            Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+                print!("  {:>12.0} elem/s", n as f64 / mean.as_secs_f64());
+            }
+            Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+                print!(
+                    "  {:>9.1} MiB/s",
+                    n as f64 / mean.as_secs_f64() / (1024.0 * 1024.0)
+                );
+            }
+            _ => {}
+        }
+        println!();
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to the benchmark closure; times the routine under test.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, accumulating one sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+}
+
+/// Re-export so `criterion::black_box` also works.
+pub use std::hint::black_box;
+
+/// Collects benchmark functions into a runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Defines `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(2);
+        g.throughput(Throughput::Elements(1));
+        let mut count = 0u64;
+        g.bench_function("counting", |b| b.iter(|| count += 1));
+        g.finish();
+        // warm-up + 2 samples, one iter each
+        assert_eq!(count, 3);
+    }
+}

@@ -319,6 +319,69 @@ impl DemuxTable {
     }
 }
 
+/// RSS-style receive hash over a flow key (§SMP extension). The hash feeds
+/// multi-queue RX steering: every frame of one flow must land on the same
+/// RX queue, so the hash covers exactly the fields that identify the flow
+/// — protocol, addresses, ports — and nothing else. It is independent of
+/// payload bytes, lengths, TTL and checksums *by construction*: a
+/// [`FlowKey`] carries none of those.
+///
+/// The same FNV-1a mix as the endpoint table uses, folded to 32 bits, so
+/// NIC steering and channel lookup agree on what "a flow" is.
+pub fn rss_hash(key: &FlowKey) -> u32 {
+    let h = hash_key(key);
+    (h ^ (h >> 32)) as u32
+}
+
+/// Maps a flow key to an RX queue index in `0..nqueues`.
+///
+/// # Panics
+///
+/// Panics if `nqueues` is zero.
+pub fn rss_queue(key: &FlowKey, nqueues: usize) -> usize {
+    assert!(nqueues > 0, "a NIC has at least one RX queue");
+    rss_hash(key) as usize % nqueues
+}
+
+/// Extracts the full 5-tuple flow key an RSS engine would hash, using the
+/// *same* parsing as [`DemuxTable::classify`] so steering and demux agree.
+/// Returns `None` for traffic that has no transport flow (ARP, ICMP,
+/// non-first fragments, malformed or non-local frames) — the NIC steers
+/// those to queue 0, where the fragment/proxy machinery lives.
+pub fn rss_flow_key(frame: &Frame, local_addr: Ipv4Addr) -> Option<FlowKey> {
+    let bytes = match frame {
+        Frame::Arp(_) => return None,
+        Frame::Ipv4(b) => b,
+    };
+    let ih = ipv4::Ipv4Header::decode(bytes).ok()?;
+    if ih.dst != local_addr {
+        return None;
+    }
+    if ih.is_fragment() && !ih.is_first_fragment() {
+        return None;
+    }
+    let payload = &bytes[ipv4::HEADER_LEN..ih.total_len as usize];
+    match ih.proto {
+        proto::UDP => {
+            let (sport, dport) = udp::parse_ports(payload).ok()?.0;
+            Some(FlowKey::new(
+                proto::UDP,
+                Endpoint::new(ih.dst, dport),
+                Endpoint::new(ih.src, sport),
+            ))
+        }
+        proto::TCP => {
+            let (sport, dport) = tcp::parse_ports(payload).ok()?.0;
+            Some(FlowKey::new(
+                proto::TCP,
+                Endpoint::new(ih.dst, dport),
+                Endpoint::new(ih.src, sport),
+            ))
+        }
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

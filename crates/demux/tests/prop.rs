@@ -210,3 +210,121 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+    /// RSS steering invariant: the flow hash is a pure function of the
+    /// 5-tuple. Two frames of the same flow — different payloads, idents,
+    /// checksum settings — must produce identical keys, hashes and queue
+    /// assignments, and the queue is always in range.
+    #[test]
+    fn rss_hash_is_payload_independent(
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        src_last in any::<u8>(),
+        ident in any::<u16>(),
+        payload_a in proptest::collection::vec(any::<u8>(), 0..64),
+        payload_b in proptest::collection::vec(any::<u8>(), 0..64),
+        nqueues in 1usize..9,
+    ) {
+        let src = Ipv4Addr::new(10, 0, 0, src_last);
+        let a = Frame::Ipv4(udp::build_datagram(
+            src, LOCAL, sport, dport, 1, &payload_a, true,
+        ));
+        let b = Frame::Ipv4(udp::build_datagram(
+            src, LOCAL, sport, dport, ident, &payload_b, false,
+        ));
+        let ka = lrp_demux::rss_flow_key(&a, LOCAL).unwrap();
+        let kb = lrp_demux::rss_flow_key(&b, LOCAL).unwrap();
+        prop_assert_eq!(ka, kb, "flow key must ignore payload and ident");
+        prop_assert_eq!(lrp_demux::rss_hash(&ka), lrp_demux::rss_hash(&kb));
+        let q = lrp_demux::rss_queue(&ka, nqueues);
+        prop_assert_eq!(lrp_demux::rss_queue(&kb, nqueues), q);
+        prop_assert!(q < nqueues, "queue {} out of range {}", q, nqueues);
+        // With one queue everything lands on queue 0 (the ncpus=1 case).
+        prop_assert_eq!(lrp_demux::rss_queue(&ka, 1), 0);
+    }
+
+    /// The RSS key extractor agrees with the demux classifier about which
+    /// flow a frame belongs to: whenever classify() finds an endpoint, the
+    /// extracted key's 5-tuple resolves to the same channel.
+    #[test]
+    fn rss_key_agrees_with_classify(
+        listeners in proptest::collection::btree_set(0u16..16, 1..8),
+        packets in proptest::collection::vec(arb_packet(), 1..40),
+    ) {
+        let mut table = DemuxTable::new(64, LOCAL);
+        let mut next = 0u32;
+        for port in &listeners {
+            for p in [proto::UDP, proto::TCP] {
+                table
+                    .register(
+                        FlowKey::listening(p, Endpoint::new(LOCAL, 7000 + port)),
+                        ChannelId(next),
+                    )
+                    .unwrap();
+                next += 1;
+            }
+        }
+        for spec in &packets {
+            let frame = materialize(spec);
+            let verdict = table.classify(&frame);
+            let key = lrp_demux::rss_flow_key(&frame, LOCAL);
+            if let Verdict::Endpoint(chan) = verdict {
+                let k = key.expect("endpoint match implies a transport flow");
+                prop_assert_eq!(
+                    table.lookup_flow(k.proto, k.local, k.remote),
+                    Some(chan),
+                    "spec: {:?}", spec
+                );
+            }
+        }
+    }
+}
+
+/// Anchors the hash algorithm itself: if the mixing function changes, flows
+/// silently migrate between queues mid-rollout on real hardware. The exact
+/// values are arbitrary; their stability is the point.
+#[test]
+fn rss_hash_golden_values_are_stable() {
+    let k1 = FlowKey::new(
+        proto::UDP,
+        Endpoint::new(LOCAL, 9000),
+        Endpoint::new(Ipv4Addr::new(10, 0, 0, 3), 6000),
+    );
+    let k2 = FlowKey::new(
+        proto::TCP,
+        Endpoint::new(LOCAL, 80),
+        Endpoint::new(Ipv4Addr::new(10, 0, 0, 1), 5000),
+    );
+    assert_eq!(lrp_demux::rss_hash(&k1), 0xe04efbd2);
+    assert_eq!(lrp_demux::rss_hash(&k2), 0x4a78dcfa);
+}
+
+/// Traffic without a transport flow steers to queue 0: non-first fragments,
+/// ICMP, ARP, non-local and malformed frames all yield no key.
+#[test]
+fn rss_flow_key_none_for_unclassifiable_traffic() {
+    for spec in [
+        PacketSpec::Frag {
+            dport: 7000,
+            first: false,
+        },
+        PacketSpec::Icmp,
+        PacketSpec::Arp,
+        PacketSpec::Garbage(vec![0x45, 0, 0]),
+        PacketSpec::Udp {
+            sport: 1,
+            dport: 2,
+            src_last: 3,
+            dst_local: false,
+        },
+    ] {
+        let frame = materialize(&spec);
+        assert_eq!(
+            lrp_demux::rss_flow_key(&frame, LOCAL),
+            None,
+            "spec: {spec:?}"
+        );
+    }
+}

@@ -1,0 +1,13 @@
+//! Regenerates the SMP scaling experiment (CPUs × architectures).
+
+use lrp_experiments::smp_scaling;
+use lrp_sim::SimTime;
+
+fn main() {
+    let secs: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let rows = smp_scaling::run(SimTime::from_secs(secs));
+    println!("{}", smp_scaling::render(&rows));
+}

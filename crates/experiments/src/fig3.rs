@@ -32,6 +32,16 @@ const PAYLOAD: usize = 14;
 
 /// Builds the blast scenario and returns the world + sink metrics.
 pub fn build(arch: Architecture, offered_pps: f64, poisson: bool) -> (World, Shared<SinkMetrics>) {
+    build_seeded(arch, offered_pps, poisson, 7)
+}
+
+/// [`build`] with an explicit injector seed (the figure uses seed 7).
+pub fn build_seeded(
+    arch: Architecture,
+    offered_pps: f64,
+    poisson: bool,
+    seed: u64,
+) -> (World, Shared<SinkMetrics>) {
     let mut world = World::with_defaults();
     let metrics = shared::<SinkMetrics>();
     let mut server = Host::new(HostConfig::new(arch), HOST_B);
@@ -47,7 +57,7 @@ pub fn build(arch: Architecture, offered_pps: f64, poisson: bool) -> (World, Sha
     } else {
         Pattern::FixedRate { pps: offered_pps }
     };
-    let inj = Injector::new(pattern, SimTime::from_millis(50), 7, move |seq| {
+    let inj = Injector::new(pattern, SimTime::from_millis(50), seed, move |seq| {
         let mut payload = [0u8; PAYLOAD];
         payload[..8].copy_from_slice(&seq.to_be_bytes());
         Frame::Ipv4(udp::build_datagram(
@@ -66,7 +76,18 @@ pub fn build(arch: Architecture, offered_pps: f64, poisson: bool) -> (World, Sha
 
 /// Measures the delivered rate for one architecture at one offered load.
 pub fn measure(arch: Architecture, offered_pps: f64, duration: SimTime) -> Point {
-    let (mut world, metrics) = build(arch, offered_pps, false);
+    measure_seeded(arch, offered_pps, false, 7, duration)
+}
+
+/// [`measure`] with an explicit arrival pattern and injector seed.
+pub fn measure_seeded(
+    arch: Architecture,
+    offered_pps: f64,
+    poisson: bool,
+    seed: u64,
+    duration: SimTime,
+) -> Point {
+    let (mut world, metrics) = build_seeded(arch, offered_pps, poisson, seed);
     world.run_until(duration);
     let m = metrics.borrow();
     // Skip the first 5 buckets (500 ms warm-up) for the steady-state rate.

@@ -13,6 +13,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod mlfrr;
 pub mod plot;
+pub mod smp_scaling;
 pub mod table1;
 pub mod table2;
 

@@ -52,8 +52,10 @@ pub enum NicDrop {
 /// The outcome of frame reception, telling the host what to do.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RxOutcome {
-    /// Frame queued (ring or channel); raise a host interrupt.
-    Interrupt,
+    /// Frame queued (ring or channel); raise a host interrupt. The payload
+    /// is the RX queue that raised it — the host steers the interrupt to
+    /// that queue's target CPU. Always 0 on a single-queue NIC.
+    Interrupt(usize),
     /// Frame queued silently (channel already non-empty, or interrupts not
     /// requested). No host work.
     Queued,
@@ -202,7 +204,10 @@ pub struct Nic {
     /// interrupt handler in Soft mode (the structure is identical — only
     /// who pays for classification differs).
     pub demux: DemuxTable,
-    rx_ring: std::collections::VecDeque<Frame>,
+    /// One receive DMA ring per RX queue; a single-queue NIC has exactly
+    /// one. Frames are steered by the RSS flow hash so a flow's frames
+    /// always land on the same ring.
+    rx_rings: Vec<std::collections::VecDeque<Frame>>,
     rx_ring_limit: usize,
     channels: Vec<Option<NiChannel>>,
     /// The special channel for non-first IP fragments (always present).
@@ -227,7 +232,7 @@ impl Nic {
         let mut nic = Nic {
             mode,
             demux: DemuxTable::new(max_channels.max(4), local_addr),
-            rx_ring: std::collections::VecDeque::new(),
+            rx_rings: vec![std::collections::VecDeque::new()],
             rx_ring_limit: DEFAULT_RX_RING,
             channels: Vec::new(),
             fragment_channel: ChannelId(0),
@@ -252,6 +257,35 @@ impl Nic {
     /// Overrides the default per-channel queue limit for future channels.
     pub fn set_default_channel_limit(&mut self, limit: usize) {
         self.default_channel_limit = limit;
+    }
+
+    /// Configures `n` RX queues (each with its own DMA ring), dropping any
+    /// frames currently queued. Call once at host construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn set_rx_queues(&mut self, n: usize) {
+        assert!(n > 0, "a NIC has at least one RX queue");
+        self.rx_rings = (0..n).map(|_| std::collections::VecDeque::new()).collect();
+    }
+
+    /// Number of RX queues.
+    pub fn rx_queues(&self) -> usize {
+        self.rx_rings.len()
+    }
+
+    /// The RX queue a frame steers to: the RSS hash of its flow key, or
+    /// queue 0 for traffic with no transport flow (fragments, ARP, ICMP,
+    /// forwarded and malformed frames).
+    pub fn rx_queue_of(&self, frame: &Frame) -> usize {
+        if self.rx_rings.len() == 1 {
+            return 0;
+        }
+        match lrp_demux::rss_flow_key(frame, self.demux.local_addr()) {
+            Some(key) => lrp_demux::rss_queue(&key, self.rx_rings.len()),
+            None => 0,
+        }
     }
 
     /// The default per-channel queue limit.
@@ -338,16 +372,18 @@ impl Nic {
     /// own processor; the host learns nothing about discarded frames.
     pub fn rx_frame(&mut self, frame: Frame) -> RxOutcome {
         self.stats.rx_frames += 1;
+        let rxq = self.rx_queue_of(&frame);
         match self.mode {
             DemuxMode::None | DemuxMode::Soft => {
-                // Dumb adaptor: DMA into the ring, interrupt per frame.
-                if self.rx_ring.len() >= self.rx_ring_limit {
+                // Dumb adaptor: DMA into the steered ring, interrupt per
+                // frame.
+                if self.rx_rings[rxq].len() >= self.rx_ring_limit {
                     self.stats.ring_drops += 1;
                     return RxOutcome::Dropped(NicDrop::RingOverrun);
                 }
-                self.rx_ring.push_back(frame);
+                self.rx_rings[rxq].push_back(frame);
                 self.stats.interrupts += 1;
-                RxOutcome::Interrupt
+                RxOutcome::Interrupt(rxq)
             }
             DemuxMode::Ni => {
                 let verdict = self.demux.classify(&frame);
@@ -399,7 +435,7 @@ impl Nic {
                 if was_empty && ch.intr_requested {
                     ch.intr_requested = false;
                     self.stats.interrupts += 1;
-                    RxOutcome::Interrupt
+                    RxOutcome::Interrupt(rxq)
                 } else {
                     RxOutcome::Queued
                 }
@@ -407,15 +443,21 @@ impl Nic {
         }
     }
 
-    /// Takes the next frame from the receive ring (driver interrupt
-    /// handler, BSD/Soft modes).
+    /// Takes the next frame from the first non-empty receive ring (driver
+    /// interrupt handler, BSD/Soft modes). Single-queue NICs have exactly
+    /// one ring, so this is *the* ring there.
     pub fn ring_dequeue(&mut self) -> Option<Frame> {
-        self.rx_ring.pop_front()
+        self.rx_rings.iter_mut().find_map(|r| r.pop_front())
     }
 
-    /// Frames currently waiting in the receive ring.
+    /// Takes the next frame from a specific RX queue's ring.
+    pub fn ring_dequeue_from(&mut self, rxq: usize) -> Option<Frame> {
+        self.rx_rings[rxq].pop_front()
+    }
+
+    /// Frames currently waiting across all receive rings.
     pub fn ring_depth(&self) -> usize {
-        self.rx_ring.len()
+        self.rx_rings.iter().map(|r| r.len()).sum()
     }
 
     /// Enqueues a frame for transmission; returns false (counting a drop)
@@ -492,7 +534,7 @@ mod tests {
     #[test]
     fn bsd_mode_ring_and_interrupt() {
         let mut nic = Nic::new(DemuxMode::None, LOCAL, 8);
-        assert_eq!(nic.rx_frame(udp_frame(80)), RxOutcome::Interrupt);
+        assert_eq!(nic.rx_frame(udp_frame(80)), RxOutcome::Interrupt(0));
         assert_eq!(nic.ring_depth(), 1);
         assert!(nic.ring_dequeue().is_some());
         assert_eq!(nic.ring_depth(), 0);
@@ -503,8 +545,8 @@ mod tests {
     fn ring_overrun_drops() {
         let mut nic = Nic::new(DemuxMode::None, LOCAL, 8);
         nic.rx_ring_limit = 2;
-        assert_eq!(nic.rx_frame(udp_frame(1)), RxOutcome::Interrupt);
-        assert_eq!(nic.rx_frame(udp_frame(1)), RxOutcome::Interrupt);
+        assert_eq!(nic.rx_frame(udp_frame(1)), RxOutcome::Interrupt(0));
+        assert_eq!(nic.rx_frame(udp_frame(1)), RxOutcome::Interrupt(0));
         assert_eq!(
             nic.rx_frame(udp_frame(1)),
             RxOutcome::Dropped(NicDrop::RingOverrun)
@@ -539,7 +581,7 @@ mod tests {
             )
             .unwrap();
         nic.channel_mut(chan).intr_requested = true;
-        assert_eq!(nic.rx_frame(udp_frame(9000)), RxOutcome::Interrupt);
+        assert_eq!(nic.rx_frame(udp_frame(9000)), RxOutcome::Interrupt(0));
         // Flag auto-clears; queue non-empty => no further interrupts.
         assert_eq!(nic.rx_frame(udp_frame(9000)), RxOutcome::Queued);
         assert_eq!(nic.stats().interrupts, 1);

@@ -99,6 +99,13 @@ pub struct Process {
     pub nivcsw: u64,
     /// Number of voluntary context switches (sleeps).
     pub nvcsw: u64,
+    /// The CPU whose run queue this process is filed on when runnable.
+    /// Assigned round-robin at spawn; updated when the idle-steal balancer
+    /// migrates the process. Always 0 on a uniprocessor.
+    pub home_cpu: usize,
+    /// Hard CPU affinity: `Some(cpu)` pins the process to one CPU (kernel
+    /// threads tied to per-CPU state); `None` lets the balancer migrate it.
+    pub affinity: Option<usize>,
 }
 
 impl Process {
@@ -145,6 +152,8 @@ mod tests {
             cache_reload: SimDuration::ZERO,
             nivcsw: 0,
             nvcsw: 0,
+            home_cpu: 0,
+            affinity: None,
         };
         assert_eq!(p.effective_pri(), 60);
         p.kernel_pri = Some(24);

@@ -75,6 +75,26 @@ impl RunQueue {
         }
     }
 
+    /// Dequeues the best runnable process satisfying `pred`, preserving
+    /// bucket order and FIFO order within a bucket. Used by the idle-steal
+    /// balancer, which must skip processes pinned to another CPU.
+    pub fn dequeue_where(&mut self, mut pred: impl FnMut(Pid) -> bool) -> Option<Pid> {
+        let mut qs = self.whichqs;
+        while qs != 0 {
+            let b = qs.trailing_zeros() as usize;
+            if let Some(pos) = self.queues[b].iter().position(|&p| pred(p)) {
+                let pid = self.queues[b].remove(pos).expect("position was valid");
+                if self.queues[b].is_empty() {
+                    self.whichqs &= !(1 << b);
+                }
+                self.len -= 1;
+                return Some(pid);
+            }
+            qs &= !(1 << b);
+        }
+        None
+    }
+
     /// Removes a specific process (e.g. on exit); returns true if found.
     pub fn remove(&mut self, pid: Pid) -> bool {
         for b in 0..NQS {
@@ -158,6 +178,19 @@ mod tests {
         assert!(q.is_empty());
         assert_eq!(q.best_pri(), None);
         assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn dequeue_where_skips_non_matching() {
+        let mut q = RunQueue::new();
+        q.enqueue(Pid(1), 24); // Best bucket, but filtered out.
+        q.enqueue(Pid(2), 50);
+        q.enqueue(Pid(3), 50);
+        assert_eq!(q.dequeue_where(|p| p != Pid(1)), Some(Pid(2)));
+        assert_eq!(q.dequeue_where(|p| p != Pid(1)), Some(Pid(3)));
+        assert_eq!(q.dequeue_where(|p| p != Pid(1)), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.dequeue(), Some(Pid(1)));
     }
 
     #[test]

@@ -14,6 +14,9 @@ pub struct SchedConfig {
     pub quantum: SimDuration,
     /// Interval between decay passes (`schedcpu` runs once per second).
     pub decay_interval: SimDuration,
+    /// Number of CPUs: one run queue each. 1 reproduces the classic
+    /// uniprocessor scheduler exactly (every per-CPU path indexes slot 0).
+    pub ncpus: usize,
 }
 
 impl Default for SchedConfig {
@@ -22,6 +25,7 @@ impl Default for SchedConfig {
             tick: SimDuration::from_millis(10),
             quantum: SimDuration::from_millis(100),
             decay_interval: SimDuration::from_secs(1),
+            ncpus: 1,
         }
     }
 }
@@ -51,7 +55,10 @@ impl Default for SchedConfig {
 #[derive(Debug)]
 pub struct Scheduler {
     procs: Vec<Process>,
-    runq: RunQueue,
+    /// One run queue per CPU; a process lives on its home CPU's queue.
+    /// The decay computation (`estcpu`, `loadav`) stays global — 4.3BSD
+    /// keeps a single load average even on multiprocessors.
+    runqs: Vec<RunQueue>,
     config: SchedConfig,
     /// Exponentially smoothed count of runnable processes (the `loadav`
     /// input to the decay factor).
@@ -59,17 +66,21 @@ pub struct Scheduler {
     /// Total CPU time charged across all processes (for conservation
     /// checks).
     total_charged: SimDuration,
+    /// CPU time charged per CPU; sums to `total_charged`.
+    charged_per_cpu: Vec<SimDuration>,
 }
 
 impl Scheduler {
     /// Creates an empty scheduler.
     pub fn new(config: SchedConfig) -> Self {
+        assert!(config.ncpus > 0, "a host has at least one CPU");
         Scheduler {
             procs: Vec::new(),
-            runq: RunQueue::new(),
+            runqs: (0..config.ncpus).map(|_| RunQueue::new()).collect(),
             config,
             load_avg: 0.0,
             total_charged: SimDuration::ZERO,
+            charged_per_cpu: vec![SimDuration::ZERO; config.ncpus],
         }
     }
 
@@ -83,12 +94,20 @@ impl Scheduler {
         self.config.decay_interval
     }
 
+    /// Number of CPUs (run queues).
+    pub fn ncpus(&self) -> usize {
+        self.config.ncpus
+    }
+
     /// Creates a new process in the `Sleeping`-free `Runnable` state.
     ///
     /// `cache_reload` is the cache-refill penalty the process pays when
     /// scheduled after another process has run.
     pub fn spawn(&mut self, name: &str, nice: i8, cache_reload: SimDuration) -> Pid {
         let pid = Pid(self.procs.len() as u32);
+        // Round-robin home assignment spreads processes across CPUs at
+        // spawn; the idle-steal balancer corrects imbalance later.
+        let home_cpu = pid.0 as usize % self.config.ncpus;
         let mut p = Process {
             pid,
             name: name.to_string(),
@@ -102,11 +121,13 @@ impl Scheduler {
             cache_reload,
             nivcsw: 0,
             nvcsw: 0,
+            home_cpu,
+            affinity: None,
         };
         Self::recompute_pri(&mut p);
         let pri = p.effective_pri();
         self.procs.push(p);
-        self.runq.enqueue(pid, pri);
+        self.runqs[home_cpu].enqueue(pid, pri);
         pid
     }
 
@@ -115,10 +136,11 @@ impl Scheduler {
     pub fn spawn_fixed(&mut self, name: &str, pri: u8) -> Pid {
         let pid = self.spawn(name, 0, SimDuration::ZERO);
         // Re-file it under its pinned priority.
-        self.runq.remove(pid);
+        let home = self.procs[pid.0 as usize].home_cpu;
+        self.runqs[home].remove(pid);
         let p = &mut self.procs[pid.0 as usize];
         p.fixed_pri = Some(pri);
-        self.runq.enqueue(pid, pri);
+        self.runqs[home].enqueue(pid, pri);
         pid
     }
 
@@ -127,10 +149,34 @@ impl Scheduler {
     pub fn set_fixed_pri(&mut self, pid: Pid, pri: Option<u8>) {
         let p = &mut self.procs[pid.0 as usize];
         p.fixed_pri = pri;
+        let home = p.home_cpu;
         if p.state == ProcState::Runnable {
             let eff = p.effective_pri();
-            self.runq.remove(pid);
-            self.runq.enqueue(pid, eff);
+            self.runqs[home].remove(pid);
+            self.runqs[home].enqueue(pid, eff);
+        }
+    }
+
+    /// Pins a process to `Some(cpu)` (or releases it with `None`), moving
+    /// it to that CPU's run queue immediately if it is runnable. A pinned
+    /// process is never stolen by another CPU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CPU index is out of range.
+    pub fn set_affinity(&mut self, pid: Pid, affinity: Option<usize>) {
+        if let Some(cpu) = affinity {
+            assert!(cpu < self.config.ncpus, "affinity to nonexistent CPU");
+        }
+        let p = &mut self.procs[pid.0 as usize];
+        let old_home = p.home_cpu;
+        p.affinity = affinity;
+        let new_home = affinity.unwrap_or(old_home);
+        p.home_cpu = new_home;
+        if p.state == ProcState::Runnable && new_home != old_home {
+            let pri = p.effective_pri();
+            self.runqs[old_home].remove(pid);
+            self.runqs[new_home].enqueue(pid, pri);
         }
     }
 
@@ -162,6 +208,13 @@ impl Scheduler {
         self.total_charged
     }
 
+    /// CPU time charged on one CPU. The per-CPU amounts sum to
+    /// [`total_charged`](Self::total_charged) — the SMP conservation
+    /// invariant.
+    pub fn charged_on(&self, cpu: usize) -> SimDuration {
+        self.charged_per_cpu[cpu]
+    }
+
     fn recompute_pri(p: &mut Process) {
         // 4.3BSD: p_usrpri = PUSER + p_estcpu/4 + 2*p_nice, clamped.
         let raw = PUSER as f64 + p.estcpu / 4.0 + 2.0 * p.nice as f64;
@@ -173,7 +226,15 @@ impl Scheduler {
     /// Feeds `estcpu` (converted to statclock ticks) and recomputes the
     /// user priority, exactly as accumulated `statclock` ticks would.
     pub fn charge(&mut self, pid: Pid, kind: Account, d: SimDuration) {
+        self.charge_on(0, pid, kind, d);
+    }
+
+    /// [`charge`](Self::charge), attributing the time to a specific CPU.
+    /// The decay math (`estcpu`, priority) is identical regardless of
+    /// which CPU did the work; only the per-CPU ledger differs.
+    pub fn charge_on(&mut self, cpu: usize, pid: Pid, kind: Account, d: SimDuration) {
         self.total_charged += d;
+        self.charged_per_cpu[cpu] += d;
         let tick = self.config.tick;
         let p = &mut self.procs[pid.0 as usize];
         p.acct.add(kind, d);
@@ -215,12 +276,14 @@ impl Scheduler {
             .filter(|p| p.state == ProcState::Runnable)
             .map(|p| p.pid)
             .collect();
-        for pid in &queued {
-            self.runq.remove(*pid);
+        for &pid in &queued {
+            let home = self.procs[pid.0 as usize].home_cpu;
+            self.runqs[home].remove(pid);
         }
         for pid in queued {
-            let pri = self.procs[pid.0 as usize].effective_pri();
-            self.runq.enqueue(pid, pri);
+            let p = &self.procs[pid.0 as usize];
+            let (pri, home) = (p.effective_pri(), p.home_cpu);
+            self.runqs[home].enqueue(pid, pri);
         }
     }
 
@@ -229,22 +292,61 @@ impl Scheduler {
         self.load_avg
     }
 
-    /// Picks the best runnable process and marks it `Running`.
+    /// Picks the best runnable process (CPU 0's view) and marks it
+    /// `Running`. Uniprocessor entry point; SMP hosts use
+    /// [`pick_next_on`](Self::pick_next_on).
     pub fn pick_next(&mut self) -> Option<Pid> {
-        let pid = self.runq.dequeue()?;
-        self.procs[pid.0 as usize].state = ProcState::Running;
-        Some(pid)
+        self.pick_next_on(0)
     }
 
-    /// The priority of the best queued process, if any.
+    /// Picks the best runnable process for `cpu` and marks it `Running`.
+    ///
+    /// Tries the CPU's own queue first. If that queue is empty, the
+    /// idle-steal balancer scans the other queues in deterministic order
+    /// (`cpu+1, cpu+2, …` modulo `ncpus`) and steals the best unpinned
+    /// process it finds, migrating its home to the stealing CPU.
+    pub fn pick_next_on(&mut self, cpu: usize) -> Option<Pid> {
+        if let Some(pid) = self.runqs[cpu].dequeue() {
+            self.procs[pid.0 as usize].state = ProcState::Running;
+            return Some(pid);
+        }
+        for d in 1..self.config.ncpus {
+            let victim = (cpu + d) % self.config.ncpus;
+            // Split borrows: the predicate reads `procs` while the queue
+            // is mutated.
+            let procs = &self.procs;
+            let stolen =
+                self.runqs[victim].dequeue_where(|p| procs[p.0 as usize].affinity.is_none());
+            if let Some(pid) = stolen {
+                let p = &mut self.procs[pid.0 as usize];
+                p.state = ProcState::Running;
+                p.home_cpu = cpu;
+                return Some(pid);
+            }
+        }
+        None
+    }
+
+    /// The priority of the best queued process on CPU 0's queue, if any.
     pub fn best_queued_pri(&self) -> Option<u8> {
-        self.runq.best_pri()
+        self.best_queued_pri_on(0)
+    }
+
+    /// The priority of the best process queued on `cpu`, if any.
+    pub fn best_queued_pri_on(&self, cpu: usize) -> Option<u8> {
+        self.runqs[cpu].best_pri()
     }
 
     /// True if a queued process has strictly better (lower) priority than
-    /// `pri` — the preemption test.
+    /// `pri` — the preemption test, from CPU 0's viewpoint.
     pub fn should_preempt(&self, pri: u8) -> bool {
-        match self.runq.best_pri() {
+        self.should_preempt_on(0, pri)
+    }
+
+    /// The preemption test against `cpu`'s own queue: each CPU only
+    /// preempts for work filed on it (IPIs handle cross-CPU wakeups).
+    pub fn should_preempt_on(&self, cpu: usize, pri: u8) -> bool {
+        match self.runqs[cpu].best_pri() {
             // Compare bucket-aligned priorities: preempt only when the
             // queued process is in a strictly better bucket.
             Some(best) => best < (pri & !3u8),
@@ -258,12 +360,12 @@ impl Scheduler {
         let p = &mut self.procs[pid.0 as usize];
         debug_assert_eq!(p.state, ProcState::Running, "requeue of non-running");
         p.state = ProcState::Runnable;
-        let pri = p.effective_pri();
+        let (pri, home) = (p.effective_pri(), p.home_cpu);
         if front {
             p.nivcsw += 1;
-            self.runq.enqueue_front(pid, pri);
+            self.runqs[home].enqueue_front(pid, pri);
         } else {
-            self.runq.enqueue(pid, pri);
+            self.runqs[home].enqueue(pid, pri);
         }
     }
 
@@ -274,7 +376,11 @@ impl Scheduler {
         p.state = ProcState::Sleeping(wchan);
         p.kernel_pri = Some(pri);
         p.nvcsw += 1;
-        self.runq.remove(pid);
+        for q in &mut self.runqs {
+            if q.remove(pid) {
+                break;
+            }
+        }
     }
 
     /// Wakes every process sleeping on `wchan` (BSD `wakeup` semantics).
@@ -295,8 +401,8 @@ impl Scheduler {
         for &pid in &woken {
             let p = &mut self.procs[pid.0 as usize];
             p.state = ProcState::Runnable;
-            let pri = p.effective_pri();
-            self.runq.enqueue(pid, pri);
+            let (pri, home) = (p.effective_pri(), p.home_cpu);
+            self.runqs[home].enqueue(pid, pri);
         }
         woken
     }
@@ -318,7 +424,11 @@ impl Scheduler {
     /// Terminates a process.
     pub fn exit(&mut self, pid: Pid) {
         self.procs[pid.0 as usize].state = ProcState::Exited;
-        self.runq.remove(pid);
+        for q in &mut self.runqs {
+            if q.remove(pid) {
+                break;
+            }
+        }
     }
 
     /// Count of live (non-exited) processes.
@@ -451,7 +561,7 @@ mod tests {
         // io runs, blocks on a socket.
         assert_eq!(s.pick_next(), Some(worker));
         // Worker is running; io sleeps (it was never picked: force state).
-        s.runq.remove(io);
+        s.runqs[0].remove(io);
         s.proc_mut(io).state = ProcState::Running;
         s.sleep(io, WaitChannel(9), PSOCK);
         // Worker at PUSER; io wakes at PSOCK < PUSER => preemption.
@@ -504,6 +614,101 @@ mod tests {
         // After requeue, b should be picked first.
         assert_eq!(s.pick_next(), Some(b));
         let _ = a;
+    }
+
+    fn smp(ncpus: usize) -> Scheduler {
+        Scheduler::new(SchedConfig {
+            ncpus,
+            ..SchedConfig::default()
+        })
+    }
+
+    #[test]
+    fn spawn_round_robins_home_cpus() {
+        let mut s = smp(2);
+        let a = s.spawn("a", 0, SimDuration::ZERO);
+        let b = s.spawn("b", 0, SimDuration::ZERO);
+        let c = s.spawn("c", 0, SimDuration::ZERO);
+        assert_eq!(s.proc_ref(a).home_cpu, 0);
+        assert_eq!(s.proc_ref(b).home_cpu, 1);
+        assert_eq!(s.proc_ref(c).home_cpu, 0);
+        // Each CPU picks its own queue first.
+        assert_eq!(s.pick_next_on(0), Some(a));
+        assert_eq!(s.pick_next_on(1), Some(b));
+    }
+
+    #[test]
+    fn idle_cpu_steals_and_migrates() {
+        let mut s = smp(2);
+        let a = s.spawn("a", 0, SimDuration::ZERO); // pid 0, home 0
+        let b = s.spawn("b", 0, SimDuration::ZERO); // pid 1, home 1
+        let c = s.spawn("c", 0, SimDuration::ZERO); // pid 2, home 0
+                                                    // Park b asleep so CPU 1's queue drains.
+        assert_eq!(s.pick_next_on(1), Some(b));
+        s.sleep(b, WaitChannel(5), PSOCK);
+        // CPU 1 is idle: it steals the best process from CPU 0's queue
+        // and becomes its new home.
+        assert_eq!(s.pick_next_on(1), Some(a));
+        assert_eq!(s.proc_ref(a).home_cpu, 1);
+        // CPU 0 still has c.
+        assert_eq!(s.pick_next_on(0), Some(c));
+    }
+
+    #[test]
+    fn steal_skips_pinned_processes() {
+        let mut s = smp(2);
+        let a = s.spawn("pinned", 0, SimDuration::ZERO); // home 0
+        let b = s.spawn("free", 0, SimDuration::ZERO); // home 1
+        s.set_affinity(a, Some(0));
+        // Move b to CPU 0's queue via affinity, then release it.
+        s.set_affinity(b, Some(0));
+        s.set_affinity(b, None);
+        assert_eq!(s.proc_ref(b).home_cpu, 0);
+        // CPU 1 must steal `free`, never `pinned`, despite FIFO order.
+        assert_eq!(s.pick_next_on(1), Some(b));
+        assert_eq!(s.pick_next_on(0), Some(a));
+    }
+
+    #[test]
+    fn wakeup_enqueues_on_home_cpu() {
+        let mut s = smp(2);
+        let a = s.spawn("a", 0, SimDuration::ZERO); // home 0
+        let b = s.spawn("b", 0, SimDuration::ZERO); // home 1
+        s.pick_next_on(0);
+        s.pick_next_on(1);
+        s.sleep(a, WaitChannel(1), PSOCK);
+        s.sleep(b, WaitChannel(1), PSOCK);
+        s.wakeup(WaitChannel(1));
+        // Each woke on its own CPU's queue: no cross-queue preemption.
+        assert!(s.should_preempt_on(0, PUSER));
+        assert!(s.should_preempt_on(1, PUSER));
+        assert_eq!(s.pick_next_on(0), Some(a));
+        assert_eq!(s.pick_next_on(1), Some(b));
+    }
+
+    #[test]
+    fn per_cpu_charges_sum_to_total() {
+        let mut s = smp(3);
+        let a = s.spawn("a", 0, SimDuration::ZERO);
+        let b = s.spawn("b", 0, SimDuration::ZERO);
+        s.charge_on(0, a, Account::User, SimDuration::from_micros(100));
+        s.charge_on(1, b, Account::System, SimDuration::from_micros(250));
+        s.charge_on(2, a, Account::Interrupt, SimDuration::from_micros(50));
+        let per_cpu = (0..3).fold(SimDuration::ZERO, |acc, c| acc + s.charged_on(c));
+        assert_eq!(per_cpu, s.total_charged());
+        assert_eq!(s.charged_on(1), SimDuration::from_micros(250));
+    }
+
+    #[test]
+    fn uniprocessor_config_matches_legacy_entry_points() {
+        // ncpus=1: the *_on(0) methods and the legacy methods are the
+        // same code path — the bit-compatibility contract.
+        let mut s = smp(1);
+        let a = s.spawn("a", 0, SimDuration::ZERO);
+        assert_eq!(s.best_queued_pri(), s.best_queued_pri_on(0));
+        assert_eq!(s.pick_next(), Some(a));
+        s.charge(a, Account::User, SimDuration::from_micros(70));
+        assert_eq!(s.charged_on(0), s.total_charged());
     }
 
     #[test]

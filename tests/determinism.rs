@@ -43,6 +43,124 @@ fn full_host_state_identical_across_runs() {
     assert_eq!(r1, r2);
 }
 
+/// Pre-SMP-refactor golden values for the Figure-3 blast scenario
+/// (Poisson arrivals, 12 000 pkts/s offered, 1 s, three seeds). Captured
+/// on the single-CPU host before `Vec<Cpu>` existed; an `ncpus = 1` host
+/// must reproduce them bit-for-bit — same seeds, same event order.
+/// Each row: (seed, arch, delivered-rate f64 bits, FNV-1a over the full
+/// host state: stats, NIC stats, charged time, rx frame count).
+const FIG3_GOLDEN: &[(u64, Architecture, u64, u64)] = &[
+    (7, Architecture::Bsd, 0x40ab0c0000000000, 0xc7d7a13a0dd0a888),
+    (
+        7,
+        Architecture::SoftLrp,
+        0x40be100000000000,
+        0xce3168dc747137aa,
+    ),
+    (
+        7,
+        Architecture::NiLrp,
+        0x40c5300000000000,
+        0x2ef2de8308903242,
+    ),
+    (
+        11,
+        Architecture::Bsd,
+        0x40a9080000000000,
+        0x7c7f96907699e4fb,
+    ),
+    (
+        11,
+        Architecture::SoftLrp,
+        0x40bdbc0000000000,
+        0xe48e30867580dc72,
+    ),
+    (
+        11,
+        Architecture::NiLrp,
+        0x40c5310000000000,
+        0x017b84eeb719f052,
+    ),
+    (
+        23,
+        Architecture::Bsd,
+        0x40aca00000000000,
+        0xe258b4e8907abaa3,
+    ),
+    (
+        23,
+        Architecture::SoftLrp,
+        0x40be500000000000,
+        0x4885ccc2f2cdf929,
+    ),
+    (
+        23,
+        Architecture::NiLrp,
+        0x40c5300000000000,
+        0x7e698acbf280cd9e,
+    ),
+];
+
+fn fnv1a(s: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        hash ^= *b as u64;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// Serializes the counters the goldens cover from explicit named fields,
+/// with drops sorted by name. Hashing `Debug` output would silently tie
+/// the goldens to `HashMap` iteration order (not stable across processes)
+/// and to the exact field set of `HostStats` (which may legitimately grow).
+fn host_state_string(h: &lrp::core::Host) -> String {
+    let s = &h.stats;
+    let mut drops: Vec<String> = s.drops.iter().map(|(k, v)| format!("{k:?}={v}")).collect();
+    drops.sort();
+    let n = h.nic.stats();
+    format!(
+        "udp={} udpB={} tcpB={} drops=[{}] hw={} soft={} ctx={} acc={} \
+         nic(rx={} intr={} ring={} early={} tx={} ifq={}) charged={} rxf={}",
+        s.udp_delivered,
+        s.udp_delivered_bytes,
+        s.tcp_delivered_bytes,
+        drops.join(","),
+        s.hw_chunks,
+        s.soft_jobs,
+        s.ctx_switches,
+        s.tcp_accepted,
+        n.rx_frames,
+        n.interrupts,
+        n.ring_drops,
+        n.early_discards,
+        n.tx_frames,
+        n.ifq_drops,
+        h.sched.total_charged(),
+        h.rx_frames()
+    )
+}
+
+#[test]
+fn fig3_matches_pre_smp_baseline_for_three_seeds() {
+    for &(seed, arch, delivered_bits, state_fnv) in FIG3_GOLDEN {
+        let p = fig3::measure_seeded(arch, 12_000.0, true, seed, SimTime::from_secs(1));
+        assert_eq!(
+            p.delivered.to_bits(),
+            delivered_bits,
+            "delivered rate drifted from pre-SMP baseline (seed {seed}, {arch:?})"
+        );
+        let (mut world, _m) = fig3::build_seeded(arch, 12_000.0, true, seed);
+        world.run_until(SimTime::from_secs(1));
+        let state = host_state_string(&world.hosts[0]);
+        assert_eq!(
+            fnv1a(&state),
+            state_fnv,
+            "host state drifted from pre-SMP baseline (seed {seed}, {arch:?}): {state}"
+        );
+    }
+}
+
 #[test]
 fn table2_cell_is_identical_across_runs() {
     let a = table2::measure(Architecture::SoftLrp, table2::Variant::Fast);
