@@ -85,6 +85,11 @@ pub struct HostConfig {
     /// uniprocessor host bit-for-bit; larger values enable per-CPU run
     /// queues, multi-queue RX steering and IPI-based cross-CPU wakeups.
     pub ncpus: usize,
+    /// Record telemetry (packet-lifecycle trace, per-stage latency
+    /// histograms, frame-disposition ledger). Pure observation: the cost
+    /// model, scheduling decisions and all simulated outcomes are
+    /// bit-identical with telemetry on or off.
+    pub telemetry: bool,
 }
 
 impl HostConfig {
@@ -107,6 +112,7 @@ impl HostConfig {
             tick: SimDuration::from_millis(10),
             quantum: SimDuration::from_millis(100),
             ncpus: 1,
+            telemetry: false,
         }
     }
 

@@ -75,6 +75,23 @@ pub enum DropPoint {
     IfQueue,
 }
 
+impl DropPoint {
+    /// Stable name used in telemetry output.
+    pub fn name(self) -> &'static str {
+        match self {
+            DropPoint::RxRing => "RxRing",
+            DropPoint::Channel => "Channel",
+            DropPoint::IpQueue => "IpQueue",
+            DropPoint::SockBuf => "SockBuf",
+            DropPoint::BadPacket => "BadPacket",
+            DropPoint::NoSocket => "NoSocket",
+            DropPoint::Backlog => "Backlog",
+            DropPoint::Reasm => "Reasm",
+            DropPoint::IfQueue => "IfQueue",
+        }
+    }
+}
+
 /// Aggregate host statistics.
 #[derive(Clone, Debug, Default)]
 pub struct HostStats {
@@ -339,6 +356,8 @@ pub struct Host {
     pub(crate) live_socks: std::collections::BTreeSet<SockId>,
     /// Channel → socket index (replaces linear scans per packet).
     pub(crate) chan_to_sock: HashMap<lrp_demux::ChannelId, SockId>,
+    /// Telemetry state (no-op unless `cfg.telemetry`).
+    pub(crate) tele: crate::telemetry::Telemetry,
 }
 
 impl Host {
@@ -402,6 +421,7 @@ impl Host {
             pending_charge: None,
             live_socks: std::collections::BTreeSet::new(),
             chan_to_sock: HashMap::new(),
+            tele: crate::telemetry::Telemetry::new(cfg.telemetry),
         };
         if host.cfg.arch == Architecture::NiLrp {
             // Demand interrupts for the shared fragment channel so a

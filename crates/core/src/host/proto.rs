@@ -40,7 +40,23 @@ impl Host {
     /// Full input processing for one IP frame. Returns the CPU cost; all
     /// state changes are applied immediately.
     pub(crate) fn ip_deliver(&mut self, now: SimTime, frame: Frame, ctx: ProtoCtx) -> SimDuration {
+        let d = self.ip_deliver_inner(now, frame, ctx);
+        if self.tele.enabled() {
+            let stage = match ctx {
+                ProtoCtx::BsdSoftirq => "bsd-softirq",
+                ProtoCtx::EarlyDemuxSoftirq { .. } => "ed-softirq",
+                ProtoCtx::Lrp { lazy: true, .. } => "lrp-lazy",
+                ProtoCtx::Lrp { .. } => "lrp-thread",
+            };
+            let cpu = self.cur_cpu;
+            self.tele.on_proto(now, cpu, stage, d);
+        }
+        d
+    }
+
+    fn ip_deliver_inner(&mut self, now: SimTime, frame: Frame, ctx: ProtoCtx) -> SimDuration {
         let cost = self.cfg.cost;
+        let cpu = self.cur_cpu;
         let lazy = matches!(ctx, ProtoCtx::Lrp { lazy: true, .. });
         let scale = |d: SimDuration| if lazy { cost.lazy(d) } else { d };
         let mut total = scale(cost.ip_input + cost.proto_bytes(frame.len()));
@@ -49,11 +65,13 @@ impl Host {
             Frame::Arp(_) => {
                 // ARP handled by the proxy daemon path; count and ignore
                 // here.
+                self.tele.on_arp(now, cpu);
                 return total;
             }
         };
         let Ok((first_hdr, first_payload)) = ipv4::parse(&bytes) else {
             self.stats.drop_at(DropPoint::BadPacket);
+            self.tele.on_drop(now, cpu, DropPoint::BadPacket);
             return total;
         };
         // Fragment reassembly; whole datagrams pass straight through.
@@ -67,6 +85,9 @@ impl Host {
                     proto: pr,
                 } => Some((ipv4::Ipv4Header::new(src, dst, pr, 0, p.len()), p)),
                 ReasmOutcome::Incomplete => {
+                    // This frame is now held by the reassembler (the
+                    // completing frame inherits the delivery disposition).
+                    self.tele.on_reasm_absorbed(now, cpu);
                     // In LRP, the missing fragments may already be waiting
                     // on the special NI fragment channel (§3.2).
                     if self.cfg.arch.is_lrp() {
@@ -79,6 +100,7 @@ impl Host {
                 }
                 ReasmOutcome::Dropped => {
                     self.stats.drop_at(DropPoint::Reasm);
+                    self.tele.on_drop(now, cpu, DropPoint::Reasm);
                     None
                 }
             }
@@ -91,15 +113,17 @@ impl Host {
         // Packets for another host: IP forwarding (BSD path — under LRP
         // the demux function already routed them to the forward channel).
         if ih.dst != self.addr {
+            self.tele.on_forwarded(now, cpu);
             return total + self.do_forward(&bytes);
         }
         match ih.proto {
             proto::UDP => total + self.udp_deliver(now, &ih, &payload, ctx),
             proto::TCP => total + self.tcp_deliver(now, &ih, &payload, ctx),
-            proto::ICMP => total + self.icmp_deliver(&ih, &payload, ctx),
+            proto::ICMP => total + self.icmp_deliver(now, &ih, &payload, ctx),
             _ => {
                 // Unknown protocols are dropped after IP input.
                 self.stats.drop_at(DropPoint::NoSocket);
+                self.tele.on_drop(now, cpu, DropPoint::NoSocket);
                 total
             }
         }
@@ -134,16 +158,23 @@ impl Host {
 
     /// The forwarding daemon processes one frame from the forward channel;
     /// returns the cost, or `None` when the channel is empty.
-    pub(crate) fn forward_step(&mut self) -> Option<SimDuration> {
+    pub(crate) fn forward_step(&mut self, now: SimTime) -> Option<SimDuration> {
         let chan = self.nic.proxies().forward?;
         if !self.nic.channel_exists(chan) {
             return None;
         }
-        let frame = self.nic.channel_mut(chan).dequeue()?;
+        let frame = self.chan_dequeue(now, chan)?;
         let cost = self.cfg.cost;
+        let cpu = self.cur_cpu;
         let d = match &frame {
-            Frame::Ipv4(b) => cost.ip_input + self.do_forward(b),
-            Frame::Arp(_) => cost.ip_input,
+            Frame::Ipv4(b) => {
+                self.tele.on_forwarded(now, cpu);
+                cost.ip_input + self.do_forward(b)
+            }
+            Frame::Arp(_) => {
+                self.tele.on_arp(now, cpu);
+                cost.ip_input
+            }
         };
         Some(d)
     }
@@ -151,20 +182,24 @@ impl Host {
     /// Delivers an ICMP message to the proxy daemon's raw socket (§3.5).
     fn icmp_deliver(
         &mut self,
+        now: SimTime,
         ih: &ipv4::Ipv4Header,
         payload: &[u8],
         ctx: ProtoCtx,
     ) -> SimDuration {
         let cost = self.cfg.cost;
+        let cpu = self.cur_cpu;
         let lazy = matches!(ctx, ProtoCtx::Lrp { lazy: true, .. });
         let scale = |d: SimDuration| if lazy { cost.lazy(d) } else { d };
         let mut total = scale(cost.udp_input) + scale(cost.csum(payload.len()));
         if lrp_wire::icmp::parse(payload).is_err() {
             self.stats.drop_at(DropPoint::BadPacket);
+            self.tele.on_drop(now, cpu, DropPoint::BadPacket);
             return total;
         }
         let Some(sock) = self.icmp_sock.filter(|s| self.sock_opt(*s).is_some()) else {
             self.stats.drop_at(DropPoint::NoSocket);
+            self.tele.on_drop(now, cpu, DropPoint::NoSocket);
             return total;
         };
         let dgram = Datagram {
@@ -172,15 +207,18 @@ impl Host {
             payload: payload.to_vec(),
         };
         if self.sock_mut(sock).rcvq.enqueue(dgram) {
+            self.tele.on_icmp_delivered(now, cpu, sock.0 as u64);
             if !lazy {
                 total += scale(cost.sock_enqueue);
                 if self.sched.has_sleeper(sock_wchan(sock, WC_RECV)) {
                     total += cost.wakeup;
+                    self.tele.on_wakeup(now, cpu, sock.0 as u64);
                     self.wake_sock(sock, WC_RECV);
                 }
             }
         } else {
             self.stats.drop_at(DropPoint::SockBuf);
+            self.tele.on_drop(now, cpu, DropPoint::SockBuf);
         }
         total
     }
@@ -206,11 +244,21 @@ impl Host {
                     total +=
                         self.udp_deliver(now, &ih, &payload, ProtoCtx::Lrp { sock, lazy: false });
                     if self.sched.has_sleeper(sock_wchan(sock, WC_RECV)) {
+                        let cpu = self.cur_cpu;
+                        self.tele.on_wakeup(now, cpu, sock.0 as u64);
                         self.wake_sock(sock, WC_RECV);
                     }
                 } else {
                     self.stats.drop_at(DropPoint::NoSocket);
+                    let cpu = self.cur_cpu;
+                    self.tele.on_drop(now, cpu, DropPoint::NoSocket);
                 }
+            } else {
+                // A completed non-UDP datagram has no receiver on this
+                // path; its completing frame stays with the reassembler
+                // bucket.
+                let cpu = self.cur_cpu;
+                self.tele.on_reasm_absorbed(now, cpu);
             }
         }
         total
@@ -226,8 +274,12 @@ impl Host {
         let mut total = SimDuration::ZERO;
         let mut done = None;
         let frag_chan = self.nic.fragment_channel;
-        while let Some(f) = self.nic.channel_mut(frag_chan).dequeue() {
+        while let Some(f) = self.chan_dequeue(now, frag_chan) {
             total += self.cfg.cost.ip_reasm_per_frag;
+            // Every drained frame is absorbed by the reassembler except
+            // the one that completes the returned datagram — that frame's
+            // disposition is decided by whoever delivers `done`.
+            let mut completer = false;
             if let Frame::Ipv4(b) = f {
                 if let Ok((fh, fp)) = ipv4::parse(&b) {
                     if let ReasmOutcome::Complete {
@@ -242,9 +294,14 @@ impl Host {
                                 ipv4::Ipv4Header::new(src, dst, pr, 0, payload.len()),
                                 payload,
                             ));
+                            completer = true;
                         }
                     }
                 }
+            }
+            if !completer {
+                let cpu = self.cur_cpu;
+                self.tele.on_reasm_absorbed(now, cpu);
             }
         }
         (total, done)
@@ -252,17 +309,19 @@ impl Host {
 
     fn udp_deliver(
         &mut self,
-        _now: SimTime,
+        now: SimTime,
         ih: &ipv4::Ipv4Header,
         payload: &[u8],
         ctx: ProtoCtx,
     ) -> SimDuration {
         let cost = self.cfg.cost;
+        let cpu = self.cur_cpu;
         let lazy = matches!(ctx, ProtoCtx::Lrp { lazy: true, .. });
         let scale = |d: SimDuration| if lazy { cost.lazy(d) } else { d };
         let mut total = scale(cost.udp_input);
         let Ok((uh, body)) = udp::parse(payload) else {
             self.stats.drop_at(DropPoint::BadPacket);
+            self.tele.on_drop(now, cpu, DropPoint::BadPacket);
             return total;
         };
         // Checksum verification (skipped when the sender disabled it).
@@ -270,6 +329,7 @@ impl Host {
             total += scale(cost.csum(payload.len()));
             if !udp::verify_checksum(ih.src, ih.dst, payload) {
                 self.stats.drop_at(DropPoint::BadPacket);
+                self.tele.on_drop(now, cpu, DropPoint::BadPacket);
                 return total;
             }
         }
@@ -294,6 +354,7 @@ impl Host {
         };
         let Some(sock) = sock.filter(|s| self.sock_opt(*s).is_some()) else {
             self.stats.drop_at(DropPoint::NoSocket);
+            self.tele.on_drop(now, cpu, DropPoint::NoSocket);
             return total;
         };
         let dgram = Datagram {
@@ -304,11 +365,13 @@ impl Host {
         if self.sock_mut(sock).rcvq.enqueue(dgram) {
             self.stats.udp_delivered += 1;
             self.stats.udp_delivered_bytes += nbytes;
+            self.tele.on_udp_delivered(now, cpu, sock.0 as u64);
             if !lazy {
                 total += scale(cost.sock_enqueue);
                 // Wake a blocked receiver (sowakeup).
                 if self.sched.has_sleeper(sock_wchan(sock, WC_RECV)) {
                     total += cost.wakeup;
+                    self.tele.on_wakeup(now, cpu, sock.0 as u64);
                     for w in self.sched.wakeup(sock_wchan(sock, WC_RECV)) {
                         self.unblock(w);
                     }
@@ -318,6 +381,7 @@ impl Host {
             // BSD pays everything above and only now discovers the full
             // socket queue — the waste LRP eliminates.
             self.stats.drop_at(DropPoint::SockBuf);
+            self.tele.on_drop(now, cpu, DropPoint::SockBuf);
         }
         total
     }
@@ -329,6 +393,13 @@ impl Host {
         payload: &[u8],
         ctx: ProtoCtx,
     ) -> SimDuration {
+        // The whole frame is charged to TCP input from here on; per-drop
+        // ledger granularity stops at the transport boundary (segments are
+        // not 1:1 with user-visible deliveries).
+        {
+            let cpu = self.cur_cpu;
+            self.tele.on_tcp_frame(now, cpu);
+        }
         let cost = self.cfg.cost;
         let mut total = cost.csum(payload.len());
         if !tcp::verify_checksum(ih.src, ih.dst, payload) {
@@ -564,7 +635,7 @@ impl Host {
         };
         let key = FlowKey::new(proto::TCP, local, remote);
         let _ = self.nic.demux.unregister(&key);
-        self.nic.destroy_channel(chan);
+        self.destroy_channel_flushed(chan);
         self.chan_to_sock.remove(&chan);
         let s = self.sock_mut(sock);
         s.chan = None;
@@ -601,7 +672,7 @@ impl Host {
         }
         if let Some(c) = chan {
             if self.nic.channel_exists(c) {
-                self.nic.destroy_channel(c);
+                self.destroy_channel_flushed(c);
             }
             self.chan_to_sock.remove(&c);
             self.sock_mut(sock).chan = None;
@@ -644,7 +715,7 @@ impl Host {
         }
         if let Some(c) = s.chan {
             if self.nic.channel_exists(c) {
-                self.nic.destroy_channel(c);
+                self.destroy_channel_flushed(c);
             }
             self.chan_to_sock.remove(&c);
         }

@@ -26,24 +26,30 @@ impl Host {
             Architecture::Bsd => {
                 match self.nic.rx_frame(frame) {
                     RxOutcome::Interrupt(rxq) => {
+                        self.tele.on_rx(now, self.nic.stats().rx_frames);
                         let f = self.nic.ring_dequeue_from(rxq).expect("frame just queued");
                         // Driver: mbuf encapsulation, then the shared IP
                         // queue; drop (after the driver work!) if full.
                         if self.ip_queue.len() >= self.cfg.ip_queue_limit {
                             self.stats.drop_at(DropPoint::IpQueue);
+                            self.tele.on_drop(now, rxq % ncpus, DropPoint::IpQueue);
                         } else {
                             self.ip_queue.push_back(f);
+                            let depth = self.ip_queue.len();
+                            self.tele.on_ipq_enqueue(now, depth);
                         }
                         self.raise_hw_on(now, rxq % ncpus, cost.hw_intr + cost.driver_rx_per_pkt);
                     }
                     RxOutcome::Dropped(_) => {
                         self.stats.drop_at(DropPoint::RxRing);
+                        self.tele.on_nic_drop(now, "RxRing");
                     }
                     RxOutcome::Queued => unreachable!("BSD NIC always interrupts"),
                 }
             }
             Architecture::EarlyDemux | Architecture::SoftLrp => match self.nic.rx_frame(frame) {
                 RxOutcome::Interrupt(rxq) => {
+                    self.tele.on_rx(now, self.nic.stats().rx_frames);
                     let f = self.nic.ring_dequeue_from(rxq).expect("frame just queued");
                     self.cur_cpu = rxq % ncpus;
                     let d = self.soft_demux_deliver(now, f);
@@ -51,6 +57,7 @@ impl Host {
                 }
                 RxOutcome::Dropped(_) => {
                     self.stats.drop_at(DropPoint::RxRing);
+                    self.tele.on_nic_drop(now, "RxRing");
                 }
                 RxOutcome::Queued => unreachable!("soft NIC always interrupts"),
             },
@@ -60,6 +67,10 @@ impl Host {
                 // requested.
                 match self.nic.rx_frame(frame) {
                     RxOutcome::Interrupt(rxq) => {
+                        self.tele.on_rx(now, self.nic.stats().rx_frames);
+                        if let Some(chan) = self.nic.last_rx_channel() {
+                            self.tele.on_chan_enqueue(now, rxq % ncpus, chan);
+                        }
                         // Wake whoever requested notification for the
                         // newly non-empty channel. We do not know which
                         // channel fired; wake receivers with pending data.
@@ -67,10 +78,16 @@ impl Host {
                         self.ni_interrupt_wakeups();
                         self.raise_hw_on(now, rxq % ncpus, cost.hw_intr_ni);
                     }
-                    RxOutcome::Queued => {}
+                    RxOutcome::Queued => {
+                        self.tele.on_rx(now, self.nic.stats().rx_frames);
+                        if let Some(chan) = self.nic.last_rx_channel() {
+                            self.tele.on_chan_enqueue(now, 0, chan);
+                        }
+                    }
                     RxOutcome::Dropped(_) => {
                         // Early packet discard on the NIC: by design, no
                         // host work at all. NIC stats carry the count.
+                        self.tele.on_nic_drop(now, "EarlyDiscard");
                     }
                 }
             }
@@ -82,8 +99,8 @@ impl Host {
     /// enqueue or discard, wake receivers. Returns the extra handler cost
     /// beyond the base interrupt cost.
     fn soft_demux_deliver(&mut self, now: SimTime, frame: Frame) -> SimDuration {
-        let _ = now;
         let cost = self.cfg.cost;
+        let cpu = self.cur_cpu;
         let mut extra = cost.demux_per_pkt;
         let verdict = self.nic.demux.classify(&frame);
         let chan = match verdict {
@@ -101,15 +118,19 @@ impl Host {
             }
             Verdict::NoMatch => {
                 self.stats.drop_at(DropPoint::NoSocket);
+                self.tele.on_drop(now, cpu, DropPoint::NoSocket);
                 return extra;
             }
             Verdict::Malformed => {
                 self.stats.drop_at(DropPoint::BadPacket);
+                self.tele.on_drop(now, cpu, DropPoint::BadPacket);
                 return extra;
             }
         };
+        self.tele.on_demux(now, cpu, chan);
         if !self.nic.channel_exists(chan) {
             self.stats.drop_at(DropPoint::Channel);
+            self.tele.on_drop(now, cpu, DropPoint::Channel);
             return extra;
         }
         // Forwarded traffic wakes the forwarding daemon.
@@ -125,6 +146,7 @@ impl Host {
                 let rcvq_full = sk.rcvq.space() < frame.len();
                 if rcvq_full || self.nic.channel(chan).is_full() {
                     self.stats.drop_at(DropPoint::Channel);
+                    self.tele.on_drop(now, cpu, DropPoint::Channel);
                     return extra;
                 }
             }
@@ -132,8 +154,10 @@ impl Host {
         let was_empty = self.nic.channel(chan).is_empty();
         if !self.nic.channel_mut(chan).enqueue(frame) {
             self.stats.drop_at(DropPoint::Channel);
+            self.tele.on_drop(now, cpu, DropPoint::Channel);
             return extra;
         }
+        self.tele.on_chan_enqueue(now, cpu, chan);
         match self.cfg.arch {
             Architecture::EarlyDemux => {
                 // Schedule eager softirq protocol processing.
@@ -287,6 +311,8 @@ impl Host {
         match self.cfg.arch {
             Architecture::Bsd => {
                 let frame = self.ip_queue.pop_front()?;
+                let cpu = self.cur_cpu;
+                self.tele.on_ipq_dequeue(now, cpu);
                 let d = self.ip_deliver(now, frame, ProtoCtx::BsdSoftirq);
                 Some((cost.softirq_dispatch + d, "ip-input"))
             }
@@ -300,13 +326,15 @@ impl Host {
                     if !self.nic.channel_exists(chan) {
                         continue;
                     }
-                    let Some(frame) = self.nic.channel_mut(chan).dequeue() else {
+                    let Some(frame) = self.chan_dequeue(now, chan) else {
                         continue;
                     };
                     // More frames pending? Re-queue for fairness.
                     if !self.nic.channel(chan).is_empty() {
                         self.ed_pending.push_back(sock);
                     }
+                    let cpu = self.cur_cpu;
+                    self.tele.note_softirq_dispatch(now, cpu, "ed-input");
                     let d = self.ip_deliver(now, frame, ProtoCtx::EarlyDemuxSoftirq { sock });
                     return Some((cost.softirq_dispatch + d, "ed-input"));
                 }
@@ -366,7 +394,7 @@ impl Host {
             .then_some((s.id, chan, s.owner))
         })?;
         let (sock, chan, owner) = target;
-        let frame = self.nic.channel_mut(chan).dequeue()?;
+        let frame = self.chan_dequeue(now, chan)?;
         let d = self.ip_deliver(now, frame, ProtoCtx::Lrp { sock, lazy: false });
         // Wake a blocked receiver now that processed data is ready.
         if self.sched.has_sleeper(sock_wchan(sock, WC_RECV)) {
@@ -403,7 +431,7 @@ impl Host {
                     continue;
                 }
             }
-            let Some(frame) = self.nic.channel_mut(chan).dequeue() else {
+            let Some(frame) = self.chan_dequeue(now, chan) else {
                 continue;
             };
             let owner = self.sock(sock).owner;

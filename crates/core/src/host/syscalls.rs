@@ -108,7 +108,7 @@ impl Host {
                     }
                 }
             },
-            Cont::ForwardStep => match self.forward_step() {
+            Cont::ForwardStep => match self.forward_step(now) {
                 Some(dur) => PhaseOut::Run {
                     dur,
                     account: Account::System,
@@ -383,7 +383,7 @@ impl Host {
         if self.cfg.arch.is_lrp() && !self.cfg.tcp_app_processing {
             if let Some(chan) = self.sock_opt(sock).and_then(|s| s.chan) {
                 if self.nic.channel_exists(chan) {
-                    if let Some(frame) = self.nic.channel_mut(chan).dequeue() {
+                    if let Some(frame) = self.chan_dequeue(_now, chan) {
                         let dur = self.ip_deliver(_now, frame, ProtoCtx::Lrp { sock, lazy: true });
                         return PhaseOut::Run {
                             dur,
@@ -532,6 +532,8 @@ impl Host {
             let d = self.sock_mut(sock).rcvq.dequeue().expect("checked");
             let n = d.payload.len().min(max_len);
             let dur = cost.sock_dequeue + cost.copy(n);
+            let cpu = self.cur_cpu;
+            self.tele.on_recv(now, cpu, sock.0 as u64);
             let mut payload = d.payload;
             payload.truncate(n);
             return PhaseOut::Run {
@@ -544,7 +546,7 @@ impl Host {
         if self.cfg.arch.is_lrp() {
             if let Some(chan) = self.sock(sock).chan {
                 if self.nic.channel_exists(chan) {
-                    if let Some(frame) = self.nic.channel_mut(chan).dequeue() {
+                    if let Some(frame) = self.chan_dequeue(now, chan) {
                         let dur = self.ip_deliver(now, frame, ProtoCtx::Lrp { sock, lazy: true });
                         return PhaseOut::Run {
                             dur,
@@ -581,7 +583,7 @@ impl Host {
         if self.cfg.arch.is_lrp() && !self.cfg.tcp_app_processing {
             if let Some(chan) = self.sock(sock).chan {
                 if self.nic.channel_exists(chan) {
-                    if let Some(frame) = self.nic.channel_mut(chan).dequeue() {
+                    if let Some(frame) = self.chan_dequeue(now, chan) {
                         let dur = self.ip_deliver(now, frame, ProtoCtx::Lrp { sock, lazy: true });
                         return PhaseOut::Run {
                             dur,
@@ -600,6 +602,8 @@ impl Host {
             let n = data.len();
             let tx = self.tx_segments(sock, &actions.segments);
             self.stats.tcp_delivered_bytes += n as u64;
+            let cpu = self.cur_cpu;
+            self.tele.on_recv(now, cpu, sock.0 as u64);
             return PhaseOut::Run {
                 dur: cost.sock_dequeue + cost.copy(n) + tx,
                 account: Account::System,
@@ -679,7 +683,7 @@ impl Host {
         {
             if let Some(chan) = self.sock(sock).chan {
                 if self.nic.channel_exists(chan) {
-                    if let Some(frame) = self.nic.channel_mut(chan).dequeue() {
+                    if let Some(frame) = self.chan_dequeue(now, chan) {
                         let dur = self.ip_deliver(now, frame, ProtoCtx::Lrp { sock, lazy: true });
                         return PhaseOut::Run {
                             dur,
@@ -761,7 +765,7 @@ impl Host {
                 if !self.nic.channel_exists(chan) {
                     continue;
                 }
-                if let Some(frame) = self.nic.channel_mut(chan).dequeue() {
+                if let Some(frame) = self.chan_dequeue(_now, chan) {
                     let dur = self.ip_deliver(
                         _now,
                         frame,

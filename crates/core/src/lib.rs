@@ -22,12 +22,14 @@ pub mod config;
 pub mod cost;
 pub mod host;
 pub mod syscall;
+pub mod telemetry;
 pub mod world;
 
 pub use config::{Architecture, HostConfig};
 pub use cost::CostModel;
 pub use host::{DropPoint, Host, HostStats};
 pub use syscall::{AppCtx, AppLogic, Errno, SockProto, SyscallOp, SyscallRet};
+pub use telemetry::{PacketLedger, Telemetry};
 pub use world::{Event, World};
 
 pub use lrp_sched::Pid;

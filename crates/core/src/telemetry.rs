@@ -1,0 +1,423 @@
+//! Host telemetry: packet-lifecycle tracing, per-stage latency histograms,
+//! and a frame-disposition ledger for the packet-conservation self-check.
+//!
+//! Everything in this module is *pure observation*. Hooks are called from
+//! the host's packet path at logic time; they record into side structures
+//! (a [`TraceRing`], [`Histogram`]s, counters and timestamp sidecars) and
+//! never touch the cost model, the scheduler, queue contents or any RNG —
+//! so a run with telemetry enabled is bit-identical, in simulated time and
+//! in every statistic, to the same run with it disabled. The determinism
+//! goldens in `tests/determinism.rs` enforce this: the experiment builders
+//! enable telemetry unconditionally.
+//!
+//! # The disposition ledger
+//!
+//! Every frame the NIC accepts from the link ends in exactly one bucket:
+//!
+//! * dropped on the NIC (ring overrun or early discard — NIC statistics);
+//! * still queued (RX ring, an NI channel, or the shared IP queue);
+//! * delivered (UDP datagram or ICMP message into a socket buffer);
+//! * consumed by TCP input processing (segments are not 1:1 with
+//!   user-visible deliveries, so TCP is accounted at frame granularity);
+//! * handed to IP forwarding, counted-and-ignored ARP, absorbed by the
+//!   fragment reassembler, or flushed when a channel was destroyed;
+//! * dropped in the host ([`DropPoint`] granularity).
+//!
+//! [`Host::packet_ledger`] assembles the buckets;
+//! [`PacketLedger::conserved`] checks that they sum back to the accepted
+//! count. Experiments run this self-check at the end of every run.
+
+use crate::host::{DropPoint, Host};
+use lrp_demux::ChannelId;
+use lrp_sim::{Histogram, SimDuration, SimTime, TraceEvent, TraceRing};
+use lrp_wire::Frame;
+use std::collections::{HashMap, VecDeque};
+
+/// Default trace-ring capacity, in events.
+pub const DEFAULT_TRACE_CAP: usize = 65_536;
+
+/// Per-host telemetry state (see the module docs).
+#[derive(Debug)]
+pub struct Telemetry {
+    enabled: bool,
+    /// Packet-lifecycle event ring.
+    pub trace: TraceRing,
+    /// NIC arrival → socket-buffer delivery latency (UDP/ICMP), ns.
+    pub arrival_to_deliver: Histogram,
+    /// Time frames spend queued on NI channels, ns.
+    pub channel_residency: Histogram,
+    /// Enqueue (IP queue / ED channel) → softirq dispatch delay, ns.
+    pub softirq_dispatch: Histogram,
+    /// Enqueue timestamps paralleling the BSD IP queue (FIFO, tail-drop
+    /// before enqueue — mirrors the frame queue exactly).
+    ipq_ts: VecDeque<SimTime>,
+    /// Enqueue timestamps paralleling each NI channel's frame queue.
+    chan_ts: HashMap<ChannelId, VecDeque<SimTime>>,
+    /// NIC arrival time of the frame most recently dequeued for protocol
+    /// processing (consumed by the delivery hook).
+    cur_arrival: Option<SimTime>,
+    /// UDP datagrams delivered into socket buffers (frames).
+    pub delivered_udp: u64,
+    /// ICMP messages delivered to the proxy daemon's raw socket.
+    pub delivered_icmp: u64,
+    /// Frames consumed by TCP input processing.
+    pub tcp_frames: u64,
+    /// Frames handed to IP forwarding (transmitted or dropped there).
+    pub forwarded: u64,
+    /// ARP frames counted and ignored.
+    pub arp_frames: u64,
+    /// Fragment frames absorbed by the reassembler without (yet)
+    /// completing a datagram, plus non-reassemblable channel drainage.
+    pub reasm_absorbed: u64,
+    /// Frames discarded because their channel was destroyed.
+    pub flushed: u64,
+    /// Host-side frame drops by location.
+    pub host_drops: HashMap<DropPoint, u64>,
+}
+
+impl Telemetry {
+    /// Creates telemetry state; when `enabled` is false every hook is a
+    /// no-op.
+    pub fn new(enabled: bool) -> Self {
+        Telemetry {
+            enabled,
+            trace: TraceRing::new(if enabled { DEFAULT_TRACE_CAP } else { 0 }),
+            arrival_to_deliver: Histogram::new(),
+            channel_residency: Histogram::new(),
+            softirq_dispatch: Histogram::new(),
+            ipq_ts: VecDeque::new(),
+            chan_ts: HashMap::new(),
+            cur_arrival: None,
+            delivered_udp: 0,
+            delivered_icmp: 0,
+            tcp_frames: 0,
+            forwarded: 0,
+            arp_frames: 0,
+            reasm_absorbed: 0,
+            flushed: 0,
+            host_drops: HashMap::new(),
+        }
+    }
+
+    /// True when hooks record.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    fn ev(&mut self, t: SimTime, kind: &'static str, stage: &'static str, id: u64, cpu: usize) {
+        self.trace.record(TraceEvent {
+            t_ns: t.as_nanos(),
+            kind,
+            stage,
+            id,
+            cpu: cpu as u32,
+            dur_ns: 0,
+        });
+    }
+
+    /// A frame arrived at the NIC (rx-DMA). `ordinal` is the NIC's frame
+    /// counter.
+    pub(crate) fn on_rx(&mut self, now: SimTime, ordinal: u64) {
+        if self.enabled {
+            self.ev(now, "rx-dma", "link", ordinal, 0);
+        }
+    }
+
+    /// A frame died on the NIC (ring overrun / early discard). Ledger
+    /// counts come from NIC statistics; this only traces.
+    pub(crate) fn on_nic_drop(&mut self, now: SimTime, stage: &'static str) {
+        if self.enabled {
+            self.ev(now, "drop", stage, 0, 0);
+        }
+    }
+
+    /// A host-side frame drop: ledger + trace.
+    pub(crate) fn on_drop(&mut self, now: SimTime, cpu: usize, p: DropPoint) {
+        if self.enabled {
+            *self.host_drops.entry(p).or_insert(0) += 1;
+            self.ev(now, "drop", p.name(), 0, cpu);
+        }
+    }
+
+    /// A frame entered the BSD shared IP queue.
+    pub(crate) fn on_ipq_enqueue(&mut self, now: SimTime, depth: usize) {
+        if self.enabled {
+            self.ipq_ts.push_back(now);
+            self.ev(now, "enqueue", "ip-queue", depth as u64, 0);
+        }
+    }
+
+    /// The softirq took a frame off the IP queue: dispatch-delay sample
+    /// and arrival bookkeeping.
+    pub(crate) fn on_ipq_dequeue(&mut self, now: SimTime, cpu: usize) {
+        if self.enabled {
+            if let Some(t) = self.ipq_ts.pop_front() {
+                self.softirq_dispatch.record_duration(now - t);
+                self.cur_arrival = Some(t);
+            }
+            self.ev(now, "softirq", "ip-input", 0, cpu);
+        }
+    }
+
+    /// The demux function matched a frame to a channel (host interrupt
+    /// handler, SOFT-LRP / Early-Demux).
+    pub(crate) fn on_demux(&mut self, now: SimTime, cpu: usize, chan: ChannelId) {
+        if self.enabled {
+            self.ev(now, "demux", "match", chan.0 as u64, cpu);
+        }
+    }
+
+    /// A frame was enqueued on an NI channel (by the host handler or by
+    /// NI firmware).
+    pub(crate) fn on_chan_enqueue(&mut self, now: SimTime, cpu: usize, chan: ChannelId) {
+        if self.enabled {
+            self.chan_ts.entry(chan).or_default().push_back(now);
+            self.ev(now, "enqueue", "channel", chan.0 as u64, cpu);
+        }
+    }
+
+    /// A frame left an NI channel for protocol processing: residency
+    /// sample and arrival bookkeeping.
+    pub(crate) fn on_chan_dequeue(&mut self, now: SimTime, cpu: usize, chan: ChannelId) {
+        if self.enabled {
+            if let Some(t) = self.chan_ts.get_mut(&chan).and_then(|q| q.pop_front()) {
+                self.channel_residency.record_duration(now - t);
+                self.cur_arrival = Some(t);
+            }
+            self.ev(now, "dequeue", "channel", chan.0 as u64, cpu);
+        }
+    }
+
+    /// An eager softirq (Early-Demux) dispatched the just-dequeued frame:
+    /// the channel residency *is* the dispatch delay.
+    pub(crate) fn note_softirq_dispatch(&mut self, now: SimTime, cpu: usize, tag: &'static str) {
+        if self.enabled {
+            if let Some(arr) = self.cur_arrival {
+                self.softirq_dispatch.record_duration(now - arr);
+            }
+            self.ev(now, "softirq", tag, 0, cpu);
+        }
+    }
+
+    /// Protocol processing of one frame finished; `dur` is its modelled
+    /// CPU cost (recorded as a span event).
+    pub(crate) fn on_proto(
+        &mut self,
+        now: SimTime,
+        cpu: usize,
+        stage: &'static str,
+        dur: SimDuration,
+    ) {
+        if self.enabled {
+            self.trace.record(TraceEvent {
+                t_ns: now.as_nanos(),
+                kind: "proto",
+                stage,
+                id: 0,
+                cpu: cpu as u32,
+                dur_ns: dur.as_nanos(),
+            });
+        }
+    }
+
+    /// A UDP datagram landed in a socket receive buffer.
+    pub(crate) fn on_udp_delivered(&mut self, now: SimTime, cpu: usize, sock: u64) {
+        if self.enabled {
+            self.delivered_udp += 1;
+            if let Some(arr) = self.cur_arrival.take() {
+                self.arrival_to_deliver.record_duration(now - arr);
+            }
+            self.ev(now, "deliver", "udp", sock, cpu);
+        }
+    }
+
+    /// An ICMP message landed in the proxy daemon's raw socket.
+    pub(crate) fn on_icmp_delivered(&mut self, now: SimTime, cpu: usize, sock: u64) {
+        if self.enabled {
+            self.delivered_icmp += 1;
+            if let Some(arr) = self.cur_arrival.take() {
+                self.arrival_to_deliver.record_duration(now - arr);
+            }
+            self.ev(now, "deliver", "icmp", sock, cpu);
+        }
+    }
+
+    /// A frame entered TCP input processing.
+    pub(crate) fn on_tcp_frame(&mut self, now: SimTime, cpu: usize) {
+        if self.enabled {
+            self.tcp_frames += 1;
+            self.cur_arrival = None;
+            self.ev(now, "deliver", "tcp", 0, cpu);
+        }
+    }
+
+    /// A frame was handed to IP forwarding.
+    pub(crate) fn on_forwarded(&mut self, now: SimTime, cpu: usize) {
+        if self.enabled {
+            self.forwarded += 1;
+            self.cur_arrival = None;
+            self.ev(now, "deliver", "forward", 0, cpu);
+        }
+    }
+
+    /// An ARP frame was counted and ignored.
+    pub(crate) fn on_arp(&mut self, now: SimTime, cpu: usize) {
+        if self.enabled {
+            self.arp_frames += 1;
+            self.cur_arrival = None;
+            self.ev(now, "deliver", "arp", 0, cpu);
+        }
+    }
+
+    /// A fragment was absorbed by the reassembler (or unparseable channel
+    /// drainage was discarded).
+    pub(crate) fn on_reasm_absorbed(&mut self, now: SimTime, cpu: usize) {
+        if self.enabled {
+            self.reasm_absorbed += 1;
+            self.cur_arrival = None;
+            self.ev(now, "deliver", "reasm", 0, cpu);
+        }
+    }
+
+    /// A channel was destroyed with `n` frames still queued.
+    pub(crate) fn on_chan_flush(&mut self, chan: ChannelId, n: usize) {
+        if self.enabled {
+            self.flushed += n as u64;
+            self.chan_ts.remove(&chan);
+        }
+    }
+
+    /// A blocked receiver was woken for delivered data.
+    pub(crate) fn on_wakeup(&mut self, now: SimTime, cpu: usize, sock: u64) {
+        if self.enabled {
+            self.ev(now, "wakeup", "recv", sock, cpu);
+        }
+    }
+
+    /// A receive call returned data to the application.
+    pub(crate) fn on_recv(&mut self, now: SimTime, cpu: usize, sock: u64) {
+        if self.enabled {
+            self.ev(now, "recv", "return", sock, cpu);
+        }
+    }
+
+    /// Host-side drop count at a point.
+    pub fn host_dropped(&self, p: DropPoint) -> u64 {
+        self.host_drops.get(&p).copied().unwrap_or(0)
+    }
+}
+
+/// The frame-disposition ledger: where every accepted frame ended up.
+///
+/// Produced by [`Host::packet_ledger`]; meaningful only when the host ran
+/// with [`HostConfig::telemetry`](crate::HostConfig) enabled.
+#[derive(Clone, Debug)]
+pub struct PacketLedger {
+    /// Frames the NIC accepted from the link.
+    pub accepted: u64,
+    /// Dropped at the NIC receive ring.
+    pub nic_ring_drops: u64,
+    /// Discarded early by NI-demux firmware.
+    pub nic_early_discards: u64,
+    /// Still queued (RX rings + NI channels + IP queue).
+    pub in_flight: u64,
+    /// UDP datagrams delivered into socket buffers.
+    pub delivered_udp: u64,
+    /// ICMP messages delivered.
+    pub delivered_icmp: u64,
+    /// Frames consumed by TCP input processing.
+    pub tcp_frames: u64,
+    /// Frames handed to IP forwarding.
+    pub forwarded: u64,
+    /// ARP frames counted and ignored.
+    pub arp_frames: u64,
+    /// Fragments absorbed by reassembly.
+    pub reasm_absorbed: u64,
+    /// Frames flushed at channel destruction.
+    pub flushed: u64,
+    /// Host-side drops, sorted by drop-point name.
+    pub host_drops: Vec<(&'static str, u64)>,
+}
+
+impl PacketLedger {
+    /// Total host-side drops.
+    pub fn host_dropped(&self) -> u64 {
+        self.host_drops.iter().map(|(_, n)| n).sum()
+    }
+
+    /// Sum of all disposition buckets.
+    pub fn disposed(&self) -> u64 {
+        self.nic_ring_drops
+            + self.nic_early_discards
+            + self.in_flight
+            + self.delivered_udp
+            + self.delivered_icmp
+            + self.tcp_frames
+            + self.forwarded
+            + self.arp_frames
+            + self.reasm_absorbed
+            + self.flushed
+            + self.host_dropped()
+    }
+
+    /// The DESIGN §7 packet-conservation invariant: every accepted frame
+    /// is accounted for exactly once.
+    pub fn conserved(&self) -> bool {
+        self.accepted == self.disposed()
+    }
+}
+
+impl Host {
+    /// Read access to the telemetry state.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tele
+    }
+
+    /// Assembles the frame-disposition ledger (see [`PacketLedger`]).
+    pub fn packet_ledger(&self) -> PacketLedger {
+        let nic = self.nic.stats();
+        let in_flight = (self.nic.ring_depth() + self.nic.channel_depth_total()) as u64
+            + self.ip_queue.len() as u64;
+        let mut host_drops: Vec<(&'static str, u64)> = self
+            .tele
+            .host_drops
+            .iter()
+            .map(|(p, n)| (p.name(), *n))
+            .collect();
+        host_drops.sort_unstable();
+        PacketLedger {
+            accepted: nic.rx_frames,
+            nic_ring_drops: nic.ring_drops,
+            nic_early_discards: nic.early_discards,
+            in_flight,
+            delivered_udp: self.tele.delivered_udp,
+            delivered_icmp: self.tele.delivered_icmp,
+            tcp_frames: self.tele.tcp_frames,
+            forwarded: self.tele.forwarded,
+            arp_frames: self.tele.arp_frames,
+            reasm_absorbed: self.tele.reasm_absorbed,
+            flushed: self.tele.flushed,
+            host_drops,
+        }
+    }
+
+    /// Dequeues a frame from an NI channel, recording channel residency.
+    /// The single choke point for channel dequeues keeps the telemetry
+    /// timestamp sidecars aligned with the frame queues.
+    pub(crate) fn chan_dequeue(&mut self, now: SimTime, chan: ChannelId) -> Option<Frame> {
+        let f = self.nic.channel_mut(chan).dequeue();
+        if f.is_some() {
+            let cpu = self.cur_cpu;
+            self.tele.on_chan_dequeue(now, cpu, chan);
+        }
+        f
+    }
+
+    /// Destroys an NI channel, accounting any still-queued frames as
+    /// flushed.
+    pub(crate) fn destroy_channel_flushed(&mut self, chan: ChannelId) {
+        let n = self.nic.channel(chan).depth();
+        self.tele.on_chan_flush(chan, n);
+        self.nic.destroy_channel(chan);
+    }
+}

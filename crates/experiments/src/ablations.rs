@@ -4,7 +4,7 @@
 //! mechanism and shows what breaks without it.
 
 use crate::fig3;
-use lrp_core::{Architecture, Host, HostConfig, World};
+use lrp_core::{Architecture, Host, World};
 use lrp_net::{Injector, Pattern};
 use lrp_sim::{SimDuration, SimTime};
 use lrp_wire::{tcp, udp, Frame, Ipv4Addr};
@@ -46,7 +46,7 @@ pub fn a2_queue_depth(duration: SimTime) -> Series {
     for depth in [2usize, 4, 8, 16, 32, 64, 128] {
         let mut world = World::with_defaults();
         let metrics = lrp_apps::shared::<lrp_apps::SinkMetrics>();
-        let mut cfg = HostConfig::new(Architecture::NiLrp);
+        let mut cfg = crate::host_config(Architecture::NiLrp);
         cfg.channel_limit = depth;
         let mut server = Host::new(cfg, crate::HOST_B);
         server.spawn_app(
@@ -88,7 +88,7 @@ pub fn a2_queue_depth(duration: SimTime) -> Series {
 pub fn a3_demux_cost(duration: SimTime) -> Series {
     let mut points = Vec::new();
     for demux_us in [2u64, 6, 12, 20, 30, 45] {
-        let mut cfg = HostConfig::new(Architecture::SoftLrp);
+        let mut cfg = crate::host_config(Architecture::SoftLrp);
         cfg.cost.demux_per_pkt = SimDuration::from_micros(demux_us);
         let mut world = World::with_defaults();
         let metrics = lrp_apps::shared::<lrp_apps::SinkMetrics>();
@@ -132,7 +132,7 @@ pub fn a3_demux_cost(duration: SimTime) -> Series {
 pub fn a4_app_thread() -> Vec<Series> {
     let mut out = Vec::new();
     for app in [true, false] {
-        let mut cfg = HostConfig::new(Architecture::SoftLrp);
+        let mut cfg = crate::host_config(Architecture::SoftLrp);
         cfg.tcp_app_processing = app;
         // Bounded run: without APP the transfer may never complete (once
         // the sending application stops making socket calls, nobody
@@ -191,7 +191,7 @@ pub fn a5_control_flood(duration: SimTime) -> Vec<Series> {
             // the SYN flood hits a dummy TCP listener on the same host.
             let mut world = World::with_defaults();
             let metrics = lrp_apps::shared::<lrp_apps::SinkMetrics>();
-            let mut server = Host::new(HostConfig::new(arch), crate::HOST_B);
+            let mut server = Host::new(crate::host_config(arch), crate::HOST_B);
             server.spawn_app(
                 "sink",
                 0,
@@ -258,7 +258,7 @@ pub fn a5_control_flood(duration: SimTime) -> Vec<Series> {
 pub fn a6_time_wait_reclaim(duration: SimTime) -> Vec<Series> {
     let mut out = Vec::new();
     for reclaim in [true, false] {
-        let mut cfg = HostConfig::new(Architecture::NiLrp);
+        let mut cfg = crate::host_config(Architecture::NiLrp);
         cfg.time_wait_channel_reclaim = reclaim;
         cfg.tcp.time_wait = SimDuration::from_secs(5);
         let (mut world, _metrics) = crate::fig5::build_with_config(cfg, 0.0);
@@ -296,7 +296,7 @@ pub fn a7_forwarding_priority(duration: SimTime) -> Vec<Series> {
         ("4.4BSD (softirq forwarding)", Architecture::Bsd, 0),
     ] {
         let mut world = World::with_defaults();
-        let mut gw = Host::new(HostConfig::new(arch), crate::HOST_B);
+        let mut gw = Host::new(crate::host_config(arch), crate::HOST_B);
         gw.enable_forwarding(nice);
         let slices = lrp_apps::shared::<u64>();
         gw.spawn_app(
@@ -306,7 +306,7 @@ pub fn a7_forwarding_priority(duration: SimTime) -> Vec<Series> {
             Box::new(lrp_apps::MeteredCompute::new(slices.clone())),
         );
         let sink = lrp_apps::shared::<lrp_apps::SinkMetrics>();
-        let mut hd = Host::new(HostConfig::new(arch), D);
+        let mut hd = Host::new(crate::host_config(arch), D);
         hd.spawn_app(
             "sink",
             0,
@@ -359,7 +359,7 @@ pub fn a8_technology_trend(duration: SimTime) -> Vec<Series> {
     // 14 880 kpps. Per-core CPU speed grew far more slowly than that.
     let mut out = Vec::new();
     for (cpu_scale, link_kpps) in [(1.0f64, 183.0f64), (4.0, 1_488.0), (8.0, 14_880.0)] {
-        let mut cfg = HostConfig::new(Architecture::Bsd);
+        let mut cfg = crate::host_config(Architecture::Bsd);
         cfg.cost = cfg.cost.scaled(1.0 / cpu_scale);
         // Find the half-peak collapse point with a coarse upward sweep.
         let mut peak: f64 = 0.0;

@@ -1,61 +1,102 @@
-//! Runs the ablation suite (A1–A6 in DESIGN.md).
+//! Runs the ablation suite (A1–A8 in DESIGN.md) and emits
+//! `results/ablations.json`.
 
-use lrp_experiments::ablations;
+use lrp_experiments::{ablations, fig3};
 use lrp_sim::SimTime;
+use lrp_telemetry::{experiment_json, report_and_check, write_results, Json};
+
+fn series_json(series: &[ablations::Series]) -> Json {
+    Json::Arr(
+        series
+            .iter()
+            .map(|s| {
+                Json::obj(vec![
+                    ("name", Json::str(s.name.clone())),
+                    (
+                        "points",
+                        Json::Arr(
+                            s.points
+                                .iter()
+                                .map(|&(x, y)| Json::Arr(vec![Json::F64(x), Json::F64(y)]))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
 
 fn main() {
     let d = SimTime::from_secs(2);
-    println!(
-        "{}",
-        ablations::render(
-            "A1: lazy vs eager (delivered pkts/s under overload)",
-            &ablations::a1_lazy_vs_eager(d)
-        )
+    let mut sections = Vec::new();
+    let mut emit = |title: &str, key: &'static str, series: &[ablations::Series]| {
+        println!("{}", ablations::render(title, series));
+        sections.push((key, series_json(series)));
+    };
+    emit(
+        "A1: lazy vs eager (delivered pkts/s under overload)",
+        "a1_lazy_vs_eager",
+        &ablations::a1_lazy_vs_eager(d),
     );
-    println!(
-        "{}",
-        ablations::render("A2: channel queue depth", &[ablations::a2_queue_depth(d)])
+    emit(
+        "A2: channel queue depth",
+        "a2_queue_depth",
+        &[ablations::a2_queue_depth(d)],
     );
-    println!(
-        "{}",
-        ablations::render(
-            "A3: soft-demux cost sensitivity",
-            &[ablations::a3_demux_cost(d)]
-        )
+    emit(
+        "A3: soft-demux cost sensitivity",
+        "a3_demux_cost",
+        &[ablations::a3_demux_cost(d)],
     );
-    println!(
-        "{}",
-        ablations::render(
-            "A4: TCP APP thread on/off (Mb/s)",
-            &ablations::a4_app_thread()
-        )
+    emit(
+        "A4: TCP APP thread on/off (Mb/s)",
+        "a4_app_thread",
+        &ablations::a4_app_thread(),
     );
-    println!(
-        "{}",
-        ablations::render(
-            "A5: control-packet flood vs early discard",
-            &ablations::a5_control_flood(d)
-        )
+    emit(
+        "A5: control-packet flood vs early discard",
+        "a5_control_flood",
+        &ablations::a5_control_flood(d),
     );
-    println!(
-        "{}",
-        ablations::render(
-            "A6: NI channel TIME_WAIT reclamation (channels in use)",
-            &ablations::a6_time_wait_reclaim(SimTime::from_secs(6))
-        )
+    emit(
+        "A6: NI channel TIME_WAIT reclamation (channels in use)",
+        "a6_time_wait_reclaim",
+        &ablations::a6_time_wait_reclaim(SimTime::from_secs(6)),
     );
-    println!(
-        "{}",
-        ablations::render(
-            "A7: forwarding daemon priority (gateway under 12k pkts/s transit)",
-            &ablations::a7_forwarding_priority(SimTime::from_secs(3))
-        )
+    emit(
+        "A7: forwarding daemon priority (gateway under 12k pkts/s transit)",
+        "a7_forwarding_priority",
+        &ablations::a7_forwarding_priority(SimTime::from_secs(3)),
     );
-    println!(
-        "{}",
-        ablations::render(
-            "A8: technology trend — BSD livelock onset vs link capacity",
-            &ablations::a8_technology_trend(SimTime::from_secs(2))
-        )
+    emit(
+        "A8: technology trend — BSD livelock onset vs link capacity",
+        "a8_technology_trend",
+        &ablations::a8_technology_trend(SimTime::from_secs(2)),
     );
+
+    // Conservation spot-check: a Figure-3-style overload run per
+    // architecture (the workload most ablations perturb).
+    let mut hosts = Vec::new();
+    for arch in lrp_experiments::all_architectures() {
+        let (mut world, _metrics) = fig3::build(arch, 20_000.0, false);
+        world.run_until(SimTime::from_secs(1));
+        let label = format!("overload-{}", arch.name());
+        let report = report_and_check(&world, &label);
+        hosts.push((label, report));
+    }
+
+    let doc = experiment_json(
+        "ablations",
+        vec![("duration_s", Json::U64(2))],
+        Json::Obj(
+            sections
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        ),
+        hosts,
+    );
+    let path = write_results("ablations", &doc).expect("write ablations.json");
+    eprintln!("wrote {}", path.display());
 }

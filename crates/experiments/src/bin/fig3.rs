@@ -1,7 +1,13 @@
-//! Regenerates Figure 3.
+//! Regenerates Figure 3 and emits `results/fig3.json` plus a packet
+//! trace of a representative overloaded NI-LRP run.
 
 use lrp_experiments::fig3;
 use lrp_sim::SimTime;
+use lrp_telemetry::{experiment_json, report_and_check, write_results, write_trace, Json};
+
+/// Offered rate of the representative instrumented runs: deep in the
+/// livelock region of Figure 3.
+const OVERLOAD_PPS: f64 = 20_000.0;
 
 fn main() {
     let secs: u64 = std::env::args()
@@ -10,4 +16,55 @@ fn main() {
         .unwrap_or(3);
     let results = fig3::run(SimTime::from_secs(secs));
     println!("{}", fig3::render(&results));
+
+    // One instrumented overload run per architecture: conservation check,
+    // per-host report, and (for NI-LRP) the exported packet trace.
+    let mut hosts = Vec::new();
+    for arch in lrp_experiments::all_architectures() {
+        let (mut world, _metrics) = fig3::build(arch, OVERLOAD_PPS, false);
+        world.run_until(SimTime::from_secs(1));
+        let label = format!("overload-{}", arch.name());
+        let report = report_and_check(&world, &label);
+        if arch == lrp_core::Architecture::NiLrp {
+            let (jsonl, chrome) = write_trace("fig3-nilrp", &world.hosts[0].telemetry().trace)
+                .expect("write fig3 trace");
+            eprintln!("wrote {} and {}", jsonl.display(), chrome.display());
+        }
+        hosts.push((label, report));
+    }
+
+    let data = Json::Arr(
+        results
+            .iter()
+            .map(|(arch, pts)| {
+                Json::obj(vec![
+                    ("arch", Json::str(arch.name())),
+                    (
+                        "points",
+                        Json::Arr(
+                            pts.iter()
+                                .map(|p| {
+                                    Json::obj(vec![
+                                        ("offered_pps", Json::F64(p.offered)),
+                                        ("delivered_pps", Json::F64(p.delivered)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+    let doc = experiment_json(
+        "fig3",
+        vec![
+            ("duration_s", Json::U64(secs)),
+            ("overload_pps", Json::F64(OVERLOAD_PPS)),
+        ],
+        data,
+        hosts,
+    );
+    let path = write_results("fig3", &doc).expect("write fig3.json");
+    eprintln!("wrote {}", path.display());
 }

@@ -1,6 +1,12 @@
-//! Regenerates Figure 4.
+//! Regenerates Figure 4 and emits `results/fig4.json`.
 
 use lrp_experiments::fig4;
+use lrp_sim::SimTime;
+use lrp_telemetry::{experiment_json, report_and_check, write_results, Json};
+
+/// Background blast rate of the representative instrumented runs (the
+/// top of the paper's latency hump).
+const BACKGROUND_PPS: f64 = 8_000.0;
 
 fn main() {
     let rounds: u64 = std::env::args()
@@ -9,4 +15,49 @@ fn main() {
         .unwrap_or(2000);
     let results = fig4::run(rounds);
     println!("{}", fig4::render(&results));
+
+    let mut hosts = Vec::new();
+    for arch in lrp_experiments::main_architectures() {
+        let (mut world, _pp) = fig4::build(arch, BACKGROUND_PPS, 500);
+        world.run_until(SimTime::from_secs(2));
+        let label = format!("background-{}", arch.name());
+        let report = report_and_check(&world, &label);
+        hosts.push((label, report));
+    }
+
+    let data = Json::Arr(
+        results
+            .iter()
+            .map(|(arch, pts)| {
+                Json::obj(vec![
+                    ("arch", Json::str(arch.name())),
+                    (
+                        "points",
+                        Json::Arr(
+                            pts.iter()
+                                .map(|p| {
+                                    Json::obj(vec![
+                                        ("background_pps", Json::F64(p.background_pps)),
+                                        ("rtt_us", Json::F64(p.rtt_us)),
+                                        ("p99_us", Json::F64(p.p99_us)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+    let doc = experiment_json(
+        "fig4",
+        vec![
+            ("rounds", Json::U64(rounds)),
+            ("background_pps", Json::F64(BACKGROUND_PPS)),
+        ],
+        data,
+        hosts,
+    );
+    let path = write_results("fig4", &doc).expect("write fig4.json");
+    eprintln!("wrote {}", path.display());
 }

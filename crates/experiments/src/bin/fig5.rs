@@ -1,7 +1,11 @@
-//! Regenerates Figure 5.
+//! Regenerates Figure 5 and emits `results/fig5.json`.
 
 use lrp_experiments::fig5;
 use lrp_sim::SimTime;
+use lrp_telemetry::{experiment_json, report_and_check, write_results, Json};
+
+/// SYN-flood rate of the representative instrumented runs.
+const FLOOD_PPS: f64 = 10_000.0;
 
 fn main() {
     let secs: u64 = std::env::args()
@@ -13,6 +17,7 @@ fn main() {
     println!("Console responsiveness at 10k SYN/s (mean scheduling lag of an");
     println!("interactive process on the server; the paper: BSD console dead,");
     println!("LRP console responsive):");
+    let mut console = Vec::new();
     for arch in [lrp_core::Architecture::Bsd, lrp_core::Architecture::SoftLrp] {
         let (lag, served) = fig5::measure_console_lag(arch, 10_000.0, SimTime::from_secs(3));
         // ~300 wakeups expected over 3 s at a 10 ms period.
@@ -30,5 +35,61 @@ fn main() {
                 served
             );
         }
+        console.push(Json::obj(vec![
+            ("arch", Json::str(arch.name())),
+            ("mean_lag_us", Json::F64(lag)),
+            ("wakeups_served", Json::U64(served)),
+        ]));
     }
+
+    let mut hosts = Vec::new();
+    for (arch, _) in &results {
+        let (mut world, _metrics) = fig5::build(*arch, FLOOD_PPS);
+        world.run_until(SimTime::from_secs(1));
+        let label = format!("flood-{}", arch.name());
+        let report = report_and_check(&world, &label);
+        hosts.push((label, report));
+    }
+
+    let data = Json::obj(vec![
+        (
+            "series",
+            Json::Arr(
+                results
+                    .iter()
+                    .map(|(arch, pts)| {
+                        Json::obj(vec![
+                            ("arch", Json::str(arch.name())),
+                            (
+                                "points",
+                                Json::Arr(
+                                    pts.iter()
+                                        .map(|p| {
+                                            Json::obj(vec![
+                                                ("syn_pps", Json::F64(p.syn_pps)),
+                                                ("http_tps", Json::F64(p.http_tps)),
+                                                ("fail_rate", Json::F64(p.fail_rate)),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("console", Json::Arr(console)),
+    ]);
+    let doc = experiment_json(
+        "fig5",
+        vec![
+            ("duration_s", Json::U64(secs)),
+            ("flood_pps", Json::F64(FLOOD_PPS)),
+        ],
+        data,
+        hosts,
+    );
+    let path = write_results("fig5", &doc).expect("write fig5.json");
+    eprintln!("wrote {}", path.display());
 }

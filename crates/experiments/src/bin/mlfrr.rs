@@ -1,7 +1,9 @@
-//! Regenerates the MLFRR comparison (§4.2 in-text).
+//! Regenerates the MLFRR comparison (§4.2 in-text) and emits
+//! `results/mlfrr.json`.
 
-use lrp_experiments::mlfrr;
+use lrp_experiments::{fig3, mlfrr};
 use lrp_sim::SimTime;
+use lrp_telemetry::{experiment_json, report_and_check, write_results, Json};
 
 fn main() {
     let secs: u64 = std::env::args()
@@ -10,4 +12,30 @@ fn main() {
         .unwrap_or(2);
     let rows = mlfrr::run(SimTime::from_secs(secs));
     println!("{}", mlfrr::render(&rows));
+
+    // Re-run each architecture at its measured MLFRR (Poisson arrivals,
+    // as in the search) and verify the ledger balances there too.
+    let mut hosts = Vec::new();
+    for row in &rows {
+        let rate = if row.mlfrr > 0.0 { row.mlfrr } else { 1_000.0 };
+        let (mut world, _metrics) = fig3::build(row.arch, rate, true);
+        world.run_until(SimTime::from_secs(1));
+        let label = format!("mlfrr-{}", row.arch.name());
+        let report = report_and_check(&world, &label);
+        hosts.push((label, report));
+    }
+
+    let data = Json::Arr(
+        rows.iter()
+            .map(|r| {
+                Json::obj(vec![
+                    ("arch", Json::str(r.arch.name())),
+                    ("mlfrr_pps", Json::F64(r.mlfrr)),
+                ])
+            })
+            .collect(),
+    );
+    let doc = experiment_json("mlfrr", vec![("duration_s", Json::U64(secs))], data, hosts);
+    let path = write_results("mlfrr", &doc).expect("write mlfrr.json");
+    eprintln!("wrote {}", path.display());
 }

@@ -1,7 +1,14 @@
-//! Regenerates the SMP scaling experiment (CPUs × architectures).
+//! Regenerates the SMP scaling experiment (CPUs × architectures) and
+//! emits `results/smp_scaling.json`.
 
 use lrp_experiments::smp_scaling;
 use lrp_sim::SimTime;
+use lrp_telemetry::{experiment_json, report_and_check, write_results, Json};
+
+/// Aggregate offered rate of the representative instrumented runs.
+const OVERLOAD_PPS: f64 = 40_000.0;
+/// CPU count of the representative instrumented runs.
+const NCPUS: usize = 4;
 
 fn main() {
     let secs: u64 = std::env::args()
@@ -10,4 +17,65 @@ fn main() {
         .unwrap_or(1);
     let rows = smp_scaling::run(SimTime::from_secs(secs));
     println!("{}", smp_scaling::render(&rows));
+
+    // One instrumented 4-CPU overload run per architecture: the ledger
+    // must balance even with RSS-steered multi-queue receive.
+    let mut hosts = Vec::new();
+    for arch in lrp_experiments::main_architectures() {
+        let (mut world, _b, _metrics) = smp_scaling::build(arch, NCPUS, OVERLOAD_PPS, 7);
+        world.run_until(SimTime::from_secs(1));
+        let label = format!("smp{}-{}", NCPUS, arch.name());
+        let report = report_and_check(&world, &label);
+        hosts.push((label, report));
+    }
+
+    let data = Json::Arr(
+        rows.iter()
+            .map(|r| {
+                Json::obj(vec![
+                    ("arch", Json::str(r.arch.name())),
+                    ("ncpus", Json::U64(r.ncpus as u64)),
+                    ("peak_pps", Json::F64(r.peak())),
+                    (
+                        "livelock_onset_pps",
+                        r.livelock_onset().map(Json::F64).unwrap_or(Json::Null),
+                    ),
+                    (
+                        "points",
+                        Json::Arr(
+                            r.points
+                                .iter()
+                                .map(|p| {
+                                    Json::obj(vec![
+                                        ("offered_pps", Json::F64(p.offered)),
+                                        ("delivered_pps", Json::F64(p.delivered)),
+                                        (
+                                            "cpu_util",
+                                            Json::Arr(
+                                                p.cpu_util.iter().map(|&u| Json::F64(u)).collect(),
+                                            ),
+                                        ),
+                                        ("ipis", Json::U64(p.ipis)),
+                                        ("charge_ok", Json::Bool(p.charge_ok)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+    let doc = experiment_json(
+        "smp_scaling",
+        vec![
+            ("duration_s", Json::U64(secs)),
+            ("overload_pps", Json::F64(OVERLOAD_PPS)),
+            ("ncpus", Json::U64(NCPUS as u64)),
+        ],
+        data,
+        hosts,
+    );
+    let path = write_results("smp_scaling", &doc).expect("write smp_scaling.json");
+    eprintln!("wrote {}", path.display());
 }

@@ -1,9 +1,38 @@
-//! Regenerates Table 1.
+//! Regenerates Table 1 and emits `results/table1.json`.
 
 use lrp_experiments::table1;
+use lrp_sim::SimTime;
+use lrp_telemetry::{experiment_json, report_and_check, write_results, Json};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let rows = table1::run(quick);
     println!("{}", table1::render(&rows));
+
+    // One instrumented sliding-window UDP transfer per system.
+    let mut hosts = Vec::new();
+    for (name, cfg) in table1::systems() {
+        let (mut world, metrics) = table1::build_udp(cfg, 300);
+        world.run_until(SimTime::from_secs(60));
+        assert!(metrics.borrow().done, "udp transfer incomplete: {name}");
+        let label = format!("udp-{name}");
+        let report = report_and_check(&world, &label);
+        hosts.push((label, report));
+    }
+
+    let data = Json::Arr(
+        rows.iter()
+            .map(|r| {
+                Json::obj(vec![
+                    ("system", Json::str(r.system)),
+                    ("rtt_us", Json::F64(r.rtt_us)),
+                    ("udp_mbps", Json::F64(r.udp_mbps)),
+                    ("tcp_mbps", Json::F64(r.tcp_mbps)),
+                ])
+            })
+            .collect(),
+    );
+    let doc = experiment_json("table1", vec![("quick", Json::Bool(quick))], data, hosts);
+    let path = write_results("table1", &doc).expect("write table1.json");
+    eprintln!("wrote {}", path.display());
 }

@@ -1,8 +1,39 @@
-//! Regenerates Table 2.
+//! Regenerates Table 2 and emits `results/table2.json`.
 
 use lrp_experiments::table2;
+use lrp_sim::SimTime;
+use lrp_telemetry::{experiment_json, report_and_check, write_results, Json};
 
 fn main() {
     let rows = table2::run();
     println!("{}", table2::render(&rows));
+
+    // One instrumented Medium-variant run per system, driven at the
+    // calibration rate for a bounded window.
+    let mut hosts = Vec::new();
+    for arch in lrp_experiments::main_architectures() {
+        let variant = table2::Variant::Medium;
+        let mut s = table2::build(arch, variant, variant.calibration_gap());
+        s.world.run_until(SimTime::from_secs(2));
+        let label = format!("rpc-medium-{}", arch.name());
+        let report = report_and_check(&s.world, &label);
+        hosts.push((label, report));
+    }
+
+    let data = Json::Arr(
+        rows.iter()
+            .map(|r| {
+                Json::obj(vec![
+                    ("variant", Json::str(r.variant.name())),
+                    ("system", Json::str(r.system)),
+                    ("worker_elapsed_s", Json::F64(r.worker_elapsed_s)),
+                    ("rpc_rate", Json::F64(r.rpc_rate)),
+                    ("worker_share", Json::F64(r.worker_share)),
+                ])
+            })
+            .collect(),
+    );
+    let doc = experiment_json("table2", vec![], data, hosts);
+    let path = write_results("table2", &doc).expect("write table2.json");
+    eprintln!("wrote {}", path.display());
 }

@@ -9,7 +9,7 @@
 
 use crate::HOST_B;
 use lrp_apps::{shared, BlastSink, Shared, SinkMetrics};
-use lrp_core::{Architecture, Host, HostConfig, World};
+use lrp_core::{Architecture, Host, World};
 use lrp_net::{Injector, Pattern};
 use lrp_sim::SimTime;
 use lrp_wire::{udp, Frame, Ipv4Addr};
@@ -44,7 +44,7 @@ pub fn build_seeded(
 ) -> (World, Shared<SinkMetrics>) {
     let mut world = World::with_defaults();
     let metrics = shared::<SinkMetrics>();
-    let mut server = Host::new(HostConfig::new(arch), HOST_B);
+    let mut server = Host::new(crate::host_config(arch), HOST_B);
     server.spawn_app(
         "blast-sink",
         0,

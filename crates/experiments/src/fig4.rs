@@ -21,9 +21,10 @@
 
 use crate::{HOST_A, HOST_B};
 use lrp_apps::{
-    shared, BlastSink, ComputeHog, PingPongClient, PingPongMetrics, PingPongServer, SinkMetrics,
+    shared, BlastSink, ComputeHog, PingPongClient, PingPongMetrics, PingPongServer, Shared,
+    SinkMetrics,
 };
-use lrp_core::{Architecture, Host, HostConfig, World};
+use lrp_core::{Architecture, Host, World};
 use lrp_net::{Injector, Pattern};
 use lrp_sim::SimTime;
 use lrp_wire::{udp, Frame, Ipv4Addr};
@@ -43,13 +44,19 @@ const BLAST_SRC: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 3);
 const PP_PORT: u16 = 6000;
 const BLAST_PORT: u16 = 9000;
 
-/// Measures the client RTT at one background rate.
-pub fn measure(arch: Architecture, background_pps: f64, rounds: u64) -> Point {
+/// Builds the two-host scenario: ping-pong pair plus background blast
+/// aimed at a separate socket on the server. Returns the world and the
+/// client's ping-pong metrics.
+pub fn build(
+    arch: Architecture,
+    background_pps: f64,
+    rounds: u64,
+) -> (World, Shared<PingPongMetrics>) {
     let mut world = World::with_defaults();
     let pp = shared::<PingPongMetrics>();
     let blast = shared::<SinkMetrics>();
 
-    let mut a = Host::new(HostConfig::new(arch), HOST_A);
+    let mut a = Host::new(crate::host_config(arch), HOST_A);
     a.spawn_app(
         "pp-client",
         0,
@@ -63,7 +70,7 @@ pub fn measure(arch: Architecture, background_pps: f64, rounds: u64) -> Point {
     );
     a.spawn_app("bg-hog", 20, 0, Box::new(ComputeHog));
 
-    let mut b = Host::new(HostConfig::new(arch), HOST_B);
+    let mut b = Host::new(crate::host_config(arch), HOST_B);
     b.spawn_app("pp-server", 0, 0, Box::new(PingPongServer::new(PP_PORT)));
     b.spawn_app(
         "blast-sink",
@@ -98,6 +105,12 @@ pub fn measure(arch: Architecture, background_pps: f64, rounds: u64) -> Point {
         );
         world.add_injector(bidx, inj);
     }
+    (world, pp)
+}
+
+/// Measures the client RTT at one background rate.
+pub fn measure(arch: Architecture, background_pps: f64, rounds: u64) -> Point {
+    let (mut world, pp) = build(arch, background_pps, rounds);
     // Bounded by rounds; generous cap for heavily loaded runs.
     world.run_until(SimTime::from_secs(30));
     let m = pp.borrow();

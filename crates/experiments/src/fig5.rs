@@ -52,7 +52,7 @@ pub struct Point {
 
 /// Builds the scenario; returns the world and the per-client metrics.
 pub fn build(arch: Architecture, syn_pps: f64) -> (World, Vec<Shared<HttpMetrics>>) {
-    let mut cfg = HostConfig::new(arch);
+    let mut cfg = crate::host_config(arch);
     // The paper's controls.
     cfg.tcp.time_wait = SimDuration::from_millis(500);
     cfg.redundant_pcb_lookup = arch.is_lrp();
@@ -65,7 +65,7 @@ pub fn build(arch: Architecture, syn_pps: f64) -> (World, Vec<Shared<HttpMetrics
 /// wakeups served)`. A console that never gets the CPU serves ~zero
 /// wakeups — it is dead, whatever its "lag" claims.
 pub fn measure_console_lag(arch: Architecture, syn_pps: f64, duration: SimTime) -> (f64, u64) {
-    let mut cfg = HostConfig::new(arch);
+    let mut cfg = crate::host_config(arch);
     cfg.tcp.time_wait = SimDuration::from_millis(500);
     cfg.redundant_pcb_lookup = arch.is_lrp();
     let (mut world, _m) = build_with_config(cfg, syn_pps);

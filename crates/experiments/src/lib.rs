@@ -17,7 +17,19 @@ pub mod smp_scaling;
 pub mod table1;
 pub mod table2;
 
+use lrp_core::{Architecture, HostConfig};
 use lrp_wire::Ipv4Addr;
+
+/// The standard host configuration for an experiment: the requested
+/// architecture with the telemetry layer enabled. Experiments always run
+/// instrumented — the determinism goldens in `tests/determinism.rs` pin
+/// results produced this way, which enforces that telemetry never
+/// perturbs the simulation.
+pub fn host_config(arch: Architecture) -> HostConfig {
+    let mut cfg = HostConfig::new(arch);
+    cfg.telemetry = true;
+    cfg
+}
 
 /// Machine A (client) in the paper's three-machine setup.
 pub const HOST_A: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);

@@ -83,7 +83,9 @@ pub fn build(
     seed: u64,
 ) -> (World, usize, Vec<Shared<SinkMetrics>>) {
     let mut world = World::with_defaults();
-    let mut server = Host::new(HostConfig::smp(arch, ncpus), HOST_B);
+    let mut cfg = HostConfig::smp(arch, ncpus);
+    cfg.telemetry = true;
+    let mut server = Host::new(cfg, HOST_B);
     let mut metrics = Vec::with_capacity(FLOWS);
     for i in 0..FLOWS {
         let m = shared::<SinkMetrics>();

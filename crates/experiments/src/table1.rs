@@ -6,8 +6,8 @@
 
 use crate::{HOST_A, HOST_B};
 use lrp_apps::{
-    shared, PingPongClient, PingPongMetrics, PingPongServer, TcpBulkMetrics, TcpBulkReceiver,
-    TcpBulkSender, UdpWindowMetrics, UdpWindowSink, UdpWindowSource,
+    shared, PingPongClient, PingPongMetrics, PingPongServer, Shared, TcpBulkMetrics,
+    TcpBulkReceiver, TcpBulkSender, UdpWindowMetrics, UdpWindowSink, UdpWindowSource,
 };
 use lrp_core::{Architecture, Host, HostConfig, World};
 use lrp_sim::SimTime;
@@ -28,11 +28,16 @@ pub struct Row {
 
 /// The configurations of Table 1's four systems.
 pub fn systems() -> Vec<(&'static str, HostConfig)> {
+    let sunos = {
+        let mut c = HostConfig::sunos_fore();
+        c.telemetry = true;
+        c
+    };
     vec![
-        ("SunOS+Fore", HostConfig::sunos_fore()),
-        ("4.4BSD", HostConfig::new(Architecture::Bsd)),
-        ("NI-LRP", HostConfig::new(Architecture::NiLrp)),
-        ("SOFT-LRP", HostConfig::new(Architecture::SoftLrp)),
+        ("SunOS+Fore", sunos),
+        ("4.4BSD", crate::host_config(Architecture::Bsd)),
+        ("NI-LRP", crate::host_config(Architecture::NiLrp)),
+        ("SOFT-LRP", crate::host_config(Architecture::SoftLrp)),
     ]
 }
 
@@ -63,8 +68,10 @@ pub fn measure_rtt(cfg: HostConfig, rounds: u64) -> f64 {
     m.mean_rtt_us()
 }
 
-/// Measures sliding-window UDP goodput (checksums off, 8 KB datagrams).
-pub fn measure_udp_mbps(cfg: HostConfig, datagrams: u64) -> f64 {
+/// Builds the sliding-window UDP transfer scenario (checksums off, 8 KB
+/// datagrams) used by the throughput column. Returns the world and the
+/// sink's metrics.
+pub fn build_udp(cfg: HostConfig, datagrams: u64) -> (World, Shared<UdpWindowMetrics>) {
     let mut world = World::with_defaults();
     let metrics = shared::<UdpWindowMetrics>();
     let mut a = Host::new(cfg, HOST_A);
@@ -92,6 +99,12 @@ pub fn measure_udp_mbps(cfg: HostConfig, datagrams: u64) -> f64 {
     );
     world.add_host(a);
     world.add_host(b);
+    (world, metrics)
+}
+
+/// Measures sliding-window UDP goodput via [`build_udp`].
+pub fn measure_udp_mbps(cfg: HostConfig, datagrams: u64) -> f64 {
+    let (mut world, metrics) = build_udp(cfg, datagrams);
     world.run_until(SimTime::from_secs(60));
     let m = metrics.borrow();
     assert!(m.done, "udp window transfer incomplete: {}", m.count);

@@ -16,7 +16,7 @@
 
 use crate::{HOST_A, HOST_B, HOST_C};
 use lrp_apps::{shared, PacedRpcClient, RpcClient, RpcMetrics, RpcServer, Shared};
-use lrp_core::{Architecture, Host, HostConfig, Pid, World};
+use lrp_core::{Architecture, Host, Pid, World};
 use lrp_sim::{SimDuration, SimTime};
 use lrp_wire::Endpoint;
 
@@ -82,20 +82,28 @@ pub const WORKER_CPU: SimDuration = SimDuration::from_micros(11_500_000);
 /// Worker cache working set: 35 % of the 1 MB L2.
 pub const WORKER_WS: usize = 350 * 1024;
 
-struct Setup {
-    world: World,
-    worker_metrics: Shared<RpcMetrics>,
-    rpc_metrics: [Shared<RpcMetrics>; 2],
-    worker_pid: Pid,
-    server_host: usize,
+/// The built RPC-workload scenario, with handles for the measurements.
+pub struct Setup {
+    /// The three-machine world.
+    pub world: World,
+    /// Completion metrics for the worker's single long RPC.
+    pub worker_metrics: Shared<RpcMetrics>,
+    /// Server-side completion metrics of the two short-RPC servers.
+    pub rpc_metrics: [Shared<RpcMetrics>; 2],
+    /// The worker process on the server host.
+    pub worker_pid: Pid,
+    /// Index of the server host within [`Setup::world`].
+    pub server_host: usize,
 }
 
-fn build(arch: Architecture, variant: Variant, gap: SimDuration) -> Setup {
+/// Builds one cell's scenario: worker plus two RPC servers on machine B,
+/// paced clients on machines A and C issuing a request every `gap`.
+pub fn build(arch: Architecture, variant: Variant, gap: SimDuration) -> Setup {
     let mut world = World::with_defaults();
     let worker_metrics = shared::<RpcMetrics>();
     let rpc_metrics = [shared::<RpcMetrics>(), shared::<RpcMetrics>()];
 
-    let mut b = Host::new(HostConfig::new(arch), HOST_B);
+    let mut b = Host::new(crate::host_config(arch), HOST_B);
     let worker_pid = b.spawn_app(
         "worker",
         0,
@@ -121,7 +129,7 @@ fn build(arch: Architecture, variant: Variant, gap: SimDuration) -> Setup {
     // become the bottleneck (the paper's single client machine had to
     // sustain both flows; splitting preserves "requests outstanding at
     // all times" without a client-side CPU ceiling).
-    let mut a = Host::new(HostConfig::new(arch), HOST_A);
+    let mut a = Host::new(crate::host_config(arch), HOST_A);
     a.spawn_app(
         "cl-worker",
         0,
@@ -140,7 +148,7 @@ fn build(arch: Architecture, variant: Variant, gap: SimDuration) -> Setup {
         0,
         Box::new(PacedRpcClient::new(Endpoint::new(HOST_B, 7101), 7201, gap)),
     );
-    let mut c = Host::new(HostConfig::new(arch), HOST_C);
+    let mut c = Host::new(crate::host_config(arch), HOST_C);
     c.spawn_app(
         "cl-rpc2",
         0,

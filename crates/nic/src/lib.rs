@@ -217,6 +217,9 @@ pub struct Nic {
     default_channel_limit: usize,
     proxy: ProxyChannels,
     stats: NicStats,
+    /// Channel the most recent `rx_frame` enqueued into (NI mode only);
+    /// `None` if the frame was dropped, ring-queued, or not yet received.
+    last_rx_chan: Option<ChannelId>,
 }
 
 /// Default receive ring size (FORE SBA-200-ish).
@@ -241,6 +244,7 @@ impl Nic {
             default_channel_limit: DEFAULT_CHANNEL_LIMIT,
             proxy: ProxyChannels::default(),
             stats: NicStats::default(),
+            last_rx_chan: None,
         };
         // Channel 0 is reserved for misordered fragments.
         let frag = nic.create_channel(DEFAULT_CHANNEL_LIMIT);
@@ -372,6 +376,7 @@ impl Nic {
     /// own processor; the host learns nothing about discarded frames.
     pub fn rx_frame(&mut self, frame: Frame) -> RxOutcome {
         self.stats.rx_frames += 1;
+        self.last_rx_chan = None;
         let rxq = self.rx_queue_of(&frame);
         match self.mode {
             DemuxMode::None | DemuxMode::Soft => {
@@ -432,6 +437,7 @@ impl Nic {
                     self.stats.early_discards += 1;
                     return RxOutcome::Dropped(NicDrop::ChannelFull);
                 }
+                self.last_rx_chan = Some(chan);
                 if was_empty && ch.intr_requested {
                     ch.intr_requested = false;
                     self.stats.interrupts += 1;
@@ -483,6 +489,22 @@ impl Nic {
     /// Frames currently waiting to transmit.
     pub fn ifq_depth(&self) -> usize {
         self.ifq.len()
+    }
+
+    /// The channel the most recent [`Nic::rx_frame`] enqueued into, if any
+    /// (NI mode). Lets the host's telemetry observe firmware-side channel
+    /// placement without paying any modelled host cost.
+    pub fn last_rx_channel(&self) -> Option<ChannelId> {
+        self.last_rx_chan
+    }
+
+    /// Total frames queued across all live channels (telemetry: in-flight
+    /// frames for the packet-conservation ledger).
+    pub fn channel_depth_total(&self) -> usize {
+        self.channels
+            .iter()
+            .filter_map(|c| c.as_ref().map(|c| c.depth()))
+            .sum()
     }
 }
 
@@ -710,6 +732,25 @@ mod tests {
         assert_eq!(ch.stats().dequeued, 1);
         assert_eq!(ch.depth(), 3);
         assert_eq!(ch.limit(), 4);
+    }
+
+    #[test]
+    fn last_rx_channel_tracks_ni_enqueue() {
+        let mut nic = Nic::new(DemuxMode::Ni, LOCAL, 8);
+        let chan = nic.create_default_channel();
+        nic.demux
+            .register(
+                FlowKey::listening(proto::UDP, Endpoint::new(LOCAL, 9000)),
+                chan,
+            )
+            .unwrap();
+        assert_eq!(nic.last_rx_channel(), None);
+        nic.rx_frame(udp_frame(9000));
+        assert_eq!(nic.last_rx_channel(), Some(chan));
+        assert_eq!(nic.channel_depth_total(), 1);
+        // A discarded frame clears the marker.
+        nic.rx_frame(udp_frame(12345));
+        assert_eq!(nic.last_rx_channel(), None);
     }
 
     #[test]

@@ -215,6 +215,18 @@ impl Scheduler {
         self.charged_per_cpu[cpu]
     }
 
+    /// Sums the per-process accounting buckets over all processes. The
+    /// grand total equals [`total_charged`](Self::total_charged).
+    pub fn account_totals(&self) -> CpuAccounting {
+        let mut t = CpuAccounting::default();
+        for p in &self.procs {
+            t.user += p.acct.user;
+            t.system += p.acct.system;
+            t.interrupt += p.acct.interrupt;
+        }
+        t
+    }
+
     fn recompute_pri(p: &mut Process) {
         // 4.3BSD: p_usrpri = PUSER + p_estcpu/4 + 2*p_nice, clamped.
         let raw = PUSER as f64 + p.estcpu / 4.0 + 2.0 * p.nice as f64;
@@ -601,6 +613,22 @@ mod tests {
         assert_eq!(s.total_charged(), SimDuration::from_micros(600));
         let sum = s.accounting(a).total() + s.accounting(b).total();
         assert_eq!(sum, s.total_charged());
+    }
+
+    #[test]
+    fn account_totals_partition_total_charged() {
+        let mut s = sched();
+        let a = s.spawn("a", 0, SimDuration::ZERO);
+        let b = s.spawn("b", 0, SimDuration::ZERO);
+        s.charge(a, Account::User, SimDuration::from_micros(300));
+        s.charge(b, Account::User, SimDuration::from_micros(50));
+        s.charge(b, Account::System, SimDuration::from_micros(200));
+        s.charge(a, Account::Interrupt, SimDuration::from_micros(100));
+        let t = s.account_totals();
+        assert_eq!(t.user, SimDuration::from_micros(350));
+        assert_eq!(t.system, SimDuration::from_micros(200));
+        assert_eq!(t.interrupt, SimDuration::from_micros(100));
+        assert_eq!(t.total(), s.total_charged());
     }
 
     #[test]

@@ -29,8 +29,10 @@ pub mod event;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use event::{EventKey, EventQueue};
 pub use rng::SplitMix64;
 pub use stats::{Counter, Histogram, RateSeries, TimeWeighted, Welford};
 pub use time::{SimDuration, SimTime};
+pub use trace::{TraceEvent, TraceRing};

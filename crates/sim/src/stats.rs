@@ -171,12 +171,11 @@ impl Histogram {
 
     /// Records one sample.
     pub fn record(&mut self, value: u64) {
-        let idx = Self::index_of(value);
-        if idx < self.buckets.len() {
-            self.buckets[idx] += 1;
-        } else {
-            *self.buckets.last_mut().expect("histogram has buckets") += 1;
-        }
+        // `index_of` maps every u64 inside the bucket array; saturate
+        // defensively rather than clamp-and-lie, and let `quantile`
+        // report the exact tracked `max` for the top occupied bucket.
+        let idx = Self::index_of(value).min(self.buckets.len() - 1);
+        self.buckets[idx] += 1;
         self.count += 1;
         self.sum += value as u128;
         self.max = self.max.max(value);
@@ -220,7 +219,10 @@ impl Histogram {
         }
     }
 
-    /// The value at quantile `q` in `[0, 1]`, to bucket precision.
+    /// The value at quantile `q` in `[0, 1]`, to bucket precision. A
+    /// quantile that resolves to the highest occupied bucket reports the
+    /// exact tracked maximum (so `quantile(1.0) == max()`), rather than
+    /// reconstructing that bucket's lower bound.
     ///
     /// # Panics
     ///
@@ -235,6 +237,10 @@ impl Histogram {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
+                if seen == self.count {
+                    // Highest occupied bucket: the tracked max is exact.
+                    return self.max;
+                }
                 return Self::value_of(i).min(self.max);
             }
         }
@@ -465,6 +471,45 @@ mod tests {
     fn rate_series_skip_beyond_len() {
         let r = RateSeries::new(SimTime::ZERO, SimDuration::from_secs(1));
         assert_eq!(r.steady_rate(5), 0.0);
+    }
+
+    #[test]
+    fn histogram_top_bucket_quantile_is_exact_max() {
+        // A single sample of 1000 lands in the bucket whose lower bound is
+        // 992; p100 must still report the exact sample.
+        let mut h = Histogram::new();
+        h.record(1_000);
+        assert_eq!(h.quantile(1.0), 1_000);
+        assert_eq!(h.median(), 1_000);
+        for _ in 0..99 {
+            h.record(100);
+        }
+        assert_eq!(h.quantile(1.0), 1_000);
+        assert_eq!(h.quantile(0.5), 100);
+    }
+
+    #[test]
+    fn histogram_saturation_keeps_exact_max() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_bucket_edges_roundtrip() {
+        // Every representable bucket lower edge maps back to its own
+        // index, and the value just below it to the previous index.
+        // Index 975 is index_of(u64::MAX), the last reachable bucket.
+        for idx in 0..=975usize {
+            let v = Histogram::value_of(idx);
+            assert_eq!(Histogram::index_of(v), idx, "edge v={v}");
+            if v > 0 {
+                assert_eq!(Histogram::index_of(v - 1), idx - 1, "below edge v={v}");
+            }
+        }
     }
 
     #[test]

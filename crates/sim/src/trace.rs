@@ -1,0 +1,242 @@
+//! Bounded packet-lifecycle trace ring.
+//!
+//! Instrumented components record [`TraceEvent`]s — timestamped, labelled
+//! points in a packet's life (rx-DMA, demux verdict, queue enqueue/dequeue,
+//! early discard, softirq dispatch, protocol processing, socket delivery,
+//! receive wakeup) — into a [`TraceRing`] of fixed capacity. When the ring
+//! is full the oldest events are overwritten, so a long run keeps the tail
+//! of its history at bounded memory cost.
+//!
+//! Recording is pure bookkeeping: it never touches simulated time, the
+//! event queue, or any RNG, so enabling a trace cannot perturb a
+//! deterministic run.
+//!
+//! Two export formats are supported:
+//!
+//! * [`TraceRing::to_jsonl`] — one JSON object per line, convenient for
+//!   `jq`/grep-style analysis;
+//! * [`TraceRing::to_chrome_trace`] — the chrome://tracing (Perfetto) JSON
+//!   array format, where events with a duration render as spans.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// One timestamped point in a packet's lifecycle.
+///
+/// `kind` and `stage` are static labels (event class and qualifier — e.g.
+/// kind `"drop"`, stage `"SockBuf"`); `id` correlates events belonging to
+/// the same object (channel id, socket id, or a packet counter), and
+/// `dur_ns` is non-zero only for span events such as protocol processing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated time of the event, in nanoseconds.
+    pub t_ns: u64,
+    /// Event class: `"rx-dma"`, `"demux"`, `"enqueue"`, `"dequeue"`,
+    /// `"drop"`, `"softirq"`, `"proto"`, `"deliver"`, `"wakeup"`, `"recv"`.
+    pub kind: &'static str,
+    /// Qualifier within the class: queue name, drop point, protocol.
+    pub stage: &'static str,
+    /// Correlator: channel/socket id or packet ordinal, 0 when unused.
+    pub id: u64,
+    /// CPU on which the event occurred.
+    pub cpu: u32,
+    /// Span length in nanoseconds; 0 for instant events.
+    pub dur_ns: u64,
+}
+
+/// Fixed-capacity ring of [`TraceEvent`]s, overwriting oldest-first.
+#[derive(Clone, Debug)]
+pub struct TraceRing {
+    buf: VecDeque<TraceEvent>,
+    cap: usize,
+    recorded: u64,
+}
+
+impl TraceRing {
+    /// Creates a ring holding at most `cap` events (`cap == 0` records
+    /// nothing but still counts).
+    pub fn new(cap: usize) -> Self {
+        TraceRing {
+            buf: VecDeque::with_capacity(cap.min(4096)),
+            cap,
+            recorded: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest if the ring is full.
+    pub fn record(&mut self, ev: TraceEvent) {
+        self.recorded += 1;
+        if self.cap == 0 {
+            return;
+        }
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(ev);
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events ever recorded (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events lost to overwriting.
+    pub fn overwritten(&self) -> u64 {
+        self.recorded - self.buf.len() as u64
+    }
+
+    /// Iterates events oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    /// Renders the ring as JSON Lines: one object per event, oldest-first.
+    ///
+    /// Labels are static identifiers chosen by the instrumentation, so no
+    /// string escaping is required.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(self.buf.len() * 96);
+        for ev in &self.buf {
+            let _ = writeln!(
+                out,
+                "{{\"t_ns\":{},\"kind\":\"{}\",\"stage\":\"{}\",\"id\":{},\"cpu\":{},\"dur_ns\":{}}}",
+                ev.t_ns, ev.kind, ev.stage, ev.id, ev.cpu, ev.dur_ns
+            );
+        }
+        out
+    }
+
+    /// Renders the ring in the chrome://tracing JSON format.
+    ///
+    /// Instant events use phase `"i"`; events with a duration use phase
+    /// `"X"` (complete) so viewers draw them as spans. Timestamps are in
+    /// microseconds as the format requires, carried with three decimal
+    /// places so nanosecond resolution survives.
+    pub fn to_chrome_trace(&self, pid: u32) -> String {
+        let mut out = String::with_capacity(self.buf.len() * 160 + 32);
+        out.push_str("{\"traceEvents\":[");
+        for (i, ev) in self.buf.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let us = ev.t_ns / 1000;
+            let frac = ev.t_ns % 1000;
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}:{}\",\"cat\":\"{}\",\"ph\":\"{}\",\"ts\":{}.{:03},",
+                ev.kind,
+                ev.stage,
+                ev.kind,
+                if ev.dur_ns > 0 { "X" } else { "i" },
+                us,
+                frac
+            );
+            if ev.dur_ns > 0 {
+                let dus = ev.dur_ns / 1000;
+                let dfrac = ev.dur_ns % 1000;
+                let _ = write!(out, "\"dur\":{dus}.{dfrac:03},");
+            } else {
+                out.push_str("\"s\":\"t\",");
+            }
+            let _ = write!(
+                out,
+                "\"pid\":{},\"tid\":{},\"args\":{{\"id\":{}}}}}",
+                pid, ev.cpu, ev.id
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64, kind: &'static str) -> TraceEvent {
+        TraceEvent {
+            t_ns: t,
+            kind,
+            stage: "s",
+            id: t,
+            cpu: 0,
+            dur_ns: 0,
+        }
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let mut r = TraceRing::new(3);
+        for t in 0..5 {
+            r.record(ev(t, "rx-dma"));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.recorded(), 5);
+        assert_eq!(r.overwritten(), 2);
+        let ts: Vec<u64> = r.iter().map(|e| e.t_ns).collect();
+        assert_eq!(ts, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_counts_without_storing() {
+        let mut r = TraceRing::new(0);
+        r.record(ev(1, "drop"));
+        assert!(r.is_empty());
+        assert_eq!(r.recorded(), 1);
+    }
+
+    #[test]
+    fn jsonl_one_line_per_event() {
+        let mut r = TraceRing::new(8);
+        r.record(ev(1500, "enqueue"));
+        r.record(TraceEvent {
+            t_ns: 2500,
+            kind: "proto",
+            stage: "udp",
+            id: 7,
+            cpu: 1,
+            dur_ns: 800,
+        });
+        let s = r.to_jsonl();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"t_ns\":1500,\"kind\":\"enqueue\",\"stage\":\"s\",\"id\":1500,\"cpu\":0,\"dur_ns\":0}"
+        );
+        assert!(lines[1].contains("\"dur_ns\":800"));
+    }
+
+    #[test]
+    fn chrome_trace_spans_and_instants() {
+        let mut r = TraceRing::new(8);
+        r.record(ev(1500, "drop"));
+        r.record(TraceEvent {
+            t_ns: 2000,
+            kind: "proto",
+            stage: "udp",
+            id: 3,
+            cpu: 2,
+            dur_ns: 1250,
+        });
+        let s = r.to_chrome_trace(42);
+        assert!(s.starts_with("{\"traceEvents\":["));
+        assert!(s.ends_with("]}"));
+        assert!(s.contains("\"ph\":\"i\""));
+        assert!(s.contains("\"ph\":\"X\""));
+        assert!(s.contains("\"ts\":1.500"));
+        assert!(s.contains("\"dur\":1.250"));
+        assert!(s.contains("\"pid\":42"));
+        assert!(s.contains("\"tid\":2"));
+    }
+}

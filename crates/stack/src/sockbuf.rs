@@ -35,6 +35,8 @@ pub struct DgramStats {
     pub dropped_full: u64,
     /// Datagrams dequeued by the application.
     pub dequeued: u64,
+    /// Deepest the queue has ever been, in datagrams.
+    pub peak_depth: u64,
 }
 
 /// A bounded queue of datagrams (UDP socket receive buffer).
@@ -97,6 +99,7 @@ impl DatagramQueue {
         self.bytes += cost;
         self.queue.push_back(dgram);
         self.stats.enqueued += 1;
+        self.stats.peak_depth = self.stats.peak_depth.max(self.queue.len() as u64);
         true
     }
 
@@ -223,6 +226,26 @@ mod tests {
             from: from(),
             payload: vec![0; 200]
         }));
+    }
+
+    #[test]
+    fn dgram_queue_tracks_peak_depth() {
+        let mut q = DatagramQueue::new(1000);
+        let d = || Datagram {
+            from: from(),
+            payload: b"x".to_vec(),
+        };
+        assert_eq!(q.stats().peak_depth, 0);
+        q.enqueue(d());
+        q.enqueue(d());
+        assert_eq!(q.stats().peak_depth, 2);
+        // Draining does not lower the high-water mark...
+        q.dequeue();
+        q.dequeue();
+        assert_eq!(q.stats().peak_depth, 2);
+        // ...and a shallower refill does not raise it.
+        q.enqueue(d());
+        assert_eq!(q.stats().peak_depth, 2);
     }
 
     #[test]

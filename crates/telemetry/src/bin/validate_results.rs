@@ -1,0 +1,97 @@
+//! CI gate over the emitted experiment results: every `results/*.json`
+//! document must conform to `schemas/results.schema.json`, and every
+//! host report inside it must have passed the packet-conservation
+//! self-check (`"conserved": true`).
+//!
+//! Exits non-zero (listing every violation) if any document is missing,
+//! malformed, schema-invalid, or reports a conservation failure.
+
+use lrp_telemetry::{results_dir, schema, Json};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn schema_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../schemas/results.schema.json")
+}
+
+/// Collects `results/*.json`, skipping the `*.trace.json` exports (those
+/// are chrome://tracing documents with a different shape).
+fn result_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(results_dir())
+        .ok()
+        .into_iter()
+        .flatten()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.ends_with(".json") && !n.ends_with(".trace.json"))
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+fn check_file(path: &Path, schema_doc: &Json, errs: &mut Vec<String>) {
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("?");
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            errs.push(format!("{name}: unreadable: {e}"));
+            return;
+        }
+    };
+    let doc = match Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            errs.push(format!("{name}: invalid JSON: {e}"));
+            return;
+        }
+    };
+    for e in schema::validate(&doc, schema_doc, "$") {
+        errs.push(format!("{name}: {e}"));
+    }
+    // The conservation gate: schema conformance says the key exists;
+    // here it must also be true.
+    let hosts = doc.get("hosts").and_then(Json::as_obj);
+    for (label, report) in hosts.into_iter().flatten() {
+        for (i, host) in report.as_arr().into_iter().flatten().enumerate() {
+            if host.get("conserved").and_then(Json::as_bool) != Some(true) {
+                errs.push(format!(
+                    "{name}: hosts.{label}[{i}]: packet conservation violated"
+                ));
+            }
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let schema_text =
+        std::fs::read_to_string(schema_path()).expect("read schemas/results.schema.json");
+    let schema_doc = Json::parse(&schema_text).expect("parse schemas/results.schema.json");
+
+    let files = result_files();
+    let mut errs = Vec::new();
+    if files.is_empty() {
+        errs.push(format!(
+            "no result documents found under {}",
+            results_dir().display()
+        ));
+    }
+    for path in &files {
+        check_file(path, &schema_doc, &mut errs);
+    }
+    if errs.is_empty() {
+        println!(
+            "validated {} result document(s): all conform, all conserved",
+            files.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for e in &errs {
+            eprintln!("error: {e}");
+        }
+        eprintln!("{} validation error(s)", errs.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,210 @@
+//! Report builders: turn a finished [`World`]'s hosts into the JSON
+//! structure every experiment binary emits next to its text output.
+
+use crate::json::Json;
+use lrp_core::{Host, PacketLedger, World};
+use lrp_sim::Histogram;
+
+/// Summarizes a latency histogram: count, mean and the percentiles the
+/// reports quote. All values are nanoseconds.
+pub fn histogram_json(h: &Histogram) -> Json {
+    if h.count() == 0 {
+        return Json::obj(vec![("count", Json::U64(0))]);
+    }
+    Json::obj(vec![
+        ("count", Json::U64(h.count())),
+        ("mean", Json::F64(h.mean())),
+        ("min", Json::U64(h.min())),
+        ("p50", Json::U64(h.quantile(0.50))),
+        ("p90", Json::U64(h.quantile(0.90))),
+        ("p99", Json::U64(h.quantile(0.99))),
+        ("max", Json::U64(h.max())),
+    ])
+}
+
+/// The frame-disposition ledger as JSON, including the conservation
+/// verdict.
+pub fn ledger_json(l: &PacketLedger) -> Json {
+    let drops: Vec<(String, Json)> = l
+        .host_drops
+        .iter()
+        .map(|(name, n)| (name.to_string(), Json::U64(*n)))
+        .collect();
+    Json::obj(vec![
+        ("accepted", Json::U64(l.accepted)),
+        ("nic_ring_drops", Json::U64(l.nic_ring_drops)),
+        ("nic_early_discards", Json::U64(l.nic_early_discards)),
+        ("in_flight", Json::U64(l.in_flight)),
+        ("delivered_udp", Json::U64(l.delivered_udp)),
+        ("delivered_icmp", Json::U64(l.delivered_icmp)),
+        ("tcp_frames", Json::U64(l.tcp_frames)),
+        ("forwarded", Json::U64(l.forwarded)),
+        ("arp_frames", Json::U64(l.arp_frames)),
+        ("reasm_absorbed", Json::U64(l.reasm_absorbed)),
+        ("flushed", Json::U64(l.flushed)),
+        ("host_drops", Json::Obj(drops)),
+        ("host_dropped", Json::U64(l.host_dropped())),
+        ("disposed", Json::U64(l.disposed())),
+        ("conserved", Json::Bool(l.conserved())),
+    ])
+}
+
+/// The full per-host report: ledger, per-stage latency, drop points,
+/// NIC/host statistics and the CPU charged-time breakdown.
+pub fn host_report(host: &Host) -> Json {
+    let tele = host.telemetry();
+    let ledger = host.packet_ledger();
+    let nic = host.nic.stats();
+    let stats = &host.stats;
+
+    let mut drop_rows: Vec<(String, u64)> = stats
+        .drops
+        .iter()
+        .map(|(p, n)| (p.name().to_string(), *n))
+        .collect();
+    drop_rows.sort_unstable();
+    let drops = Json::Obj(
+        drop_rows
+            .into_iter()
+            .map(|(k, n)| (k, Json::U64(n)))
+            .collect(),
+    );
+
+    let acct = host.sched.account_totals();
+    let per_cpu: Vec<Json> = (0..host.cfg.ncpus)
+        .map(|cpu| {
+            Json::obj(vec![
+                ("cpu", Json::U64(cpu as u64)),
+                (
+                    "charged_ns",
+                    Json::U64(host.sched.charged_on(cpu).as_nanos()),
+                ),
+                ("busy_ns", Json::U64(host.cpu_busy(cpu).as_nanos())),
+            ])
+        })
+        .collect();
+    let per_process: Vec<Json> = host
+        .sched
+        .procs()
+        .iter()
+        .map(|p| {
+            Json::obj(vec![
+                ("pid", Json::U64(p.pid.0 as u64)),
+                ("name", Json::str(p.name.clone())),
+                ("user_ns", Json::U64(p.acct.user.as_nanos())),
+                ("system_ns", Json::U64(p.acct.system.as_nanos())),
+                ("interrupt_ns", Json::U64(p.acct.interrupt.as_nanos())),
+            ])
+        })
+        .collect();
+
+    Json::obj(vec![
+        ("addr", Json::str(host.addr.to_string())),
+        ("arch", Json::str(host.cfg.arch.name())),
+        ("ncpus", Json::U64(host.cfg.ncpus as u64)),
+        ("conserved", Json::Bool(ledger.conserved())),
+        ("ledger", ledger_json(&ledger)),
+        (
+            "latency_ns",
+            Json::obj(vec![
+                (
+                    "arrival_to_deliver",
+                    histogram_json(&tele.arrival_to_deliver),
+                ),
+                ("channel_residency", histogram_json(&tele.channel_residency)),
+                ("softirq_dispatch", histogram_json(&tele.softirq_dispatch)),
+            ]),
+        ),
+        ("drops", drops),
+        (
+            "nic",
+            Json::obj(vec![
+                ("rx_frames", Json::U64(nic.rx_frames)),
+                ("interrupts", Json::U64(nic.interrupts)),
+                ("ring_drops", Json::U64(nic.ring_drops)),
+                ("early_discards", Json::U64(nic.early_discards)),
+                ("tx_frames", Json::U64(nic.tx_frames)),
+                ("ifq_drops", Json::U64(nic.ifq_drops)),
+            ]),
+        ),
+        (
+            "stats",
+            Json::obj(vec![
+                ("udp_delivered", Json::U64(stats.udp_delivered)),
+                ("udp_delivered_bytes", Json::U64(stats.udp_delivered_bytes)),
+                ("tcp_delivered_bytes", Json::U64(stats.tcp_delivered_bytes)),
+                ("hw_chunks", Json::U64(stats.hw_chunks)),
+                ("soft_jobs", Json::U64(stats.soft_jobs)),
+                ("ctx_switches", Json::U64(stats.ctx_switches)),
+                ("tcp_accepted", Json::U64(stats.tcp_accepted)),
+                ("ipis", Json::U64(stats.ipis)),
+            ]),
+        ),
+        (
+            "cpu",
+            Json::obj(vec![
+                (
+                    "total_charged_ns",
+                    Json::U64(host.sched.total_charged().as_nanos()),
+                ),
+                ("user_ns", Json::U64(acct.user.as_nanos())),
+                ("system_ns", Json::U64(acct.system.as_nanos())),
+                ("interrupt_ns", Json::U64(acct.interrupt.as_nanos())),
+                ("per_cpu", Json::Arr(per_cpu)),
+                ("per_process", Json::Arr(per_process)),
+            ]),
+        ),
+        (
+            "trace",
+            Json::obj(vec![
+                ("recorded", Json::U64(tele.trace.recorded())),
+                ("stored", Json::U64(tele.trace.len() as u64)),
+            ]),
+        ),
+    ])
+}
+
+/// Reports every host in the world, in host-index order.
+pub fn world_report(world: &World) -> Json {
+    Json::Arr(world.hosts.iter().map(host_report).collect())
+}
+
+/// The packet-conservation self-check: one error string per host whose
+/// ledger does not balance (empty = all conserved). Hosts running with
+/// telemetry disabled are an error too — the check is meaningless there.
+pub fn conservation_errors(world: &World) -> Vec<String> {
+    let mut errs = Vec::new();
+    for (i, host) in world.hosts.iter().enumerate() {
+        if !host.telemetry().enabled() {
+            errs.push(format!("host {i} ({}): telemetry disabled", host.addr));
+            continue;
+        }
+        let l = host.packet_ledger();
+        if !l.conserved() {
+            errs.push(format!(
+                "host {i} ({}): accepted {} != disposed {} — {l:?}",
+                host.addr,
+                l.accepted,
+                l.disposed()
+            ));
+        }
+    }
+    errs
+}
+
+/// Builds the world report after asserting packet conservation on every
+/// host.
+///
+/// # Panics
+///
+/// Panics with the offending ledgers if any host's accepted-frame count
+/// does not equal the sum of its disposition buckets.
+pub fn report_and_check(world: &World, label: &str) -> Json {
+    let errs = conservation_errors(world);
+    assert!(
+        errs.is_empty(),
+        "packet conservation violated in {label}:\n{}",
+        errs.join("\n")
+    );
+    world_report(world)
+}

@@ -1,0 +1,128 @@
+//! A minimal structural validator for the experiment-results JSON.
+//!
+//! Implements the JSON-Schema subset the checked-in
+//! `schemas/results.schema.json` uses: `type` (scalar or list),
+//! `required`, `properties`, `items` and `additionalProperties` (as a
+//! schema applied to keys not listed in `properties`). Enough for CI to
+//! reject malformed reports without pulling in an external validator.
+
+use crate::json::Json;
+
+/// Validates `value` against `schema`, returning every violation found
+/// (empty = valid). `path` is the JSON-pointer-ish location prefix used
+/// in messages; pass `"$"` at the root.
+pub fn validate(value: &Json, schema: &Json, path: &str) -> Vec<String> {
+    let mut errs = Vec::new();
+    check(value, schema, path, &mut errs);
+    errs
+}
+
+fn type_name(v: &Json) -> &'static str {
+    match v {
+        Json::Null => "null",
+        Json::Bool(_) => "boolean",
+        Json::U64(_) | Json::I64(_) => "integer",
+        Json::F64(_) => "number",
+        Json::Str(_) => "string",
+        Json::Arr(_) => "array",
+        Json::Obj(_) => "object",
+    }
+}
+
+fn matches_type(v: &Json, t: &str) -> bool {
+    match t {
+        // Integers are numbers too, as in JSON Schema.
+        "number" => matches!(v, Json::U64(_) | Json::I64(_) | Json::F64(_)),
+        other => type_name(v) == other,
+    }
+}
+
+fn check(value: &Json, schema: &Json, path: &str, errs: &mut Vec<String>) {
+    if let Some(t) = schema.get("type") {
+        let allowed: Vec<&str> = match t {
+            Json::Str(s) => vec![s.as_str()],
+            Json::Arr(items) => items.iter().filter_map(Json::as_str).collect(),
+            _ => Vec::new(),
+        };
+        if !allowed.is_empty() && !allowed.iter().any(|t| matches_type(value, t)) {
+            errs.push(format!(
+                "{path}: expected {allowed:?}, got {}",
+                type_name(value)
+            ));
+            return;
+        }
+    }
+    if let Some(req) = schema.get("required").and_then(Json::as_arr) {
+        for name in req.iter().filter_map(Json::as_str) {
+            if value.get(name).is_none() {
+                errs.push(format!("{path}: missing required key \"{name}\""));
+            }
+        }
+    }
+    let props = schema.get("properties").and_then(Json::as_obj);
+    if let Some(pairs) = value.as_obj() {
+        for (key, val) in pairs {
+            let sub = props.and_then(|p| p.iter().find(|(k, _)| k == key).map(|(_, s)| s));
+            let sub = sub.or_else(|| schema.get("additionalProperties"));
+            if let Some(sub) = sub {
+                check(val, sub, &format!("{path}.{key}"), errs);
+            }
+        }
+    }
+    if let (Some(items), Some(arr)) = (schema.get("items"), value.as_arr()) {
+        for (i, item) in arr.iter().enumerate() {
+            check(item, items, &format!("{path}[{i}]"), errs);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Json {
+        Json::parse(
+            r#"{
+              "type": "object",
+              "required": ["experiment", "hosts"],
+              "properties": {
+                "experiment": {"type": "string"},
+                "hosts": {
+                  "type": "array",
+                  "items": {
+                    "type": "object",
+                    "required": ["conserved"],
+                    "properties": {"conserved": {"type": "boolean"}}
+                  }
+                }
+              }
+            }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn accepts_conforming_document() {
+        let doc =
+            Json::parse(r#"{"experiment": "fig3", "hosts": [{"conserved": true, "extra": 1}]}"#)
+                .unwrap();
+        assert_eq!(validate(&doc, &schema(), "$"), Vec::<String>::new());
+    }
+
+    #[test]
+    fn reports_missing_required_and_wrong_types() {
+        let doc = Json::parse(r#"{"experiment": 3, "hosts": [{"conserved": "yes"}]}"#).unwrap();
+        let errs = validate(&doc, &schema(), "$");
+        assert_eq!(errs.len(), 2, "{errs:?}");
+        assert!(errs[0].contains("$.experiment"));
+        assert!(errs[1].contains("$.hosts[0].conserved"));
+    }
+
+    #[test]
+    fn integer_satisfies_number() {
+        let s = Json::parse(r#"{"type": "number"}"#).unwrap();
+        assert!(validate(&Json::U64(5), &s, "$").is_empty());
+        assert!(validate(&Json::F64(5.5), &s, "$").is_empty());
+        assert!(!validate(&Json::str("5"), &s, "$").is_empty());
+    }
+}

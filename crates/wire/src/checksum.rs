@@ -8,32 +8,46 @@ use crate::Ipv4Addr;
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Checksum {
     sum: u32,
+    /// High byte of a half-filled 16-bit word: set when an odd number of
+    /// bytes has been fed so far (RFC 1071 incremental update).
+    odd: Option<u8>,
 }
 
 impl Checksum {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        Checksum { sum: 0 }
+        Checksum::default()
     }
 
-    /// Feeds bytes into the sum. Odd-length slices are padded with a zero
-    /// byte, matching RFC 1071's treatment of a trailing odd byte.
-    ///
-    /// Note: `add` must therefore only be called with odd-length data for
-    /// the *final* slice of a message.
-    pub fn add(&mut self, bytes: &[u8]) {
+    /// Feeds bytes into the sum. Slices of any length may be added in any
+    /// split: an odd trailing byte is held as the high half of the next
+    /// 16-bit word and paired with the first byte of the following slice,
+    /// so arbitrary chunkings fold to the single-shot checksum.
+    pub fn add(&mut self, mut bytes: &[u8]) {
+        if let Some(hi) = self.odd.take() {
+            match bytes.split_first() {
+                Some((&lo, rest)) => {
+                    self.sum += u16::from_be_bytes([hi, lo]) as u32;
+                    bytes = rest;
+                }
+                None => {
+                    self.odd = Some(hi);
+                    return;
+                }
+            }
+        }
         let mut chunks = bytes.chunks_exact(2);
         for c in &mut chunks {
             self.sum += u16::from_be_bytes([c[0], c[1]]) as u32;
         }
         if let [last] = chunks.remainder() {
-            self.sum += u16::from_be_bytes([*last, 0]) as u32;
+            self.odd = Some(*last);
         }
     }
 
     /// Feeds one big-endian 16-bit word.
     pub fn add_u16(&mut self, v: u16) {
-        self.sum += v as u32;
+        self.add(&v.to_be_bytes());
     }
 
     /// Feeds the UDP/TCP pseudo-header.
@@ -44,9 +58,14 @@ impl Checksum {
         self.add_u16(len);
     }
 
-    /// Finalizes to the one's-complement checksum value.
+    /// Finalizes to the one's-complement checksum value. A pending odd
+    /// byte is zero-padded here, matching RFC 1071's treatment of a
+    /// trailing odd byte.
     pub fn finish(self) -> u16 {
         let mut s = self.sum;
+        if let Some(hi) = self.odd {
+            s += u16::from_be_bytes([hi, 0]) as u32;
+        }
         while s >> 16 != 0 {
             s = (s & 0xFFFF) + (s >> 16);
         }
@@ -102,6 +121,42 @@ mod tests {
         let mut inc = Checksum::new();
         inc.add(&data[..40]);
         inc.add(&data[40..]);
+        assert_eq!(inc.finish(), checksum(&data));
+    }
+
+    #[test]
+    fn odd_interior_slice_carries_byte() {
+        // [0xAB] then [0xCD] is the word 0xABCD, not 0xAB00 + 0xCD00.
+        let mut inc = Checksum::new();
+        inc.add(&[0xAB]);
+        inc.add(&[0xCD]);
+        assert_eq!(inc.finish(), checksum(&[0xAB, 0xCD]));
+    }
+
+    #[test]
+    fn empty_slice_preserves_pending_odd_byte() {
+        let mut inc = Checksum::new();
+        inc.add(&[0xAB]);
+        inc.add(&[]);
+        inc.add(&[0xCD, 0x01]);
+        assert_eq!(inc.finish(), checksum(&[0xAB, 0xCD, 0x01]));
+    }
+
+    #[test]
+    fn add_u16_after_odd_byte_stays_aligned() {
+        let mut inc = Checksum::new();
+        inc.add(&[0x12]);
+        inc.add_u16(0x3456);
+        assert_eq!(inc.finish(), checksum(&[0x12, 0x34, 0x56]));
+    }
+
+    #[test]
+    fn many_odd_slices_match_single_shot() {
+        let data: Vec<u8> = (0..25u8).map(|b| b.wrapping_mul(37)).collect();
+        let mut inc = Checksum::new();
+        for chunk in data.chunks(3) {
+            inc.add(chunk);
+        }
         assert_eq!(inc.finish(), checksum(&data));
     }
 

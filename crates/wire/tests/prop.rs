@@ -1,7 +1,7 @@
 //! Property tests: encode∘decode identity, checksum detection, and
 //! fragmentation/reassembly identity at the wire level.
 
-use lrp_wire::{icmp, ipv4, proto, tcp, udp, Ipv4Addr};
+use lrp_wire::{checksum, icmp, ipv4, proto, tcp, udp, Ipv4Addr};
 use proptest::prelude::*;
 
 fn arb_addr() -> impl Strategy<Value = Ipv4Addr> {
@@ -148,5 +148,25 @@ proptest! {
         };
         let bytes = icmp::build(&msg);
         prop_assert_eq!(icmp::parse(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn checksum_invariant_under_arbitrary_chunking(
+        data in proptest::collection::vec(any::<u8>(), 0..600),
+        cuts in proptest::collection::vec(any::<proptest::sample::Index>(), 0..8),
+    ) {
+        // Any split of the buffer — including odd-length interior slices
+        // and empty slices — must fold to the single-shot checksum
+        // (RFC 1071 incremental update).
+        let mut splits: Vec<usize> = cuts.iter().map(|c| c.index(data.len() + 1)).collect();
+        splits.sort_unstable();
+        let mut inc = checksum::Checksum::new();
+        let mut prev = 0usize;
+        for s in splits {
+            inc.add(&data[prev..s]);
+            prev = s;
+        }
+        inc.add(&data[prev..]);
+        prop_assert_eq!(inc.finish(), checksum::checksum(&data));
     }
 }

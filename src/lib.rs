@@ -17,6 +17,8 @@
 //! - [`net`] — links, switch, and rate-controlled traffic injectors.
 //! - [`apps`] — the paper's application workloads as state machines.
 //! - [`experiments`] — drivers regenerating every table and figure.
+//! - [`telemetry`] — JSON experiment reports, per-stage latency and
+//!   packet-conservation checks over the hosts' telemetry layer.
 //!
 //! # Examples
 //!
@@ -43,4 +45,5 @@ pub use lrp_nic as nic;
 pub use lrp_sched as sched;
 pub use lrp_sim as sim;
 pub use lrp_stack as stack;
+pub use lrp_telemetry as telemetry;
 pub use lrp_wire as wire;

@@ -1,0 +1,143 @@
+//! Packet conservation (DESIGN.md §7), checked end-to-end through the
+//! telemetry ledger: every frame the NIC accepts must be accounted for in
+//! exactly one disposition bucket — delivered, dropped (at a named drop
+//! point), absorbed by reassembly, forwarded, flushed with a destroyed
+//! channel, or still in flight — under every architecture, at overload.
+//!
+//! Also pins the telemetry layer's zero-impact claim directly: the same
+//! scenario with telemetry on and off produces bit-identical kernel
+//! state.
+
+use lrp::apps::{shared, BlastSink};
+use lrp::core::{Architecture, Host, HostConfig, World};
+use lrp::net::{Injector, Pattern};
+use lrp::sim::SimTime;
+use lrp::telemetry::{conservation_errors, ledger_json, report_and_check, Json};
+use lrp::wire::{udp, Frame, Ipv4Addr};
+
+const OVERLOAD_PPS: f64 = 20_000.0;
+const DURATION: SimTime = SimTime::from_secs(1);
+
+fn overloaded_world(arch: Architecture) -> World {
+    let (mut world, _metrics) = lrp::experiments::fig3::build(arch, OVERLOAD_PPS, false);
+    world.run_until(DURATION);
+    world
+}
+
+#[test]
+fn ledger_balances_under_overload_for_every_architecture() {
+    for arch in lrp::experiments::all_architectures() {
+        let world = overloaded_world(arch);
+        let errs = conservation_errors(&world);
+        assert!(errs.is_empty(), "{arch:?}: {errs:?}");
+
+        let host = &world.hosts[0];
+        let ledger = host.packet_ledger();
+        // The partition, by construction and by value.
+        assert_eq!(ledger.accepted, ledger.disposed(), "{arch:?}: {ledger:?}");
+        // Spot-check buckets against independent counters.
+        assert_eq!(ledger.accepted, host.nic.stats().rx_frames, "{arch:?}");
+        assert_eq!(ledger.delivered_udp, host.stats.udp_delivered, "{arch:?}");
+        assert!(
+            ledger.delivered_udp > 0,
+            "{arch:?}: overload run delivered nothing"
+        );
+        // At 20 000 pkts/s every architecture is saturated: something must
+        // have been refused somewhere (ring, early discard, or drop point).
+        assert!(
+            ledger.nic_ring_drops + ledger.nic_early_discards + ledger.host_dropped() > 0,
+            "{arch:?}: no losses at overload — not actually overloaded? {ledger:?}"
+        );
+    }
+}
+
+#[test]
+fn report_and_check_exports_the_balanced_ledger() {
+    let world = overloaded_world(Architecture::SoftLrp);
+    let report = report_and_check(&world, "conservation-test");
+    let host = report
+        .as_arr()
+        .expect("array of hosts")
+        .first()
+        .expect("one host");
+    assert_eq!(host.get("conserved").and_then(Json::as_bool), Some(true));
+    let exported = host.get("ledger").expect("ledger");
+    // The JSON export is the same ledger, field for field.
+    assert_eq!(
+        exported.render(),
+        ledger_json(&world.hosts[0].packet_ledger()).render()
+    );
+    let accepted = exported.get("accepted").and_then(Json::as_u64).unwrap();
+    let disposed = exported.get("disposed").and_then(Json::as_u64).unwrap();
+    assert_eq!(accepted, disposed);
+}
+
+/// The Figure-3 blast scenario, built directly (not via
+/// `lrp_experiments::host_config`, which forces telemetry on) so the
+/// telemetry flag can be varied.
+fn blast_world(arch: Architecture, telemetry: bool) -> World {
+    const BLAST_SRC: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 3);
+    const SERVER: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+    let mut world = World::with_defaults();
+    let mut cfg = HostConfig::new(arch);
+    cfg.telemetry = telemetry;
+    let mut server = Host::new(cfg, SERVER);
+    server.spawn_app("blast-sink", 0, 0, Box::new(BlastSink::new(9000, shared())));
+    let b = world.add_host(server);
+    let inj = Injector::new(
+        Pattern::Poisson { pps: OVERLOAD_PPS },
+        SimTime::from_millis(50),
+        7,
+        move |seq| {
+            let mut payload = [0u8; 14];
+            payload[..8].copy_from_slice(&seq.to_be_bytes());
+            Frame::Ipv4(udp::build_datagram(
+                BLAST_SRC,
+                SERVER,
+                6000,
+                9000,
+                (seq & 0xFFFF) as u16,
+                &payload,
+                false,
+            ))
+        },
+    );
+    world.add_injector(b, inj);
+    world.run_until(DURATION);
+    world
+}
+
+fn kernel_state(h: &lrp::core::Host) -> String {
+    let s = &h.stats;
+    let mut drops: Vec<String> = s.drops.iter().map(|(k, v)| format!("{k:?}={v}")).collect();
+    drops.sort();
+    format!(
+        "{s_udp} {s_bytes} [{drops}] {hw} {soft} {ctx} {nic:?} {charged} {rxf}",
+        s_udp = s.udp_delivered,
+        s_bytes = s.udp_delivered_bytes,
+        drops = drops.join(","),
+        hw = s.hw_chunks,
+        soft = s.soft_jobs,
+        ctx = s.ctx_switches,
+        nic = h.nic.stats(),
+        charged = h.sched.total_charged(),
+        rxf = h.rx_frames()
+    )
+}
+
+#[test]
+fn telemetry_does_not_perturb_the_simulation() {
+    for arch in [Architecture::Bsd, Architecture::NiLrp] {
+        let on = blast_world(arch, true);
+        let off = blast_world(arch, false);
+        assert_eq!(
+            kernel_state(&on.hosts[0]),
+            kernel_state(&off.hosts[0]),
+            "{arch:?}: telemetry perturbed the kernel state"
+        );
+        // And the instrumented run really did record.
+        assert!(on.hosts[0].telemetry().enabled());
+        assert!(on.hosts[0].packet_ledger().conserved());
+        assert!(!off.hosts[0].telemetry().enabled());
+    }
+}
