@@ -18,6 +18,8 @@ pub struct TcpBulkMetrics {
     pub last: Option<SimTime>,
     /// Transfer complete.
     pub done: bool,
+    /// The connection died (reset or retry exhaustion) before completing.
+    pub aborted: bool,
 }
 
 impl TcpBulkMetrics {
@@ -97,6 +99,9 @@ impl AppLogic for TcpBulkSender {
             }
             (2, SyscallRet::Sent(_)) => self.send_next(),
             (2, SyscallRet::Ok) => SyscallOp::Exit, // Close completed.
+            // Connection setup or transfer failed (reset, retry
+            // exhaustion under heavy loss): give up gracefully.
+            (1 | 2, SyscallRet::Err(_)) => SyscallOp::Exit,
             (s, r) => panic!("tcp bulk sender state {s}: {r:?}"),
         }
     }
@@ -182,6 +187,12 @@ impl AppLogic for TcpBulkReceiver {
                 }
             }
             (5, _) => SyscallOp::Exit,
+            // The connection died mid-transfer: record the abort so the
+            // experiment can tell a truncated run from a finished one.
+            (3 | 4, SyscallRet::Err(_)) => {
+                self.metrics.borrow_mut().aborted = true;
+                SyscallOp::Exit
+            }
             (s, r) => panic!("tcp bulk receiver state {s}: {r:?}"),
         }
     }

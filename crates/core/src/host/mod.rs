@@ -45,7 +45,7 @@ use lrp_nic::{DemuxMode, Nic};
 use lrp_sched::{Account, Pid, SchedConfig, Scheduler, WaitChannel};
 use lrp_sim::{SimDuration, SimTime};
 use lrp_stack::sockbuf::DatagramQueue;
-use lrp_stack::tcp::{TcpConn, TcpListener};
+use lrp_stack::tcp::{TcpConn, TcpListener, TcpStats};
 use lrp_stack::{PcbTable, Reassembler, SockId};
 use lrp_wire::{Endpoint, Frame, Ipv4Addr};
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -73,6 +73,15 @@ pub enum DropPoint {
     Reasm,
     /// Interface (transmit) queue overflow.
     IfQueue,
+    /// NIC receive path stalled (injected device fault); the frame died
+    /// on the device, not in the host. The ledger accounts these from NIC
+    /// statistics (`stall_drops`); this point only feeds host statistics.
+    NicStall,
+    /// UDP datagram to a closed port, answered with ICMP port
+    /// unreachable. Distinct from [`DropPoint::NoSocket`] (demux-time
+    /// no-match), which never reaches protocol processing and so sends
+    /// no ICMP — the LRP discipline.
+    PortUnreach,
 }
 
 impl DropPoint {
@@ -88,6 +97,8 @@ impl DropPoint {
             DropPoint::Backlog => "Backlog",
             DropPoint::Reasm => "Reasm",
             DropPoint::IfQueue => "IfQueue",
+            DropPoint::NicStall => "NicStall",
+            DropPoint::PortUnreach => "PortUnreach",
         }
     }
 }
@@ -113,6 +124,11 @@ pub struct HostStats {
     pub tcp_accepted: u64,
     /// Inter-processor interrupts posted for cross-CPU wakeups (SMP).
     pub ipis: u64,
+    /// TCP counters folded in from freed sockets. Live connections still
+    /// hold theirs — use [`Host::tcp_totals`] for the complete picture.
+    pub tcp_closed: TcpStats,
+    /// ICMP port-unreachable replies emitted for UDP to closed ports.
+    pub icmp_unreach_sent: u64,
 }
 
 impl HostStats {
@@ -528,6 +544,18 @@ impl Host {
         self.nic.stats().rx_frames
     }
 
+    /// Host-wide TCP counters: closed-connection totals folded at socket
+    /// free plus every live connection's current statistics.
+    pub fn tcp_totals(&self) -> TcpStats {
+        let mut total = self.stats.tcp_closed;
+        for s in self.live_sockets() {
+            if let Some(conn) = &s.tcp {
+                total.absorb(&conn.stats);
+            }
+        }
+        total
+    }
+
     /// Looks up a socket's owner (None if the socket is gone).
     pub fn socket_owner(&self, sock: SockId) -> Option<Pid> {
         self.sockets
@@ -680,12 +708,17 @@ impl Host {
         }
         // BSD/ED: the work is picked up by the softirq scan in
         // dispatch.
-        // Reassembly expiry sweep.
+        // Reassembly expiry sweep. Host statistics count the fragment
+        // frames discarded, and the ledger re-attributes them from the
+        // absorbed bucket to the expired bucket.
         if now >= self.next_reasm_sweep {
-            let expired = self.reasm.expire(now);
-            for _ in 0..expired {
+            let before = self.reasm.stats().expired_frags;
+            self.reasm.expire(now);
+            let frags = self.reasm.stats().expired_frags - before;
+            for _ in 0..frags {
                 self.stats.drop_at(DropPoint::Reasm);
             }
+            self.tele.on_reasm_expired(now, frags);
             self.next_reasm_sweep = now + SimDuration::from_secs(1);
         }
         self.kick(now);

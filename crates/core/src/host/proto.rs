@@ -13,7 +13,7 @@ use lrp_sim::{SimDuration, SimTime};
 use lrp_stack::sockbuf::Datagram;
 use lrp_stack::tcp::{Actions, ConnEvent, Segment, TcpConn};
 use lrp_stack::{ReasmOutcome, SockId};
-use lrp_wire::{ipv4, proto, tcp, udp, Endpoint, FlowKey, Frame};
+use lrp_wire::{icmp, ipv4, proto, tcp, udp, Endpoint, FlowKey, Frame};
 
 /// Execution context of protocol processing: determines cost discounts
 /// and whether the BSD PCB lookup is performed.
@@ -353,8 +353,26 @@ impl Host {
             }
         };
         let Some(sock) = sock.filter(|s| self.sock_opt(*s).is_some()) else {
-            self.stats.drop_at(DropPoint::NoSocket);
-            self.tele.on_drop(now, cpu, DropPoint::NoSocket);
+            // Closed port: drop the datagram (its own ledger disposition)
+            // and answer with ICMP port unreachable (RFC 1122 §4.1.3.1).
+            self.stats.drop_at(DropPoint::PortUnreach);
+            self.tele.on_drop(now, cpu, DropPoint::PortUnreach);
+            total += scale(cost.ip_output + cost.driver_tx_per_pkt);
+            // Quoted context: the offending IP header + leading 8 bytes of
+            // its payload (the UDP header).
+            let mut quote = ih.encode().to_vec();
+            quote.extend_from_slice(&payload[..payload.len().min(8)]);
+            let msg = icmp::IcmpMessage {
+                kind: icmp::IcmpType::Unreachable(3),
+                ident: 0,
+                seq: 0,
+                payload: quote,
+            };
+            let reply = icmp::build_datagram(self.addr, ih.src, 0, &msg);
+            self.stats.icmp_unreach_sent += 1;
+            if !self.nic.ifq_enqueue(Frame::Ipv4(reply)) {
+                self.stats.drop_at(DropPoint::IfQueue);
+            }
             return total;
         };
         let dgram = Datagram {
@@ -691,6 +709,9 @@ impl Host {
         let Some(s) = self.sockets.get_mut(sock.0 as usize).and_then(|x| x.take()) else {
             return;
         };
+        if let Some(conn) = &s.tcp {
+            self.stats.tcp_closed.absorb(&conn.stats);
+        }
         self.pcb.remove_socket(sock);
         if s.proto == SockProto::Icmp && self.icmp_sock == Some(sock) {
             self.icmp_sock = None;

@@ -5,7 +5,7 @@ use super::{sock_wchan, DropPoint, Host, WC_RECV};
 use crate::config::Architecture;
 use crate::host::proto::ProtoCtx;
 use lrp_demux::{ChannelId, Verdict};
-use lrp_nic::RxOutcome;
+use lrp_nic::{NicDrop, RxOutcome};
 use lrp_sched::Pid;
 use lrp_sim::{SimDuration, SimTime};
 use lrp_stack::SockId;
@@ -24,7 +24,7 @@ impl Host {
         let ncpus = self.cpus.len();
         match self.cfg.arch {
             Architecture::Bsd => {
-                match self.nic.rx_frame(frame) {
+                match self.nic.rx_frame_at(now.as_nanos(), frame) {
                     RxOutcome::Interrupt(rxq) => {
                         self.tele.on_rx(now, self.nic.stats().rx_frames);
                         let f = self.nic.ring_dequeue_from(rxq).expect("frame just queued");
@@ -40,14 +40,25 @@ impl Host {
                         }
                         self.raise_hw_on(now, rxq % ncpus, cost.hw_intr + cost.driver_rx_per_pkt);
                     }
+                    RxOutcome::Dropped(NicDrop::Stalled) => {
+                        self.stats.drop_at(DropPoint::NicStall);
+                        self.tele.on_nic_drop(now, "NicStall");
+                    }
                     RxOutcome::Dropped(_) => {
                         self.stats.drop_at(DropPoint::RxRing);
                         self.tele.on_nic_drop(now, "RxRing");
                     }
-                    RxOutcome::Queued => unreachable!("BSD NIC always interrupts"),
+                    // Interrupt coalescing: the frame sits in the ring
+                    // until the next uncoalesced interrupt batches it in.
+                    RxOutcome::Queued => {
+                        self.tele.on_rx(now, self.nic.stats().rx_frames);
+                    }
                 }
             }
-            Architecture::EarlyDemux | Architecture::SoftLrp => match self.nic.rx_frame(frame) {
+            Architecture::EarlyDemux | Architecture::SoftLrp => match self
+                .nic
+                .rx_frame_at(now.as_nanos(), frame)
+            {
                 RxOutcome::Interrupt(rxq) => {
                     self.tele.on_rx(now, self.nic.stats().rx_frames);
                     let f = self.nic.ring_dequeue_from(rxq).expect("frame just queued");
@@ -55,17 +66,24 @@ impl Host {
                     let d = self.soft_demux_deliver(now, f);
                     self.raise_hw_on(now, rxq % ncpus, cost.hw_intr + cost.driver_rx_per_pkt + d);
                 }
+                RxOutcome::Dropped(NicDrop::Stalled) => {
+                    self.stats.drop_at(DropPoint::NicStall);
+                    self.tele.on_nic_drop(now, "NicStall");
+                }
                 RxOutcome::Dropped(_) => {
                     self.stats.drop_at(DropPoint::RxRing);
                     self.tele.on_nic_drop(now, "RxRing");
                 }
-                RxOutcome::Queued => unreachable!("soft NIC always interrupts"),
+                // Coalesced: held in the ring until the next interrupt.
+                RxOutcome::Queued => {
+                    self.tele.on_rx(now, self.nic.stats().rx_frames);
+                }
             },
             Architecture::NiLrp => {
                 // Demux, early discard and queueing all happen on the NIC
                 // processor: zero host cost unless an interrupt was
                 // requested.
-                match self.nic.rx_frame(frame) {
+                match self.nic.rx_frame_at(now.as_nanos(), frame) {
                     RxOutcome::Interrupt(rxq) => {
                         self.tele.on_rx(now, self.nic.stats().rx_frames);
                         if let Some(chan) = self.nic.last_rx_channel() {
@@ -83,6 +101,10 @@ impl Host {
                         if let Some(chan) = self.nic.last_rx_channel() {
                             self.tele.on_chan_enqueue(now, 0, chan);
                         }
+                    }
+                    RxOutcome::Dropped(NicDrop::Stalled) => {
+                        self.stats.drop_at(DropPoint::NicStall);
+                        self.tele.on_nic_drop(now, "NicStall");
                     }
                     RxOutcome::Dropped(_) => {
                         // Early packet discard on the NIC: by design, no

@@ -69,6 +69,9 @@ pub struct Telemetry {
     /// Fragment frames absorbed by the reassembler without (yet)
     /// completing a datagram, plus non-reassemblable channel drainage.
     pub reasm_absorbed: u64,
+    /// Fragment frames discarded when their reassembly flow expired
+    /// (moved out of `reasm_absorbed` at expiry time).
+    pub reasm_expired: u64,
     /// Frames discarded because their channel was destroyed.
     pub flushed: u64,
     /// Host-side frame drops by location.
@@ -94,6 +97,7 @@ impl Telemetry {
             forwarded: 0,
             arp_frames: 0,
             reasm_absorbed: 0,
+            reasm_expired: 0,
             flushed: 0,
             host_drops: HashMap::new(),
         }
@@ -279,6 +283,20 @@ impl Telemetry {
         }
     }
 
+    /// A reassembly flow expired holding `frames` absorbed fragments:
+    /// re-attribute them from the absorbed bucket to the expired bucket.
+    pub(crate) fn on_reasm_expired(&mut self, now: SimTime, frames: u64) {
+        if self.enabled && frames > 0 {
+            debug_assert!(
+                self.reasm_absorbed >= frames,
+                "expired more fragments than were absorbed"
+            );
+            self.reasm_absorbed = self.reasm_absorbed.saturating_sub(frames);
+            self.reasm_expired += frames;
+            self.ev(now, "drop", "ReasmExpired", frames, 0);
+        }
+    }
+
     /// A channel was destroyed with `n` frames still queued.
     pub(crate) fn on_chan_flush(&mut self, chan: ChannelId, n: usize) {
         if self.enabled {
@@ -319,6 +337,8 @@ pub struct PacketLedger {
     pub nic_ring_drops: u64,
     /// Discarded early by NI-demux firmware.
     pub nic_early_discards: u64,
+    /// Dropped by an injected NIC receive stall (device fault).
+    pub nic_stall_drops: u64,
     /// Still queued (RX rings + NI channels + IP queue).
     pub in_flight: u64,
     /// UDP datagrams delivered into socket buffers.
@@ -333,6 +353,8 @@ pub struct PacketLedger {
     pub arp_frames: u64,
     /// Fragments absorbed by reassembly.
     pub reasm_absorbed: u64,
+    /// Fragment frames discarded by reassembly-flow expiry.
+    pub reasm_expired: u64,
     /// Frames flushed at channel destruction.
     pub flushed: u64,
     /// Host-side drops, sorted by drop-point name.
@@ -349,6 +371,7 @@ impl PacketLedger {
     pub fn disposed(&self) -> u64 {
         self.nic_ring_drops
             + self.nic_early_discards
+            + self.nic_stall_drops
             + self.in_flight
             + self.delivered_udp
             + self.delivered_icmp
@@ -356,6 +379,7 @@ impl PacketLedger {
             + self.forwarded
             + self.arp_frames
             + self.reasm_absorbed
+            + self.reasm_expired
             + self.flushed
             + self.host_dropped()
     }
@@ -389,6 +413,7 @@ impl Host {
             accepted: nic.rx_frames,
             nic_ring_drops: nic.ring_drops,
             nic_early_discards: nic.early_discards,
+            nic_stall_drops: nic.stall_drops,
             in_flight,
             delivered_udp: self.tele.delivered_udp,
             delivered_icmp: self.tele.delivered_icmp,
@@ -396,6 +421,7 @@ impl Host {
             forwarded: self.tele.forwarded,
             arp_frames: self.tele.arp_frames,
             reasm_absorbed: self.tele.reasm_absorbed,
+            reasm_expired: self.tele.reasm_expired,
             flushed: self.tele.flushed,
             host_drops,
         }

@@ -2,7 +2,7 @@
 //! loop.
 
 use crate::host::Host;
-use lrp_net::{Injector, LinkConfig, TxLink};
+use lrp_net::{FaultPlan, FaultStats, Injector, LinkConfig, LinkFaults, TxLink};
 use lrp_sim::{EventQueue, SimDuration, SimTime};
 use lrp_wire::{ipv4, Frame, Ipv4Addr};
 use std::collections::HashMap;
@@ -61,6 +61,9 @@ pub struct World {
     /// host other than the gateway are delivered to the gateway instead.
     via_routes: HashMap<Ipv4Addr, usize>,
     injectors: Vec<(usize, Injector)>,
+    /// Per destination host: the fault stage its incoming frames pass
+    /// through. `None` (the default) bypasses fault injection entirely.
+    faults: Vec<Option<LinkFaults>>,
     queue: EventQueue<Event>,
     /// Per host: the earliest Timer event already scheduled.
     timer_at: Vec<SimTime>,
@@ -84,6 +87,7 @@ impl World {
             routes: HashMap::new(),
             via_routes: HashMap::new(),
             injectors: Vec::new(),
+            faults: Vec::new(),
             queue: EventQueue::new(),
             timer_at: Vec::new(),
             cpu_gen: Vec::new(),
@@ -106,8 +110,40 @@ impl World {
         self.cpu_gen.push(vec![0; host.ncpus()]);
         self.hosts.push(host);
         self.links.push(TxLink::new(self.link_cfg));
+        self.faults.push(None);
         self.timer_at.push(SimTime::NEVER);
         idx
+    }
+
+    /// Installs a fault plan on the link *into* `host`: every frame bound
+    /// for it (from other hosts' links and from injectors) passes through
+    /// the plan's loss/corruption/duplication/reordering/pause stage at
+    /// delivery time. An inert plan ([`FaultPlan::is_none`]) removes the
+    /// stage, leaving the event stream bit-identical to a fault-free
+    /// world.
+    pub fn set_link_faults(&mut self, host: usize, plan: FaultPlan) {
+        assert!(host < self.hosts.len(), "no host {host}");
+        self.faults[host] = (!plan.is_none()).then(|| LinkFaults::new(plan));
+    }
+
+    /// Fault counters for the link into `host`, if a plan is installed.
+    pub fn link_fault_stats(&self, host: usize) -> Option<&FaultStats> {
+        self.faults.get(host)?.as_ref().map(|f| &f.stats)
+    }
+
+    /// Schedules a frame's arrival at `dst`, passing it through the
+    /// destination's fault stage if one is installed.
+    fn deliver(&mut self, arrival: SimTime, dst: usize, frame: Frame) {
+        match &mut self.faults[dst] {
+            None => {
+                self.queue.schedule(arrival, Event::Frame(dst, frame));
+            }
+            Some(stage) => {
+                for (at, f) in stage.apply(arrival, frame) {
+                    self.queue.schedule(at, Event::Frame(dst, f));
+                }
+            }
+        }
     }
 
     /// Enables the capture tap: up to `limit` delivered frames are
@@ -203,7 +239,7 @@ impl World {
         };
         let (done, arrival) = self.links[h].transmit(self.now, &frame);
         if let Some(dst) = self.route_of(&frame, Some(h)) {
-            self.schedule(arrival, Event::Frame(dst, frame));
+            self.deliver(arrival, dst, frame);
         }
         self.schedule(done, Event::LinkFree(h));
     }
@@ -271,7 +307,7 @@ impl World {
                     let frame = inj.fire();
                     let next = inj.next_fire();
                     let latency = self.link_cfg.latency;
-                    self.schedule(t + latency, Event::Frame(target, frame));
+                    self.deliver(t + latency, target, frame);
                     if let Some(nt) = next {
                         self.schedule(nt, Event::Inject(i));
                     }

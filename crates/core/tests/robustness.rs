@@ -8,7 +8,7 @@ use lrp_core::{
 use lrp_net::{Injector, Pattern};
 use lrp_sim::{SimDuration, SimTime};
 use lrp_stack::SockId;
-use lrp_wire::{udp, Endpoint, Frame, Ipv4Addr};
+use lrp_wire::{ipv4, udp, Endpoint, Frame, Ipv4Addr};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -514,4 +514,332 @@ fn interface_queue_backpressure() {
         drops,
         "every ifq drop surfaced to the sender"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic fault injection: link faults, NIC faults, and the ledger.
+// ---------------------------------------------------------------------------
+
+/// A telemetry-enabled receiver host with a `BlastSink` bound to `port`.
+fn sink_host(arch: Architecture, port: u16) -> (Host, Rc<RefCell<lrp_apps::SinkMetrics>>) {
+    let metrics = lrp_apps::shared::<lrp_apps::SinkMetrics>();
+    let mut cfg = HostConfig::new(arch);
+    cfg.telemetry = true;
+    let mut host = Host::new(cfg, B);
+    host.spawn_app(
+        "sink",
+        0,
+        0,
+        Box::new(lrp_apps::BlastSink::new(port, metrics.clone())),
+    );
+    (host, metrics)
+}
+
+fn udp_injector(pps: f64, seed: u64, checksum: bool) -> Injector {
+    Injector::new(
+        Pattern::FixedRate { pps },
+        SimTime::from_millis(10),
+        seed,
+        move |seq| {
+            Frame::Ipv4(udp::build_datagram(
+                A,
+                B,
+                6000,
+                9000,
+                (seq & 0xFFFF) as u16,
+                &[0u8; 64],
+                checksum,
+            ))
+        },
+    )
+}
+
+/// Link loss happens before the NIC: the destination accepts exactly the
+/// frames the fault stage delivered, and its ledger still balances.
+#[test]
+fn bernoulli_link_loss_is_attributed_and_conserved() {
+    let (host, metrics) = sink_host(Architecture::Bsd, 9000);
+    let mut world = World::with_defaults();
+    let b = world.add_host(host);
+    let mut inj = udp_injector(5_000.0, 6, false);
+    inj.until = SimTime::from_millis(1800);
+    world.add_injector(b, inj);
+    world.set_link_faults(b, lrp_net::FaultPlan::bernoulli(5, 0.25));
+    // Injection stops at 1.8s; the extra 200ms drains in-flight frames so
+    // the NIC-side counters can be compared exactly.
+    world.run_until(SimTime::from_secs(2));
+    let fs = *world.link_fault_stats(b).expect("plan installed");
+    assert!(fs.dropped > 0, "loss must fire: {fs:?}");
+    assert_eq!(fs.offered, fs.delivered + fs.dropped);
+    assert_eq!(
+        world.hosts[b].rx_frames(),
+        fs.delivered,
+        "NIC accepts exactly what the link delivered"
+    );
+    let rate = fs.dropped as f64 / fs.offered as f64;
+    assert!((rate - 0.25).abs() < 0.05, "loss rate {rate}");
+    assert!(world.hosts[b].packet_ledger().conserved());
+    assert!(metrics.borrow().received > 0);
+}
+
+/// A flipped bit anywhere in a checksummed UDP frame is caught by the
+/// IP-header or UDP checksum verify and dies at `BadPacket` — never
+/// delivered as corrupt data.
+#[test]
+fn corruption_is_caught_by_checksum_verify() {
+    let (host, metrics) = sink_host(Architecture::Bsd, 9000);
+    let mut world = World::with_defaults();
+    let b = world.add_host(host);
+    let mut inj = udp_injector(5_000.0, 6, true);
+    inj.until = SimTime::from_millis(1800);
+    world.add_injector(b, inj);
+    let mut plan = lrp_net::FaultPlan::none();
+    plan.seed = 17;
+    plan.corrupt_p = 0.3;
+    world.set_link_faults(b, plan);
+    world.run_until(SimTime::from_secs(2));
+    let fs = *world.link_fault_stats(b).expect("plan installed");
+    let h = &world.hosts[b];
+    let bad = h.stats.dropped(DropPoint::BadPacket);
+    assert!(fs.corrupted > 0);
+    assert_eq!(
+        bad, fs.corrupted,
+        "every corrupted frame dies at checksum verification"
+    );
+    assert!(h.packet_ledger().conserved());
+    let expect = fs.delivered - fs.corrupted;
+    assert_eq!(metrics.borrow().received, expect, "clean frames delivered");
+}
+
+/// Duplicated frames arrive as real traffic: the NIC accepts both copies
+/// and UDP (no sequence numbers) delivers both.
+#[test]
+fn duplicates_are_delivered_twice() {
+    let (host, metrics) = sink_host(Architecture::Bsd, 9000);
+    let mut world = World::with_defaults();
+    let b = world.add_host(host);
+    let mut inj = udp_injector(2_000.0, 6, false);
+    inj.until = SimTime::from_millis(800);
+    world.add_injector(b, inj);
+    let mut plan = lrp_net::FaultPlan::none();
+    plan.seed = 23;
+    plan.duplicate_p = 1.0;
+    world.set_link_faults(b, plan);
+    world.run_until(SimTime::from_secs(1));
+    let fs = *world.link_fault_stats(b).expect("plan installed");
+    assert_eq!(fs.delivered, 2 * fs.offered);
+    assert_eq!(world.hosts[b].rx_frames(), fs.delivered);
+    assert_eq!(metrics.borrow().received, fs.delivered);
+    assert!(world.hosts[b].packet_ledger().conserved());
+}
+
+/// An injected NIC ring stall drops frames on the device; the ledger
+/// attributes them to the stall bucket and still balances.
+#[test]
+fn nic_stall_window_is_ledger_attributed() {
+    for arch in [
+        Architecture::Bsd,
+        Architecture::SoftLrp,
+        Architecture::NiLrp,
+    ] {
+        let (host, _metrics) = sink_host(arch, 9000);
+        let mut world = World::with_defaults();
+        let b = world.add_host(host);
+        world.add_injector(b, udp_injector(4_000.0, 6, false));
+        world.hosts[b].nic.set_faults(lrp_nic::NicFaultPlan {
+            stall_ns: vec![(500_000_000, 700_000_000)],
+            coalesce_ns: 0,
+        });
+        world.run_until(SimTime::from_secs(2));
+        let h = &world.hosts[b];
+        let stalled = h.nic.stats().stall_drops;
+        // ~200 ms of a 4 kpps stream.
+        assert!(stalled > 600, "{arch:?}: stall_drops {stalled}");
+        assert_eq!(h.stats.dropped(DropPoint::NicStall), stalled);
+        let l = h.packet_ledger();
+        assert_eq!(l.nic_stall_drops, stalled);
+        assert!(l.conserved(), "{arch:?}: {l:?}");
+    }
+}
+
+/// Interrupt coalescing suppresses some per-frame interrupts; held frames
+/// ride the ring to the next interrupt and the ledger stays balanced.
+#[test]
+fn interrupt_coalescing_is_conserved() {
+    let (host, metrics) = sink_host(Architecture::Bsd, 9000);
+    let mut world = World::with_defaults();
+    let b = world.add_host(host);
+    world.add_injector(b, udp_injector(8_000.0, 6, false));
+    world.hosts[b].nic.set_faults(lrp_nic::NicFaultPlan {
+        stall_ns: Vec::new(),
+        coalesce_ns: 200_000, // 200 µs — above the 125 µs inter-arrival gap.
+    });
+    world.run_until(SimTime::from_secs(2));
+    let h = &world.hosts[b];
+    let nic = h.nic.stats();
+    assert!(nic.coalesced_intrs > 0, "coalescing must fire");
+    assert!(
+        nic.interrupts < nic.rx_frames,
+        "fewer interrupts than frames: {} vs {}",
+        nic.interrupts,
+        nic.rx_frames
+    );
+    assert!(h.packet_ledger().conserved());
+    assert!(metrics.borrow().received > 0, "traffic still flows");
+}
+
+/// UDP to a closed port answers with ICMP port unreachable (type 3 code
+/// 3), and the dropped datagram gets its own ledger disposition.
+#[test]
+fn udp_closed_port_emits_port_unreachable() {
+    let mut cfg = HostConfig::new(Architecture::Bsd);
+    cfg.telemetry = true;
+    let mut world = World::with_defaults();
+    world.enable_capture(512);
+    let a = world.add_host(Host::new(cfg, A)); // Reply target.
+    let b = world.add_host(Host::new(cfg, B)); // No socket bound.
+    world.add_injector(
+        b,
+        Injector::new(
+            Pattern::FixedRate { pps: 100.0 },
+            SimTime::from_millis(10),
+            6,
+            |seq| {
+                Frame::Ipv4(udp::build_datagram(
+                    A,
+                    B,
+                    6000,
+                    9, // Nothing listens here.
+                    (seq & 0xFFFF) as u16,
+                    &[0u8; 32],
+                    true,
+                ))
+            },
+        ),
+    );
+    world.run_until(SimTime::from_secs(1));
+    let h = &world.hosts[b];
+    let unreach = h.stats.dropped(DropPoint::PortUnreach);
+    assert!(unreach > 50, "closed-port drops: {unreach}");
+    assert_eq!(h.stats.icmp_unreach_sent, unreach, "one reply per drop");
+    assert!(h.packet_ledger().conserved());
+    // The replies crossed the wire back to A as ICMP.
+    let icmp_back = world
+        .capture()
+        .iter()
+        .filter(|(_, host, what)| *host == a && what.starts_with("ICMP"))
+        .count() as u64;
+    assert_eq!(icmp_back, unreach, "every reply reached the sender");
+    assert!(world.hosts[a].packet_ledger().conserved());
+}
+
+/// Under NI-LRP the same closed-port traffic dies on the NIC (demux
+/// no-match): no host processing, hence no ICMP — the LRP discipline.
+#[test]
+fn ni_lrp_closed_port_is_silent() {
+    let mut cfg = HostConfig::new(Architecture::NiLrp);
+    cfg.telemetry = true;
+    let mut world = World::with_defaults();
+    let b = world.add_host(Host::new(cfg, B));
+    world.add_injector(
+        b,
+        Injector::new(
+            Pattern::FixedRate { pps: 100.0 },
+            SimTime::from_millis(10),
+            6,
+            |seq| {
+                Frame::Ipv4(udp::build_datagram(
+                    A,
+                    B,
+                    6000,
+                    9,
+                    (seq & 0xFFFF) as u16,
+                    &[0u8; 32],
+                    true,
+                ))
+            },
+        ),
+    );
+    world.run_until(SimTime::from_secs(1));
+    let h = &world.hosts[b];
+    assert!(h.nic.stats().early_discards > 50, "NIC discards no-match");
+    assert_eq!(h.stats.icmp_unreach_sent, 0, "no host work, no ICMP");
+    assert!(h.packet_ledger().conserved());
+}
+
+/// Fragment loss mid-datagram leaves incomplete reassembly flows; when
+/// they expire, their absorbed fragments move to the `reasm_expired`
+/// ledger bucket and conservation still holds.
+#[test]
+fn expired_reassembly_flows_stay_in_the_ledger() {
+    let (host, metrics) = sink_host(Architecture::Bsd, 9000);
+    let mut world = World::with_defaults();
+    let b = world.add_host(host);
+    // 2.5 KB datagrams fragment into two frames at a 1500-byte MTU.
+    world.add_injector(
+        b,
+        Injector::new(
+            Pattern::FixedRate { pps: 400.0 },
+            SimTime::from_millis(10),
+            6,
+            |seq| {
+                let dgram = seq / 2;
+                let seg = udp::build(A, B, 6000, 9000, &[7u8; 2500], false);
+                let frags = ipv4::fragment(
+                    A,
+                    B,
+                    lrp_wire::proto::UDP,
+                    (dgram & 0xFFFF) as u16,
+                    &seg,
+                    1500,
+                );
+                Frame::Ipv4(frags[(seq % 2) as usize].clone())
+            },
+        )
+        .stop_at(SimTime::from_secs(2)),
+    );
+    // Injector stops at 2 s; flows expire at 30 s TTL.
+    world.set_link_faults(b, lrp_net::FaultPlan::bernoulli(5, 0.2));
+    world.run_until(SimTime::from_secs(40));
+    let h = &world.hosts[b];
+    let l = h.packet_ledger();
+    assert!(metrics.borrow().received > 0, "some datagrams completed");
+    assert!(
+        l.reasm_expired > 0,
+        "lossy fragments must strand flows: {l:?}"
+    );
+    // DropPoint::Reasm counts expired fragments plus fragments refused
+    // because the 16-flow table was full; the latter show up in the
+    // ledger's host_drops partition.
+    let table_full = l
+        .host_drops
+        .iter()
+        .find(|(n, _)| *n == "Reasm")
+        .map_or(0, |(_, c)| *c);
+    assert_eq!(
+        h.stats.dropped(DropPoint::Reasm),
+        l.reasm_expired + table_full,
+        "host stats count the same discarded fragments"
+    );
+    assert!(l.conserved(), "{l:?}");
+}
+
+/// A timed link pause defers in-window arrivals to the window end; the
+/// burst at resume is absorbed and accounted.
+#[test]
+fn link_pause_delivers_burst_at_window_end() {
+    let (host, metrics) = sink_host(Architecture::NiLrp, 9000);
+    let mut world = World::with_defaults();
+    let b = world.add_host(host);
+    world.add_injector(b, udp_injector(2_000.0, 6, false));
+    let mut plan = lrp_net::FaultPlan::none();
+    plan.pauses = vec![(SimTime::from_millis(300), SimTime::from_millis(600))];
+    world.set_link_faults(b, plan);
+    world.run_until(SimTime::from_secs(2));
+    let fs = *world.link_fault_stats(b).expect("plan installed");
+    // ~300 ms of a 2 kpps stream was deferred.
+    assert!(fs.paused > 400, "paused {}", fs.paused);
+    assert_eq!(fs.offered, fs.delivered, "pause defers, never drops");
+    assert!(world.hosts[b].packet_ledger().conserved());
+    assert!(metrics.borrow().received > 0);
 }

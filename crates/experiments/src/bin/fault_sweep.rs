@@ -1,0 +1,81 @@
+//! Runs the fault sweep and emits `results/fault_sweep.json`: TCP bulk
+//! goodput per architecture under Bernoulli loss, Gilbert–Elliott burst
+//! loss and payload corruption, plus a UDP blast through a burst-lossy
+//! link. Representative instrumented runs (one per architecture, bursty
+//! loss at 5%) go through the packet-conservation self-check.
+
+use lrp_experiments::fault_sweep;
+use lrp_sim::SimTime;
+use lrp_telemetry::{experiment_json, report_and_check, write_results, Json};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let points = fault_sweep::run(quick);
+    let udp_secs = if quick { 2 } else { 5 };
+    let udp = fault_sweep::run_udp_burst(SimTime::from_secs(udp_secs));
+    println!("{}", fault_sweep::render(&points, &udp));
+
+    // One instrumented run per architecture under bursty loss: every
+    // injected fault must be attributed and both ledgers must balance.
+    let mut hosts = Vec::new();
+    for arch in lrp_experiments::all_architectures() {
+        let plan = fault_sweep::burst_plan(0xFA05, 0.05);
+        let (mut world, _metrics) = fault_sweep::build(arch, plan, 256 << 10);
+        world.run_until(SimTime::from_secs(30));
+        let label = format!("burst05-{}", arch.name());
+        let report = report_and_check(&world, &label);
+        hosts.push((label, report));
+    }
+
+    let data = Json::obj(vec![
+        (
+            "tcp",
+            Json::Arr(
+                points
+                    .iter()
+                    .map(|p| {
+                        Json::obj(vec![
+                            ("arch", Json::str(p.arch.name())),
+                            ("profile", Json::str(p.profile)),
+                            ("rate", Json::F64(p.rate)),
+                            ("goodput_mbps", Json::F64(p.goodput_mbps)),
+                            ("bytes", Json::U64(p.bytes)),
+                            ("done", Json::Bool(p.done)),
+                            ("retransmits", Json::U64(p.retransmits)),
+                            ("fast_retransmits", Json::U64(p.fast_retransmits)),
+                            ("timeouts", Json::U64(p.timeouts)),
+                            ("checksum_drops", Json::U64(p.checksum_drops)),
+                            ("conserved", Json::Bool(p.conserved)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "udp_burst",
+            Json::Arr(
+                udp.iter()
+                    .map(|p| {
+                        Json::obj(vec![
+                            ("arch", Json::str(p.arch.name())),
+                            ("offered_pps", Json::F64(p.offered)),
+                            ("delivered_pps", Json::F64(p.delivered)),
+                            ("link_dropped", Json::U64(p.link_dropped)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    let doc = experiment_json(
+        "fault_sweep",
+        vec![
+            ("quick", Json::Bool(quick)),
+            ("udp_duration_s", Json::U64(udp_secs)),
+        ],
+        data,
+        hosts,
+    );
+    let path = write_results("fault_sweep", &doc).expect("write fault_sweep.json");
+    eprintln!("wrote {}", path.display());
+}

@@ -13,8 +13,15 @@
 //! source: it emits crafted frames at a precise rate (fixed-interval or
 //! Poisson), used to generate offered loads beyond what a simulated sender
 //! host could produce through its own stack.
+//!
+//! The [`fault`] module injects deterministic adversity (loss, corruption,
+//! duplication, reordering, link pauses) at delivery time.
 
 #![warn(missing_docs)]
+
+pub mod fault;
+
+pub use fault::{FaultPlan, FaultStats, LinkFaults, LossModel};
 
 use lrp_sim::{SimDuration, SimTime, SplitMix64};
 use lrp_wire::Frame;
@@ -185,6 +192,13 @@ impl Injector {
             seq: 0,
             until: SimTime::NEVER,
         }
+    }
+
+    /// Stops emission at `until` (exclusive). Builder-style.
+    #[must_use]
+    pub fn stop_at(mut self, until: SimTime) -> Self {
+        self.until = until;
+        self
     }
 
     /// Number of frames emitted so far.

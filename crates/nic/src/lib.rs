@@ -47,6 +47,46 @@ pub enum NicDrop {
     NoMatch,
     /// Early discard: malformed packet (NI-demux mode only).
     Malformed,
+    /// The device was stalled by an injected fault window.
+    Stalled,
+}
+
+/// Injected device misbehavior (see `FaultPlan` in `lrp-net` for the
+/// wire-level counterpart). Times are raw nanoseconds since simulation
+/// start so this crate stays free of the simulator's time types.
+#[derive(Clone, Debug, Default)]
+pub struct NicFaultPlan {
+    /// Transient stall windows `(from_ns, until_ns)`: frames arriving
+    /// while the device is stalled are dropped on the floor (counted in
+    /// [`NicStats::stall_drops`]), whatever the demux mode — a wedged DMA
+    /// engine does not classify packets either.
+    pub stall_ns: Vec<(u64, u64)>,
+    /// Interrupt coalescing delay: after raising a host interrupt, the
+    /// device raises no further interrupts for this many nanoseconds;
+    /// frames keep landing in the receive ring and are picked up by the
+    /// next interrupt's batch. `0` disables coalescing. Applies to the
+    /// per-frame interrupt modes (BSD / soft-demux) only: NI-demux
+    /// channels already coalesce by design — at most one demand
+    /// interrupt per queue-empty episode.
+    pub coalesce_ns: u64,
+}
+
+impl NicFaultPlan {
+    /// The inert plan.
+    pub fn none() -> Self {
+        NicFaultPlan::default()
+    }
+
+    /// True if this plan can never affect a frame.
+    pub fn is_none(&self) -> bool {
+        self.stall_ns.is_empty() && self.coalesce_ns == 0
+    }
+
+    fn stalled_at(&self, now_ns: u64) -> bool {
+        self.stall_ns
+            .iter()
+            .any(|&(from, until)| now_ns >= from && now_ns < until)
+    }
 }
 
 /// The outcome of frame reception, telling the host what to do.
@@ -174,6 +214,10 @@ pub struct NicStats {
     pub tx_frames: u64,
     /// Frames dropped at the interface (tx) queue.
     pub ifq_drops: u64,
+    /// Frames dropped because the device was stalled (injected fault).
+    pub stall_drops: u64,
+    /// Host interrupts suppressed by the coalescing window.
+    pub coalesced_intrs: u64,
 }
 
 /// The simulated network adaptor.
@@ -220,6 +264,10 @@ pub struct Nic {
     /// Channel the most recent `rx_frame` enqueued into (NI mode only);
     /// `None` if the frame was dropped, ring-queued, or not yet received.
     last_rx_chan: Option<ChannelId>,
+    /// Injected device faults (inert by default).
+    faults: NicFaultPlan,
+    /// When the last host interrupt was raised (for coalescing).
+    last_intr_ns: Option<u64>,
 }
 
 /// Default receive ring size (FORE SBA-200-ish).
@@ -245,6 +293,8 @@ impl Nic {
             proxy: ProxyChannels::default(),
             stats: NicStats::default(),
             last_rx_chan: None,
+            faults: NicFaultPlan::none(),
+            last_intr_ns: None,
         };
         // Channel 0 is reserved for misordered fragments.
         let frag = nic.create_channel(DEFAULT_CHANNEL_LIMIT);
@@ -369,24 +419,65 @@ impl Nic {
             .is_some_and(|c| c.is_some())
     }
 
+    /// Installs an injected-fault plan on the device.
+    pub fn set_faults(&mut self, plan: NicFaultPlan) {
+        self.faults = plan;
+    }
+
+    /// The device's injected-fault plan.
+    pub fn faults(&self) -> &NicFaultPlan {
+        &self.faults
+    }
+
+    /// True if the coalescing window allows raising an interrupt at
+    /// `now_ns`.
+    fn intr_allowed(&self, now_ns: u64) -> bool {
+        match self.last_intr_ns {
+            None => true,
+            Some(t) => self.faults.coalesce_ns == 0 || now_ns >= t + self.faults.coalesce_ns,
+        }
+    }
+
     /// Delivers a frame from the link to the NIC.
+    ///
+    /// Timeless wrapper around [`Nic::rx_frame_at`] for callers that do
+    /// not inject device faults (the fault windows are evaluated at
+    /// simulation start).
+    pub fn rx_frame(&mut self, frame: Frame) -> RxOutcome {
+        self.rx_frame_at(0, frame)
+    }
+
+    /// Delivers a frame from the link to the NIC at `now_ns` nanoseconds
+    /// of simulated time (used by the injected-fault windows; everything
+    /// else is time-free mechanism).
     ///
     /// The returned [`RxOutcome`] tells the host whether an interrupt was
     /// raised. In NI-demux mode classification happens here, on the NIC's
     /// own processor; the host learns nothing about discarded frames.
-    pub fn rx_frame(&mut self, frame: Frame) -> RxOutcome {
+    pub fn rx_frame_at(&mut self, now_ns: u64, frame: Frame) -> RxOutcome {
         self.stats.rx_frames += 1;
         self.last_rx_chan = None;
+        if self.faults.stalled_at(now_ns) {
+            self.stats.stall_drops += 1;
+            return RxOutcome::Dropped(NicDrop::Stalled);
+        }
         let rxq = self.rx_queue_of(&frame);
         match self.mode {
             DemuxMode::None | DemuxMode::Soft => {
                 // Dumb adaptor: DMA into the steered ring, interrupt per
-                // frame.
+                // frame (unless the coalescing window holds it back — the
+                // frame then rides along with the next interrupt's ring
+                // batch).
                 if self.rx_rings[rxq].len() >= self.rx_ring_limit {
                     self.stats.ring_drops += 1;
                     return RxOutcome::Dropped(NicDrop::RingOverrun);
                 }
                 self.rx_rings[rxq].push_back(frame);
+                if !self.intr_allowed(now_ns) {
+                    self.stats.coalesced_intrs += 1;
+                    return RxOutcome::Queued;
+                }
+                self.last_intr_ns = Some(now_ns);
                 self.stats.interrupts += 1;
                 RxOutcome::Interrupt(rxq)
             }
@@ -440,6 +531,7 @@ impl Nic {
                 self.last_rx_chan = Some(chan);
                 if was_empty && ch.intr_requested {
                     ch.intr_requested = false;
+                    self.last_intr_ns = Some(now_ns);
                     self.stats.interrupts += 1;
                     RxOutcome::Interrupt(rxq)
                 } else {
@@ -768,5 +860,63 @@ mod tests {
         let mut nic = Nic::new(DemuxMode::Ni, LOCAL, 8);
         let frag = nic.fragment_channel;
         nic.destroy_channel(frag);
+    }
+
+    #[test]
+    fn stall_window_drops_in_every_mode() {
+        for mode in [DemuxMode::None, DemuxMode::Soft, DemuxMode::Ni] {
+            let mut nic = Nic::new(mode, LOCAL, 8);
+            nic.set_faults(NicFaultPlan {
+                stall_ns: vec![(1_000, 2_000)],
+                coalesce_ns: 0,
+            });
+            assert_ne!(
+                nic.rx_frame_at(500, udp_frame(9000)),
+                RxOutcome::Dropped(NicDrop::Stalled)
+            );
+            assert_eq!(
+                nic.rx_frame_at(1_500, udp_frame(9000)),
+                RxOutcome::Dropped(NicDrop::Stalled)
+            );
+            // End boundary is exclusive.
+            assert_ne!(
+                nic.rx_frame_at(2_000, udp_frame(9000)),
+                RxOutcome::Dropped(NicDrop::Stalled)
+            );
+            assert_eq!(nic.stats().stall_drops, 1, "{mode:?}");
+            assert_eq!(nic.stats().rx_frames, 3, "stalled frames still count");
+        }
+    }
+
+    #[test]
+    fn coalescing_suppresses_interrupts_but_keeps_frames() {
+        let mut nic = Nic::new(DemuxMode::None, LOCAL, 8);
+        nic.set_faults(NicFaultPlan {
+            stall_ns: vec![],
+            coalesce_ns: 1_000,
+        });
+        assert_eq!(nic.rx_frame_at(0, udp_frame(1)), RxOutcome::Interrupt(0));
+        // Inside the window: queued silently, ring keeps the frame.
+        assert_eq!(nic.rx_frame_at(400, udp_frame(1)), RxOutcome::Queued);
+        assert_eq!(nic.rx_frame_at(900, udp_frame(1)), RxOutcome::Queued);
+        // Window over: next frame raises again.
+        assert_eq!(
+            nic.rx_frame_at(1_000, udp_frame(1)),
+            RxOutcome::Interrupt(0)
+        );
+        assert_eq!(nic.ring_depth(), 4);
+        assert_eq!(nic.stats().interrupts, 2);
+        assert_eq!(nic.stats().coalesced_intrs, 2);
+    }
+
+    #[test]
+    fn inert_nic_fault_plan_changes_nothing() {
+        assert!(NicFaultPlan::none().is_none());
+        let mut nic = Nic::new(DemuxMode::None, LOCAL, 8);
+        nic.set_faults(NicFaultPlan::none());
+        assert_eq!(nic.rx_frame_at(0, udp_frame(1)), RxOutcome::Interrupt(0));
+        assert_eq!(nic.rx_frame_at(1, udp_frame(1)), RxOutcome::Interrupt(0));
+        assert_eq!(nic.stats().coalesced_intrs, 0);
+        assert_eq!(nic.stats().stall_drops, 0);
     }
 }

@@ -27,6 +27,11 @@ struct FragFlow {
     total_len: Option<usize>,
     /// When this flow was created, for expiry.
     born: SimTime,
+    /// Fragment frames this flow still holds: one per `input` call that
+    /// returned [`ReasmOutcome::Incomplete`]. The caller accounts those
+    /// frames as absorbed; on expiry this count lets it re-attribute them
+    /// as discarded.
+    frags: u64,
 }
 
 impl FragFlow {
@@ -105,6 +110,8 @@ pub struct ReasmStats {
     pub completed: u64,
     /// Flows expired with missing fragments.
     pub expired: u64,
+    /// Fragment frames discarded by flow expiry (cumulative).
+    pub expired_frags: u64,
     /// Fragments dropped because the flow table was full.
     pub dropped: u64,
 }
@@ -171,6 +178,7 @@ impl Reassembler {
             runs: Vec::new(),
             total_len: None,
             born: now,
+            frags: 0,
         });
         self.stats.fragments += 1;
         let offset = h.frag_offset as usize * 8;
@@ -188,16 +196,27 @@ impl Reassembler {
                 payload: data,
             };
         }
+        flow.frags += 1;
         ReasmOutcome::Incomplete
     }
 
-    /// Expires flows older than the TTL; returns how many were discarded.
+    /// Expires flows older than the TTL; returns how many flows were
+    /// discarded. The fragment frames they held accumulate in
+    /// [`ReasmStats::expired_frags`].
     pub fn expire(&mut self, now: SimTime) -> usize {
         let ttl = self.ttl;
         let before = self.flows.len();
-        self.flows.retain(|_, f| now.since(f.born) < ttl);
+        let mut frags = 0u64;
+        self.flows.retain(|_, f| {
+            let keep = now.since(f.born) < ttl;
+            if !keep {
+                frags += f.frags;
+            }
+            keep
+        });
         let expired = before - self.flows.len();
         self.stats.expired += expired as u64;
+        self.stats.expired_frags += frags;
         expired
     }
 }

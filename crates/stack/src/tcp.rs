@@ -158,6 +158,22 @@ pub struct TcpStats {
     pub dup_acks: u64,
 }
 
+impl TcpStats {
+    /// Accumulates another connection's counters into this one (used to
+    /// fold per-connection statistics into host totals when a socket is
+    /// freed).
+    pub fn absorb(&mut self, other: &TcpStats) {
+        self.segs_in += other.segs_in;
+        self.segs_out += other.segs_out;
+        self.bytes_in += other.bytes_in;
+        self.bytes_out += other.bytes_out;
+        self.retransmits += other.retransmits;
+        self.fast_retransmits += other.fast_retransmits;
+        self.timeouts += other.timeouts;
+        self.dup_acks += other.dup_acks;
+    }
+}
+
 /// A TCP connection.
 #[derive(Debug)]
 pub struct TcpConn {
@@ -472,6 +488,11 @@ impl TcpConn {
                 self.dup_ack_count = 0;
                 // Go-back-N: rewind and retransmit from snd_una.
                 self.snd_nxt = self.snd_una;
+                // A lost FIN must be resent too: forget it was ever sent
+                // so output() re-appends it after the rewound data.
+                if self.fin_seq.is_some_and(|fs| !seq_gt(self.snd_una, fs)) {
+                    self.fin_seq = None;
+                }
                 acts.merge(self.output(now, true));
                 if acts.segments.is_empty() {
                     // Nothing to send (e.g. zero window probe case) — probe

@@ -725,3 +725,161 @@ fn connect_then_close_before_synack() {
     assert_eq!(a.state, TcpState::Closed);
     assert!(acts.events.contains(&ConnEvent::Closed));
 }
+
+// ---------------------------------------------------------------------------
+// Retransmission boundary behaviour: lost FINs, RTO clamping, Karn's
+// rule, and reordering vs fast retransmit.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn lost_fin_is_retransmitted() {
+    let mut d = established(Driver::new(cfg()));
+    let (_, acts) = d.a.write(d.now, b"last words");
+    d.absorb(0, acts);
+    d.run(200);
+    assert_eq!(d.b.read(100).0, b"last words");
+    // Drop a's next segment: the FIN.
+    let target = d.sent_count[0];
+    d.drop_fn = Box::new(move |dir, n, _| dir == 0 && n == target);
+    let acts = d.a.close(d.now);
+    d.absorb(0, acts);
+    d.run(500);
+    assert!(
+        d.events_b.contains(&ConnEvent::PeerClosed),
+        "the retransmitted FIN must reach the peer; a stats: {:?}",
+        d.a.stats
+    );
+    assert!(d.a.stats.timeouts >= 1, "recovery went through the RTO");
+    assert!(
+        matches!(d.a.state, TcpState::FinWait2 | TcpState::TimeWait),
+        "our FIN was acked: {:?}",
+        d.a.state
+    );
+}
+
+#[test]
+fn lost_last_ack_fin_is_retransmitted() {
+    // Same bug from the passive closer's side: b in LAST_ACK loses its
+    // FIN and must resend it rather than burn retries sending nothing.
+    let mut d = established(Driver::new(cfg()));
+    let acts = d.a.close(d.now);
+    d.absorb(0, acts);
+    d.run(200);
+    assert_eq!(d.b.state, TcpState::CloseWait);
+    let target = d.sent_count[1];
+    d.drop_fn = Box::new(move |dir, n, _| dir == 1 && n == target);
+    let acts = d.b.close(d.now);
+    d.absorb(1, acts);
+    d.run(500);
+    assert_eq!(d.b.state, TcpState::Closed, "b stats: {:?}", d.b.stats);
+    assert!(d.b.stats.timeouts >= 1);
+}
+
+#[test]
+fn rto_backoff_is_clamped_to_rto_max() {
+    let mut d = established(Driver::new(cfg()));
+    // Black-hole everything a sends; watch the timer gaps grow.
+    d.drop_fn = Box::new(|dir, _, _| dir == 0);
+    let (_, acts) = d.a.write(d.now, &[9u8; 2000]);
+    d.absorb(0, acts);
+    let rto_max = d.a.config().rto_max;
+    let rto_min = d.a.config().rto_min;
+    let mut gaps = Vec::new();
+    let mut prev = d.now;
+    while let Some(deadline) = d.a.next_deadline() {
+        gaps.push(deadline.since(prev));
+        prev = deadline;
+        let acts = d.a.on_timer(deadline);
+        if acts.events.contains(&ConnEvent::TimedOut) {
+            break;
+        }
+    }
+    assert!(gaps.len() > 3, "several backoff rounds before giving up");
+    assert!(
+        gaps.iter().all(|g| *g >= rto_min && *g <= rto_max),
+        "every interval within [rto_min, rto_max]: {gaps:?}"
+    );
+    assert_eq!(
+        *gaps.last().unwrap(),
+        rto_max,
+        "backoff saturates at rto_max"
+    );
+    assert!(
+        gaps.windows(2).all(|w| w[1] >= w[0]),
+        "monotone non-decreasing backoff: {gaps:?}"
+    );
+    assert_eq!(d.a.state, TcpState::Closed);
+}
+
+#[test]
+fn karn_rule_discards_rtt_probe_on_timeout() {
+    let mut d = established(Driver::new(cfg()));
+    d.drop_fn = Box::new(|dir, _, _| dir == 0);
+    let (_, acts) = d.a.write(d.now, b"timed segment");
+    d.absorb(0, acts);
+    assert!(
+        d.a.rtt_probe.is_some(),
+        "first transmission arms an RTT probe"
+    );
+    let deadline = d.a.next_deadline().unwrap();
+    let _ = d.a.on_timer(deadline);
+    assert!(
+        d.a.rtt_probe.is_none(),
+        "Karn: a retransmitted segment is never timed"
+    );
+    // The ack for the retransmission must not produce a sample either:
+    // the probe stays dead until a fresh (untransmitted) segment goes out.
+    let srtt_before = d.a.srtt;
+    d.drop_fn = Box::new(|_, _, _| false);
+    let acts = d.a.output(d.now, true);
+    d.absorb(0, acts);
+    d.run(200);
+    assert_eq!(
+        d.a.srtt, srtt_before,
+        "no RTT sample from the retransmitted round trip"
+    );
+}
+
+#[test]
+fn reordered_segments_do_not_trigger_fast_retransmit() {
+    let c = TcpConfig {
+        mss: 1000,
+        delack: None,
+        ..TcpConfig::default()
+    };
+    let mut d = established(Driver::new(c));
+    // Open the congestion window first: a fresh connection's cwnd is one
+    // segment, which cannot put two in flight.
+    let warm = vec![1u8; 10_000];
+    let mut sent = 0;
+    let mut got = 0;
+    while got < warm.len() {
+        if sent < warm.len() {
+            let (n, acts) = d.a.write(d.now, &warm[sent..]);
+            sent += n;
+            d.absorb(0, acts);
+        }
+        d.run(50);
+        let (chunk, acts) = d.b.read(usize::MAX);
+        got += chunk.len();
+        d.absorb(1, acts);
+    }
+    assert!(d.a.cwnd() >= 2000, "cwnd holds two segments");
+    // Two full segments, delivered to b in reversed order.
+    let (_, acts) = d.a.write(d.now, &vec![5u8; 2000]);
+    assert_eq!(acts.segments.len(), 2, "two segments in flight");
+    let mut segs = acts.segments;
+    segs.reverse();
+    for seg in segs {
+        let acts_b = d.b.on_segment(d.now, &seg.hdr, &seg.payload);
+        d.absorb(1, acts_b);
+    }
+    d.run(300);
+    assert_eq!(d.b.read(4000).0.len(), 2000, "all data assembled in order");
+    assert_eq!(
+        d.a.stats.fast_retransmits, 0,
+        "adjacent reordering yields one dup ack, not three"
+    );
+    assert!(d.a.stats.dup_acks <= 1, "stats: {:?}", d.a.stats);
+    assert_eq!(d.a.stats.timeouts, 0, "no spurious RTO");
+}

@@ -14,6 +14,10 @@ fn schema_path() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../../schemas/results.schema.json")
 }
 
+fn fault_sweep_schema_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../schemas/fault_sweep.data.schema.json")
+}
+
 /// Collects `results/*.json`, skipping the `*.trace.json` exports (those
 /// are chrome://tracing documents with a different shape).
 fn result_files() -> Vec<PathBuf> {
@@ -32,7 +36,7 @@ fn result_files() -> Vec<PathBuf> {
     files
 }
 
-fn check_file(path: &Path, schema_doc: &Json, errs: &mut Vec<String>) {
+fn check_file(path: &Path, schema_doc: &Json, fault_sweep_schema: &Json, errs: &mut Vec<String>) {
     let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("?");
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
@@ -50,6 +54,15 @@ fn check_file(path: &Path, schema_doc: &Json, errs: &mut Vec<String>) {
     };
     for e in schema::validate(&doc, schema_doc, "$") {
         errs.push(format!("{name}: {e}"));
+    }
+    // Experiment-specific pin: the fault_sweep "data" member carries the
+    // per-cell fault/recovery counters the paper comparison rests on.
+    if doc.get("experiment").and_then(Json::as_str) == Some("fault_sweep") {
+        if let Some(data) = doc.get("data") {
+            for e in schema::validate(data, fault_sweep_schema, "$.data") {
+                errs.push(format!("{name}: {e}"));
+            }
+        }
     }
     // The conservation gate: schema conformance says the key exists;
     // here it must also be true.
@@ -69,6 +82,10 @@ fn main() -> ExitCode {
     let schema_text =
         std::fs::read_to_string(schema_path()).expect("read schemas/results.schema.json");
     let schema_doc = Json::parse(&schema_text).expect("parse schemas/results.schema.json");
+    let fault_sweep_text = std::fs::read_to_string(fault_sweep_schema_path())
+        .expect("read schemas/fault_sweep.data.schema.json");
+    let fault_sweep_schema =
+        Json::parse(&fault_sweep_text).expect("parse schemas/fault_sweep.data.schema.json");
 
     let files = result_files();
     let mut errs = Vec::new();
@@ -79,7 +96,7 @@ fn main() -> ExitCode {
         ));
     }
     for path in &files {
-        check_file(path, &schema_doc, &mut errs);
+        check_file(path, &schema_doc, &fault_sweep_schema, &mut errs);
     }
     if errs.is_empty() {
         println!(

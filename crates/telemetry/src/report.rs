@@ -34,6 +34,7 @@ pub fn ledger_json(l: &PacketLedger) -> Json {
         ("accepted", Json::U64(l.accepted)),
         ("nic_ring_drops", Json::U64(l.nic_ring_drops)),
         ("nic_early_discards", Json::U64(l.nic_early_discards)),
+        ("nic_stall_drops", Json::U64(l.nic_stall_drops)),
         ("in_flight", Json::U64(l.in_flight)),
         ("delivered_udp", Json::U64(l.delivered_udp)),
         ("delivered_icmp", Json::U64(l.delivered_icmp)),
@@ -41,6 +42,7 @@ pub fn ledger_json(l: &PacketLedger) -> Json {
         ("forwarded", Json::U64(l.forwarded)),
         ("arp_frames", Json::U64(l.arp_frames)),
         ("reasm_absorbed", Json::U64(l.reasm_absorbed)),
+        ("reasm_expired", Json::U64(l.reasm_expired)),
         ("flushed", Json::U64(l.flushed)),
         ("host_drops", Json::Obj(drops)),
         ("host_dropped", Json::U64(l.host_dropped())),
@@ -56,6 +58,7 @@ pub fn host_report(host: &Host) -> Json {
     let ledger = host.packet_ledger();
     let nic = host.nic.stats();
     let stats = &host.stats;
+    let tcp = host.tcp_totals();
 
     let mut drop_rows: Vec<(String, u64)> = stats
         .drops
@@ -123,6 +126,8 @@ pub fn host_report(host: &Host) -> Json {
                 ("interrupts", Json::U64(nic.interrupts)),
                 ("ring_drops", Json::U64(nic.ring_drops)),
                 ("early_discards", Json::U64(nic.early_discards)),
+                ("stall_drops", Json::U64(nic.stall_drops)),
+                ("coalesced_intrs", Json::U64(nic.coalesced_intrs)),
                 ("tx_frames", Json::U64(nic.tx_frames)),
                 ("ifq_drops", Json::U64(nic.ifq_drops)),
             ]),
@@ -138,6 +143,17 @@ pub fn host_report(host: &Host) -> Json {
                 ("ctx_switches", Json::U64(stats.ctx_switches)),
                 ("tcp_accepted", Json::U64(stats.tcp_accepted)),
                 ("ipis", Json::U64(stats.ipis)),
+            ]),
+        ),
+        (
+            "tcp",
+            Json::obj(vec![
+                ("segs_in", Json::U64(tcp.segs_in)),
+                ("segs_out", Json::U64(tcp.segs_out)),
+                ("retransmits", Json::U64(tcp.retransmits)),
+                ("fast_retransmits", Json::U64(tcp.fast_retransmits)),
+                ("timeouts", Json::U64(tcp.timeouts)),
+                ("dup_acks", Json::U64(tcp.dup_acks)),
             ]),
         ),
         (

@@ -1,0 +1,205 @@
+//! Chaos soak: randomized fault schedules over every architecture.
+//!
+//! Each generated schedule combines link faults (Bernoulli or
+//! Gilbert–Elliott loss, corruption, duplication, bounded reordering, a
+//! timed link pause) with NIC faults (a ring stall window, interrupt
+//! coalescing), then drives the Figure-3 UDP blast scenario under it.
+//! Three invariants must survive arbitrary schedules:
+//!
+//! 1. **No panic** — malformed arrival orders, duplicate floods and
+//!    device stalls never crash the kernel model.
+//! 2. **Conservation** — every accepted frame is attributed to exactly
+//!    one disposition bucket, faults included.
+//! 3. **Determinism** — the same seed reproduces the exact same final
+//!    host state, bit for bit, on every architecture.
+//!
+//! The proptest shim generates cases deterministically per test name, so
+//! CI runs a fixed seed set.
+
+use lrp::core::Architecture;
+use lrp::experiments::fig3;
+use lrp::net::FaultPlan;
+use lrp::nic::NicFaultPlan;
+use lrp::sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// One randomly drawn fault schedule.
+#[derive(Clone, Debug)]
+struct Schedule {
+    seed: u64,
+    pps: f64,
+    bursty: bool,
+    loss: f64,
+    corrupt_p: f64,
+    duplicate_p: f64,
+    reorder_p: f64,
+    reorder_delay_us: u64,
+    pause: Option<(u64, u64)>,
+    nic_stall: Option<(u64, u64)>,
+    coalesce_us: u64,
+}
+
+impl Schedule {
+    fn link_plan(&self) -> FaultPlan {
+        let mut plan = if self.loss == 0.0 {
+            FaultPlan::none()
+        } else if self.bursty {
+            // Mean burst of 12 frames, 70% in-burst loss.
+            let p_bg = 1.0 / 12.0;
+            let pi_bad = (self.loss / 0.7).min(0.9);
+            FaultPlan::gilbert_elliott(self.seed, p_bg * pi_bad / (1.0 - pi_bad), p_bg, 0.0, 0.7)
+        } else {
+            FaultPlan::bernoulli(self.seed, self.loss)
+        };
+        plan.seed = self.seed;
+        plan.corrupt_p = self.corrupt_p;
+        plan.duplicate_p = self.duplicate_p;
+        plan.reorder_p = self.reorder_p;
+        plan.reorder_max_delay = SimDuration::from_micros(self.reorder_delay_us);
+        if let Some((start_ms, dur_ms)) = self.pause {
+            plan.pauses = vec![(
+                SimTime::from_millis(start_ms),
+                SimTime::from_millis(start_ms + dur_ms),
+            )];
+        }
+        plan
+    }
+
+    fn nic_plan(&self) -> NicFaultPlan {
+        let mut plan = NicFaultPlan::none();
+        if let Some((start_ms, dur_ms)) = self.nic_stall {
+            let start = start_ms * 1_000_000;
+            plan.stall_ns = vec![(start, start + dur_ms * 1_000_000)];
+        }
+        plan.coalesce_ns = self.coalesce_us * 1_000;
+        plan
+    }
+}
+
+/// Runs the blast under `sched` on `arch`; asserts conservation and
+/// fault-stage attribution; returns a digest of the final host state.
+fn run_digest(arch: Architecture, sched: &Schedule) -> String {
+    let (mut world, metrics) = fig3::build_seeded(arch, sched.pps, true, sched.seed);
+    world.hosts[0].nic.set_faults(sched.nic_plan());
+    world.set_link_faults(0, sched.link_plan());
+    world.run_until(SimTime::from_secs(1));
+
+    let errs = lrp::telemetry::conservation_errors(&world);
+    assert!(
+        errs.is_empty(),
+        "conservation violated on {} under {sched:?}:\n{}",
+        arch.name(),
+        errs.join("\n")
+    );
+    let fs = world
+        .link_fault_stats(0)
+        .copied()
+        .expect("fault plan installed");
+    assert_eq!(
+        fs.delivered,
+        fs.offered - fs.dropped + fs.duplicated,
+        "fault stage accounts for every frame on {}: {fs:?}",
+        arch.name()
+    );
+    let h = &world.hosts[0];
+    // HostStats contains a HashMap (per-instance iteration order), so
+    // render its drop counts sorted for a stable digest.
+    let mut drops: Vec<String> = h
+        .stats
+        .drops
+        .iter()
+        .map(|(k, v)| format!("{k:?}={v}"))
+        .collect();
+    drops.sort();
+    format!(
+        "udp={} udpB={} drops=[{}] hw={} soft={} ctx={}|{:?}|{:?}|{:?}|{}|{}",
+        h.stats.udp_delivered,
+        h.stats.udp_delivered_bytes,
+        drops.join(","),
+        h.stats.hw_chunks,
+        h.stats.soft_jobs,
+        h.stats.ctx_switches,
+        h.nic.stats(),
+        h.packet_ledger(),
+        fs,
+        h.sched.total_charged(),
+        metrics.borrow().received
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    fn chaos_soak(
+        seed in any::<u32>(),
+        pps in 2_000.0f64..8_000.0,
+        bursty in any::<bool>(),
+        loss in 0.0f64..0.3,
+        corrupt_p in 0.0f64..0.05,
+        duplicate_p in 0.0f64..0.05,
+        reorder_p in 0.0f64..0.12,
+        reorder_delay_us in 50u64..800,
+        pause_on in any::<bool>(),
+        pause_start_ms in 200u64..500,
+        pause_dur_ms in 50u64..250,
+        stall_on in any::<bool>(),
+        stall_start_ms in 100u64..600,
+        stall_dur_ms in 20u64..150,
+        coalesce_us in 0u64..250,
+    ) {
+        let sched = Schedule {
+            seed: seed as u64,
+            pps,
+            bursty,
+            loss,
+            corrupt_p,
+            duplicate_p,
+            reorder_p,
+            reorder_delay_us,
+            pause: pause_on.then_some((pause_start_ms, pause_dur_ms)),
+            nic_stall: stall_on.then_some((stall_start_ms, stall_dur_ms)),
+            coalesce_us,
+        };
+        for arch in [
+            Architecture::Bsd,
+            Architecture::EarlyDemux,
+            Architecture::SoftLrp,
+            Architecture::NiLrp,
+        ] {
+            let first = run_digest(arch, &sched);
+            let second = run_digest(arch, &sched);
+            prop_assert_eq!(
+                &first,
+                &second,
+                "same seed must be bit-identical on {}",
+                arch.name()
+            );
+        }
+    }
+}
+
+/// A fault-free plan through the fault stage must be byte-identical to no
+/// plan at all: the inert path draws no randomness and perturbs nothing.
+#[test]
+fn inert_plan_matches_no_plan() {
+    for arch in [
+        Architecture::Bsd,
+        Architecture::EarlyDemux,
+        Architecture::SoftLrp,
+        Architecture::NiLrp,
+    ] {
+        let bare = {
+            let (mut world, m) = fig3::build_seeded(arch, 6_000.0, true, 11);
+            world.run_until(SimTime::from_secs(1));
+            format!("{:?}|{}", world.hosts[0].stats, m.borrow().received)
+        };
+        let inert = {
+            let (mut world, m) = fig3::build_seeded(arch, 6_000.0, true, 11);
+            world.set_link_faults(0, FaultPlan::none());
+            world.hosts[0].nic.set_faults(NicFaultPlan::none());
+            world.run_until(SimTime::from_secs(1));
+            format!("{:?}|{}", world.hosts[0].stats, m.borrow().received)
+        };
+        assert_eq!(bare, inert, "inert faults must not perturb {}", arch.name());
+    }
+}
