@@ -1,7 +1,7 @@
 //! The CPU execution engine: chunk scheduling, interrupt preemption and
 //! charge-as-you-go accounting, per simulated CPU.
 
-use super::{Cont, Cpu, Host, PhaseOut, ProcExec, Running, Suspended, WorkKind};
+use super::{ChunkMeta, Cont, Cpu, Host, PhaseOut, ProcExec, Running, Suspended, WorkKind};
 use lrp_sched::{Account, Pid, ProcState};
 use lrp_sim::{SimDuration, SimTime};
 
@@ -12,13 +12,22 @@ impl Cpu {
     }
 }
 
-/// The outcome of settling a running chunk: its kind, charge target, and
-/// unfinished duration.
-type Settled = (WorkKind, Option<(Pid, Account)>, SimDuration);
+/// The outcome of settling a running chunk: its kind, charge target,
+/// profiler metadata, and unfinished duration.
+type Settled = (WorkKind, Option<(Pid, Account)>, ChunkMeta, SimDuration);
+
+fn account_label(a: Account) -> &'static str {
+    match a {
+        Account::User => "user",
+        Account::System => "system",
+        Account::Interrupt => "interrupt",
+    }
+}
 
 impl Host {
-    /// Charges elapsed time of the chunk running on `cpu` up to `now` and
-    /// returns the remaining duration.
+    /// Charges elapsed time of the chunk running on `cpu` up to `now`,
+    /// feeds the simulated-cycle profiler, and returns the remaining
+    /// duration.
     fn settle_running(&mut self, now: SimTime, cpu: usize) -> Option<Settled> {
         let r = self.cpus[cpu].running.take()?;
         let elapsed = now.since(r.started);
@@ -31,7 +40,36 @@ impl Host {
                 self.sched.charge_on(cpu, pid, account, used);
             }
         }
-        Some((r.kind, r.charge, remaining))
+        if !used.is_zero() {
+            // Profiler context: what kind of execution the cycles belong
+            // to. Kernel threads get their own contexts — they are the
+            // paper's LRP mechanism, not ordinary processes.
+            let context = match &r.kind {
+                WorkKind::Hw => "interrupt",
+                WorkKind::Soft => "softirq",
+                WorkKind::Proc { pid, .. } => {
+                    if Some(*pid) == self.app_thread {
+                        "app-thread"
+                    } else if Some(*pid) == self.idle_thread {
+                        "idle-thread"
+                    } else if matches!(r.charge, Some((_, Account::User))) {
+                        "user"
+                    } else {
+                        "syscall"
+                    }
+                }
+            };
+            let billed = r.charge.map(|(p, a)| (p.0, account_label(a)));
+            self.tele.on_cycles(
+                cpu,
+                context,
+                r.meta.stage,
+                billed,
+                r.meta.owner.map(|p| p.0),
+                used.as_nanos(),
+            );
+        }
+        Some((r.kind, r.charge, r.meta, remaining))
     }
 
     fn start_chunk(
@@ -40,6 +78,7 @@ impl Host {
         cpu: usize,
         kind: WorkKind,
         charge: Option<(Pid, Account)>,
+        meta: ChunkMeta,
         dur: SimDuration,
     ) {
         debug_assert!(self.cpus[cpu].running.is_none(), "CPU already busy");
@@ -47,6 +86,7 @@ impl Host {
         self.cpus[cpu].running = Some(Running {
             kind,
             charge,
+            meta,
             started: now,
             ends: now + dur,
         });
@@ -55,7 +95,14 @@ impl Host {
     /// A hardware interrupt demands `cpu`: suspend whatever runs there and
     /// execute (or queue) the interrupt work. The interrupt's *logic* has
     /// already been applied by the caller; this models only its CPU cost.
-    pub(crate) fn raise_hw_on(&mut self, now: SimTime, cpu: usize, cost: SimDuration) {
+    /// `stage` labels the interrupt source for the profiler.
+    pub(crate) fn raise_hw_on(
+        &mut self,
+        now: SimTime,
+        cpu: usize,
+        cost: SimDuration,
+        stage: &'static str,
+    ) {
         self.cur_cpu = cpu;
         // BSD charges interrupt time to the process that happens to be
         // running (or that the interrupt suspended); idle time is free.
@@ -63,17 +110,18 @@ impl Host {
         match &self.cpus[cpu].running {
             Some(r) if matches!(r.kind, WorkKind::Hw) => {
                 // Interrupts queue behind the current handler.
-                self.cpus[cpu].pending_hw.push_back((cost, victim));
+                self.cpus[cpu].pending_hw.push_back((cost, victim, stage));
             }
             Some(_) => {
                 // Preempt: settle and suspend the current chunk.
-                let (kind, charge, remaining) =
+                let (kind, charge, meta, remaining) =
                     self.settle_running(now, cpu).expect("running chunk");
                 match kind {
                     WorkKind::Soft => {
                         self.cpus[cpu].susp_soft = Some(Suspended {
                             kind,
                             charge,
+                            meta,
                             remaining,
                         });
                     }
@@ -81,6 +129,7 @@ impl Host {
                         self.cpus[cpu].susp_proc = Some(Suspended {
                             kind,
                             charge,
+                            meta,
                             remaining,
                         });
                     }
@@ -92,6 +141,7 @@ impl Host {
                     cpu,
                     WorkKind::Hw,
                     victim.map(|p| (p, Account::Interrupt)),
+                    ChunkMeta::stage(stage),
                     cost,
                 );
             }
@@ -102,6 +152,7 @@ impl Host {
                     cpu,
                     WorkKind::Hw,
                     victim.map(|p| (p, Account::Interrupt)),
+                    ChunkMeta::stage(stage),
                     cost,
                 );
             }
@@ -137,7 +188,7 @@ impl Host {
             return; // Stale (should not happen with gen check).
         }
         self.cur_cpu = cpu;
-        let (kind, _, _) = self.settle_running(now, cpu).expect("checked");
+        let (kind, _, _, _) = self.settle_running(now, cpu).expect("checked");
         match kind {
             WorkKind::Hw | WorkKind::Soft => {}
             WorkKind::Proc { pid, next } => {
@@ -172,13 +223,14 @@ impl Host {
             let pid = *pid;
             let pri = self.sched.proc_ref(pid).effective_pri();
             if self.sched.should_preempt_on(cpu, pri) {
-                let (kind, charge, remaining) = self.settle_running(now, cpu).expect("running");
+                let (kind, charge, meta, remaining) =
+                    self.settle_running(now, cpu).expect("running");
                 let WorkKind::Proc { pid, next } = kind else {
                     unreachable!()
                 };
                 let account = charge.map(|(_, a)| a).unwrap_or(Account::System);
                 let charge_pid = charge.map(|(p, _)| p).unwrap_or(pid);
-                self.preempt_to_exec(pid, next, remaining, account, charge_pid);
+                self.preempt_to_exec(pid, next, remaining, account, charge_pid, meta);
                 preempted = true;
             }
         }
@@ -189,6 +241,7 @@ impl Host {
 
     /// Saves a preempted process phase back into its exec state and
     /// requeues the process.
+    #[allow(clippy::too_many_arguments)]
     fn preempt_to_exec(
         &mut self,
         pid: Pid,
@@ -196,6 +249,7 @@ impl Host {
         remaining: SimDuration,
         account: Account,
         charge: Pid,
+        meta: ChunkMeta,
     ) {
         if remaining.is_zero() {
             self.exec.insert(pid, ProcExec::Cont(next));
@@ -206,6 +260,7 @@ impl Host {
                     remaining,
                     account,
                     charge,
+                    meta,
                     next,
                 },
             );
@@ -245,13 +300,14 @@ impl Host {
         self.cur_cpu = cpu;
         loop {
             // 1. Hardware interrupts first.
-            if let Some((cost, victim)) = self.cpus[cpu].pending_hw.pop_front() {
+            if let Some((cost, victim, stage)) = self.cpus[cpu].pending_hw.pop_front() {
                 self.stats.hw_chunks += 1;
                 self.start_chunk(
                     now,
                     cpu,
                     WorkKind::Hw,
                     victim.map(|p| (p, Account::Interrupt)),
+                    ChunkMeta::stage(stage),
                     cost,
                 );
                 return;
@@ -262,6 +318,7 @@ impl Host {
                 self.cpus[cpu].running = Some(Running {
                     kind: s.kind,
                     charge: s.charge,
+                    meta: s.meta,
                     started: now,
                     ends: now + s.remaining,
                 });
@@ -274,12 +331,16 @@ impl Host {
                 if let Some((cost, tag)) = self.next_soft_job(now) {
                     self.stats.soft_jobs += 1;
                     let victim = self.current_proc_context_on(cpu);
-                    let _ = tag;
+                    // The job's protocol logic just ran and noted the
+                    // rightful receiver (if the packet matched a socket);
+                    // the chunk carries it for the attribution ledger.
+                    let owner = self.tele.take_proto_owner().map(Pid);
                     self.start_chunk(
                         now,
                         cpu,
                         WorkKind::Soft,
                         victim.map(|p| (p, Account::Interrupt)),
+                        ChunkMeta { stage: tag, owner },
                         cost,
                     );
                     return;
@@ -289,11 +350,16 @@ impl Host {
                 // the socket owner, even if the APP thread is asleep — the
                 // clock interrupt hands it straight to the APP path.
                 self.stats.soft_jobs += 1;
+                let _ = self.tele.take_proto_owner();
                 self.start_chunk(
                     now,
                     cpu,
                     WorkKind::Soft,
                     owner.map(|p| (p, Account::System)),
+                    ChunkMeta {
+                        stage: "lrp-timer",
+                        owner,
+                    },
                     cost,
                 );
                 return;
@@ -308,13 +374,14 @@ impl Host {
                 if self.sched.should_preempt_on(cpu, pri) {
                     let account = s.charge.map(|(_, a)| a).unwrap_or(Account::System);
                     let charge_pid = s.charge.map(|(p, _)| p).unwrap_or(pid);
-                    self.preempt_to_exec(pid, next, s.remaining, account, charge_pid);
+                    self.preempt_to_exec(pid, next, s.remaining, account, charge_pid, s.meta);
                     continue;
                 }
                 self.cpus[cpu].bump();
                 self.cpus[cpu].running = Some(Running {
                     kind: WorkKind::Proc { pid, next },
                     charge: s.charge,
+                    meta: s.meta,
                     started: now,
                     ends: now + s.remaining,
                 });
@@ -370,6 +437,10 @@ impl Host {
         }
         loop {
             let ex = self.exec.remove(&pid).unwrap_or(ProcExec::Exited);
+            // Profiler metadata for the chunk this phase may produce: a
+            // resumed chunk carries its original metadata; a fresh phase
+            // is labelled by its continuation.
+            let mut carried_meta: Option<ChunkMeta> = None;
             let out = match ex {
                 ProcExec::Start => {
                     let ctx = crate::syscall::AppCtx { now, pid };
@@ -380,14 +451,20 @@ impl Host {
                         next: Cont::SyscallEntry(Box::new(op)),
                     }
                 }
-                ProcExec::Cont(cont) => self.exec_phase(now, pid, cont),
+                ProcExec::Cont(cont) => {
+                    let stage = cont.stage();
+                    carried_meta = Some(ChunkMeta { stage, owner: None });
+                    self.exec_phase(now, pid, cont)
+                }
                 ProcExec::Chunk {
                     remaining,
                     account,
                     charge,
+                    meta,
                     next,
                 } => {
                     self.pending_charge = Some(charge);
+                    carried_meta = Some(meta);
                     PhaseOut::Run {
                         dur: remaining,
                         account,
@@ -409,17 +486,27 @@ impl Host {
                 PhaseOut::Run { dur, account, next } => {
                     let total = dur + switch_cost;
                     let charge_pid = self.pending_charge.take().unwrap_or(pid);
+                    // The phase's protocol logic (if any) noted the
+                    // rightful receiver; consume it here even for
+                    // zero-cost transitions so it cannot leak into an
+                    // unrelated later chunk.
+                    let owner = self.tele.take_proto_owner().map(Pid);
                     if total.is_zero() {
                         // Zero-cost transition: immediately execute the
                         // next phase.
                         self.exec.insert(pid, ProcExec::Cont(next));
                         continue;
                     }
+                    let mut meta = carried_meta.unwrap_or(ChunkMeta::stage("start"));
+                    if meta.owner.is_none() {
+                        meta.owner = owner;
+                    }
                     self.start_chunk(
                         now,
                         cpu,
                         WorkKind::Proc { pid, next },
                         Some((charge_pid, account)),
+                        meta,
                         total,
                     );
                     return true;

@@ -209,6 +209,8 @@ pub(crate) enum ProcExec {
         /// Whom the remaining work is charged to (may differ from the
         /// running thread for APP/idle kernel threads).
         charge: Pid,
+        /// Profiler metadata carried across the preemption.
+        meta: ChunkMeta,
         next: Cont,
     },
     /// Blocked; on wakeup becomes `Cont(resume)`.
@@ -251,6 +253,25 @@ pub(crate) enum Cont {
     IdleThreadStep,
 }
 
+impl Cont {
+    /// Profiler stage label of the phase this continuation denotes.
+    pub(crate) fn stage(&self) -> &'static str {
+        match self {
+            Cont::AppNext(_) => "app-logic",
+            Cont::SyscallEntry(_) => "syscall-entry",
+            Cont::SyscallReturn(_) => "syscall-return",
+            Cont::ComputeSlice(_) | Cont::ComputeMore(_) => "compute",
+            Cont::RecvCheck { .. } => "recv",
+            Cont::TcpSend { .. } => "send",
+            Cont::AcceptCheck { .. } => "accept",
+            Cont::ConnectCheck { .. } => "connect",
+            Cont::AppThreadStep => "app-thread-step",
+            Cont::ForwardStep => "forward",
+            Cont::IdleThreadStep => "idle-proto-step",
+        }
+    }
+}
+
 /// What a phase does after its cost is paid.
 pub(crate) enum PhaseOut {
     /// Consume CPU, then continue.
@@ -282,10 +303,30 @@ pub(crate) enum WorkKind {
     Proc { pid: Pid, next: Cont },
 }
 
+/// Profiler metadata riding on a work chunk. Pure observation: attached
+/// at chunk start, consumed when elapsed time is settled, never read by
+/// any scheduling or protocol decision.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ChunkMeta {
+    /// Pipeline stage label (`rx-intr`, `ip-input`, `recv`, `compute`, …).
+    pub stage: &'static str,
+    /// Rightful receiver of protocol work performed in this chunk, when
+    /// one is knowable — the charge-attribution ledger compares it with
+    /// whom the chunk was actually billed to.
+    pub owner: Option<Pid>,
+}
+
+impl ChunkMeta {
+    pub(crate) fn stage(stage: &'static str) -> Self {
+        ChunkMeta { stage, owner: None }
+    }
+}
+
 #[derive(Debug)]
 pub(crate) struct Running {
     pub kind: WorkKind,
     pub charge: Option<(Pid, Account)>,
+    pub meta: ChunkMeta,
     pub started: SimTime,
     pub ends: SimTime,
 }
@@ -294,6 +335,7 @@ pub(crate) struct Running {
 pub(crate) struct Suspended {
     pub kind: WorkKind,
     pub charge: Option<(Pid, Account)>,
+    pub meta: ChunkMeta,
     pub remaining: SimDuration,
 }
 
@@ -307,8 +349,8 @@ pub(crate) struct Cpu {
     /// A softirq chunk displaced by a hardware interrupt.
     pub susp_soft: Option<Suspended>,
     /// Pending hardware interrupt work (cost, charge target decided at
-    /// arrival).
-    pub pending_hw: VecDeque<(SimDuration, Option<Pid>)>,
+    /// arrival, profiler stage label).
+    pub pending_hw: VecDeque<(SimDuration, Option<Pid>, &'static str)>,
     /// The process whose context was last on this CPU (context-switch
     /// detection for cache-reload penalties).
     pub last_on_cpu: Option<Pid>,
@@ -439,6 +481,10 @@ impl Host {
             chan_to_sock: HashMap::new(),
             tele: crate::telemetry::Telemetry::new(cfg.telemetry),
         };
+        // Host-minted span ids: tagged with the address's last octet so
+        // spans from different hosts never collide.
+        host.tele
+            .set_span_tag((1u64 << 63) | ((addr.octets()[3] as u64) << 48));
         if host.cfg.arch == Architecture::NiLrp {
             // Demand interrupts for the shared fragment channel so a
             // blocked receiver learns about misordered fragments.
@@ -663,6 +709,7 @@ impl Host {
     pub fn on_tick(&mut self, now: SimTime) {
         self.cur_cpu = 0;
         self.ticks += 1;
+        self.sample_timeline(now);
         if self.ticks.is_multiple_of(100) {
             self.sched.decay();
             if let Some(t) = self.app_thread {
@@ -751,7 +798,7 @@ impl Host {
         }
         let victim = self.current_proc_context_on(home);
         let cost = self.cfg.cost.ipi;
-        self.cpus[home].pending_hw.push_back((cost, victim));
+        self.cpus[home].pending_hw.push_back((cost, victim, "ipi"));
         self.stats.ipis += 1;
     }
 

@@ -150,7 +150,7 @@ impl Host {
         ih.ttl -= 1;
         let out = ipv4::build_datagram(&ih, payload);
         let total = cost.ip_forward + cost.ip_output + cost.driver_tx_per_pkt;
-        if !self.nic.ifq_enqueue(Frame::Ipv4(out)) {
+        if !self.ifq_enqueue_spanned(Frame::Ipv4(out), None) {
             self.stats.drop_at(DropPoint::IfQueue);
         }
         total
@@ -202,6 +202,8 @@ impl Host {
             self.tele.on_drop(now, cpu, DropPoint::NoSocket);
             return total;
         };
+        let rightful = self.sock(sock).owner;
+        self.tele.note_proto_owner(rightful.0);
         let dgram = Datagram {
             from: Endpoint::new(ih.src, 0),
             payload: payload.to_vec(),
@@ -370,11 +372,15 @@ impl Host {
             };
             let reply = icmp::build_datagram(self.addr, ih.src, 0, &msg);
             self.stats.icmp_unreach_sent += 1;
-            if !self.nic.ifq_enqueue(Frame::Ipv4(reply)) {
+            if !self.ifq_enqueue_spanned(Frame::Ipv4(reply), None) {
                 self.stats.drop_at(DropPoint::IfQueue);
             }
             return total;
         };
+        // The rightful receiver is now known; note it so the chunk that
+        // carries this protocol work can record who *should* be billed.
+        let rightful = self.sock(sock).owner;
+        self.tele.note_proto_owner(rightful.0);
         let dgram = Datagram {
             from: remote,
             payload: body.to_vec(),
@@ -451,6 +457,9 @@ impl Host {
             self.stats.drop_at(DropPoint::NoSocket);
             return total + cost.tcp_input;
         };
+        // The rightful receiver is now known; note it for attribution.
+        let rightful = self.sock(sock).owner;
+        self.tele.note_proto_owner(rightful.0);
         // Listening socket: SYN handling.
         if self.sock(sock).listener.is_some() && th.has(tcp::flags::SYN) && !th.has(tcp::flags::ACK)
         {
@@ -585,7 +594,7 @@ impl Host {
                 + cost.csum(seg.payload.len() + 20)
                 + cost.ip_output
                 + cost.driver_tx_per_pkt;
-            if !self.nic.ifq_enqueue(Frame::Ipv4(dgram)) {
+            if !self.ifq_enqueue_spanned(Frame::Ipv4(dgram), None) {
                 self.stats.drop_at(DropPoint::IfQueue);
             }
         }
@@ -709,6 +718,7 @@ impl Host {
         let Some(s) = self.sockets.get_mut(sock.0 as usize).and_then(|x| x.take()) else {
             return;
         };
+        self.tele.on_sock_close(sock.0 as u64);
         if let Some(conn) = &s.tcp {
             self.stats.tcp_closed.absorb(&conn.stats);
         }

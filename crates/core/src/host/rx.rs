@@ -4,6 +4,7 @@
 use super::{sock_wchan, DropPoint, Host, WC_RECV};
 use crate::config::Architecture;
 use crate::host::proto::ProtoCtx;
+use crate::telemetry::SpanId;
 use lrp_demux::{ChannelId, Verdict};
 use lrp_nic::{NicDrop, RxOutcome};
 use lrp_sched::Pid;
@@ -20,13 +21,20 @@ impl Host {
     /// interrupts its target CPU (`rxq % ncpus`) — the RSS steering that
     /// spreads flows across processors.
     pub fn on_frame(&mut self, now: SimTime, frame: Frame) {
+        self.on_frame_span(now, frame, None);
+    }
+
+    /// Like [`Host::on_frame`], carrying the causal-trace span of the
+    /// frame (if one was minted at injection). The span is observational
+    /// metadata only: it never influences queueing or cost decisions.
+    pub fn on_frame_span(&mut self, now: SimTime, frame: Frame, span: Option<SpanId>) {
         let cost = self.cfg.cost;
         let ncpus = self.cpus.len();
         match self.cfg.arch {
             Architecture::Bsd => {
                 match self.nic.rx_frame_at(now.as_nanos(), frame) {
                     RxOutcome::Interrupt(rxq) => {
-                        self.tele.on_rx(now, self.nic.stats().rx_frames);
+                        self.tele.on_rx(now, self.nic.stats().rx_frames, span);
                         let f = self.nic.ring_dequeue_from(rxq).expect("frame just queued");
                         // Driver: mbuf encapsulation, then the shared IP
                         // queue; drop (after the driver work!) if full.
@@ -36,9 +44,14 @@ impl Host {
                         } else {
                             self.ip_queue.push_back(f);
                             let depth = self.ip_queue.len();
-                            self.tele.on_ipq_enqueue(now, depth);
+                            self.tele.on_ipq_enqueue(now, depth, span);
                         }
-                        self.raise_hw_on(now, rxq % ncpus, cost.hw_intr + cost.driver_rx_per_pkt);
+                        self.raise_hw_on(
+                            now,
+                            rxq % ncpus,
+                            cost.hw_intr + cost.driver_rx_per_pkt,
+                            "rx-intr",
+                        );
                     }
                     RxOutcome::Dropped(NicDrop::Stalled) => {
                         self.stats.drop_at(DropPoint::NicStall);
@@ -50,56 +63,61 @@ impl Host {
                     }
                     // Interrupt coalescing: the frame sits in the ring
                     // until the next uncoalesced interrupt batches it in.
+                    // (Its span is lost — a documented trace limitation.)
                     RxOutcome::Queued => {
-                        self.tele.on_rx(now, self.nic.stats().rx_frames);
+                        self.tele.on_rx(now, self.nic.stats().rx_frames, span);
                     }
                 }
             }
-            Architecture::EarlyDemux | Architecture::SoftLrp => match self
-                .nic
-                .rx_frame_at(now.as_nanos(), frame)
-            {
-                RxOutcome::Interrupt(rxq) => {
-                    self.tele.on_rx(now, self.nic.stats().rx_frames);
-                    let f = self.nic.ring_dequeue_from(rxq).expect("frame just queued");
-                    self.cur_cpu = rxq % ncpus;
-                    let d = self.soft_demux_deliver(now, f);
-                    self.raise_hw_on(now, rxq % ncpus, cost.hw_intr + cost.driver_rx_per_pkt + d);
+            Architecture::EarlyDemux | Architecture::SoftLrp => {
+                match self.nic.rx_frame_at(now.as_nanos(), frame) {
+                    RxOutcome::Interrupt(rxq) => {
+                        self.tele.on_rx(now, self.nic.stats().rx_frames, span);
+                        let f = self.nic.ring_dequeue_from(rxq).expect("frame just queued");
+                        self.cur_cpu = rxq % ncpus;
+                        let d = self.soft_demux_deliver(now, f, span);
+                        self.raise_hw_on(
+                            now,
+                            rxq % ncpus,
+                            cost.hw_intr + cost.driver_rx_per_pkt + d,
+                            "rx-intr",
+                        );
+                    }
+                    RxOutcome::Dropped(NicDrop::Stalled) => {
+                        self.stats.drop_at(DropPoint::NicStall);
+                        self.tele.on_nic_drop(now, "NicStall");
+                    }
+                    RxOutcome::Dropped(_) => {
+                        self.stats.drop_at(DropPoint::RxRing);
+                        self.tele.on_nic_drop(now, "RxRing");
+                    }
+                    // Coalesced: held in the ring until the next interrupt.
+                    RxOutcome::Queued => {
+                        self.tele.on_rx(now, self.nic.stats().rx_frames, span);
+                    }
                 }
-                RxOutcome::Dropped(NicDrop::Stalled) => {
-                    self.stats.drop_at(DropPoint::NicStall);
-                    self.tele.on_nic_drop(now, "NicStall");
-                }
-                RxOutcome::Dropped(_) => {
-                    self.stats.drop_at(DropPoint::RxRing);
-                    self.tele.on_nic_drop(now, "RxRing");
-                }
-                // Coalesced: held in the ring until the next interrupt.
-                RxOutcome::Queued => {
-                    self.tele.on_rx(now, self.nic.stats().rx_frames);
-                }
-            },
+            }
             Architecture::NiLrp => {
                 // Demux, early discard and queueing all happen on the NIC
                 // processor: zero host cost unless an interrupt was
                 // requested.
                 match self.nic.rx_frame_at(now.as_nanos(), frame) {
                     RxOutcome::Interrupt(rxq) => {
-                        self.tele.on_rx(now, self.nic.stats().rx_frames);
+                        self.tele.on_rx(now, self.nic.stats().rx_frames, span);
                         if let Some(chan) = self.nic.last_rx_channel() {
-                            self.tele.on_chan_enqueue(now, rxq % ncpus, chan);
+                            self.tele.on_chan_enqueue(now, rxq % ncpus, chan, span);
                         }
                         // Wake whoever requested notification for the
                         // newly non-empty channel. We do not know which
                         // channel fired; wake receivers with pending data.
                         self.cur_cpu = rxq % ncpus;
                         self.ni_interrupt_wakeups();
-                        self.raise_hw_on(now, rxq % ncpus, cost.hw_intr_ni);
+                        self.raise_hw_on(now, rxq % ncpus, cost.hw_intr_ni, "ni-intr");
                     }
                     RxOutcome::Queued => {
-                        self.tele.on_rx(now, self.nic.stats().rx_frames);
+                        self.tele.on_rx(now, self.nic.stats().rx_frames, span);
                         if let Some(chan) = self.nic.last_rx_channel() {
-                            self.tele.on_chan_enqueue(now, 0, chan);
+                            self.tele.on_chan_enqueue(now, 0, chan, span);
                         }
                     }
                     RxOutcome::Dropped(NicDrop::Stalled) => {
@@ -120,7 +138,12 @@ impl Host {
     /// Host-interrupt-handler demux (SOFT-LRP and Early-Demux): classify,
     /// enqueue or discard, wake receivers. Returns the extra handler cost
     /// beyond the base interrupt cost.
-    fn soft_demux_deliver(&mut self, now: SimTime, frame: Frame) -> SimDuration {
+    fn soft_demux_deliver(
+        &mut self,
+        now: SimTime,
+        frame: Frame,
+        span: Option<SpanId>,
+    ) -> SimDuration {
         let cost = self.cfg.cost;
         let cpu = self.cur_cpu;
         let mut extra = cost.demux_per_pkt;
@@ -179,7 +202,7 @@ impl Host {
             self.tele.on_drop(now, cpu, DropPoint::Channel);
             return extra;
         }
-        self.tele.on_chan_enqueue(now, cpu, chan);
+        self.tele.on_chan_enqueue(now, cpu, chan, span);
         match self.cfg.arch {
             Architecture::EarlyDemux => {
                 // Schedule eager softirq protocol processing.
@@ -327,6 +350,11 @@ impl Host {
     pub(crate) fn next_soft_job(&mut self, now: SimTime) -> Option<(SimDuration, &'static str)> {
         let cost = self.cfg.cost;
         if let Some(sock) = self.tcp_timer_work.pop_front() {
+            // The timer work rightfully belongs to the socket's owner —
+            // note it for the charge-attribution ledger.
+            if let Some(owner) = self.sock_opt(sock).map(|s| s.owner) {
+                self.tele.note_proto_owner(owner.0);
+            }
             let d = self.run_tcp_timer(now, sock);
             return Some((cost.softirq_dispatch + d, "tcp-timer"));
         }

@@ -202,7 +202,7 @@ impl Host {
                 next: Cont::AcceptCheck { sock },
             },
             SyscallOp::SendTo { sock, dst, data } => {
-                let (dur, ret) = self.do_udp_send(sock, dst, &data);
+                let (dur, ret) = self.do_udp_send(now, sock, dst, &data);
                 PhaseOut::Run {
                     dur: entry + dur,
                     account: Account::System,
@@ -213,7 +213,7 @@ impl Host {
                 if self.sock_opt(sock).and_then(|s| s.tcp.as_ref()).is_none() {
                     // Connected UDP socket: send to the default remote.
                     if let Some(dst) = self.sock_opt(sock).and_then(|s| s.remote) {
-                        let (dur, ret) = self.do_udp_send(sock, dst, &data);
+                        let (dur, ret) = self.do_udp_send(now, sock, dst, &data);
                         return PhaseOut::Run {
                             dur: entry + dur,
                             account: Account::System,
@@ -425,6 +425,7 @@ impl Host {
 
     fn do_udp_send(
         &mut self,
+        now: SimTime,
         sock: SockId,
         dst: Endpoint,
         data: &[u8],
@@ -465,9 +466,14 @@ impl Host {
             dur += cost.csum(data.len());
         }
         dur += (cost.ip_output + cost.driver_tx_per_pkt) * nfrags;
+        // Causal trace: the reply continues the span of the request this
+        // process most recently received (or mints a fresh one).
+        let owner = self.sock(sock).owner;
+        let cpu = self.cur_cpu;
+        let span = self.tele.on_tx(now, cpu, owner.0);
         let mut dropped = false;
         for f in frames {
-            if !self.nic.ifq_enqueue(lrp_wire::Frame::Ipv4(f)) {
+            if !self.ifq_enqueue_spanned(lrp_wire::Frame::Ipv4(f), span) {
                 self.stats.drop_at(super::DropPoint::IfQueue);
                 dropped = true;
             }
@@ -493,7 +499,7 @@ impl Host {
             + (cost.ip_output + cost.driver_tx_per_pkt) * nfrags;
         let mut dropped = false;
         for f in frames {
-            if !self.nic.ifq_enqueue(lrp_wire::Frame::Ipv4(f)) {
+            if !self.ifq_enqueue_spanned(lrp_wire::Frame::Ipv4(f), None) {
                 self.stats.drop_at(super::DropPoint::IfQueue);
                 dropped = true;
             }
@@ -533,7 +539,8 @@ impl Host {
             let n = d.payload.len().min(max_len);
             let dur = cost.sock_dequeue + cost.copy(n);
             let cpu = self.cur_cpu;
-            self.tele.on_recv(now, cpu, sock.0 as u64);
+            let owner = self.sock(sock).owner;
+            self.tele.on_recv(now, cpu, sock.0 as u64, owner.0);
             let mut payload = d.payload;
             payload.truncate(n);
             return PhaseOut::Run {
@@ -603,7 +610,8 @@ impl Host {
             let tx = self.tx_segments(sock, &actions.segments);
             self.stats.tcp_delivered_bytes += n as u64;
             let cpu = self.cur_cpu;
-            self.tele.on_recv(now, cpu, sock.0 as u64);
+            let owner = self.sock(sock).owner;
+            self.tele.on_recv(now, cpu, sock.0 as u64, owner.0);
             return PhaseOut::Run {
                 dur: cost.sock_dequeue + cost.copy(n) + tx,
                 account: Account::System,

@@ -29,7 +29,9 @@ pub use config::{Architecture, HostConfig};
 pub use cost::CostModel;
 pub use host::{DropPoint, Host, HostStats};
 pub use syscall::{AppCtx, AppLogic, Errno, SockProto, SyscallOp, SyscallRet};
-pub use telemetry::{PacketLedger, Telemetry};
+pub use telemetry::{
+    PacketLedger, SpanEvent, SpanId, Telemetry, DEFAULT_TRACE_CAP, TIMELINE_COLUMNS,
+};
 pub use world::{Event, World};
 
 pub use lrp_sched::Pid;

@@ -29,12 +29,53 @@
 
 use crate::host::{DropPoint, Host};
 use lrp_demux::ChannelId;
-use lrp_sim::{Histogram, SimDuration, SimTime, TraceEvent, TraceRing};
+use lrp_sim::{
+    CycleAccount, CycleKey, Histogram, MetricsTimeline, SimDuration, SimTime, TraceEvent, TraceRing,
+};
 use lrp_wire::Frame;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 /// Default trace-ring capacity, in events.
 pub const DEFAULT_TRACE_CAP: usize = 65_536;
+
+/// Maximum stored span events per host; further events are counted in
+/// [`Telemetry::span_events_dropped`] and discarded.
+pub const SPAN_LOG_CAP: usize = 1 << 20;
+
+/// A causal request span identifier. Minted by the world at the traffic
+/// injector (`(injector + 1) << 48 | seq`) or by a sending host
+/// (`1 << 63 | addr-octet << 48 | seq`), and carried alongside — never
+/// inside — the frame through NIC, queues, sockets and replies.
+pub type SpanId = u64;
+
+/// One recorded point on a request span's path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// The span this event belongs to.
+    pub span: SpanId,
+    /// Simulated time, nanoseconds.
+    pub t_ns: u64,
+    /// Path stage: `inject`, `rx`, `enq`, `deq`, `deliver`, `recv`, `tx`.
+    pub stage: &'static str,
+    /// CPU the stage ran on (0 for NIC/link stages).
+    pub cpu: u32,
+}
+
+/// Column names of the per-host metrics timeline, in recording order.
+/// Counter columns are cumulative; `*_depth` and `runq` are gauges.
+pub const TIMELINE_COLUMNS: &[&str] = &[
+    "delivered_udp",
+    "delivered_icmp",
+    "tcp_frames",
+    "host_dropped",
+    "nic_ring_drops",
+    "nic_early_discards",
+    "ipq_depth",
+    "chan_depth",
+    "chan_depth_max",
+    "runq",
+    "charged_ns",
+];
 
 /// Per-host telemetry state (see the module docs).
 #[derive(Debug)]
@@ -48,14 +89,47 @@ pub struct Telemetry {
     pub channel_residency: Histogram,
     /// Enqueue (IP queue / ED channel) → softirq dispatch delay, ns.
     pub softirq_dispatch: Histogram,
-    /// Enqueue timestamps paralleling the BSD IP queue (FIFO, tail-drop
-    /// before enqueue — mirrors the frame queue exactly).
-    ipq_ts: VecDeque<SimTime>,
-    /// Enqueue timestamps paralleling each NI channel's frame queue.
-    chan_ts: HashMap<ChannelId, VecDeque<SimTime>>,
+    /// Enqueue timestamps + spans paralleling the BSD IP queue (FIFO,
+    /// tail-drop before enqueue — mirrors the frame queue exactly).
+    ipq_ts: VecDeque<(SimTime, Option<SpanId>)>,
+    /// Enqueue timestamps + spans paralleling each NI channel's frame
+    /// queue.
+    chan_ts: HashMap<ChannelId, VecDeque<(SimTime, Option<SpanId>)>>,
     /// NIC arrival time of the frame most recently dequeued for protocol
     /// processing (consumed by the delivery hook).
     cur_arrival: Option<SimTime>,
+    /// Span of the frame most recently dequeued for protocol processing.
+    cur_span: Option<SpanId>,
+    /// Spans paralleling each socket's receive queue (keyed by raw sock
+    /// id; pushed at delivery, popped at recv).
+    sock_spans: HashMap<u64, VecDeque<Option<SpanId>>>,
+    /// Spans paralleling the NIC interface (transmit) queue.
+    ifq_spans: VecDeque<Option<SpanId>>,
+    /// Per process (raw pid): the span of the last datagram it received,
+    /// consumed by its next send — a reply continues the request's span.
+    last_recv_span: HashMap<u32, SpanId>,
+    /// Tag prefix for spans minted at this host's send path.
+    span_tag: SpanId,
+    /// Sequence counter for host-minted spans.
+    local_span_seq: u64,
+    /// Recorded span events, in time order.
+    span_log: Vec<SpanEvent>,
+    /// Span events discarded past [`SPAN_LOG_CAP`].
+    pub span_events_dropped: u64,
+    /// The simulated-cycle profiler: every charged chunk attributed to a
+    /// `(cpu, context, stage, billed process, account)` key.
+    profiler: CycleAccount,
+    /// Protocol cycles by `(billed process, rightful receiver)` — the
+    /// charge-attribution ledger behind the paper's accounting claim.
+    proto_attr: BTreeMap<(Option<u32>, u32), u64>,
+    /// Rightful owner (raw pid) of the protocol work most recently
+    /// performed at job-creation time; consumed when its chunk starts.
+    pending_proto_owner: Option<u32>,
+    /// Interval-sampled metrics timeline (columns: [`TIMELINE_COLUMNS`]).
+    timeline: MetricsTimeline,
+    /// Per timeline row: per-process `(total_charged_ns, user_ns)`,
+    /// indexed by pid.
+    timeline_proc_cpu: Vec<Vec<(u64, u64)>>,
     /// UDP datagrams delivered into socket buffers (frames).
     pub delivered_udp: u64,
     /// ICMP messages delivered to the proxy daemon's raw socket.
@@ -91,6 +165,19 @@ impl Telemetry {
             ipq_ts: VecDeque::new(),
             chan_ts: HashMap::new(),
             cur_arrival: None,
+            cur_span: None,
+            sock_spans: HashMap::new(),
+            ifq_spans: VecDeque::new(),
+            last_recv_span: HashMap::new(),
+            span_tag: 1 << 63,
+            local_span_seq: 0,
+            span_log: Vec::new(),
+            span_events_dropped: 0,
+            profiler: CycleAccount::new(),
+            proto_attr: BTreeMap::new(),
+            pending_proto_owner: None,
+            timeline: MetricsTimeline::new(TIMELINE_COLUMNS.to_vec()),
+            timeline_proc_cpu: Vec::new(),
             delivered_udp: 0,
             delivered_icmp: 0,
             tcp_frames: 0,
@@ -119,11 +206,34 @@ impl Telemetry {
         });
     }
 
+    /// Appends one span event, bounded by [`SPAN_LOG_CAP`].
+    fn span_ev(&mut self, now: SimTime, stage: &'static str, span: Option<SpanId>, cpu: usize) {
+        let Some(span) = span else { return };
+        if self.span_log.len() >= SPAN_LOG_CAP {
+            self.span_events_dropped += 1;
+            return;
+        }
+        self.span_log.push(SpanEvent {
+            span,
+            t_ns: now.as_nanos(),
+            stage,
+            cpu: cpu as u32,
+        });
+    }
+
+    /// A traffic injector minted `span` for a frame bound for this host.
+    pub(crate) fn on_span_inject(&mut self, now: SimTime, span: SpanId) {
+        if self.enabled {
+            self.span_ev(now, "inject", Some(span), 0);
+        }
+    }
+
     /// A frame arrived at the NIC (rx-DMA). `ordinal` is the NIC's frame
-    /// counter.
-    pub(crate) fn on_rx(&mut self, now: SimTime, ordinal: u64) {
+    /// counter; `span` is the causal span riding with the frame.
+    pub(crate) fn on_rx(&mut self, now: SimTime, ordinal: u64, span: Option<SpanId>) {
         if self.enabled {
             self.ev(now, "rx-dma", "link", ordinal, 0);
+            self.span_ev(now, "rx", span, 0);
         }
     }
 
@@ -144,10 +254,11 @@ impl Telemetry {
     }
 
     /// A frame entered the BSD shared IP queue.
-    pub(crate) fn on_ipq_enqueue(&mut self, now: SimTime, depth: usize) {
+    pub(crate) fn on_ipq_enqueue(&mut self, now: SimTime, depth: usize, span: Option<SpanId>) {
         if self.enabled {
-            self.ipq_ts.push_back(now);
+            self.ipq_ts.push_back((now, span));
             self.ev(now, "enqueue", "ip-queue", depth as u64, 0);
+            self.span_ev(now, "enq", span, 0);
         }
     }
 
@@ -155,9 +266,11 @@ impl Telemetry {
     /// and arrival bookkeeping.
     pub(crate) fn on_ipq_dequeue(&mut self, now: SimTime, cpu: usize) {
         if self.enabled {
-            if let Some(t) = self.ipq_ts.pop_front() {
+            if let Some((t, span)) = self.ipq_ts.pop_front() {
                 self.softirq_dispatch.record_duration(now - t);
                 self.cur_arrival = Some(t);
+                self.cur_span = span;
+                self.span_ev(now, "deq", span, cpu);
             }
             self.ev(now, "softirq", "ip-input", 0, cpu);
         }
@@ -173,10 +286,17 @@ impl Telemetry {
 
     /// A frame was enqueued on an NI channel (by the host handler or by
     /// NI firmware).
-    pub(crate) fn on_chan_enqueue(&mut self, now: SimTime, cpu: usize, chan: ChannelId) {
+    pub(crate) fn on_chan_enqueue(
+        &mut self,
+        now: SimTime,
+        cpu: usize,
+        chan: ChannelId,
+        span: Option<SpanId>,
+    ) {
         if self.enabled {
-            self.chan_ts.entry(chan).or_default().push_back(now);
+            self.chan_ts.entry(chan).or_default().push_back((now, span));
             self.ev(now, "enqueue", "channel", chan.0 as u64, cpu);
+            self.span_ev(now, "enq", span, cpu);
         }
     }
 
@@ -184,9 +304,11 @@ impl Telemetry {
     /// sample and arrival bookkeeping.
     pub(crate) fn on_chan_dequeue(&mut self, now: SimTime, cpu: usize, chan: ChannelId) {
         if self.enabled {
-            if let Some(t) = self.chan_ts.get_mut(&chan).and_then(|q| q.pop_front()) {
+            if let Some((t, span)) = self.chan_ts.get_mut(&chan).and_then(|q| q.pop_front()) {
                 self.channel_residency.record_duration(now - t);
                 self.cur_arrival = Some(t);
+                self.cur_span = span;
+                self.span_ev(now, "deq", span, cpu);
             }
             self.ev(now, "dequeue", "channel", chan.0 as u64, cpu);
         }
@@ -231,6 +353,9 @@ impl Telemetry {
             if let Some(arr) = self.cur_arrival.take() {
                 self.arrival_to_deliver.record_duration(now - arr);
             }
+            let span = self.cur_span.take();
+            self.sock_spans.entry(sock).or_default().push_back(span);
+            self.span_ev(now, "deliver", span, cpu);
             self.ev(now, "deliver", "udp", sock, cpu);
         }
     }
@@ -242,6 +367,8 @@ impl Telemetry {
             if let Some(arr) = self.cur_arrival.take() {
                 self.arrival_to_deliver.record_duration(now - arr);
             }
+            let span = self.cur_span.take();
+            self.span_ev(now, "deliver", span, cpu);
             self.ev(now, "deliver", "icmp", sock, cpu);
         }
     }
@@ -251,6 +378,7 @@ impl Telemetry {
         if self.enabled {
             self.tcp_frames += 1;
             self.cur_arrival = None;
+            self.cur_span = None;
             self.ev(now, "deliver", "tcp", 0, cpu);
         }
     }
@@ -260,6 +388,7 @@ impl Telemetry {
         if self.enabled {
             self.forwarded += 1;
             self.cur_arrival = None;
+            self.cur_span = None;
             self.ev(now, "deliver", "forward", 0, cpu);
         }
     }
@@ -269,6 +398,7 @@ impl Telemetry {
         if self.enabled {
             self.arp_frames += 1;
             self.cur_arrival = None;
+            self.cur_span = None;
             self.ev(now, "deliver", "arp", 0, cpu);
         }
     }
@@ -279,6 +409,7 @@ impl Telemetry {
         if self.enabled {
             self.reasm_absorbed += 1;
             self.cur_arrival = None;
+            self.cur_span = None;
             self.ev(now, "deliver", "reasm", 0, cpu);
         }
     }
@@ -312,11 +443,160 @@ impl Telemetry {
         }
     }
 
-    /// A receive call returned data to the application.
-    pub(crate) fn on_recv(&mut self, now: SimTime, cpu: usize, sock: u64) {
+    /// A receive call returned data to the application. `pid` is the
+    /// receiving process; a subsequent send by it continues this span —
+    /// unless this host minted the span itself, in which case the
+    /// request has come back to its originator, the round trip is
+    /// complete, and the next send starts a fresh span (otherwise a
+    /// ping-pong session would chain every round into one giant span).
+    pub(crate) fn on_recv(&mut self, now: SimTime, cpu: usize, sock: u64, pid: u32) {
         if self.enabled {
+            if let Some(span) = self.sock_spans.get_mut(&sock).and_then(|q| q.pop_front()) {
+                self.span_ev(now, "recv", span, cpu);
+                if let Some(s) = span {
+                    if s >> 48 != self.span_tag >> 48 {
+                        self.last_recv_span.insert(pid, s);
+                    }
+                }
+            }
             self.ev(now, "recv", "return", sock, cpu);
         }
+    }
+
+    /// A socket is being freed: drop its span sidecar (any still-queued
+    /// datagrams' spans end here).
+    pub(crate) fn on_sock_close(&mut self, sock: u64) {
+        self.sock_spans.remove(&sock);
+    }
+
+    /// Sets the prefix for host-minted spans (from the host address).
+    pub(crate) fn set_span_tag(&mut self, tag: SpanId) {
+        self.span_tag = tag;
+    }
+
+    /// A process is sending a datagram: returns the span to ride on the
+    /// outgoing frame. A reply (the process received earlier) continues
+    /// the request's span; an originating send mints a fresh one.
+    pub(crate) fn on_tx(&mut self, now: SimTime, cpu: usize, pid: u32) -> Option<SpanId> {
+        if !self.enabled {
+            return None;
+        }
+        let span = match self.last_recv_span.remove(&pid) {
+            Some(s) => s,
+            None => {
+                self.local_span_seq += 1;
+                self.span_tag | self.local_span_seq
+            }
+        };
+        self.span_ev(now, "tx", Some(span), cpu);
+        Some(span)
+    }
+
+    /// A frame entered the NIC interface (transmit) queue: keep the span
+    /// sidecar aligned. Call only on successful enqueue.
+    pub(crate) fn on_ifq_enqueue(&mut self, span: Option<SpanId>) {
+        if self.enabled {
+            self.ifq_spans.push_back(span);
+        }
+    }
+
+    /// The world took a frame off the interface queue for transmission:
+    /// pop the riding span.
+    pub(crate) fn ifq_pop_span(&mut self) -> Option<SpanId> {
+        self.ifq_spans.pop_front().flatten()
+    }
+
+    /// Recorded span events, in time order.
+    pub fn span_log(&self) -> &[SpanEvent] {
+        &self.span_log
+    }
+
+    /// Protocol work for the socket owned by `owner` was just performed
+    /// at job-creation time; the chunk about to start carries this
+    /// attribution (consumed by [`Self::take_proto_owner`]).
+    pub(crate) fn note_proto_owner(&mut self, owner: u32) {
+        if self.enabled {
+            self.pending_proto_owner = Some(owner);
+        }
+    }
+
+    /// Consumes the pending rightful owner for the chunk about to start.
+    pub(crate) fn take_proto_owner(&mut self) -> Option<u32> {
+        self.pending_proto_owner.take()
+    }
+
+    /// The CPU engine settled `ns` nanoseconds of a chunk: feed the
+    /// profiler and, when the chunk carried protocol work for a known
+    /// receiver, the charge-attribution ledger.
+    pub(crate) fn on_cycles(
+        &mut self,
+        cpu: usize,
+        context: &'static str,
+        stage: &'static str,
+        billed: Option<(u32, &'static str)>,
+        owner: Option<u32>,
+        ns: u64,
+    ) {
+        if !self.enabled || ns == 0 {
+            return;
+        }
+        self.profiler.add(
+            CycleKey {
+                cpu: cpu as u32,
+                context,
+                stage,
+                billed: billed.map(|(pid, _)| pid),
+                account: billed.map(|(_, a)| a),
+            },
+            ns,
+        );
+        if let Some(owner) = owner {
+            *self
+                .proto_attr
+                .entry((billed.map(|(pid, _)| pid), owner))
+                .or_insert(0) += ns;
+        }
+    }
+
+    /// The simulated-cycle profiler's accumulated attribution.
+    pub fn profiler(&self) -> &CycleAccount {
+        &self.profiler
+    }
+
+    /// Protocol cycles by `(billed process, rightful receiver)`. `None`
+    /// billing means the cycles ran with no process context (charged to
+    /// nobody — e.g. interrupts taken while idle).
+    pub fn proto_attribution(&self) -> &BTreeMap<(Option<u32>, u32), u64> {
+        &self.proto_attr
+    }
+
+    /// Records one timeline row (values aligned with
+    /// [`TIMELINE_COLUMNS`]) plus the per-process CPU snapshot.
+    pub(crate) fn timeline_push(
+        &mut self,
+        now: SimTime,
+        values: Vec<u64>,
+        proc_cpu: Vec<(u64, u64)>,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        let before = self.timeline.rows().len();
+        self.timeline.push(now.as_nanos(), values);
+        if self.timeline.rows().len() > before {
+            self.timeline_proc_cpu.push(proc_cpu);
+        }
+    }
+
+    /// The interval-sampled metrics timeline.
+    pub fn timeline(&self) -> &MetricsTimeline {
+        &self.timeline
+    }
+
+    /// Per timeline row: per-process `(total_charged_ns, user_ns)`,
+    /// indexed by pid (rows align with [`Self::timeline`]).
+    pub fn timeline_proc_cpu(&self) -> &[Vec<(u64, u64)>] {
+        &self.timeline_proc_cpu
     }
 
     /// Host-side drop count at a point.
@@ -445,5 +725,60 @@ impl Host {
         let n = self.nic.channel(chan).depth();
         self.tele.on_chan_flush(chan, n);
         self.nic.destroy_channel(chan);
+    }
+
+    /// Records one metrics-timeline sample (driven from the statclock
+    /// tick): cumulative ledger counters, queue-depth gauges, run-queue
+    /// length and the per-process CPU snapshot. Pure observation.
+    pub(crate) fn sample_timeline(&mut self, now: SimTime) {
+        if !self.tele.enabled() {
+            return;
+        }
+        let nic = self.nic.stats();
+        let values = vec![
+            self.tele.delivered_udp,
+            self.tele.delivered_icmp,
+            self.tele.tcp_frames,
+            self.tele.host_drops.values().sum::<u64>(),
+            nic.ring_drops,
+            nic.early_discards,
+            self.ip_queue.len() as u64,
+            self.nic.channel_depth_total() as u64,
+            self.nic.channel_depth_max() as u64,
+            self.sched.runnable_count() as u64,
+            self.sched.total_charged().as_nanos(),
+        ];
+        let proc_cpu = self
+            .sched
+            .procs()
+            .iter()
+            .map(|p| (p.acct.total().as_nanos(), p.acct.user.as_nanos()))
+            .collect();
+        self.tele.timeline_push(now, values, proc_cpu);
+    }
+
+    /// The world minted `span` for an injected frame bound for this host.
+    pub(crate) fn note_injected_span(&mut self, now: SimTime, span: SpanId) {
+        self.tele.on_span_inject(now, span);
+    }
+
+    /// Enqueues an outgoing frame on the NIC interface queue, keeping the
+    /// telemetry span sidecar aligned. The single choke point for
+    /// transmit enqueues. Returns false when the queue was full (the
+    /// frame is dropped; the caller accounts it).
+    pub(crate) fn ifq_enqueue_spanned(&mut self, frame: Frame, span: Option<SpanId>) -> bool {
+        let ok = self.nic.ifq_enqueue(frame);
+        if ok {
+            self.tele.on_ifq_enqueue(span);
+        }
+        ok
+    }
+
+    /// Dequeues the next outgoing frame plus its riding span (called by
+    /// the world's link pump).
+    pub fn ifq_dequeue_spanned(&mut self) -> Option<(Frame, Option<SpanId>)> {
+        let f = self.nic.ifq_dequeue()?;
+        let span = self.tele.ifq_pop_span();
+        Some((f, span))
     }
 }

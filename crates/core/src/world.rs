@@ -2,6 +2,7 @@
 //! loop.
 
 use crate::host::Host;
+use crate::telemetry::SpanId;
 use lrp_net::{FaultPlan, FaultStats, Injector, LinkConfig, LinkFaults, TxLink};
 use lrp_sim::{EventQueue, SimDuration, SimTime};
 use lrp_wire::{ipv4, Frame, Ipv4Addr};
@@ -20,8 +21,9 @@ pub type CaptureEntry = (SimTime, usize, String);
 /// Global simulation events.
 #[derive(Debug)]
 pub enum Event {
-    /// A frame arrives at a host's NIC.
-    Frame(usize, Frame),
+    /// A frame arrives at a host's NIC, with its causal-trace span (if
+    /// any). The span is observational: it never alters simulation state.
+    Frame(usize, Frame, Option<SpanId>),
     /// A work chunk completes on `(host, cpu)` (generation-guarded).
     Cpu(usize, usize, u64),
     /// A host kernel timer may be due.
@@ -133,14 +135,16 @@ impl World {
 
     /// Schedules a frame's arrival at `dst`, passing it through the
     /// destination's fault stage if one is installed.
-    fn deliver(&mut self, arrival: SimTime, dst: usize, frame: Frame) {
+    fn deliver(&mut self, arrival: SimTime, dst: usize, frame: Frame, span: Option<SpanId>) {
         match &mut self.faults[dst] {
             None => {
-                self.queue.schedule(arrival, Event::Frame(dst, frame));
+                self.queue.schedule(arrival, Event::Frame(dst, frame, span));
             }
             Some(stage) => {
+                // Duplicates keep the original span: they are causally the
+                // same request.
                 for (at, f) in stage.apply(arrival, frame) {
-                    self.queue.schedule(at, Event::Frame(dst, f));
+                    self.queue.schedule(at, Event::Frame(dst, f, span));
                 }
             }
         }
@@ -234,12 +238,12 @@ impl World {
         if !self.links[h].idle_at(self.now) {
             return;
         }
-        let Some(frame) = self.hosts[h].nic.ifq_dequeue() else {
+        let Some((frame, span)) = self.hosts[h].ifq_dequeue_spanned() else {
             return;
         };
         let (done, arrival) = self.links[h].transmit(self.now, &frame);
         if let Some(dst) = self.route_of(&frame, Some(h)) {
-            self.deliver(arrival, dst, frame);
+            self.deliver(arrival, dst, frame, span);
         }
         self.schedule(done, Event::LinkFree(h));
     }
@@ -274,13 +278,13 @@ impl World {
                 eprintln!("[{}] {:?}", t.as_micros(), ev);
             }
             match ev {
-                Event::Frame(h, frame) => {
+                Event::Frame(h, frame, span) => {
                     if let Some((limit, log)) = &mut self.capture {
                         if log.len() < *limit {
                             log.push((t, h, frame.describe()));
                         }
                     }
-                    self.hosts[h].on_frame(t, frame);
+                    self.hosts[h].on_frame_span(t, frame, span);
                     self.post_host(h);
                 }
                 Event::Cpu(h, c, gen) => {
@@ -304,10 +308,14 @@ impl World {
                 Event::Inject(i) => {
                     let (target, inj) = &mut self.injectors[i];
                     let target = *target;
+                    // Mint the causal span before firing: injector index
+                    // in the high bits, per-injector sequence below.
+                    let span: SpanId = ((i as u64 + 1) << 48) | inj.emitted();
                     let frame = inj.fire();
                     let next = inj.next_fire();
                     let latency = self.link_cfg.latency;
-                    self.deliver(t + latency, target, frame);
+                    self.hosts[target].note_injected_span(t, span);
+                    self.deliver(t + latency, target, frame, Some(span));
                     if let Some(nt) = next {
                         self.schedule(nt, Event::Inject(i));
                     }

@@ -1,5 +1,12 @@
-//! Regenerates Figure 3 and emits `results/fig3.json` plus a packet
-//! trace of a representative overloaded NI-LRP run.
+//! Regenerates Figure 3 and emits `results/fig3.json`.
+//!
+//! Usage: `fig3 [SECONDS] [--trace]`
+//!
+//! `--trace` additionally exports the packet trace of the representative
+//! overloaded NI-LRP run as `results/fig3-nilrp.trace.jsonl` (one event
+//! per line) and `results/fig3-nilrp.trace.json` (chrome://tracing).
+//! Traces are an on-demand debugging aid, not a checked-in result, so
+//! the default run no longer writes them.
 
 use lrp_experiments::fig3;
 use lrp_sim::SimTime;
@@ -10,22 +17,25 @@ use lrp_telemetry::{experiment_json, report_and_check, write_results, write_trac
 const OVERLOAD_PPS: f64 = 20_000.0;
 
 fn main() {
-    let secs: u64 = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let trace = args.iter().any(|a| a == "--trace");
+    let secs: u64 = args
+        .iter()
+        .find(|a| *a != "--trace")
         .and_then(|s| s.parse().ok())
         .unwrap_or(3);
     let results = fig3::run(SimTime::from_secs(secs));
     println!("{}", fig3::render(&results));
 
     // One instrumented overload run per architecture: conservation check,
-    // per-host report, and (for NI-LRP) the exported packet trace.
+    // per-host report, and (for NI-LRP, with --trace) the packet trace.
     let mut hosts = Vec::new();
     for arch in lrp_experiments::all_architectures() {
         let (mut world, _metrics) = fig3::build(arch, OVERLOAD_PPS, false);
         world.run_until(SimTime::from_secs(1));
         let label = format!("overload-{}", arch.name());
         let report = report_and_check(&world, &label);
-        if arch == lrp_core::Architecture::NiLrp {
+        if trace && arch == lrp_core::Architecture::NiLrp {
             let (jsonl, chrome) = write_trace("fig3-nilrp", &world.hosts[0].telemetry().trace)
                 .expect("write fig3 trace");
             eprintln!("wrote {} and {}", jsonl.display(), chrome.display());

@@ -1,0 +1,79 @@
+//! Runs the livelock-timeline experiment and emits
+//! `results/livelock_timeline.{txt,json}` plus the flamegraph folded
+//! stacks and gnuplot timeline columns for each architecture.
+//!
+//! `--quick` runs 1 simulated second per architecture (the CI setting);
+//! the default is 5 seconds.
+
+use lrp_experiments::livelock_timeline as lt;
+use lrp_sim::SimTime;
+use lrp_telemetry::{
+    experiment_json, folded_stacks, report_and_check, timeline_gnuplot, write_artifact,
+    write_results, Json,
+};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let secs: u64 = if quick { 1 } else { 5 };
+    let runs = lt::run(SimTime::from_secs(secs));
+    let text = lt::render(&runs);
+    println!("{text}");
+    write_artifact("livelock_timeline", "txt", &text).expect("write livelock_timeline.txt");
+
+    let mut hosts = Vec::new();
+    for r in &runs {
+        let label = format!("blast-{}", r.arch.name());
+        let report = report_and_check(&r.world, &label);
+        hosts.push((label, report));
+
+        let host = &r.world.hosts[0];
+        let tag = lt::arch_slug(r.arch);
+        write_artifact(
+            &format!("livelock_timeline-{tag}"),
+            "folded",
+            &folded_stacks(host, tag),
+        )
+        .expect("write folded stacks");
+        write_artifact(
+            &format!("livelock_timeline-{tag}"),
+            "gnuplot",
+            &timeline_gnuplot(host),
+        )
+        .expect("write gnuplot columns");
+    }
+
+    // The paper's accounting claim, asserted at generation time so CI
+    // fails loudly if the attribution machinery regresses: BSD bills a
+    // large share of protocol cycles to a non-receiver; the LRP
+    // architectures bill (essentially) all of them to the receiver.
+    for r in &runs {
+        match r.arch {
+            lrp_core::Architecture::Bsd => assert!(
+                r.misattributed > 0.20,
+                "BSD misattributed only {:.1}% of protocol cycles",
+                r.misattributed * 100.0
+            ),
+            lrp_core::Architecture::SoftLrp | lrp_core::Architecture::NiLrp => assert!(
+                r.misattributed < 0.01,
+                "{} misattributed {:.1}% of protocol cycles",
+                r.arch.name(),
+                r.misattributed * 100.0
+            ),
+            _ => {}
+        }
+    }
+
+    let doc = experiment_json(
+        "livelock_timeline",
+        vec![
+            ("duration_s", Json::U64(secs)),
+            ("offered_pps", Json::F64(lt::OFFERED_PPS)),
+            ("seed", Json::U64(lt::SEED)),
+            ("quick", Json::Bool(quick)),
+        ],
+        lt::data_json(&runs),
+        hosts,
+    );
+    let path = write_results("livelock_timeline", &doc).expect("write livelock_timeline.json");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,16 +1,25 @@
-//! Regenerates Table 1 and emits `results/table1.json`.
+//! Regenerates Table 1 and emits `results/table1.json`, including the
+//! per-request (span) critical-path breakdown of the RTT workload: every
+//! ping-pong datagram carries a span id from the client's send through
+//! the server's receive and reply back to the client, and the breakdown
+//! reports the mean/max latency of each pipeline leg.
 
 use lrp_experiments::table1;
 use lrp_sim::SimTime;
-use lrp_telemetry::{experiment_json, report_and_check, write_results, Json};
+use lrp_telemetry::{experiment_json, report_and_check, span_breakdown_json, write_results, Json};
+
+/// Ping-pong rounds of the instrumented span-breakdown run.
+const SPAN_ROUNDS: u64 = 100;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let rows = table1::run(quick);
     println!("{}", table1::render(&rows));
 
-    // One instrumented sliding-window UDP transfer per system.
+    // One instrumented sliding-window UDP transfer per system, plus one
+    // instrumented RTT run for the per-request critical path.
     let mut hosts = Vec::new();
+    let mut breakdowns = Vec::new();
     for (name, cfg) in table1::systems() {
         let (mut world, metrics) = table1::build_udp(cfg, 300);
         world.run_until(SimTime::from_secs(60));
@@ -18,16 +27,26 @@ fn main() {
         let label = format!("udp-{name}");
         let report = report_and_check(&world, &label);
         hosts.push((label, report));
+
+        let (mut world, metrics) = table1::build_rtt(cfg, SPAN_ROUNDS);
+        world.run_until(SimTime::from_millis(10 * SPAN_ROUNDS + 1_000));
+        assert!(metrics.borrow().done, "rtt run incomplete: {name}");
+        let label = format!("rtt-{name}");
+        let report = report_and_check(&world, &label);
+        hosts.push((label, report));
+        breakdowns.push(span_breakdown_json(&world, "recv"));
     }
 
     let data = Json::Arr(
         rows.iter()
-            .map(|r| {
+            .zip(breakdowns)
+            .map(|(r, breakdown)| {
                 Json::obj(vec![
                     ("system", Json::str(r.system)),
                     ("rtt_us", Json::F64(r.rtt_us)),
                     ("udp_mbps", Json::F64(r.udp_mbps)),
                     ("tcp_mbps", Json::F64(r.tcp_mbps)),
+                    ("rtt_span_breakdown", breakdown),
                 ])
             })
             .collect(),

@@ -12,6 +12,7 @@ pub mod fault_sweep;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
+pub mod livelock_timeline;
 pub mod mlfrr;
 pub mod plot;
 pub mod smp_scaling;

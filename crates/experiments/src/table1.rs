@@ -41,8 +41,9 @@ pub fn systems() -> Vec<(&'static str, HostConfig)> {
     ]
 }
 
-/// Measures the UDP round-trip latency (`rounds` 1-byte ping-pongs).
-pub fn measure_rtt(cfg: HostConfig, rounds: u64) -> f64 {
+/// Builds the UDP round-trip scenario (`rounds` 1-byte ping-pongs):
+/// client on A, server on B. Returns the world and the client metrics.
+pub fn build_rtt(cfg: HostConfig, rounds: u64) -> (World, Shared<PingPongMetrics>) {
     let mut world = World::with_defaults();
     let metrics = shared::<PingPongMetrics>();
     let mut a = Host::new(cfg, HOST_A);
@@ -61,6 +62,12 @@ pub fn measure_rtt(cfg: HostConfig, rounds: u64) -> f64 {
     b.spawn_app("pp-server", 0, 0, Box::new(PingPongServer::new(6000)));
     world.add_host(a);
     world.add_host(b);
+    (world, metrics)
+}
+
+/// Measures the UDP round-trip latency via [`build_rtt`].
+pub fn measure_rtt(cfg: HostConfig, rounds: u64) -> f64 {
+    let (mut world, metrics) = build_rtt(cfg, rounds);
     // Generous bound: rounds x 10 ms each.
     world.run_until(SimTime::from_millis(10 * rounds + 1_000));
     let m = metrics.borrow();

@@ -598,6 +598,16 @@ impl Nic {
             .filter_map(|c| c.as_ref().map(|c| c.depth()))
             .sum()
     }
+
+    /// The deepest single live channel right now (telemetry gauge: a hot
+    /// channel backing up shows here before the total does).
+    pub fn channel_depth_max(&self) -> usize {
+        self.channels
+            .iter()
+            .filter_map(|c| c.as_ref().map(|c| c.depth()))
+            .max()
+            .unwrap_or(0)
+    }
 }
 
 /// Proxy-daemon channel registrations (§3.5).

@@ -227,6 +227,12 @@ impl Scheduler {
         t
     }
 
+    /// Number of processes queued on run queues right now (excludes the
+    /// ones currently on a CPU). An instantaneous gauge for timelines.
+    pub fn runnable_count(&self) -> usize {
+        self.runqs.iter().map(|q| q.len()).sum()
+    }
+
     fn recompute_pri(p: &mut Process) {
         // 4.3BSD: p_usrpri = PUSER + p_estcpu/4 + 2*p_nice, clamped.
         let raw = PUSER as f64 + p.estcpu / 4.0 + 2.0 * p.nice as f64;

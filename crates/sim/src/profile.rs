@@ -1,0 +1,161 @@
+//! Simulated-cycle profiling primitives.
+//!
+//! [`CycleAccount`] accumulates charged simulated time (our "cycles")
+//! against a `(cpu, context, stage, billed, account)` key and renders the
+//! result as folded stacks — the input format of Brendan Gregg's
+//! `flamegraph.pl` — plus per-process totals for cross-checking against
+//! the scheduler's charge ledger.
+//!
+//! The accumulator is deliberately generic: contexts and stages are
+//! `&'static str` labels chosen by the caller (the LRP host uses
+//! `interrupt`, `softirq`, `app-thread`, `syscall`, `user`, …), billed
+//! processes are raw pid numbers. Storage is a `BTreeMap`, so iteration —
+//! and therefore every export — is deterministic.
+
+use std::collections::BTreeMap;
+
+/// One attribution key: where a slice of charged time landed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CycleKey {
+    /// CPU index the chunk ran on.
+    pub cpu: u32,
+    /// Execution context (`interrupt`, `softirq`, `syscall`, `user`, …).
+    pub context: &'static str,
+    /// Pipeline stage within the context (`ip-input`, `recv`, …).
+    pub stage: &'static str,
+    /// Process the time was billed to; `None` when the chunk ran with no
+    /// process context (e.g. an interrupt taken while idle).
+    pub billed: Option<u32>,
+    /// Accounting bucket label (`user`/`system`/`interrupt`), when billed.
+    pub account: Option<&'static str>,
+}
+
+/// Deterministic accumulator of charged simulated nanoseconds.
+#[derive(Clone, Debug, Default)]
+pub struct CycleAccount {
+    cycles: BTreeMap<CycleKey, u64>,
+}
+
+impl CycleAccount {
+    /// An empty account.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `ns` charged nanoseconds under `key`.
+    pub fn add(&mut self, key: CycleKey, ns: u64) {
+        if ns > 0 {
+            *self.cycles.entry(key).or_insert(0) += ns;
+        }
+    }
+
+    /// All entries in deterministic (key) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&CycleKey, &u64)> {
+        self.cycles.iter()
+    }
+
+    /// Total nanoseconds recorded.
+    pub fn total(&self) -> u64 {
+        self.cycles.values().sum()
+    }
+
+    /// Nanoseconds recorded per billed pid (unbilled time excluded).
+    pub fn per_billed(&self) -> BTreeMap<u32, u64> {
+        let mut out = BTreeMap::new();
+        for (k, v) in &self.cycles {
+            if let Some(pid) = k.billed {
+                *out.entry(pid).or_insert(0) += v;
+            }
+        }
+        out
+    }
+
+    /// Nanoseconds recorded per billed pid and account label.
+    pub fn per_billed_account(&self) -> BTreeMap<(u32, &'static str), u64> {
+        let mut out = BTreeMap::new();
+        for (k, v) in &self.cycles {
+            if let (Some(pid), Some(acct)) = (k.billed, k.account) {
+                *out.entry((pid, acct)).or_insert(0) += v;
+            }
+        }
+        out
+    }
+
+    /// Nanoseconds recorded per context label.
+    pub fn per_context(&self) -> BTreeMap<&'static str, u64> {
+        let mut out = BTreeMap::new();
+        for (k, v) in &self.cycles {
+            *out.entry(k.context).or_insert(0) += v;
+        }
+        out
+    }
+
+    /// Folded-stack rendering: one line per `(host, cpu, context, stage)`
+    /// stack with the summed sample count (nanoseconds), suitable for
+    /// `flamegraph.pl`. Lines are sorted, counts merged across billed
+    /// processes.
+    pub fn folded(&self, host: &str) -> String {
+        let mut merged: BTreeMap<String, u64> = BTreeMap::new();
+        for (k, v) in &self.cycles {
+            let frame = format!("{host};cpu{};{};{}", k.cpu, k.context, k.stage);
+            *merged.entry(frame).or_insert(0) += v;
+        }
+        let mut out = String::new();
+        for (frame, count) in merged {
+            out.push_str(&frame);
+            out.push(' ');
+            out.push_str(&count.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(cpu: u32, ctx: &'static str, stage: &'static str, billed: Option<u32>) -> CycleKey {
+        CycleKey {
+            cpu,
+            context: ctx,
+            stage,
+            billed,
+            account: billed.map(|_| "system"),
+        }
+    }
+
+    #[test]
+    fn totals_and_per_billed() {
+        let mut a = CycleAccount::new();
+        a.add(key(0, "softirq", "ip-input", Some(1)), 100);
+        a.add(key(0, "softirq", "ip-input", Some(1)), 50);
+        a.add(key(0, "interrupt", "rx-intr", None), 30);
+        a.add(key(1, "user", "compute", Some(2)), 20);
+        assert_eq!(a.total(), 200);
+        let per = a.per_billed();
+        assert_eq!(per.get(&1), Some(&150));
+        assert_eq!(per.get(&2), Some(&20));
+        assert_eq!(a.per_context().get(&"interrupt"), Some(&30));
+    }
+
+    #[test]
+    fn zero_adds_are_ignored() {
+        let mut a = CycleAccount::new();
+        a.add(key(0, "user", "compute", Some(1)), 0);
+        assert_eq!(a.iter().count(), 0);
+    }
+
+    #[test]
+    fn folded_merges_billed_processes_and_sorts() {
+        let mut a = CycleAccount::new();
+        a.add(key(0, "softirq", "ip-input", Some(2)), 7);
+        a.add(key(0, "softirq", "ip-input", Some(1)), 5);
+        a.add(key(0, "interrupt", "rx-intr", None), 3);
+        let f = a.folded("hostB");
+        assert_eq!(
+            f,
+            "hostB;cpu0;interrupt;rx-intr 3\nhostB;cpu0;softirq;ip-input 12\n"
+        );
+    }
+}

@@ -1,21 +1,28 @@
-//! CI gate over the emitted experiment results: every `results/*.json`
-//! document must conform to `schemas/results.schema.json`, and every
-//! host report inside it must have passed the packet-conservation
-//! self-check (`"conserved": true`).
+//! CI gate over the emitted experiment results, driven entirely by the
+//! contents of `schemas/`:
+//!
+//! - `schemas/results.schema.json` — the envelope schema; every
+//!   `results/*.json` document (except `*.trace.json` chrome exports)
+//!   must conform to it.
+//! - `schemas/<exp>.data.schema.json` — an experiment-specific pin; the
+//!   `data` member of `results/<exp>.json` must conform to it. A data
+//!   schema whose result file does not exist is an **orphan** and fails
+//!   validation, as does any schema file matching neither pattern — so
+//!   adding a schema without wiring its experiment (or renaming an
+//!   experiment without its schema) cannot silently stop being checked.
+//!
+//! Beyond schema conformance, every host report must have passed the
+//! packet-conservation self-check (`"conserved": true`).
 //!
 //! Exits non-zero (listing every violation) if any document is missing,
-//! malformed, schema-invalid, or reports a conservation failure.
+//! malformed, schema-invalid, unconserved, or any schema is orphaned.
 
 use lrp_telemetry::{results_dir, schema, Json};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-fn schema_path() -> PathBuf {
-    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../schemas/results.schema.json")
-}
-
-fn fault_sweep_schema_path() -> PathBuf {
-    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../schemas/fault_sweep.data.schema.json")
+fn schemas_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../schemas")
 }
 
 /// Collects `results/*.json`, skipping the `*.trace.json` exports (those
@@ -36,32 +43,92 @@ fn result_files() -> Vec<PathBuf> {
     files
 }
 
-fn check_file(path: &Path, schema_doc: &Json, fault_sweep_schema: &Json, errs: &mut Vec<String>) {
-    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("?");
+fn load_json(path: &Path, what: &str, errs: &mut Vec<String>) -> Option<Json> {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
-            errs.push(format!("{name}: unreadable: {e}"));
-            return;
+            errs.push(format!("{what}: unreadable: {e}"));
+            return None;
         }
     };
-    let doc = match Json::parse(&text) {
-        Ok(d) => d,
+    match Json::parse(&text) {
+        Ok(d) => Some(d),
         Err(e) => {
-            errs.push(format!("{name}: invalid JSON: {e}"));
-            return;
+            errs.push(format!("{what}: invalid JSON: {e}"));
+            None
         }
+    }
+}
+
+/// Discovered schemas: the envelope plus `(experiment, schema)` data pins.
+struct Schemas {
+    envelope: Json,
+    data: Vec<(String, Json)>,
+}
+
+/// Walks `schemas/`, classifying every `*.schema.json` file. Unknown
+/// schema names are reported as errors so nothing is silently skipped.
+fn discover_schemas(errs: &mut Vec<String>) -> Option<Schemas> {
+    let dir = schemas_dir();
+    let mut names: Vec<String> = std::fs::read_dir(&dir)
+        .ok()
+        .into_iter()
+        .flatten()
+        .filter_map(|e| e.ok().and_then(|e| e.file_name().into_string().ok()))
+        .collect();
+    names.sort();
+
+    let mut envelope = None;
+    let mut data = Vec::new();
+    for name in names {
+        if !name.ends_with(".schema.json") {
+            errs.push(format!(
+                "schemas/{name}: unrecognized file (expected results.schema.json or <exp>.data.schema.json)"
+            ));
+            continue;
+        }
+        let doc = load_json(&dir.join(&name), &format!("schemas/{name}"), errs);
+        if name == "results.schema.json" {
+            envelope = doc;
+        } else if let Some(exp) = name.strip_suffix(".data.schema.json") {
+            if let Some(doc) = doc {
+                data.push((exp.to_string(), doc));
+            }
+        } else {
+            errs.push(format!(
+                "schemas/{name}: unrecognized schema (expected results.schema.json or <exp>.data.schema.json)"
+            ));
+        }
+    }
+    match envelope {
+        Some(envelope) => Some(Schemas { envelope, data }),
+        None => {
+            errs.push("schemas/results.schema.json: missing".into());
+            None
+        }
+    }
+}
+
+fn check_file(path: &Path, schemas: &Schemas, errs: &mut Vec<String>) {
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("?");
+    let Some(doc) = load_json(path, name, errs) else {
+        return;
     };
-    for e in schema::validate(&doc, schema_doc, "$") {
+    for e in schema::validate(&doc, &schemas.envelope, "$") {
         errs.push(format!("{name}: {e}"));
     }
-    // Experiment-specific pin: the fault_sweep "data" member carries the
-    // per-cell fault/recovery counters the paper comparison rests on.
-    if doc.get("experiment").and_then(Json::as_str) == Some("fault_sweep") {
-        if let Some(data) = doc.get("data") {
-            for e in schema::validate(data, fault_sweep_schema, "$.data") {
-                errs.push(format!("{name}: {e}"));
+    // Experiment-specific pins: the "data" member carries the numbers the
+    // paper comparison rests on, so experiments with a data schema get it
+    // enforced here.
+    let exp = doc.get("experiment").and_then(Json::as_str).unwrap_or("");
+    if let Some((_, data_schema)) = schemas.data.iter().find(|(e, _)| e == exp) {
+        match doc.get("data") {
+            Some(data) => {
+                for e in schema::validate(data, data_schema, "$.data") {
+                    errs.push(format!("{name}: {e}"));
+                }
             }
+            None => errs.push(format!("{name}: missing data member (pinned by schema)")),
         }
     }
     // The conservation gate: schema conformance says the key exists;
@@ -79,29 +146,36 @@ fn check_file(path: &Path, schema_doc: &Json, fault_sweep_schema: &Json, errs: &
 }
 
 fn main() -> ExitCode {
-    let schema_text =
-        std::fs::read_to_string(schema_path()).expect("read schemas/results.schema.json");
-    let schema_doc = Json::parse(&schema_text).expect("parse schemas/results.schema.json");
-    let fault_sweep_text = std::fs::read_to_string(fault_sweep_schema_path())
-        .expect("read schemas/fault_sweep.data.schema.json");
-    let fault_sweep_schema =
-        Json::parse(&fault_sweep_text).expect("parse schemas/fault_sweep.data.schema.json");
+    let mut errs = Vec::new();
+    let schemas = discover_schemas(&mut errs);
 
     let files = result_files();
-    let mut errs = Vec::new();
     if files.is_empty() {
         errs.push(format!(
             "no result documents found under {}",
             results_dir().display()
         ));
     }
-    for path in &files {
-        check_file(path, &schema_doc, &fault_sweep_schema, &mut errs);
+    if let Some(schemas) = &schemas {
+        // Orphan check: every data schema must have its result document.
+        for (exp, _) in &schemas.data {
+            let expected = results_dir().join(format!("{exp}.json"));
+            if !files.contains(&expected) {
+                errs.push(format!(
+                    "schemas/{exp}.data.schema.json: orphan schema — results/{exp}.json does not exist"
+                ));
+            }
+        }
+        for path in &files {
+            check_file(path, schemas, &mut errs);
+        }
     }
     if errs.is_empty() {
+        let schemas = schemas.as_ref().expect("schemas present when no errors");
         println!(
-            "validated {} result document(s): all conform, all conserved",
-            files.len()
+            "validated {} result document(s) against the envelope schema + {} data pin(s): all conform, all conserved",
+            files.len(),
+            schemas.data.len()
         );
         ExitCode::SUCCESS
     } else {

@@ -13,10 +13,15 @@
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod observe;
 pub mod report;
 pub mod schema;
 
 pub use json::Json;
+pub use observe::{
+    attribution_json, folded_stacks, misattributed_fraction, profiler_json, span_breakdown_json,
+    span_paths, span_trace_chrome, timeline_gnuplot, timeline_json, SpanPath,
+};
 pub use report::{
     conservation_errors, histogram_json, host_report, ledger_json, report_and_check, world_report,
 };
@@ -53,6 +58,17 @@ pub fn write_results(name: &str, doc: &Json) -> io::Result<PathBuf> {
     std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.json"));
     std::fs::write(&path, doc.render())?;
+    Ok(path)
+}
+
+/// Writes an arbitrary text artifact `results/<name>.<ext>` (folded
+/// flamegraph stacks, gnuplot columns, chrome traces) and returns its
+/// path.
+pub fn write_artifact(name: &str, ext: &str, content: &str) -> io::Result<PathBuf> {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.{ext}"));
+    std::fs::write(&path, content)?;
     Ok(path)
 }
 

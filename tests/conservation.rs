@@ -127,7 +127,7 @@ fn kernel_state(h: &lrp::core::Host) -> String {
 
 #[test]
 fn telemetry_does_not_perturb_the_simulation() {
-    for arch in [Architecture::Bsd, Architecture::NiLrp] {
+    for arch in lrp::experiments::all_architectures() {
         let on = blast_world(arch, true);
         let off = blast_world(arch, false);
         assert_eq!(
@@ -135,9 +135,42 @@ fn telemetry_does_not_perturb_the_simulation() {
             kernel_state(&off.hosts[0]),
             "{arch:?}: telemetry perturbed the kernel state"
         );
-        // And the instrumented run really did record.
+        // And the instrumented run really did record — including the
+        // observability layer (profiler, timeline), which must be busy on
+        // the "on" side and empty on the "off" side while the kernel
+        // state above stays bit-identical.
         assert!(on.hosts[0].telemetry().enabled());
         assert!(on.hosts[0].packet_ledger().conserved());
+        assert!(on.hosts[0].telemetry().profiler().total() > 0);
+        assert!(!on.hosts[0].telemetry().timeline().rows().is_empty());
         assert!(!off.hosts[0].telemetry().enabled());
+        assert_eq!(off.hosts[0].telemetry().profiler().total(), 0);
+        assert!(off.hosts[0].telemetry().timeline().rows().is_empty());
     }
+}
+
+/// Same zero-impact claim over a request-reply workload, which exercises
+/// the span-tracing paths (tx-minted spans, reply continuation) that the
+/// one-way blast does not.
+#[test]
+fn telemetry_does_not_perturb_request_reply() {
+    fn rtt_world(telemetry: bool) -> World {
+        let mut cfg = HostConfig::new(Architecture::NiLrp);
+        cfg.telemetry = telemetry;
+        let (mut world, metrics) = lrp::experiments::table1::build_rtt(cfg, 100);
+        world.run_until(SimTime::from_secs(2));
+        assert!(metrics.borrow().done, "ping-pong did not finish");
+        world
+    }
+    let on = rtt_world(true);
+    let off = rtt_world(false);
+    for i in 0..2 {
+        assert_eq!(
+            kernel_state(&on.hosts[i]),
+            kernel_state(&off.hosts[i]),
+            "host {i}: telemetry perturbed the kernel state"
+        );
+    }
+    assert!(!on.hosts[0].telemetry().span_log().is_empty());
+    assert!(off.hosts[0].telemetry().span_log().is_empty());
 }
