@@ -11,6 +11,7 @@ pub mod blast;
 pub mod daemons;
 pub mod http;
 pub mod pingpong;
+pub mod resilient;
 pub mod rpc;
 pub mod tcp_bulk;
 pub mod udp_window;
@@ -19,6 +20,9 @@ pub use blast::{BlastSink, ComputeHog, Console, MeteredCompute, SinkMetrics};
 pub use daemons::{IcmpEchoDaemon, IcmpMetrics, PingClient, PingMetrics};
 pub use http::{DummyListener, HttpClient, HttpMetrics, HttpWorker, SharedListener};
 pub use pingpong::{PingPongClient, PingPongMetrics, PingPongServer};
+pub use resilient::{
+    ClientStats, ResilientRpcClient, ResilientRpcServer, RetryPolicy, ServerStats,
+};
 pub use rpc::{PacedRpcClient, RpcClient, RpcMetrics, RpcServer};
 pub use tcp_bulk::{TcpBulkMetrics, TcpBulkReceiver, TcpBulkSender};
 pub use udp_window::{UdpWindowMetrics, UdpWindowSink, UdpWindowSource};

@@ -90,6 +90,11 @@ pub struct HostConfig {
     /// model, scheduling decisions and all simulated outcomes are
     /// bit-identical with telemetry on or off.
     pub telemetry: bool,
+    /// SYN-flood defense: when the listen backlog's half-open budget is
+    /// full, evict the *oldest* half-open connection to admit the new SYN
+    /// (a minimal SYN-cache) instead of dropping it. Off by default —
+    /// classic behaviour drops the new SYN at the backlog.
+    pub syn_cache: bool,
 }
 
 impl HostConfig {
@@ -113,6 +118,7 @@ impl HostConfig {
             quantum: SimDuration::from_millis(100),
             ncpus: 1,
             telemetry: false,
+            syn_cache: false,
         }
     }
 

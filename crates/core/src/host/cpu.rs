@@ -192,12 +192,17 @@ impl Host {
         match kind {
             WorkKind::Hw | WorkKind::Soft => {}
             WorkKind::Proc { pid, next } => {
-                // The process continues with the next phase: requeue at
-                // the front of its bucket so it resumes immediately unless
-                // higher-priority work (interrupt, softirq, better
-                // process) claims the CPU first.
-                self.exec.insert(pid, ProcExec::Cont(next));
-                self.sched.requeue(pid, true);
+                // A process crashed mid-chunk finishes the chunk (the
+                // cycles were already spent) but its continuation
+                // evaporates — nothing may resurrect an exited process.
+                if !matches!(self.exec.get(&pid), Some(ProcExec::Exited)) {
+                    // The process continues with the next phase: requeue at
+                    // the front of its bucket so it resumes immediately
+                    // unless higher-priority work (interrupt, softirq,
+                    // better process) claims the CPU first.
+                    self.exec.insert(pid, ProcExec::Cont(next));
+                    self.sched.requeue(pid, true);
+                }
             }
         }
         self.dispatch(now);
@@ -251,6 +256,11 @@ impl Host {
         charge: Pid,
         meta: ChunkMeta,
     ) {
+        // A crash between suspension and this save point must win: the
+        // preempted phase of an exited process is discarded, not saved.
+        if matches!(self.exec.get(&pid), Some(ProcExec::Exited)) {
+            return;
+        }
         if remaining.is_zero() {
             self.exec.insert(pid, ProcExec::Cont(next));
         } else {
@@ -370,6 +380,15 @@ impl Host {
                 let WorkKind::Proc { pid, next } = s.kind else {
                     unreachable!("susp_proc holds proc work")
                 };
+                // The suspended process crashed while an interrupt ran on
+                // top of it: its saved chunk dies with it. (A live
+                // suspended process has *no* exec entry — the continuation
+                // lives in the chunk itself; a crash stores an explicit
+                // `Exited`.)
+                if matches!(self.exec.get(&pid), Some(ProcExec::Exited)) {
+                    let _ = next;
+                    continue;
+                }
                 let pri = self.sched.proc_ref(pid).effective_pri();
                 if self.sched.should_preempt_on(cpu, pri) {
                     let account = s.charge.map(|(_, a)| a).unwrap_or(Account::System);

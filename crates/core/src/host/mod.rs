@@ -39,7 +39,8 @@ mod rx;
 mod syscalls;
 
 use crate::config::{Architecture, HostConfig};
-use crate::syscall::{AppLogic, SockProto, SyscallOp, SyscallRet};
+use crate::hostfault::{HostFaultPlan, HostFaultState};
+use crate::syscall::{AppLogic, Errno, SockProto, SyscallOp, SyscallRet};
 use lrp_demux::ChannelId;
 use lrp_nic::{DemuxMode, Nic};
 use lrp_sched::{Account, Pid, SchedConfig, Scheduler, WaitChannel};
@@ -192,6 +193,10 @@ pub(crate) struct Socket {
     pub closed_by_app: bool,
     /// NI channel was reclaimed in TIME_WAIT (NI-LRP).
     pub chan_reclaimed: bool,
+    /// Sticky error recorded when the connection died (RST received,
+    /// retransmit give-up, keepalive abort); surfaced by the next
+    /// recv/send/connect instead of a silent stall or a fake EOF.
+    pub err: Option<Errno>,
 }
 
 /// Per-process execution state.
@@ -416,6 +421,36 @@ pub struct Host {
     pub(crate) chan_to_sock: HashMap<lrp_demux::ChannelId, SockId>,
     /// Telemetry state (no-op unless `cfg.telemetry`).
     pub(crate) tele: crate::telemetry::Telemetry,
+    /// Receive-timeout deadlines: time → `(pid, sock, seq)` entries. The
+    /// seq token (matched against `recv_seq`) keeps a deadline that
+    /// fires late from timing out a *later* receive on the same socket.
+    pub(crate) recv_deadlines: BTreeMap<SimTime, Vec<(Pid, SockId, u64)>>,
+    /// The seq token of each process's currently armed receive timeout.
+    pub(crate) recv_seq: HashMap<Pid, u64>,
+    /// Monotonic generator for receive-timeout seq tokens.
+    pub(crate) recv_deadline_seq: u64,
+    /// Attached end-host fault plan runtime (crash schedule + jitter).
+    pub(crate) fault: Option<HostFaultState>,
+    /// Respawn recipes for processes spawned restartable.
+    pub(crate) restartable: HashMap<Pid, RestartSpec>,
+    /// Scheduled restarts: time → crashed pids to respawn.
+    pub(crate) restart_at: BTreeMap<SimTime, Vec<Pid>>,
+    /// Crashed pid → its restarted successor (chains across restarts).
+    pub(crate) reincarnation: HashMap<Pid, Pid>,
+    /// Crash log: `(time, pid)` per executed crash.
+    pub(crate) crash_log: Vec<(SimTime, Pid)>,
+    /// Restart log: `(time, old pid, new pid)` per executed restart.
+    pub(crate) restart_log: Vec<(SimTime, Pid, Pid)>,
+}
+
+/// Everything needed to respawn a crashed process: the original spawn
+/// parameters plus a factory producing a fresh application state
+/// machine (the app restarts from `start`, as a real exec would).
+pub(crate) struct RestartSpec {
+    name: String,
+    nice: i8,
+    working_set: usize,
+    factory: Box<dyn Fn() -> Box<dyn AppLogic>>,
 }
 
 impl Host {
@@ -480,6 +515,15 @@ impl Host {
             live_socks: std::collections::BTreeSet::new(),
             chan_to_sock: HashMap::new(),
             tele: crate::telemetry::Telemetry::new(cfg.telemetry),
+            recv_deadlines: BTreeMap::new(),
+            recv_seq: HashMap::new(),
+            recv_deadline_seq: 0,
+            fault: None,
+            restartable: HashMap::new(),
+            restart_at: BTreeMap::new(),
+            reincarnation: HashMap::new(),
+            crash_log: Vec::new(),
+            restart_log: Vec::new(),
         };
         // Host-minted span ids: tagged with the address's last octet so
         // spans from different hosts never collide.
@@ -533,6 +577,128 @@ impl Host {
         pid
     }
 
+    /// Spawns an application process that can be respawned after a crash:
+    /// the factory builds a fresh state machine each incarnation (the app
+    /// restarts from `start`, re-binding its sockets as a real exec
+    /// would). Crash events addressed to the returned pid follow the
+    /// restart chain automatically.
+    pub fn spawn_app_restartable(
+        &mut self,
+        name: &str,
+        nice: i8,
+        working_set: usize,
+        factory: Box<dyn Fn() -> Box<dyn AppLogic>>,
+    ) -> Pid {
+        let app = factory();
+        let pid = self.spawn_app(name, nice, working_set, app);
+        self.restartable.insert(
+            pid,
+            RestartSpec {
+                name: name.to_string(),
+                nice,
+                working_set,
+                factory,
+            },
+        );
+        pid
+    }
+
+    /// Attaches an end-host fault plan. The inert plan detaches (and
+    /// draws no RNG, keeping fault-free runs bit-identical).
+    pub fn set_fault_plan(&mut self, plan: &HostFaultPlan) {
+        self.fault = if plan.is_none() {
+            None
+        } else {
+            Some(HostFaultState::new(plan))
+        };
+    }
+
+    /// The latest live incarnation of a (possibly crashed-and-restarted)
+    /// process.
+    pub fn live_incarnation(&self, mut pid: Pid) -> Pid {
+        while let Some(&next) = self.reincarnation.get(&pid) {
+            pid = next;
+        }
+        pid
+    }
+
+    /// Executed crashes, `(time, pid)` each.
+    pub fn crashes(&self) -> &[(SimTime, Pid)] {
+        &self.crash_log
+    }
+
+    /// Executed restarts, `(time, old pid, new pid)` each.
+    pub fn restarts(&self) -> &[(SimTime, Pid, Pid)] {
+        &self.restart_log
+    }
+
+    /// Crashes a process *now*: a deterministic kernel teardown. The
+    /// process is marked exited first (pending continuations evaporate,
+    /// wakeups no-op), then every socket it owns is torn down — NI
+    /// channels unmapped with queued frames attributed to the conserved
+    /// `owner_dead` ledger bucket, established TCP connections aborted
+    /// with an RST per RFC 793, PCB entries and socket slots freed.
+    pub fn crash_process(&mut self, now: SimTime, pid: Pid) {
+        // Already exited (or never spawned): nothing to tear down. A
+        // live process *on the CPU* has no exec entry at all — the
+        // continuation travels with its running chunk — so absence of an
+        // entry must not be read as "dead"; the apps table is the
+        // liveness record (removed only here).
+        if matches!(self.exec.get(&pid), Some(ProcExec::Exited)) || !self.apps.contains_key(&pid) {
+            return;
+        }
+        self.exec.insert(pid, ProcExec::Exited);
+        self.sched.exit(pid);
+        self.apps.remove(&pid);
+        self.recv_seq.remove(&pid);
+        self.crash_log.push((now, pid));
+        let owned: Vec<SockId> = self
+            .live_sockets()
+            .filter(|s| s.owner == pid)
+            .map(|s| s.id)
+            .collect();
+        for sock in owned {
+            // A child may already have been freed by its listener's
+            // teardown earlier in this loop.
+            if self.sock_opt(sock).is_none() {
+                continue;
+            }
+            self.sock_mut(sock).closed_by_app = true;
+            // Unmap the NI channel before protocol teardown: frames
+            // still queued there were accepted for a process that no
+            // longer exists — `owner_dead`, not `flushed`.
+            if let Some(c) = self.sock(sock).chan {
+                if self.nic.channel_exists(c) {
+                    self.destroy_channel_owner_dead(now, c);
+                }
+                self.chan_to_sock.remove(&c);
+                self.sock_mut(sock).chan = None;
+            }
+            if self.sock(sock).tcp.is_some() {
+                let mut conn = self.sock_mut(sock).tcp.take().expect("checked");
+                let actions = conn.abort();
+                self.sock_mut(sock).tcp = Some(conn);
+                // The Closed event tears the socket down and frees it
+                // (closed_by_app is set).
+                let _ = self.apply_tcp_actions(now, sock, actions);
+            } else {
+                self.free_socket(sock);
+            }
+        }
+    }
+
+    /// Respawns a crashed restartable process; returns the new pid.
+    pub fn restart_process(&mut self, now: SimTime, old: Pid) -> Option<Pid> {
+        let spec = self.restartable.remove(&old)?;
+        let app = (spec.factory)();
+        let pid = self.spawn_app(&spec.name, spec.nice, spec.working_set, app);
+        self.restartable.insert(pid, spec);
+        self.reincarnation.insert(old, pid);
+        self.restart_log.push((now, old, pid));
+        self.kick(now);
+        Some(pid)
+    }
+
     /// Starts execution (initial dispatch). Call once after spawning apps.
     pub fn start(&mut self, now: SimTime) {
         self.dispatch(now);
@@ -579,6 +745,11 @@ impl Host {
             }
         }
         fold(self.sleep_until.keys().next().copied());
+        fold(self.recv_deadlines.keys().next().copied());
+        fold(self.restart_at.keys().next().copied());
+        if let Some(f) = &self.fault {
+            fold(f.next_at());
+        }
         if self.reasm.pending() > 0 {
             fold(Some(self.next_reasm_sweep));
         }
@@ -600,6 +771,16 @@ impl Host {
             }
         }
         total
+    }
+
+    /// Total SYN-cache evictions across live listening sockets (only
+    /// non-zero when [`HostConfig::syn_cache`] is on and the backlog
+    /// overflowed).
+    pub fn syn_cache_evictions(&self) -> u64 {
+        self.live_sockets()
+            .filter_map(|s| s.listener.as_ref())
+            .map(|l| l.syn_cache_evictions)
+            .sum()
     }
 
     /// Looks up a socket's owner (None if the socket is gone).
@@ -641,8 +822,24 @@ impl Host {
             established_reported: false,
             closed_by_app: false,
             chan_reclaimed: false,
+            err: None,
         }));
         id
+    }
+
+    /// Receive-side queue depth of a socket: buffered datagrams plus
+    /// frames waiting in its NI channel (the `SockDepth` syscall).
+    pub(crate) fn sock_depth(&self, sock: SockId) -> usize {
+        let Some(s) = self.sock_opt(sock) else {
+            return 0;
+        };
+        let mut depth = s.rcvq.len();
+        if let Some(c) = s.chan {
+            if self.nic.channel_exists(c) {
+                depth += self.nic.channel(c).depth();
+            }
+        }
+        depth
     }
 
     /// Iterates live sockets (allocation order).
@@ -767,6 +964,69 @@ impl Host {
             }
             self.tele.on_reasm_expired(now, frags);
             self.next_reasm_sweep = now + SimDuration::from_secs(1);
+        }
+        // Receive timeouts: fire only if the armed deadline is still
+        // current (seq token) and the process is still blocked in that
+        // very receive — a deadline outlived by its receive is inert.
+        let due: Vec<SimTime> = self.recv_deadlines.range(..=now).map(|(t, _)| *t).collect();
+        for t in due {
+            if let Some(entries) = self.recv_deadlines.remove(&t) {
+                for (pid, sock, seq) in entries {
+                    if self.recv_seq.get(&pid) != Some(&seq) {
+                        continue;
+                    }
+                    let blocked_here = matches!(
+                        self.exec.get(&pid),
+                        Some(ProcExec::Blocked(Cont::RecvCheck { sock: s, .. })) if *s == sock
+                    );
+                    if !blocked_here {
+                        continue;
+                    }
+                    self.recv_seq.remove(&pid);
+                    if self.sched.wake_one(pid) {
+                        self.exec.insert(
+                            pid,
+                            ProcExec::Cont(Cont::SyscallReturn(SyscallRet::Err(Errno::TimedOut))),
+                        );
+                        self.post_ipi(pid);
+                    }
+                }
+            }
+        }
+        // End-host fault plan: scheduled restarts, then due crashes.
+        let due_restarts: Vec<SimTime> = self.restart_at.range(..=now).map(|(t, _)| *t).collect();
+        for t in due_restarts {
+            if let Some(pids) = self.restart_at.remove(&t) {
+                for pid in pids {
+                    self.restart_process(now, pid);
+                }
+            }
+        }
+        while let Some(at) = self.fault.as_ref().and_then(|f| f.next_at()) {
+            if at > now {
+                break;
+            }
+            let ev = self
+                .fault
+                .as_mut()
+                .expect("checked")
+                .pending
+                .pop()
+                .expect("due event");
+            let target = self.live_incarnation(ev.pid);
+            self.crash_process(now, target);
+            if let Some(after) = ev.restart_after {
+                let jitter = if ev.restart_jitter.is_zero() {
+                    SimDuration::ZERO
+                } else {
+                    let f = self.fault.as_mut().expect("checked");
+                    SimDuration::from_nanos(f.rng.next_below(ev.restart_jitter.as_nanos()))
+                };
+                self.restart_at
+                    .entry(now + after + jitter)
+                    .or_default()
+                    .push(target);
+            }
         }
         self.kick(now);
     }

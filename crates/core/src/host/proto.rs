@@ -8,7 +8,7 @@
 
 use super::{sock_wchan, DropPoint, Host, WC_CONNECT, WC_RECV, WC_SEND};
 use crate::config::Architecture;
-use crate::syscall::SockProto;
+use crate::syscall::{Errno, SockProto};
 use lrp_sim::{SimDuration, SimTime};
 use lrp_stack::sockbuf::Datagram;
 use lrp_stack::tcp::{Actions, ConnEvent, Segment, TcpConn};
@@ -516,13 +516,42 @@ impl Host {
             .expect("listener")
             .can_accept_syn();
         if !can {
-            self.sock_mut(lsock)
-                .listener
-                .as_mut()
-                .expect("listener")
-                .on_syn_dropped();
-            self.stats.drop_at(DropPoint::Backlog);
-            return total;
+            // SYN-cache: evict the oldest half-open child to admit the
+            // fresh SYN (bounded table, oldest-first), instead of letting
+            // a flood of never-completing handshakes freeze the backlog.
+            let victim = if self.cfg.syn_cache {
+                self.sock(lsock)
+                    .listener
+                    .as_ref()
+                    .expect("listener")
+                    .oldest_half_open()
+            } else {
+                None
+            };
+            if let Some(victim) = victim {
+                let l = self.sock_mut(lsock).listener.as_mut().expect("listener");
+                l.untrack_half_open(victim);
+                l.on_syn_cache_evict();
+                if self.sock_opt(victim).is_some() {
+                    // Drop the embryonic connection state silently (no
+                    // RST — the peer, likely spoofed, retransmits or
+                    // times out) and tear the child down; the orphan
+                    // path releases its backlog slot.
+                    self.sock_mut(victim).tcp = None;
+                    self.teardown_tcp_sock(victim);
+                }
+                // Fall through to admit the new SYN below.
+            } else {
+                self.sock_mut(lsock)
+                    .listener
+                    .as_mut()
+                    .expect("listener")
+                    .on_syn_dropped();
+                self.stats.drop_at(DropPoint::Backlog);
+                let cpu = self.cur_cpu;
+                self.tele.on_backlog_drop(now, cpu);
+                return total;
+            }
         }
         // Admit: create the child socket + connection.
         let owner = self.sock(lsock).owner;
@@ -536,11 +565,11 @@ impl Host {
             s.tcp = Some(conn);
             s.parent = Some(lsock);
         }
-        self.sock_mut(lsock)
-            .listener
-            .as_mut()
-            .expect("listener")
-            .on_syn_admitted();
+        {
+            let l = self.sock_mut(lsock).listener.as_mut().expect("listener");
+            l.on_syn_admitted();
+            l.track_half_open(child);
+        }
         // PCB entry (exact match) for the child.
         let key = FlowKey::new(proto::TCP, local, remote);
         let _ = self.pcb.insert(key, child);
@@ -615,6 +644,7 @@ impl Host {
                             self.sock_mut(p).accept_q.push_back(sock);
                             if let Some(l) = self.sock_mut(p).listener.as_mut() {
                                 l.on_child_established();
+                                l.untrack_half_open(sock);
                             }
                             self.stats.tcp_accepted += 1;
                             self.wake_sock(p, super::WC_ACCEPT);
@@ -628,6 +658,18 @@ impl Host {
             ConnEvent::SendSpace => self.wake_sock(sock, WC_SEND),
             ConnEvent::PeerClosed => self.wake_sock(sock, WC_RECV),
             ConnEvent::Reset | ConnEvent::TimedOut => {
+                // Record why the connection died *before* waking anyone,
+                // so recv/send/connect report the error instead of
+                // silently parking (or mis-reporting EOF).
+                let errno = if matches!(ev, ConnEvent::Reset) {
+                    Errno::ConnReset
+                } else {
+                    Errno::TimedOut
+                };
+                let s = self.sock_mut(sock);
+                if s.err.is_none() {
+                    s.err = Some(errno);
+                }
                 self.wake_sock(sock, WC_RECV);
                 self.wake_sock(sock, WC_SEND);
                 self.wake_sock(sock, WC_CONNECT);
@@ -686,6 +728,7 @@ impl Host {
                 if let Some(ps) = self.sockets.get_mut(p.0 as usize).and_then(|x| x.as_mut()) {
                     if let Some(l) = ps.listener.as_mut() {
                         l.on_child_failed();
+                        l.untrack_half_open(sock);
                     }
                 }
             }

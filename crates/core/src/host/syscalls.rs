@@ -236,11 +236,44 @@ impl Host {
                     },
                 }
             }
-            SyscallOp::Recv { sock, max_len } => PhaseOut::Run {
-                dur: entry,
-                account: Account::System,
-                next: Cont::RecvCheck { sock, max_len },
-            },
+            SyscallOp::Recv { sock, max_len } => {
+                // A plain receive invalidates any armed receive timeout.
+                self.recv_seq.remove(&pid);
+                PhaseOut::Run {
+                    dur: entry,
+                    account: Account::System,
+                    next: Cont::RecvCheck { sock, max_len },
+                }
+            }
+            SyscallOp::RecvTimeout {
+                sock,
+                max_len,
+                timeout,
+            } => {
+                // Arm a kernel timer for this receive. The seq token ties
+                // the deadline to *this* arm: a deadline that outlives its
+                // receive (data arrived first) is inert when it fires.
+                self.recv_deadline_seq += 1;
+                let seq = self.recv_deadline_seq;
+                self.recv_seq.insert(pid, seq);
+                self.recv_deadlines
+                    .entry(now + timeout)
+                    .or_default()
+                    .push((pid, sock, seq));
+                PhaseOut::Run {
+                    dur: entry,
+                    account: Account::System,
+                    next: Cont::RecvCheck { sock, max_len },
+                }
+            }
+            SyscallOp::SockDepth { sock } => {
+                let depth = self.sock_depth(sock);
+                PhaseOut::Run {
+                    dur: entry,
+                    account: Account::System,
+                    next: Cont::SyscallReturn(SyscallRet::Depth(depth)),
+                }
+            }
             SyscallOp::Close { sock } => {
                 let dur = self.do_close(now, sock);
                 PhaseOut::Run {
@@ -410,11 +443,14 @@ impl Host {
                 account: Account::System,
                 next: Cont::SyscallReturn(SyscallRet::Ok),
             },
-            Some(TcpState::Closed) | None => PhaseOut::Run {
-                dur: SimDuration::ZERO,
-                account: Account::System,
-                next: Cont::SyscallReturn(SyscallRet::Err(Errno::ConnRefused)),
-            },
+            Some(TcpState::Closed) | None => {
+                let e = self.sock(sock).err.unwrap_or(Errno::ConnRefused);
+                PhaseOut::Run {
+                    dur: SimDuration::ZERO,
+                    account: Account::System,
+                    next: Cont::SyscallReturn(SyscallRet::Err(e)),
+                }
+            }
             _ => PhaseOut::Block {
                 wchan: sock_wchan(sock, WC_CONNECT),
                 pri: PSOCK,
@@ -618,6 +654,17 @@ impl Host {
                 next: Cont::SyscallReturn(SyscallRet::Data(data)),
             };
         }
+        // A dead connection reports *why* it died (RST, retransmit
+        // give-up, keepalive abort) — after any buffered data has been
+        // drained above, and before the orderly-EOF path below can
+        // mistake an abort for end-of-stream.
+        if let Some(e) = self.sock(sock).err {
+            return PhaseOut::Run {
+                dur: cost.sock_dequeue,
+                account: Account::System,
+                next: Cont::SyscallReturn(SyscallRet::Err(e)),
+            };
+        }
         // End of stream or dead connection?
         let state = self.sock(sock).tcp.as_ref().expect("tcp").state;
         match state {
@@ -664,10 +711,11 @@ impl Host {
         match state {
             TcpState::Established | TcpState::CloseWait => {}
             TcpState::Closed | TcpState::TimeWait => {
+                let e = self.sock(sock).err.unwrap_or(Errno::ConnReset);
                 return PhaseOut::Run {
                     dur: SimDuration::ZERO,
                     account: Account::System,
-                    next: Cont::SyscallReturn(SyscallRet::Err(Errno::ConnReset)),
+                    next: Cont::SyscallReturn(SyscallRet::Err(e)),
                 };
             }
             _ => {

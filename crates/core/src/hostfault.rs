@@ -1,0 +1,144 @@
+//! Deterministic end-host failure plans: scheduled process crashes and
+//! restarts.
+//!
+//! Mirrors the link-level `FaultPlan` of `lrp-net`: a plan owns its own
+//! SplitMix64 stream (seeded independently of every other consumer) so
+//! attaching one never perturbs unrelated random draws, and the inert
+//! plan — no crash events — draws **no** RNG at all, keeping fault-free
+//! runs bit-identical to builds without this module.
+//!
+//! A crash is a *process* failure, not a host reboot: the kernel survives
+//! and runs a deterministic teardown (sockets closed, NI channels
+//! unmapped with in-flight frames attributed to the conserved
+//! `owner_dead` ledger bucket, PCBs freed, RST sent on established TCP
+//! connections per RFC 793). An optional restart re-registers the
+//! process through its registered factory; the app then re-binds its
+//! sockets and (on LRP architectures) re-creates its channels exactly as
+//! it did at boot.
+
+use lrp_sched::Pid;
+use lrp_sim::{SimDuration, SimTime, SplitMix64};
+
+/// One scheduled crash (and optional restart) of a process.
+#[derive(Clone, Debug)]
+pub struct CrashEvent {
+    /// Process to crash. Must have been spawned with
+    /// [`crate::Host::spawn_app_restartable`] for the restart half to
+    /// work; a plain process can still be crashed.
+    pub pid: Pid,
+    /// Absolute sim time of the crash.
+    pub at: SimTime,
+    /// Delay from crash to restart; `None` means the process stays dead.
+    pub restart_after: Option<SimDuration>,
+    /// Uniform jitter `[0, restart_jitter)` added to the restart delay,
+    /// drawn from the plan's own stream. `SimDuration::ZERO` draws no
+    /// RNG (the inert-plan rule applies per-event too).
+    pub restart_jitter: SimDuration,
+}
+
+impl CrashEvent {
+    /// Crash `pid` at `at` with no restart.
+    pub fn kill(pid: Pid, at: SimTime) -> Self {
+        CrashEvent {
+            pid,
+            at,
+            restart_after: None,
+            restart_jitter: SimDuration::ZERO,
+        }
+    }
+
+    /// Crash `pid` at `at`, restarting it `after` later (no jitter).
+    pub fn crash_restart(pid: Pid, at: SimTime, after: SimDuration) -> Self {
+        CrashEvent {
+            pid,
+            at,
+            restart_after: Some(after),
+            restart_jitter: SimDuration::ZERO,
+        }
+    }
+}
+
+/// A deterministic schedule of process crashes/restarts for one host.
+#[derive(Clone, Debug)]
+pub struct HostFaultPlan {
+    /// Seed for the plan's private SplitMix64 stream (restart jitter).
+    pub seed: u64,
+    /// Crash events; the host sorts them by time on attach.
+    pub crashes: Vec<CrashEvent>,
+}
+
+impl HostFaultPlan {
+    /// The inert plan: no crashes, draws no RNG.
+    pub fn none() -> Self {
+        HostFaultPlan {
+            seed: 0,
+            crashes: Vec::new(),
+        }
+    }
+
+    /// True when the plan schedules nothing (attach is then a no-op).
+    pub fn is_none(&self) -> bool {
+        self.crashes.is_empty()
+    }
+}
+
+/// Host-side runtime for an attached plan: the pending schedule (sorted
+/// by time, earliest last so `pop` yields the next event) plus the plan's
+/// private jitter stream.
+#[derive(Debug)]
+pub(crate) struct HostFaultState {
+    pub(crate) pending: Vec<CrashEvent>,
+    pub(crate) rng: SplitMix64,
+}
+
+impl HostFaultState {
+    pub(crate) fn new(plan: &HostFaultPlan) -> Self {
+        let mut pending = plan.crashes.clone();
+        // Earliest event last, so the next due event is `pending.last()`.
+        pending.sort_by(|a, b| b.at.cmp(&a.at).then(b.pid.0.cmp(&a.pid.0)));
+        HostFaultState {
+            pending,
+            rng: SplitMix64::new(plan.seed ^ 0xD1E5_EA5E_0F1A_57ED),
+        }
+    }
+
+    /// Sim time of the next scheduled crash, if any.
+    pub(crate) fn next_at(&self) -> Option<SimTime> {
+        self.pending.last().map(|e| e.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_plan_is_none() {
+        assert!(HostFaultPlan::none().is_none());
+        assert!(!HostFaultPlan {
+            seed: 1,
+            crashes: vec![CrashEvent::kill(Pid(3), SimTime::from_millis(5))],
+        }
+        .is_none());
+    }
+
+    #[test]
+    fn schedule_sorted_earliest_first() {
+        let plan = HostFaultPlan {
+            seed: 9,
+            crashes: vec![
+                CrashEvent::kill(Pid(1), SimTime::from_millis(50)),
+                CrashEvent::crash_restart(
+                    Pid(2),
+                    SimTime::from_millis(10),
+                    SimDuration::from_millis(5),
+                ),
+            ],
+        };
+        let mut st = HostFaultState::new(&plan);
+        assert_eq!(st.next_at(), Some(SimTime::from_millis(10)));
+        let e = st.pending.pop().unwrap();
+        assert_eq!(e.pid, Pid(2));
+        assert_eq!(st.next_at(), Some(SimTime::from_millis(50)));
+    }
+}

@@ -21,6 +21,7 @@
 pub mod config;
 pub mod cost;
 pub mod host;
+pub mod hostfault;
 pub mod syscall;
 pub mod telemetry;
 pub mod world;
@@ -28,6 +29,7 @@ pub mod world;
 pub use config::{Architecture, HostConfig};
 pub use cost::CostModel;
 pub use host::{DropPoint, Host, HostStats};
+pub use hostfault::{CrashEvent, HostFaultPlan};
 pub use syscall::{AppCtx, AppLogic, Errno, SockProto, SyscallOp, SyscallRet};
 pub use telemetry::{
     PacketLedger, SpanEvent, SpanId, Telemetry, DEFAULT_TRACE_CAP, TIMELINE_COLUMNS,

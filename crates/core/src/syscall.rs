@@ -97,6 +97,25 @@ pub enum SyscallOp {
         /// Maximum bytes to return.
         max_len: usize,
     },
+    /// Receive like [`SyscallOp::Recv`], but give up after `timeout` and
+    /// return `Err(TimedOut)` if nothing arrives. The deadline is a real
+    /// kernel timer: the process blocks and is woken either by data or by
+    /// the timer, whichever fires first.
+    RecvTimeout {
+        /// Socket.
+        sock: SockId,
+        /// Maximum bytes to return.
+        max_len: usize,
+        /// How long to wait before failing with `TimedOut`.
+        timeout: SimDuration,
+    },
+    /// Query the receive-side queue depth of a socket (buffered datagrams
+    /// plus frames waiting in its NI channel). Non-blocking; used by
+    /// servers for watermark-based load shedding.
+    SockDepth {
+        /// Socket.
+        sock: SockId,
+    },
     /// Close a socket.
     Close {
         /// Socket.
@@ -123,6 +142,8 @@ pub enum SyscallRet {
     DataFrom(Endpoint, Vec<u8>),
     /// A connection was accepted.
     Accepted(SockId),
+    /// Receive-side queue depth of a socket.
+    Depth(usize),
     /// The operation failed.
     Err(Errno),
 }

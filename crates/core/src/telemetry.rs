@@ -148,6 +148,10 @@ pub struct Telemetry {
     pub reasm_expired: u64,
     /// Frames discarded because their channel was destroyed.
     pub flushed: u64,
+    /// Frames discarded because their owning process crashed while they
+    /// were queued on its NI channel (distinct from `flushed`: an orderly
+    /// close vs. a dead receiver).
+    pub owner_dead: u64,
     /// Host-side frame drops by location.
     pub host_drops: HashMap<DropPoint, u64>,
 }
@@ -186,6 +190,7 @@ impl Telemetry {
             reasm_absorbed: 0,
             reasm_expired: 0,
             flushed: 0,
+            owner_dead: 0,
             host_drops: HashMap::new(),
         }
     }
@@ -436,6 +441,31 @@ impl Telemetry {
         }
     }
 
+    /// A crashed process's channel was unmapped with `n` frames still
+    /// queued: they died with their owner.
+    pub(crate) fn on_chan_owner_dead(&mut self, now: SimTime, chan: ChannelId, n: usize) {
+        if self.enabled {
+            self.owner_dead += n as u64;
+            self.chan_ts.remove(&chan);
+            if n > 0 {
+                self.ev(now, "drop", "OwnerDead", n as u64, 0);
+            }
+        }
+    }
+
+    /// A SYN was dropped at a full listen backlog *after* entering TCP
+    /// input: re-attribute its frame from the TCP bucket to the
+    /// backlog-overflow drop bucket (mirrors the reassembly-expiry
+    /// re-attribution — the ledger stays conserved).
+    pub(crate) fn on_backlog_drop(&mut self, now: SimTime, cpu: usize) {
+        if self.enabled {
+            debug_assert!(self.tcp_frames > 0, "backlog drop outside TCP input");
+            self.tcp_frames = self.tcp_frames.saturating_sub(1);
+            *self.host_drops.entry(DropPoint::Backlog).or_insert(0) += 1;
+            self.ev(now, "drop", DropPoint::Backlog.name(), 0, cpu);
+        }
+    }
+
     /// A blocked receiver was woken for delivered data.
     pub(crate) fn on_wakeup(&mut self, now: SimTime, cpu: usize, sock: u64) {
         if self.enabled {
@@ -637,6 +667,9 @@ pub struct PacketLedger {
     pub reasm_expired: u64,
     /// Frames flushed at channel destruction.
     pub flushed: u64,
+    /// Frames that died with their crashed owner (channel unmapped at
+    /// process-crash teardown).
+    pub owner_dead: u64,
     /// Host-side drops, sorted by drop-point name.
     pub host_drops: Vec<(&'static str, u64)>,
 }
@@ -661,6 +694,7 @@ impl PacketLedger {
             + self.reasm_absorbed
             + self.reasm_expired
             + self.flushed
+            + self.owner_dead
             + self.host_dropped()
     }
 
@@ -703,6 +737,7 @@ impl Host {
             reasm_absorbed: self.tele.reasm_absorbed,
             reasm_expired: self.tele.reasm_expired,
             flushed: self.tele.flushed,
+            owner_dead: self.tele.owner_dead,
             host_drops,
         }
     }
@@ -724,6 +759,14 @@ impl Host {
     pub(crate) fn destroy_channel_flushed(&mut self, chan: ChannelId) {
         let n = self.nic.channel(chan).depth();
         self.tele.on_chan_flush(chan, n);
+        self.nic.destroy_channel(chan);
+    }
+
+    /// Destroys a crashed process's NI channel, accounting any
+    /// still-queued frames to the `owner_dead` bucket.
+    pub(crate) fn destroy_channel_owner_dead(&mut self, now: SimTime, chan: ChannelId) {
+        let n = self.nic.channel(chan).depth();
+        self.tele.on_chan_owner_dead(now, chan, n);
         self.nic.destroy_channel(chan);
     }
 

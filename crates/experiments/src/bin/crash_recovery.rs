@@ -1,0 +1,110 @@
+//! Runs the end-host failure experiments and emits
+//! `results/crash_recovery.json`: per-architecture time-to-recovery
+//! after a server crash/restart (resilient RPC client with deadlines and
+//! jittered backoff), and legitimate HTTP goodput under a SYN flood with
+//! the SYN cache enabled. The instrumented recovery runs go through the
+//! packet-conservation self-check — crash teardown must attribute every
+//! frame (the `owner_dead` bucket included).
+
+use lrp_experiments::crash_recovery;
+use lrp_sim::SimTime;
+use lrp_telemetry::{experiment_json, report_and_check, write_artifact, write_results, Json};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let rec_duration = SimTime::from_secs(1);
+    let flood_duration = if quick {
+        SimTime::from_millis(1_500)
+    } else {
+        SimTime::from_secs(3)
+    };
+
+    // Recovery runs are instrumented and cheap: keep the worlds around
+    // for the conservation self-check.
+    let mut recovery = Vec::new();
+    let mut hosts = Vec::new();
+    for arch in lrp_experiments::all_architectures() {
+        let (mut world, cstats, sstats) = crash_recovery::build_recovery(arch);
+        world.run_until(rec_duration);
+        let label = format!("crash-{}", arch.name());
+        let report = report_and_check(&world, &label);
+        hosts.push((label, report));
+        recovery.push(crash_recovery::collect_recovery(
+            arch, &world, &cstats, &sstats,
+        ));
+    }
+    let flood = crash_recovery::run_flood(flood_duration);
+    let text = crash_recovery::render(&recovery, &flood);
+    println!("{text}");
+    write_artifact("crash_recovery", "txt", &text).expect("write crash_recovery.txt");
+
+    let data = Json::obj(vec![
+        (
+            "recovery",
+            Json::Arr(
+                recovery
+                    .iter()
+                    .map(|p| {
+                        Json::obj(vec![
+                            ("arch", Json::str(p.arch.name())),
+                            ("crash_ms", Json::F64(p.crash_ms)),
+                            ("restart_ms", Json::F64(p.restart_ms)),
+                            (
+                                "recovery_ms",
+                                p.recovery_ms.map(Json::F64).unwrap_or(Json::Null),
+                            ),
+                            ("completions", Json::U64(p.completions)),
+                            ("retries", Json::U64(p.retries)),
+                            ("timeouts", Json::U64(p.timeouts)),
+                            ("giveups", Json::U64(p.giveups)),
+                            ("busy_replies", Json::U64(p.busy_replies)),
+                            ("served", Json::U64(p.served)),
+                            ("shed", Json::U64(p.shed)),
+                            ("owner_dead", Json::U64(p.owner_dead)),
+                            ("conserved", Json::Bool(p.conserved)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "flood",
+            Json::Arr(
+                flood
+                    .iter()
+                    .map(|p| {
+                        Json::obj(vec![
+                            ("arch", Json::str(p.arch.name())),
+                            ("syn_pps", Json::F64(p.syn_pps)),
+                            ("http_tps", Json::F64(p.http_tps)),
+                            ("failures", Json::U64(p.failures)),
+                            ("backlog_drops", Json::U64(p.backlog_drops)),
+                            ("syn_cache_evictions", Json::U64(p.syn_cache_evictions)),
+                            ("conserved", Json::Bool(p.conserved)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "ratio_lrp_over_bsd",
+            Json::F64(crash_recovery::goodput_ratio(&flood)),
+        ),
+    ]);
+    let doc = experiment_json(
+        "crash_recovery",
+        vec![
+            ("quick", Json::Bool(quick)),
+            ("recovery_duration_ms", Json::U64(1_000)),
+            (
+                "flood_duration_ms",
+                Json::U64(flood_duration.as_nanos() / 1_000_000),
+            ),
+            ("flood_pps", Json::F64(crash_recovery::FLOOD_PPS)),
+        ],
+        data,
+        hosts,
+    );
+    let path = write_results("crash_recovery", &doc).expect("write crash_recovery.json");
+    eprintln!("wrote {}", path.display());
+}

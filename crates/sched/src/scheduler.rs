@@ -425,6 +425,22 @@ impl Scheduler {
         woken
     }
 
+    /// Wakes a single sleeping process, whatever channel it sleeps on — a
+    /// directed wakeup, used when a per-process deadline (e.g. a receive
+    /// timeout) fires for exactly one blocked sleeper. Returns false when
+    /// the process was not sleeping (already woken, running, or exited).
+    pub fn wake_one(&mut self, pid: Pid) -> bool {
+        let p = &mut self.procs[pid.0 as usize];
+        if !matches!(p.state, ProcState::Sleeping(_)) {
+            return false;
+        }
+        p.state = ProcState::Runnable;
+        p.nvcsw += 1;
+        let (pri, home) = (p.effective_pri(), p.home_cpu);
+        self.runqs[home].enqueue(pid, pri);
+        true
+    }
+
     /// True if any process is sleeping on `wchan` (used to decide whether
     /// a wakeup — and its cost — is needed).
     pub fn has_sleeper(&self, wchan: WaitChannel) -> bool {

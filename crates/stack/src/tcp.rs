@@ -20,10 +20,11 @@
 //! honesty): urgent data, window scaling, SACK, timestamps/PAWS, Nagle.
 
 use crate::sockbuf::ByteBuffer;
+use crate::SockId;
 use lrp_sim::{SimDuration, SimTime};
 use lrp_wire::tcp::{flags, seq_ge, seq_gt, seq_le, seq_lt, TcpHeader};
 use lrp_wire::Endpoint;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 /// TCP connection states (RFC 793).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -119,6 +120,15 @@ pub struct TcpConfig {
     pub time_wait: SimDuration,
     /// Delayed-ACK timer; `None` acks every segment immediately.
     pub delack: Option<SimDuration>,
+    /// Idle threshold before keepalive probing starts; `None` (the
+    /// default) disables keepalives entirely — no timer is armed, so the
+    /// machine is bit-identical to the pre-keepalive code.
+    pub keepalive_idle: Option<SimDuration>,
+    /// Interval between successive unanswered keepalive probes.
+    pub keepalive_intvl: SimDuration,
+    /// Unanswered probes after which the peer is declared dead and the
+    /// connection aborted (surfaced as `TimedOut`, then RST + `Closed`).
+    pub keepalive_probes: u32,
 }
 
 impl Default for TcpConfig {
@@ -133,6 +143,9 @@ impl Default for TcpConfig {
             max_retries: 12,
             time_wait: SimDuration::from_secs(30),
             delack: Some(SimDuration::from_millis(200)),
+            keepalive_idle: None,
+            keepalive_intvl: SimDuration::from_secs(1),
+            keepalive_probes: 3,
         }
     }
 }
@@ -228,6 +241,11 @@ pub struct TcpConn {
     rexmt_deadline: Option<SimTime>,
     delack_deadline: Option<SimTime>,
     timewait_deadline: Option<SimTime>,
+    /// Keepalive: fires after `keepalive_idle` of silence, then every
+    /// `keepalive_intvl` until answered or `keepalive_probes` exhausted.
+    keepalive_deadline: Option<SimTime>,
+    /// Unanswered keepalive probes sent so far.
+    keepalive_probes_sent: u32,
     retries: u32,
     /// Set while a zero peer window forces probing.
     persist_mode: bool,
@@ -270,6 +288,8 @@ impl TcpConn {
             rexmt_deadline: None,
             delack_deadline: None,
             timewait_deadline: None,
+            keepalive_deadline: None,
+            keepalive_probes_sent: 0,
             retries: 0,
             persist_mode: false,
         }
@@ -400,12 +420,29 @@ impl TcpConn {
         self.rexmt_deadline = Some(now + timeout);
     }
 
+    /// (Re)arms the keepalive idle timer and clears the probe count. A
+    /// no-op (deadline stays `None`) when keepalives are not configured.
+    fn arm_keepalive(&mut self, now: SimTime) {
+        self.keepalive_probes_sent = 0;
+        self.keepalive_deadline = self.cfg.keepalive_idle.map(|idle| now + idle);
+    }
+
+    /// States in which keepalive probing is meaningful: the connection is
+    /// synchronized and could otherwise sit silent forever.
+    fn keepalive_applies(&self) -> bool {
+        matches!(
+            self.state,
+            TcpState::Established | TcpState::CloseWait | TcpState::FinWait2
+        )
+    }
+
     /// The earliest pending timer deadline, if any.
     pub fn next_deadline(&self) -> Option<SimTime> {
         [
             self.rexmt_deadline,
             self.delack_deadline,
             self.timewait_deadline,
+            self.keepalive_deadline,
         ]
         .into_iter()
         .flatten()
@@ -433,6 +470,29 @@ impl TcpConn {
             if now >= d {
                 self.rexmt_deadline = None;
                 acts.merge(self.on_rexmt_timeout(now));
+            }
+        }
+        if let Some(d) = self.keepalive_deadline {
+            if now >= d {
+                if !self.keepalive_applies() {
+                    // The connection moved on (closing handshake, abort):
+                    // the idle timer is stale — drop it.
+                    self.keepalive_deadline = None;
+                } else if self.keepalive_probes_sent >= self.cfg.keepalive_probes {
+                    // Peer is dead: every probe went unanswered. Surface
+                    // TimedOut to the app, then abort (RST + Closed) as
+                    // BSD's tcp_drop does on keepalive expiry.
+                    acts.events.push(ConnEvent::TimedOut);
+                    acts.merge(self.abort());
+                } else {
+                    // Probe with one garbage byte below the window
+                    // (RFC 1122 §4.2.3.6): an alive peer must re-ACK.
+                    self.keepalive_probes_sent += 1;
+                    let seq = self.snd_una.wrapping_sub(1);
+                    let seg = self.make_seg(flags::ACK, seq, vec![0], false);
+                    acts.segments.push(seg);
+                    self.keepalive_deadline = Some(now + self.cfg.keepalive_intvl);
+                }
             }
         }
         acts
@@ -608,6 +668,9 @@ impl TcpConn {
             acts.segments.push(seg);
         }
         self.state = TcpState::Closed;
+        self.keepalive_deadline = None;
+        self.rexmt_deadline = None;
+        self.delack_deadline = None;
         acts.events.push(ConnEvent::Closed);
         acts
     }
@@ -770,6 +833,7 @@ impl TcpConn {
                 self.retries = 0;
                 self.backoff_shift = 0;
                 self.rexmt_deadline = None;
+                self.arm_keepalive(now);
                 out.events.push(ConnEvent::Established);
                 let ack = self.make_ack();
                 out.segments.push(ack);
@@ -806,6 +870,9 @@ impl TcpConn {
         acts: &mut Actions,
     ) -> Actions {
         let mut out = std::mem::take(acts);
+        // Any segment from the peer proves it is alive: restart the
+        // keepalive idle clock and forget pending probes.
+        self.arm_keepalive(now);
         // RST: kill the connection if plausibly in-window.
         if th.has(flags::RST) {
             if self.seq_acceptable(th, payload.len().max(1)) || th.seq == self.rcv_nxt {
@@ -940,6 +1007,7 @@ impl TcpConn {
         match self.state {
             TcpState::SynReceived if seq_gt(ack, self.iss) => {
                 self.state = TcpState::Established;
+                self.arm_keepalive(now);
                 out.events.push(ConnEvent::Established);
             }
             TcpState::FinWait1 if fin_acked => {
@@ -1076,6 +1144,13 @@ pub struct TcpListener {
     pub accept_queue: usize,
     /// SYNs dropped due to a full backlog.
     pub syn_drops: u64,
+    /// Embryonic (SynReceived) children in admission order — the minimal
+    /// SYN-cache: when the backlog is full and the host enables the
+    /// cache, the *oldest* half-open entry is evicted to admit a fresh
+    /// SYN, bounding the damage a SYN flood can do to the table.
+    pub half_open: VecDeque<SockId>,
+    /// Half-open entries evicted by the SYN-cache to admit new SYNs.
+    pub syn_cache_evictions: u64,
 }
 
 impl TcpListener {
@@ -1087,6 +1162,8 @@ impl TcpListener {
             syn_queue: 0,
             accept_queue: 0,
             syn_drops: 0,
+            half_open: VecDeque::new(),
+            syn_cache_evictions: 0,
         }
     }
 
@@ -1123,6 +1200,28 @@ impl TcpListener {
     pub fn on_accept(&mut self) {
         debug_assert!(self.accept_queue > 0);
         self.accept_queue -= 1;
+    }
+
+    /// Records the admitted child's identity for SYN-cache ordering.
+    /// Call next to [`on_syn_admitted`](Self::on_syn_admitted).
+    pub fn track_half_open(&mut self, child: SockId) {
+        self.half_open.push_back(child);
+    }
+
+    /// Forgets a child that left the half-open set (established, failed,
+    /// or evicted).
+    pub fn untrack_half_open(&mut self, child: SockId) {
+        self.half_open.retain(|&s| s != child);
+    }
+
+    /// The oldest half-open child — the SYN-cache eviction victim.
+    pub fn oldest_half_open(&self) -> Option<SockId> {
+        self.half_open.front().copied()
+    }
+
+    /// Records a SYN-cache eviction.
+    pub fn on_syn_cache_evict(&mut self) {
+        self.syn_cache_evictions += 1;
     }
 }
 

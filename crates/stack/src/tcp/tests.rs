@@ -883,3 +883,187 @@ fn reordered_segments_do_not_trigger_fast_retransmit() {
     assert!(d.a.stats.dup_acks <= 1, "stats: {:?}", d.a.stats);
     assert_eq!(d.a.stats.timeouts, 0, "no spurious RTO");
 }
+
+// ---- keepalive ----
+
+/// Keepalive config on side `a` only, so the driver's idle loop is
+/// driven by a single probing endpoint.
+fn ka_cfg() -> TcpConfig {
+    TcpConfig {
+        mss: 1460,
+        keepalive_idle: Some(SimDuration::from_secs(5)),
+        keepalive_intvl: SimDuration::from_secs(1),
+        keepalive_probes: 3,
+        ..TcpConfig::default()
+    }
+}
+
+/// An established pair where only `a` runs keepalives. The handshake is
+/// driven by hand with no idle-time advance, so `d.now` is exactly the
+/// instant `a` entered Established (and armed its idle timer).
+fn ka_established() -> Driver {
+    let mut d = Driver::new(cfg());
+    d.a = TcpConn::new(ka_cfg(), ep(1, 1000), ep(2, 2000), 100);
+    let acts = d.a.connect(d.now);
+    let syn = acts.segments.into_iter().next().unwrap();
+    let (b2, acts_b) = TcpConn::accept_syn(
+        *d.b.config(),
+        ep(2, 2000),
+        ep(1, 1000),
+        900_000,
+        &syn.hdr,
+        d.now,
+    );
+    d.b = b2;
+    let synack = acts_b.segments.into_iter().next().unwrap();
+    let acts_a = d.a.on_segment(d.now, &synack.hdr, &[]);
+    for seg in &acts_a.segments {
+        let r = d.b.on_segment(d.now, &seg.hdr, &seg.payload);
+        d.absorb(1, r);
+    }
+    assert_eq!(d.a.state, TcpState::Established);
+    assert_eq!(d.b.state, TcpState::Established);
+    d
+}
+
+#[test]
+fn keepalive_probe_timing_idle_then_interval() {
+    let mut d = ka_established();
+    let t0 = d.now;
+    // The idle timer armed on entering Established.
+    assert_eq!(
+        d.a.next_deadline(),
+        Some(t0 + SimDuration::from_secs(5)),
+        "keepalive idle threshold armed at establishment"
+    );
+    // First fire: a one-garbage-byte probe below the window.
+    let t1 = d.a.next_deadline().unwrap();
+    let acts = d.a.on_timer(t1);
+    assert_eq!(acts.segments.len(), 1);
+    let probe = &acts.segments[0];
+    assert_eq!(probe.payload.len(), 1, "probe carries one garbage byte");
+    assert_eq!(probe.hdr.seq, d.a.snd_una.wrapping_sub(1));
+    assert!(probe.hdr.has(flags::ACK));
+    assert_eq!(d.a.keepalive_probes_sent, 1);
+    // Subsequent probes fire at the (shorter) probe interval.
+    assert_eq!(
+        d.a.next_deadline(),
+        Some(t1 + SimDuration::from_secs(1)),
+        "after the first probe the interval timer takes over"
+    );
+}
+
+#[test]
+fn keepalive_dead_peer_aborts_after_n_probes() {
+    let mut d = ka_established();
+    // Peer death: never deliver anything to (or from) b again.
+    let mut probes = 0;
+    loop {
+        let t = d.a.next_deadline().expect("keepalive keeps a timer armed");
+        let acts = d.a.on_timer(t);
+        if acts.events.contains(&ConnEvent::TimedOut) {
+            // Abort: RST out, Closed surfaced, machine dead.
+            assert!(acts.events.contains(&ConnEvent::Closed));
+            assert!(acts.segments.iter().any(|s| s.hdr.has(flags::RST)));
+            assert_eq!(d.a.state, TcpState::Closed);
+            break;
+        }
+        probes += acts
+            .segments
+            .iter()
+            .filter(|s| s.payload.len() == 1)
+            .count();
+        assert!(probes <= 3, "no more than keepalive_probes probes");
+    }
+    assert_eq!(probes, 3, "exactly keepalive_probes unanswered probes");
+    assert_eq!(d.a.next_deadline(), None, "all timers cleared after abort");
+}
+
+#[test]
+fn keepalive_answered_probe_resets_counter_and_idle_clock() {
+    let mut d = ka_established();
+    let t1 = d.a.next_deadline().unwrap();
+    let acts = d.a.on_timer(t1);
+    assert_eq!(d.a.keepalive_probes_sent, 1);
+    // The live peer treats the old-sequence probe as unacceptable and
+    // re-ACKs immediately.
+    let probe = &acts.segments[0];
+    d.now = t1;
+    let reply = d.b.on_segment(d.now, &probe.hdr, &probe.payload);
+    assert_eq!(reply.segments.len(), 1, "alive peer answers the probe");
+    assert!(reply.events.is_empty(), "probe is invisible to b's app");
+    let ack = &reply.segments[0];
+    let acts_a = d.a.on_segment(d.now, &ack.hdr, &ack.payload);
+    assert!(acts_a.events.is_empty());
+    assert_eq!(
+        d.a.keepalive_probes_sent, 0,
+        "answer clears the probe count"
+    );
+    assert_eq!(
+        d.a.next_deadline(),
+        Some(t1 + SimDuration::from_secs(5)),
+        "idle clock restarts from the answer"
+    );
+    assert_eq!(d.a.state, TcpState::Established);
+}
+
+#[test]
+fn keepalive_probe_never_feeds_rtt_estimator() {
+    // Karn interaction: probes are not timed and answers produce no RTT
+    // sample — the estimator state is untouched by a probe round trip.
+    let mut d = ka_established();
+    let srtt_before = d.a.srtt;
+    assert!(d.a.rtt_probe.is_none(), "idle connection times nothing");
+    let t1 = d.a.next_deadline().unwrap();
+    let acts = d.a.on_timer(t1);
+    assert!(d.a.rtt_probe.is_none(), "probe is not an RTT sample");
+    let probe = &acts.segments[0];
+    d.now = t1 + SimDuration::from_millis(300);
+    let reply = d.b.on_segment(d.now, &probe.hdr, &probe.payload);
+    let ack = &reply.segments[0];
+    let _ = d.a.on_segment(d.now, &ack.hdr, &ack.payload);
+    assert_eq!(d.a.srtt, srtt_before, "no sample from the probe round trip");
+}
+
+#[test]
+fn keepalive_stale_timer_clears_after_close() {
+    let mut d = ka_established();
+    // Graceful close from both sides: the machine leaves the keepalive
+    // states (FinWait2 alone still probes — it can hang forever).
+    let acts = d.a.close(d.now);
+    d.absorb(0, acts);
+    d.run(50);
+    let acts = d.b.close(d.now);
+    d.absorb(1, acts);
+    d.run(300);
+    assert!(matches!(d.a.state, TcpState::TimeWait | TcpState::Closed));
+    // Any still-armed keepalive deadline is discarded on fire, not probed.
+    if let Some(t) = d.a.keepalive_deadline {
+        let acts = d.a.on_timer(t.max(d.now));
+        assert!(acts.segments.iter().all(|s| s.payload.is_empty()));
+        assert_eq!(d.a.keepalive_deadline, None);
+    }
+}
+
+#[test]
+fn listener_half_open_tracking_fifo() {
+    let mut l = TcpListener::new(ep(2, 80), 3);
+    for i in 0..3 {
+        l.on_syn_admitted();
+        l.track_half_open(SockId(i));
+    }
+    assert!(!l.can_accept_syn());
+    assert_eq!(l.oldest_half_open(), Some(SockId(0)));
+    // Oldest-eviction order is admission order.
+    l.untrack_half_open(SockId(0));
+    l.on_child_failed();
+    l.on_syn_cache_evict();
+    assert_eq!(l.oldest_half_open(), Some(SockId(1)));
+    assert_eq!(l.syn_cache_evictions, 1);
+    assert!(l.can_accept_syn());
+    // Establishment removes from the middle without disturbing order.
+    l.untrack_half_open(SockId(2));
+    l.on_child_established();
+    assert_eq!(l.oldest_half_open(), Some(SockId(1)));
+    assert_eq!(l.accept_queue, 1);
+}

@@ -44,6 +44,7 @@ pub fn ledger_json(l: &PacketLedger) -> Json {
         ("reasm_absorbed", Json::U64(l.reasm_absorbed)),
         ("reasm_expired", Json::U64(l.reasm_expired)),
         ("flushed", Json::U64(l.flushed)),
+        ("owner_dead", Json::U64(l.owner_dead)),
         ("host_drops", Json::Obj(drops)),
         ("host_dropped", Json::U64(l.host_dropped())),
         ("disposed", Json::U64(l.disposed())),
