@@ -1,0 +1,24 @@
+//! Per-controller TCP segment-arrival microbenchmark: how fast the pure
+//! state machine processes a write → deliver → ack round trip under each
+//! pluggable congestion controller. The `bench_tcp` binary runs the same
+//! workload and emits `BENCH_tcp.json` for the CI trajectory.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lrp_bench::TcpBenchPair;
+use lrp_stack::tcp::CcAlgo;
+
+fn bench_tcp_cc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tcp_cc");
+    g.throughput(Throughput::Elements(1));
+    for cc in CcAlgo::all() {
+        g.bench_function(format!("segment_arrival/{}", cc.name()), |b| {
+            let mut pair = TcpBenchPair::new(cc);
+            let payload = vec![7u8; 1000];
+            b.iter(|| pair.roundtrip(&payload))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(tcp_cc, bench_tcp_cc);
+criterion_main!(tcp_cc);

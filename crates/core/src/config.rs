@@ -2,7 +2,7 @@
 
 use crate::cost::CostModel;
 use lrp_sim::SimDuration;
-use lrp_stack::tcp::TcpConfig;
+use lrp_stack::tcp::{CcAlgo, TcpConfig};
 
 /// The four network-subsystem architectures compared in the paper.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -52,6 +52,10 @@ pub struct HostConfig {
     pub cost: CostModel,
     /// TCP parameters.
     pub tcp: TcpConfig,
+    /// Congestion controller every TCP connection on this host is created
+    /// with (stamped into [`TcpConfig::cc`] at connection creation). The
+    /// default, NewReno, is bit-identical to the pre-modular stack.
+    pub tcp_cc: CcAlgo,
     /// Shared IP queue limit (BSD; `ipqmaxlen` = 50 in 4.4BSD).
     pub ip_queue_limit: usize,
     /// NI channel receive-queue limit, in packets.
@@ -104,6 +108,7 @@ impl HostConfig {
             arch,
             cost: CostModel::sparc20(),
             tcp: TcpConfig::default(),
+            tcp_cc: CcAlgo::NewReno,
             ip_queue_limit: 50,
             channel_limit: 64,
             sockbuf_limit: 41_600,

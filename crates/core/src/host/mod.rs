@@ -761,6 +761,16 @@ impl Host {
         self.nic.stats().rx_frames
     }
 
+    /// The TCP parameters new connections on this host are created with:
+    /// [`HostConfig::tcp`] stamped with the host's congestion-controller
+    /// selection ([`HostConfig::tcp_cc`]).
+    pub(crate) fn tcp_config(&self) -> lrp_stack::tcp::TcpConfig {
+        lrp_stack::tcp::TcpConfig {
+            cc: self.cfg.tcp_cc,
+            ..self.cfg.tcp
+        }
+    }
+
     /// Host-wide TCP counters: closed-connection totals folded at socket
     /// free plus every live connection's current statistics.
     pub fn tcp_totals(&self) -> TcpStats {

@@ -557,7 +557,7 @@ impl Host {
         let owner = self.sock(lsock).owner;
         let child = self.alloc_sock(owner, SockProto::Tcp);
         let iss = self.next_iss();
-        let (conn, actions) = TcpConn::accept_syn(self.cfg.tcp, local, remote, iss, th, now);
+        let (conn, actions) = TcpConn::accept_syn(self.tcp_config(), local, remote, iss, th, now);
         {
             let s = self.sock_mut(child);
             s.local = Some(local);

@@ -397,7 +397,7 @@ impl Host {
                     }
                 }
                 let iss = self.next_iss();
-                let mut conn = TcpConn::new(self.cfg.tcp, local, dst, iss);
+                let mut conn = TcpConn::new(self.tcp_config(), local, dst, iss);
                 let actions = conn.connect(now);
                 self.sock_mut(sock).tcp = Some(conn);
                 let tx = self.tx_segments(sock, &actions.segments);

@@ -37,4 +37,5 @@ pub use telemetry::{
 pub use world::{Event, World};
 
 pub use lrp_sched::Pid;
+pub use lrp_stack::tcp::CcAlgo;
 pub use lrp_stack::SockId;

@@ -75,6 +75,8 @@ pub const TIMELINE_COLUMNS: &[&str] = &[
     "chan_depth_max",
     "runq",
     "charged_ns",
+    "tcp_cwnd",
+    "tcp_ssthresh",
 ];
 
 /// Per-host telemetry state (see the module docs).
@@ -778,6 +780,14 @@ impl Host {
             return;
         }
         let nic = self.nic.stats();
+        // Congestion-window gauges: the widest live connection's view
+        // (cc_sweep plots per-controller cwnd evolution from these).
+        let (tcp_cwnd, tcp_ssthresh) = self
+            .live_sockets()
+            .filter_map(|s| s.tcp.as_ref())
+            .map(|c| (c.cwnd() as u64, c.ssthresh() as u64))
+            .max()
+            .unwrap_or((0, 0));
         let values = vec![
             self.tele.delivered_udp,
             self.tele.delivered_icmp,
@@ -790,6 +800,8 @@ impl Host {
             self.nic.channel_depth_max() as u64,
             self.sched.runnable_count() as u64,
             self.sched.total_charged().as_nanos(),
+            tcp_cwnd,
+            tcp_ssthresh,
         ];
         let proc_cpu = self
             .sched

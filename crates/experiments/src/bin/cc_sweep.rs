@@ -1,0 +1,86 @@
+//! Runs the congestion-controller sweep and emits `results/cc_sweep.json`:
+//! NewReno / Cubic / BBR-lite bulk goodput per architecture under the
+//! fault-sweep loss profiles, with the sender's cwnd evolution sampled
+//! from the metrics timeline. Representative instrumented runs (one per
+//! controller, SOFT-LRP under bursty loss) go through the
+//! packet-conservation self-check.
+
+use lrp_core::CcAlgo;
+use lrp_experiments::{cc_sweep, fault_sweep};
+use lrp_sim::SimTime;
+use lrp_telemetry::{experiment_json, report_and_check, write_artifact, write_results, Json};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cells = cc_sweep::run(quick);
+    let text = cc_sweep::render(&cells);
+    println!("{text}");
+    write_artifact("cc_sweep", "txt", &text).expect("write cc_sweep.txt");
+
+    // One instrumented run per controller: every injected fault must be
+    // attributed and both ledgers must balance whatever the controller.
+    let mut hosts = Vec::new();
+    for cc in CcAlgo::all() {
+        let plan = fault_sweep::burst_plan(0xCC05, 0.05);
+        let (mut world, _metrics) =
+            fault_sweep::build_cc(lrp_core::Architecture::SoftLrp, cc, plan, 256 << 10);
+        world.run_until(SimTime::from_secs(30));
+        let label = format!("burst05-softlrp-{}", cc.name());
+        let report = report_and_check(&world, &label);
+        hosts.push((label, report));
+    }
+
+    let data = Json::obj(vec![(
+        "cells",
+        Json::Arr(
+            cells
+                .iter()
+                .map(|c| {
+                    let p = &c.point;
+                    Json::obj(vec![
+                        ("cc", Json::str(p.cc.name())),
+                        ("arch", Json::str(p.arch.name())),
+                        ("profile", Json::str(p.profile)),
+                        ("rate", Json::F64(p.rate)),
+                        ("goodput_mbps", Json::F64(p.goodput_mbps)),
+                        ("bytes", Json::U64(p.bytes)),
+                        ("done", Json::Bool(p.done)),
+                        ("retransmits", Json::U64(p.retransmits)),
+                        ("fast_retransmits", Json::U64(p.fast_retransmits)),
+                        ("timeouts", Json::U64(p.timeouts)),
+                        ("checksum_drops", Json::U64(p.checksum_drops)),
+                        ("conserved", Json::Bool(p.conserved)),
+                        ("cwnd_max", Json::U64(c.cwnd_max)),
+                        ("cwnd_mean", Json::F64(c.cwnd_mean)),
+                        ("ssthresh_last", Json::U64(c.ssthresh_last)),
+                        (
+                            "cwnd_timeline",
+                            Json::Arr(
+                                c.cwnd_timeline
+                                    .iter()
+                                    .map(|&(t_ns, cwnd)| {
+                                        Json::obj(vec![
+                                            ("t_ns", Json::U64(t_ns)),
+                                            ("cwnd", Json::U64(cwnd)),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect(),
+        ),
+    )]);
+    let doc = experiment_json(
+        "cc_sweep",
+        vec![
+            ("quick", Json::Bool(quick)),
+            ("rate", Json::F64(cc_sweep::RATE)),
+        ],
+        data,
+        hosts,
+    );
+    let path = write_results("cc_sweep", &doc).expect("write cc_sweep.json");
+    eprintln!("wrote {}", path.display());
+}

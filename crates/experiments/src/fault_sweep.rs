@@ -11,7 +11,7 @@
 
 use crate::{HOST_A, HOST_B};
 use lrp_apps::{shared, Shared, TcpBulkMetrics, TcpBulkReceiver, TcpBulkSender};
-use lrp_core::{Architecture, DropPoint, Host, World};
+use lrp_core::{Architecture, CcAlgo, DropPoint, Host, World};
 use lrp_net::FaultPlan;
 use lrp_sim::SimTime;
 use lrp_wire::Endpoint;
@@ -21,6 +21,9 @@ use lrp_wire::Endpoint;
 pub struct SweepPoint {
     /// Architecture under test.
     pub arch: Architecture,
+    /// Congestion controller the sender ran (NewReno in the classic
+    /// sweep; varied by `cc_sweep`).
+    pub cc: CcAlgo,
     /// Fault profile name (`bernoulli`, `burst`, `corrupt`).
     pub profile: &'static str,
     /// Target fault rate (stationary loss or corruption probability).
@@ -105,9 +108,21 @@ pub fn sweep_rates() -> [f64; 4] {
 /// Builds the bulk-transfer world with `plan` installed on the
 /// receiver's link. Host 0 is the sender (A), host 1 the receiver (B).
 pub fn build(arch: Architecture, plan: FaultPlan, total: usize) -> (World, Shared<TcpBulkMetrics>) {
+    build_cc(arch, CcAlgo::NewReno, plan, total)
+}
+
+/// [`build`] with both hosts running the given congestion controller.
+pub fn build_cc(
+    arch: Architecture,
+    cc: CcAlgo,
+    plan: FaultPlan,
+    total: usize,
+) -> (World, Shared<TcpBulkMetrics>) {
     let mut world = World::with_defaults();
     let metrics = shared::<TcpBulkMetrics>();
-    let mut a = Host::new(crate::host_config(arch), HOST_A);
+    let mut cfg = crate::host_config(arch);
+    cfg.tcp_cc = cc;
+    let mut a = Host::new(cfg, HOST_A);
     a.spawn_app(
         "tcp-src",
         0,
@@ -118,7 +133,7 @@ pub fn build(arch: Architecture, plan: FaultPlan, total: usize) -> (World, Share
             16_384,
         )),
     );
-    let mut b = Host::new(crate::host_config(arch), HOST_B);
+    let mut b = Host::new(cfg, HOST_B);
     b.spawn_app(
         "tcp-sink",
         0,
@@ -141,12 +156,41 @@ pub fn measure(
     total: usize,
     cap: SimTime,
 ) -> SweepPoint {
-    let (mut world, metrics) = build(arch, plan, total);
+    measure_cc(arch, CcAlgo::NewReno, profile, plan, rate, total, cap)
+}
+
+/// [`measure`] with the sender and receiver running the given congestion
+/// controller.
+pub fn measure_cc(
+    arch: Architecture,
+    cc: CcAlgo,
+    profile: &'static str,
+    plan: FaultPlan,
+    rate: f64,
+    total: usize,
+    cap: SimTime,
+) -> SweepPoint {
+    measure_cc_world(arch, cc, profile, plan, rate, total, cap).0
+}
+
+/// [`measure_cc`], also handing back the finished world so callers can
+/// mine its telemetry (`cc_sweep` extracts the cwnd timeline).
+pub fn measure_cc_world(
+    arch: Architecture,
+    cc: CcAlgo,
+    profile: &'static str,
+    plan: FaultPlan,
+    rate: f64,
+    total: usize,
+    cap: SimTime,
+) -> (SweepPoint, World) {
+    let (mut world, metrics) = build_cc(arch, cc, plan, total);
     world.run_until(cap);
     let m = metrics.borrow();
     let tcp = world.hosts[0].tcp_totals();
-    SweepPoint {
+    let point = SweepPoint {
         arch,
+        cc,
         profile,
         rate,
         goodput_mbps: m.mbps(),
@@ -158,7 +202,9 @@ pub fn measure(
         checksum_drops: world.hosts[1].stats.dropped(DropPoint::BadPacket),
         conserved: world.hosts[0].packet_ledger().conserved()
             && world.hosts[1].packet_ledger().conserved(),
-    }
+    };
+    drop(m);
+    (point, world)
 }
 
 /// Runs the full sweep: every architecture x profile x rate. `quick`
@@ -223,12 +269,22 @@ pub fn run_udp_burst(duration: SimTime) -> Vec<UdpBurstPoint> {
         .collect()
 }
 
-/// Renders the sweep and the UDP burst run as text tables.
-pub fn render(points: &[SweepPoint], udp: &[UdpBurstPoint]) -> String {
+/// Renders the TCP sweep cells as a text table. `show_cc` adds the
+/// controller column and switches the retransmission labels from the
+/// classic NewReno-assuming names (`fastrtx` reads as Reno fast
+/// retransmit) to controller-neutral ones (`dup3-rtx`: retransmissions
+/// triggered by three duplicate ACKs, whatever the controller did to the
+/// window). `cc_sweep` reuses this builder; the classic sweep renders
+/// without the column, byte-identical to the pre-modular report.
+pub fn tcp_table(points: &[SweepPoint], show_cc: bool) -> String {
     let rows: Vec<Vec<String>> = points
         .iter()
         .map(|p| {
-            vec![
+            let mut row = Vec::new();
+            if show_cc {
+                row.push(p.cc.name().to_string());
+            }
+            row.extend([
                 p.profile.to_string(),
                 format!("{:.2}", p.rate),
                 p.arch.name().to_string(),
@@ -238,18 +294,28 @@ pub fn render(points: &[SweepPoint], udp: &[UdpBurstPoint]) -> String {
                 p.fast_retransmits.to_string(),
                 p.timeouts.to_string(),
                 p.checksum_drops.to_string(),
-            ]
+            ]);
+            row
         })
         .collect();
+    let headers: &[&str] = if show_cc {
+        &[
+            "cc", "profile", "rate", "arch", "Mb/s", "done", "retx", "dup3-rtx", "rto", "csumdrop",
+        ]
+    } else {
+        &[
+            "profile", "rate", "arch", "Mb/s", "done", "retx", "fastrtx", "rto", "csumdrop",
+        ]
+    };
+    crate::plot::table(headers, &rows)
+}
+
+/// Renders the sweep and the UDP burst run as text tables.
+pub fn render(points: &[SweepPoint], udp: &[UdpBurstPoint]) -> String {
     let mut out = String::from(
         "Fault sweep: TCP bulk goodput vs link-fault rate (faults on the data path)\n\n",
     );
-    out.push_str(&crate::plot::table(
-        &[
-            "profile", "rate", "arch", "Mb/s", "done", "retx", "fastrtx", "rto", "csumdrop",
-        ],
-        &rows,
-    ));
+    out.push_str(&tcp_table(points, false));
     out.push_str("\nUDP blast through a 10% burst-lossy link (offered 12000 pkts/s)\n\n");
     let udp_rows: Vec<Vec<String>> = udp
         .iter()

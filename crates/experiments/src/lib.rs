@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod cc_sweep;
 pub mod crash_recovery;
 pub mod fault_sweep;
 pub mod fig3;

@@ -1,6 +1,5 @@
-//! The TCP state machine: RFC 793 connection management plus 4.4BSD-style
-//! congestion control (slow start, congestion avoidance, fast retransmit,
-//! Jacobson/Karn RTT estimation, exponential backoff).
+//! The TCP state machine: RFC 793 connection management with pluggable
+//! congestion control, ACK strategy, and loss recovery.
 //!
 //! The machine is *pure*: it consumes parsed segments and produces
 //! [`Actions`] — segments to transmit and events for the socket layer. It
@@ -8,6 +7,26 @@
 //! so the identical code runs under all four simulated architectures (the
 //! paper's "all kernels execute the same networking code"), with the host
 //! choosing the execution context and CPU charging policy.
+//!
+//! The module tree (see DESIGN.md §12 for the full contracts):
+//!
+//! - this file — the PCB core: connection management, sequence-space
+//!   bookkeeping, buffers, timers, and the output engine. [`TcpConn`]
+//!   owns every sequence number; the seams below never touch one.
+//! - [`cc`] — [`cc::CongestionControl`]: `cwnd`/`ssthresh` ownership
+//!   behind on-ack/on-loss/on-RTO/on-idle-restart hooks, with three
+//!   controllers ([`cc::NewReno`] default, [`cc::Cubic`],
+//!   [`cc::BbrLite`]) selected by [`TcpConfig::cc`].
+//! - [`ack`] — [`ack::AckStrategy`]: delayed-ACK policy and dup-ACK
+//!   emission ([`ack::AckEveryOther`], BSD's ack-every-other).
+//! - [`recovery`] — [`recovery::LossRecovery`]: Karn/Jacobson RTT
+//!   sampling, RTO clamping, exponential backoff, retry budget, and
+//!   dup-ACK counting ([`recovery::RenoRecovery`]).
+//!
+//! Under the default modules the machine is bit-identical to the
+//! pre-refactor monolithic `tcp.rs` — pinned by `tests/determinism.rs`,
+//! `tests/chaos.rs`, and the cross-refactor goldens in
+//! `tests/cc_golden.rs`.
 //!
 //! Implemented: 3-way handshake (active and passive), listen backlog
 //! accounting, sliding-window data transfer, slow start + congestion
@@ -25,6 +44,16 @@ use lrp_sim::{SimDuration, SimTime};
 use lrp_wire::tcp::{flags, seq_ge, seq_gt, seq_le, seq_lt, TcpHeader};
 use lrp_wire::Endpoint;
 use std::collections::{BTreeMap, VecDeque};
+
+pub mod ack;
+pub mod cc;
+pub mod recovery;
+
+pub use ack::{AckDecision, AckStrategy};
+pub use cc::{CcAlgo, CongestionControl};
+pub use recovery::{LossRecovery, RenoRecovery};
+
+use ack::AckEveryOther;
 
 /// TCP connection states (RFC 793).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -129,6 +158,9 @@ pub struct TcpConfig {
     /// Unanswered probes after which the peer is declared dead and the
     /// connection aborted (surfaced as `TimedOut`, then RST + `Closed`).
     pub keepalive_probes: u32,
+    /// Congestion controller new connections run ([`CcAlgo::NewReno`] by
+    /// default — bit-identical to the pre-refactor machine).
+    pub cc: CcAlgo,
 }
 
 impl Default for TcpConfig {
@@ -146,6 +178,7 @@ impl Default for TcpConfig {
             keepalive_idle: None,
             keepalive_intvl: SimDuration::from_secs(1),
             keepalive_probes: 3,
+            cc: CcAlgo::NewReno,
         }
     }
 }
@@ -187,7 +220,9 @@ impl TcpStats {
     }
 }
 
-/// A TCP connection.
+/// A TCP connection: the PCB core. Owns connection management and
+/// sequence-space bookkeeping; delegates window management to [`cc`],
+/// ACK policy to [`ack`], and timing/backoff to [`recovery`].
 #[derive(Debug)]
 pub struct TcpConn {
     cfg: TcpConfig,
@@ -223,19 +258,12 @@ pub struct TcpConn {
     /// Last window we advertised (for update decisions).
     last_adv_wnd: u32,
 
-    // Congestion control.
-    cwnd: usize,
-    ssthresh: usize,
-    dup_ack_count: u32,
-
-    // RTT estimation (Jacobson), in seconds.
-    srtt: Option<f64>,
-    rttvar: f64,
-    rto: SimDuration,
-    backoff_shift: u32,
-    /// In-flight timed segment: `(seq, sent_at)`; Karn's rule clears it on
-    /// retransmission.
-    rtt_probe: Option<(u32, SimTime)>,
+    /// Congestion control: owns `cwnd` and `ssthresh`.
+    cc: Box<dyn CongestionControl>,
+    /// ACK-emission policy.
+    ack_policy: Box<dyn AckStrategy>,
+    /// Loss recovery: RTT estimation, backoff, dup-ACK counting.
+    pub(crate) recovery: RenoRecovery,
 
     // Timers (absolute deadlines).
     rexmt_deadline: Option<SimTime>,
@@ -246,7 +274,6 @@ pub struct TcpConn {
     keepalive_deadline: Option<SimTime>,
     /// Unanswered keepalive probes sent so far.
     keepalive_probes_sent: u32,
-    retries: u32,
     /// Set while a zero peer window forces probing.
     persist_mode: bool,
 }
@@ -277,20 +304,14 @@ impl TcpConn {
             rcv_buf: ByteBuffer::new(cfg.rcv_buf),
             ooo: BTreeMap::new(),
             last_adv_wnd: cfg.rcv_buf as u32,
-            cwnd: mss as usize,
-            ssthresh: 65_535,
-            dup_ack_count: 0,
-            srtt: None,
-            rttvar: 0.0,
-            rto: cfg.rto_init,
-            backoff_shift: 0,
-            rtt_probe: None,
+            cc: cfg.cc.build(mss as usize, cfg.snd_buf * 2),
+            ack_policy: Box::new(AckEveryOther::new(cfg.delack)),
+            recovery: RenoRecovery::new(cfg.rto_init),
             rexmt_deadline: None,
             delack_deadline: None,
             timewait_deadline: None,
             keepalive_deadline: None,
             keepalive_probes_sent: 0,
-            retries: 0,
             persist_mode: false,
         }
     }
@@ -307,7 +328,23 @@ impl TcpConn {
 
     /// Current congestion window in bytes.
     pub fn cwnd(&self) -> usize {
-        self.cwnd
+        self.cc.cwnd()
+    }
+
+    /// Current slow-start threshold in bytes.
+    pub fn ssthresh(&self) -> usize {
+        self.cc.ssthresh()
+    }
+
+    /// The congestion controller this connection runs.
+    pub fn cc_algo(&self) -> CcAlgo {
+        self.cc.algo()
+    }
+
+    /// The controller's advisory pacing gain, ×1024 (see
+    /// [`CongestionControl::pacing_gain_x1024`]).
+    pub fn pacing_gain_x1024(&self) -> u32 {
+        self.cc.pacing_gain_x1024()
     }
 
     /// Bytes of in-order data available to read.
@@ -395,7 +432,7 @@ impl TcpConn {
         c.rcv_nxt = syn.seq.wrapping_add(1);
         if let Some(m) = syn.mss {
             c.mss_effective = c.cfg.mss.min(m);
-            c.cwnd = c.mss_effective as usize;
+            c.cc.on_mss_negotiated(c.mss_effective as usize);
         }
         c.snd_wnd = syn.window as u32;
         c.snd_nxt = iss.wrapping_add(1);
@@ -412,12 +449,7 @@ impl TcpConn {
     // ---- timers ----
 
     fn arm_rexmt(&mut self, now: SimTime) {
-        let timeout = self
-            .rto
-            .mul_f64((1u64 << self.backoff_shift.min(12)) as f64)
-            .min(self.cfg.rto_max)
-            .max(self.cfg.rto_min);
-        self.rexmt_deadline = Some(now + timeout);
+        self.rexmt_deadline = Some(now + self.recovery.rexmt_timeout(&self.cfg));
     }
 
     /// (Re)arms the keepalive idle timer and clears the probe count. A
@@ -507,22 +539,17 @@ impl TcpConn {
         let persisting =
             self.snd_wnd == 0 && !self.snd_buf.is_empty() && self.snd_nxt == self.snd_una;
         if persisting {
-            self.backoff_shift = (self.backoff_shift + 1).min(6);
-            self.rtt_probe = None;
+            self.recovery.on_persist_timeout();
             acts.merge(self.send_probe(now));
             self.arm_rexmt(now);
             return acts;
         }
-        self.retries += 1;
-        if self.retries > self.cfg.max_retries {
+        if self.recovery.on_rto_fired(self.cfg.max_retries) {
             self.state = TcpState::Closed;
             acts.events.push(ConnEvent::TimedOut);
             acts.events.push(ConnEvent::Closed);
             return acts;
         }
-        self.backoff_shift += 1;
-        // Karn: do not time retransmitted segments.
-        self.rtt_probe = None;
         match self.state {
             TcpState::SynSent => {
                 let syn = self.make_seg(flags::SYN, self.iss, Vec::new(), true);
@@ -543,9 +570,8 @@ impl TcpConn {
             | TcpState::LastAck => {
                 // Collapse the window: classic timeout response.
                 let flight = self.snd_nxt.wrapping_sub(self.snd_una) as usize;
-                self.ssthresh = (flight / 2).max(2 * self.mss_effective as usize);
-                self.cwnd = self.mss_effective as usize;
-                self.dup_ack_count = 0;
+                self.cc.on_rto(now, flight);
+                self.recovery.reset_dup_acks();
                 // Go-back-N: rewind and retransmit from snd_una.
                 self.snd_nxt = self.snd_una;
                 // A lost FIN must be resent too: forget it was ever sent
@@ -580,26 +606,6 @@ impl TcpConn {
         acts
     }
 
-    // ---- RTT estimation ----
-
-    fn rtt_sample(&mut self, sample: f64) {
-        match self.srtt {
-            None => {
-                self.srtt = Some(sample);
-                self.rttvar = sample / 2.0;
-            }
-            Some(srtt) => {
-                let err = sample - srtt;
-                self.srtt = Some(srtt + err / 8.0);
-                self.rttvar += (err.abs() - self.rttvar) / 4.0;
-            }
-        }
-        let rto = self.srtt.unwrap_or(0.0) + 4.0 * self.rttvar;
-        self.rto = SimDuration::from_secs_f64(rto.max(0.0))
-            .max(self.cfg.rto_min)
-            .min(self.cfg.rto_max);
-    }
-
     // ---- app interface ----
 
     /// Writes application data into the send buffer; returns how many bytes
@@ -608,6 +614,12 @@ impl TcpConn {
         match self.state {
             TcpState::Established | TcpState::CloseWait => {}
             _ => return (0, Actions::default()),
+        }
+        // Idle restart: nothing in flight and nothing buffered means the
+        // connection sat quiet — let rate-model controllers resync.
+        // NewReno's hook is a no-op, preserving bit-identity.
+        if self.snd_buf.is_empty() && self.snd_nxt == self.snd_una {
+            self.cc.on_idle_restart(now);
         }
         let n = self.snd_buf.write(data);
         let acts = self.output(now, false);
@@ -697,7 +709,7 @@ impl TcpConn {
         let data_end = self.snd_base.wrapping_add(self.snd_buf.len() as u32);
         loop {
             let flight = self.snd_nxt.wrapping_sub(self.snd_una) as usize;
-            let wnd = (self.snd_wnd as usize).min(self.cwnd);
+            let wnd = (self.snd_wnd as usize).min(self.cc.cwnd());
             let usable = wnd.saturating_sub(flight);
             // snd_nxt can sit past data_end once the FIN has been sent;
             // plain wrapping subtraction would then be bogus-huge.
@@ -727,8 +739,8 @@ impl TcpConn {
                     self.stats.bytes_out += chunk as u64;
                     self.snd_max = self.snd_nxt;
                     // Time one segment per window (Karn).
-                    if self.rtt_probe.is_none() {
-                        self.rtt_probe = Some((seq, now));
+                    if self.recovery.rtt_probe.is_none() {
+                        self.recovery.rtt_probe = Some((seq, now));
                     }
                 }
                 if self.rexmt_deadline.is_none() {
@@ -741,7 +753,7 @@ impl TcpConn {
         // FIN when requested, all data sent, and FIN not yet sent.
         if self.fin_requested && self.fin_seq.is_none() && self.snd_nxt == data_end {
             let flight = self.snd_nxt.wrapping_sub(self.snd_una) as usize;
-            let wnd = (self.snd_wnd as usize).min(self.cwnd).max(1);
+            let wnd = (self.snd_wnd as usize).min(self.cc.cwnd()).max(1);
             if flight < wnd || rexmit {
                 let seq = self.snd_nxt;
                 self.fin_seq = Some(seq);
@@ -820,18 +832,18 @@ impl TcpConn {
             self.snd_wnd = th.window as u32;
             if let Some(m) = th.mss {
                 self.mss_effective = self.cfg.mss.min(m);
-                self.cwnd = self.mss_effective as usize;
+                self.cc.on_mss_negotiated(self.mss_effective as usize);
             }
             if th.has(flags::ACK) {
                 self.snd_una = th.ack;
-                if let Some((_, t0)) = self.rtt_probe.take() {
-                    self.rtt_sample(now.since(t0).as_secs_f64());
+                if let Some((_, t0)) = self.recovery.rtt_probe.take() {
+                    self.recovery
+                        .on_rtt_sample(now.since(t0).as_secs_f64(), &self.cfg);
                 }
             }
             if seq_gt(self.snd_una, self.iss) {
                 self.state = TcpState::Established;
-                self.retries = 0;
-                self.backoff_shift = 0;
+                self.recovery.on_new_ack();
                 self.rexmt_deadline = None;
                 self.arm_keepalive(now);
                 out.events.push(ConnEvent::Established);
@@ -952,9 +964,8 @@ impl TcpConn {
                 && self.snd_nxt != self.snd_una
                 && th.window as u32 == self.snd_wnd
             {
-                self.dup_ack_count += 1;
                 self.stats.dup_acks += 1;
-                if self.dup_ack_count == 3 {
+                if self.recovery.on_dup_ack() {
                     self.fast_retransmit(now, out);
                 }
             }
@@ -964,23 +975,19 @@ impl TcpConn {
         // New data acknowledged.
         let had_zero_window = self.snd_wnd == 0;
         self.snd_wnd = th.window as u32;
-        self.dup_ack_count = 0;
-        self.retries = 0;
-        self.backoff_shift = 0;
-        if let Some((seq, t0)) = self.rtt_probe {
+        self.recovery.on_new_ack();
+        let mut rtt_s = None;
+        if let Some((seq, t0)) = self.recovery.rtt_probe {
             if seq_lt(seq, ack) {
-                self.rtt_sample(now.since(t0).as_secs_f64());
-                self.rtt_probe = None;
+                let sample = now.since(t0).as_secs_f64();
+                self.recovery.on_rtt_sample(sample, &self.cfg);
+                self.recovery.rtt_probe = None;
+                rtt_s = Some(sample);
             }
         }
-        // Congestion window growth.
-        if self.cwnd < self.ssthresh {
-            self.cwnd += self.mss_effective as usize;
-        } else {
-            self.cwnd +=
-                ((self.mss_effective as usize * self.mss_effective as usize) / self.cwnd).max(1);
-        }
-        self.cwnd = self.cwnd.min(self.cfg.snd_buf * 2);
+        // Congestion window update (growth under the default NewReno).
+        let acked = ack.wrapping_sub(self.snd_una) as usize;
+        self.cc.on_ack(now, acked, rtt_s);
         // Release acked bytes from the send buffer.
         let data_end = self.snd_base.wrapping_add(self.snd_buf.len() as u32);
         let acked_data_end = if seq_lt(ack, data_end) { ack } else { data_end };
@@ -1031,9 +1038,9 @@ impl TcpConn {
     fn fast_retransmit(&mut self, now: SimTime, out: &mut Actions) {
         self.stats.fast_retransmits += 1;
         let flight = self.snd_nxt.wrapping_sub(self.snd_una) as usize;
-        self.ssthresh = (flight / 2).max(2 * self.mss_effective as usize);
-        self.cwnd = self.ssthresh + 3 * self.mss_effective as usize;
-        self.rtt_probe = None;
+        self.cc.on_loss(now, flight);
+        // Karn: the retransmission must not be timed.
+        self.recovery.on_retransmit();
         // Retransmit the lost segment.
         let data_end = self.snd_base.wrapping_add(self.snd_buf.len() as u32);
         if seq_lt(self.snd_una, data_end) {
@@ -1067,7 +1074,8 @@ impl TcpConn {
         if seq_lt(seq, self.rcv_nxt) {
             let skip = self.rcv_nxt.wrapping_sub(seq) as usize;
             if skip >= data.len() {
-                // Entirely old: re-ACK immediately.
+                // Entirely old: re-ACK immediately (protocol-mandated,
+                // not ACK policy).
                 let ack = self.make_ack();
                 out.segments.push(ack);
                 return;
@@ -1097,29 +1105,28 @@ impl TcpConn {
                     self.stats.bytes_in += m as u64;
                 }
             }
-            // ACK policy: delayed ack unless one is already pending or the
-            // segment is pushed... BSD acks every other segment.
-            match self.cfg.delack {
-                Some(d) => {
-                    if self.delack_deadline.is_some() {
-                        let ack = self.make_ack();
-                        out.segments.push(ack);
-                    } else {
-                        self.delack_deadline = Some(now + d);
-                    }
-                }
-                None => {
+            // ACK policy: the strategy decides between an immediate ACK
+            // and the delayed-ACK timer (BSD acks every other segment).
+            match self.ack_policy.on_in_order_data(now, self.delack_deadline) {
+                AckDecision::Now => {
                     let ack = self.make_ack();
                     out.segments.push(ack);
                 }
+                AckDecision::Delay(deadline) => self.delack_deadline = Some(deadline),
             }
         } else {
-            // Out of order: stash and send a duplicate ACK.
+            // Out of order: stash, then ask the strategy about dup-ACK
+            // emission (the sender's fast retransmit depends on it).
             if self.ooo.len() < 64 {
                 self.ooo.entry(seq).or_insert_with(|| data.to_vec());
             }
-            let ack = self.make_ack();
-            out.segments.push(ack);
+            match self.ack_policy.on_out_of_order(now) {
+                AckDecision::Now => {
+                    let ack = self.make_ack();
+                    out.segments.push(ack);
+                }
+                AckDecision::Delay(deadline) => self.delack_deadline = Some(deadline),
+            }
         }
         let _ = th;
     }

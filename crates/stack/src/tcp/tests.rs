@@ -530,8 +530,8 @@ fn rtt_estimator_converges() {
         let _ = d.b.read(10);
     }
     // RTO should have collapsed to rto_min (RTT << rto_min).
-    assert_eq!(d.a.rto, d.a.config().rto_min);
-    assert!(d.a.srtt.is_some());
+    assert_eq!(d.a.recovery.rto, d.a.config().rto_min);
+    assert!(d.a.recovery.srtt.is_some());
 }
 
 #[test]
@@ -818,24 +818,24 @@ fn karn_rule_discards_rtt_probe_on_timeout() {
     let (_, acts) = d.a.write(d.now, b"timed segment");
     d.absorb(0, acts);
     assert!(
-        d.a.rtt_probe.is_some(),
+        d.a.recovery.rtt_probe.is_some(),
         "first transmission arms an RTT probe"
     );
     let deadline = d.a.next_deadline().unwrap();
     let _ = d.a.on_timer(deadline);
     assert!(
-        d.a.rtt_probe.is_none(),
+        d.a.recovery.rtt_probe.is_none(),
         "Karn: a retransmitted segment is never timed"
     );
     // The ack for the retransmission must not produce a sample either:
     // the probe stays dead until a fresh (untransmitted) segment goes out.
-    let srtt_before = d.a.srtt;
+    let srtt_before = d.a.recovery.srtt;
     d.drop_fn = Box::new(|_, _, _| false);
     let acts = d.a.output(d.now, true);
     d.absorb(0, acts);
     d.run(200);
     assert_eq!(
-        d.a.srtt, srtt_before,
+        d.a.recovery.srtt, srtt_before,
         "no RTT sample from the retransmitted round trip"
     );
 }
@@ -1012,17 +1012,26 @@ fn keepalive_probe_never_feeds_rtt_estimator() {
     // Karn interaction: probes are not timed and answers produce no RTT
     // sample — the estimator state is untouched by a probe round trip.
     let mut d = ka_established();
-    let srtt_before = d.a.srtt;
-    assert!(d.a.rtt_probe.is_none(), "idle connection times nothing");
+    let srtt_before = d.a.recovery.srtt;
+    assert!(
+        d.a.recovery.rtt_probe.is_none(),
+        "idle connection times nothing"
+    );
     let t1 = d.a.next_deadline().unwrap();
     let acts = d.a.on_timer(t1);
-    assert!(d.a.rtt_probe.is_none(), "probe is not an RTT sample");
+    assert!(
+        d.a.recovery.rtt_probe.is_none(),
+        "probe is not an RTT sample"
+    );
     let probe = &acts.segments[0];
     d.now = t1 + SimDuration::from_millis(300);
     let reply = d.b.on_segment(d.now, &probe.hdr, &probe.payload);
     let ack = &reply.segments[0];
     let _ = d.a.on_segment(d.now, &ack.hdr, &ack.payload);
-    assert_eq!(d.a.srtt, srtt_before, "no sample from the probe round trip");
+    assert_eq!(
+        d.a.recovery.srtt, srtt_before,
+        "no sample from the probe round trip"
+    );
 }
 
 #[test]

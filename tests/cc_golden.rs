@@ -1,0 +1,97 @@
+//! Cross-refactor goldens for the modular-TCP split: with the default
+//! controller (NewReno) the refactored stack must be *byte-identical* to
+//! the pre-refactor monolithic `tcp.rs` on representative experiment
+//! cells. The pinned values below were captured on the monolith
+//! immediately before the `crates/stack/src/tcp/` module split; any
+//! drift means the `CongestionControl` / `AckStrategy` / `LossRecovery`
+//! seams changed behaviour, not just structure.
+
+use lrp::core::Architecture;
+use lrp::experiments::{fault_sweep, fig3};
+use lrp::sim::SimTime;
+
+/// Digest of one fault-sweep cell: every TCP-visible counter plus the
+/// goodput bits. Any congestion-control change shows up here.
+fn sweep_digest(arch: Architecture, profile: &'static str, rate: f64) -> String {
+    let plan = match profile {
+        "bernoulli" => fault_sweep::bernoulli_plan(0xFA00, rate),
+        "burst" => fault_sweep::burst_plan(0xFA00, rate),
+        _ => unreachable!(),
+    };
+    let p = fault_sweep::measure(arch, profile, plan, rate, 256 << 10, SimTime::from_secs(30));
+    format!(
+        "{:016x}|{}|{}|{}|{}|{}|{}|{}",
+        p.goodput_mbps.to_bits(),
+        p.bytes,
+        p.done,
+        p.retransmits,
+        p.fast_retransmits,
+        p.timeouts,
+        p.checksum_drops,
+        p.conserved
+    )
+}
+
+/// fig3 (UDP blast) exercises the full host path around TCP; its
+/// delivered-rate bits must not move either.
+fn fig3_digest(arch: Architecture) -> String {
+    let p = fig3::measure(arch, 9_500.0, SimTime::from_secs(1));
+    format!("{:016x}", p.delivered.to_bits())
+}
+
+#[test]
+fn newreno_default_fault_sweep_cells_bit_identical_to_pre_refactor() {
+    let cases: &[(Architecture, &'static str, f64, &'static str)] = &[
+        (
+            Architecture::Bsd,
+            "bernoulli",
+            0.05,
+            "3fedf765f628e065|262144|true|3|1|2|0|true",
+        ),
+        (
+            Architecture::SoftLrp,
+            "bernoulli",
+            0.05,
+            "3fe87df418910e4a|262144|true|4|1|3|0|true",
+        ),
+        (
+            Architecture::SoftLrp,
+            "burst",
+            0.05,
+            "3ff074377c84e46b|262144|true|6|0|2|0|true",
+        ),
+        (
+            Architecture::NiLrp,
+            "burst",
+            0.10,
+            "3fea7232fd8ebf04|262144|true|7|0|3|0|true",
+        ),
+    ];
+    for (arch, profile, rate, want) in cases {
+        let got = sweep_digest(*arch, profile, *rate);
+        assert_eq!(
+            &got,
+            want,
+            "fault_sweep {}/{profile}@{rate} drifted across the modular-TCP refactor",
+            arch.name()
+        );
+    }
+}
+
+#[test]
+fn newreno_default_fig3_points_bit_identical_to_pre_refactor() {
+    let cases: &[(Architecture, &'static str)] = &[
+        (Architecture::Bsd, "40b5aa0000000000"),
+        (Architecture::SoftLrp, "40c05c0000000000"),
+        (Architecture::NiLrp, "40c28e0000000000"),
+    ];
+    for (arch, want) in cases {
+        let got = fig3_digest(*arch);
+        assert_eq!(
+            &got,
+            want,
+            "fig3 {} delivered-rate drifted across the modular-TCP refactor",
+            arch.name()
+        );
+    }
+}

@@ -16,12 +16,18 @@
 //! The proptest shim generates cases deterministically per test name, so
 //! CI runs a fixed seed set.
 
-use lrp::core::{Architecture, CrashEvent, HostFaultPlan};
-use lrp::experiments::{crash_recovery, fig3};
+use lrp::apps::{shared, Shared, TcpBulkMetrics, TcpBulkReceiver};
+use lrp::core::{
+    AppCtx, AppLogic, Architecture, CrashEvent, DropPoint, Errno, Host, HostFaultPlan, SockProto,
+    SyscallOp, SyscallRet, World,
+};
+use lrp::experiments::{crash_recovery, fault_sweep, fig3, host_config, HOST_A, HOST_B};
 use lrp::net::FaultPlan;
 use lrp::nic::NicFaultPlan;
 use lrp::sched::Pid;
 use lrp::sim::{SimDuration, SimTime};
+use lrp::stack::SockId;
+use lrp::wire::Endpoint;
 use proptest::prelude::*;
 
 /// One randomly drawn fault schedule.
@@ -350,6 +356,266 @@ fn inert_host_fault_plan_matches_no_plan() {
             "inert host fault plan must not perturb {}",
             arch.name()
         );
+    }
+}
+
+// ---- client-side SYN_SENT crash coverage ----
+
+/// What a [`ConnectProbe`] observed, recorded for the test to inspect
+/// after the world ran.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct ProbeLog {
+    /// Outcome of the `connect` syscall.
+    connect: Option<Result<(), Errno>>,
+    /// Outcome of the blocking `recv` issued after a successful connect.
+    io: Option<Result<usize, Errno>>,
+}
+
+/// Minimal TCP client: sleeps 5 ms, connects, records the connect
+/// errno; on success blocks in `recv` and records that errno too. Lets
+/// the tests pin exactly which error the kernel surfaces when the peer
+/// never answers or dies.
+struct ConnectProbe {
+    dst: Endpoint,
+    log: Shared<ProbeLog>,
+    sock: Option<SockId>,
+}
+
+impl ConnectProbe {
+    fn new(dst: Endpoint, log: Shared<ProbeLog>) -> Self {
+        ConnectProbe {
+            dst,
+            log,
+            sock: None,
+        }
+    }
+}
+
+impl AppLogic for ConnectProbe {
+    fn start(&mut self, _ctx: AppCtx) -> SyscallOp {
+        SyscallOp::Sleep(SimDuration::from_millis(5))
+    }
+    fn resume(&mut self, _ctx: AppCtx, ret: SyscallRet) -> SyscallOp {
+        match ret {
+            // Sleep finished: create the socket.
+            SyscallRet::Ok if self.sock.is_none() => SyscallOp::Socket(SockProto::Tcp),
+            SyscallRet::Socket(s) => {
+                self.sock = Some(s);
+                SyscallOp::Connect {
+                    sock: s,
+                    dst: self.dst,
+                }
+            }
+            // Connect succeeded: block waiting for data that never comes.
+            SyscallRet::Ok => {
+                self.log.borrow_mut().connect = Some(Ok(()));
+                SyscallOp::Recv {
+                    sock: self.sock.expect("connected socket"),
+                    max_len: 4096,
+                }
+            }
+            SyscallRet::Data(d) => {
+                self.log.borrow_mut().io = Some(Ok(d.len()));
+                SyscallOp::Exit
+            }
+            SyscallRet::Err(e) => {
+                let mut log = self.log.borrow_mut();
+                if log.connect.is_none() {
+                    log.connect = Some(Err(e));
+                } else {
+                    log.io = Some(Err(e));
+                }
+                SyscallOp::Exit
+            }
+            _ => SyscallOp::Exit,
+        }
+    }
+}
+
+/// TCP port the probe worlds use.
+const PROBE_PORT: u16 = 6400;
+
+/// Two-host world: a [`ConnectProbe`] on A dialing B. `listen` spawns a
+/// bulk receiver on B; without it the SYN hits a listener-less host.
+/// `max_retries` shortens the retransmission death spiral for the tests.
+fn probe_world(arch: Architecture, listen: bool, max_retries: u32) -> (World, Shared<ProbeLog>) {
+    let mut world = World::with_defaults();
+    let log = shared::<ProbeLog>();
+    let mut cfg = host_config(arch);
+    cfg.tcp.max_retries = max_retries;
+    let mut a = Host::new(cfg, HOST_A);
+    a.spawn_app(
+        "probe",
+        0,
+        0,
+        Box::new(ConnectProbe::new(
+            Endpoint::new(HOST_B, PROBE_PORT),
+            log.clone(),
+        )),
+    );
+    let mut b = Host::new(cfg, HOST_B);
+    if listen {
+        b.spawn_app(
+            "tcp-sink",
+            0,
+            0,
+            Box::new(TcpBulkReceiver::new(PROBE_PORT, shared::<TcpBulkMetrics>())),
+        );
+    }
+    world.add_host(a);
+    world.add_host(b);
+    (world, log)
+}
+
+/// A SYN into a host with no listener is silently dropped (no RST — the
+/// kernel only charges the lookup cost), so the client retransmits from
+/// SYN_SENT until retries are exhausted and `connect` must surface
+/// `Err(TimedOut)`. Conservation holds on both hosts throughout.
+#[test]
+fn connect_to_listenerless_host_times_out() {
+    for arch in [
+        Architecture::Bsd,
+        Architecture::EarlyDemux,
+        Architecture::SoftLrp,
+        Architecture::NiLrp,
+    ] {
+        let (mut world, log) = probe_world(arch, false, 2);
+        world.run_until(SimTime::from_secs(20));
+        assert_eq!(
+            log.borrow().connect,
+            Some(Err(Errno::TimedOut)),
+            "SYN blackhole must surface TimedOut from connect on {}",
+            arch.name()
+        );
+        // Where the SYN dies depends on the architecture: protocol-time
+        // socket lookup on BSD, host demux on Early-Demux/SOFT-LRP, or
+        // on-NIC demux (an early discard) on NI-LRP. Either way it is a
+        // counted drop, never an RST.
+        let b = &world.hosts[1];
+        assert!(
+            b.stats.dropped(DropPoint::NoSocket)
+                + b.stats.dropped(DropPoint::Channel)
+                + b.nic.stats().early_discards
+                > 0,
+            "the listener-less host drops the SYN at lookup or demux on {}",
+            arch.name()
+        );
+        let errs = lrp::telemetry::conservation_errors(&world);
+        assert!(
+            errs.is_empty(),
+            "conservation violated on {}:\n{}",
+            arch.name(),
+            errs.join("\n")
+        );
+    }
+}
+
+/// Killing the server after the handshake aborts its sockets with an RST
+/// per RFC 793; the client blocked in `recv` must be woken with
+/// `Err(ConnReset)`. Conservation holds with the `owner_dead` bucket
+/// absorbing the dead process's queued frames.
+#[test]
+fn server_crash_surfaces_conn_reset() {
+    for arch in [
+        Architecture::Bsd,
+        Architecture::EarlyDemux,
+        Architecture::SoftLrp,
+        Architecture::NiLrp,
+    ] {
+        let (mut world, log) = probe_world(arch, true, 12);
+        let sink = pid_by_name(&world.hosts[1], "tcp-sink");
+        world.hosts[1].set_fault_plan(&HostFaultPlan {
+            seed: 7,
+            crashes: vec![CrashEvent::kill(sink, SimTime::from_millis(50))],
+        });
+        world.run_until(SimTime::from_secs(5));
+        let l = *log.borrow();
+        assert_eq!(
+            l.connect,
+            Some(Ok(())),
+            "handshake completes before the crash on {}",
+            arch.name()
+        );
+        assert_eq!(
+            l.io,
+            Some(Err(Errno::ConnReset)),
+            "the crash RST must surface ConnReset from the blocked recv on {}",
+            arch.name()
+        );
+        assert_eq!(world.hosts[1].crashes().len(), 1);
+        let errs = lrp::telemetry::conservation_errors(&world);
+        assert!(
+            errs.is_empty(),
+            "conservation violated on {}:\n{}",
+            arch.name(),
+            errs.join("\n")
+        );
+    }
+}
+
+/// Runs the bulk-transfer world with the *client* killed at `kill_us`
+/// microseconds — bracketing its connect at 5 ms, so the crash lands
+/// before the socket exists, mid-SYN_SENT, or just after establishment —
+/// and returns a digest of the final state. Panics and conservation are
+/// checked inside.
+fn run_connect_crash_digest(arch: Architecture, kill_us: u64, seed: u64) -> String {
+    let (mut world, metrics) = fault_sweep::build(arch, FaultPlan::none(), 128 * 1024);
+    let src = pid_by_name(&world.hosts[0], "tcp-src");
+    world.hosts[0].set_fault_plan(&HostFaultPlan {
+        seed,
+        crashes: vec![CrashEvent::kill(src, SimTime::from_micros(kill_us))],
+    });
+    world.run_until(SimTime::from_secs(2));
+    let errs = lrp::telemetry::conservation_errors(&world);
+    assert!(
+        errs.is_empty(),
+        "conservation violated on {} with client killed at {kill_us} us:\n{}",
+        arch.name(),
+        errs.join("\n")
+    );
+    assert_eq!(
+        world.hosts[0].crashes().len(),
+        1,
+        "the scheduled client crash executes on {}",
+        arch.name()
+    );
+    let m = metrics.borrow();
+    format!(
+        "{:?}|{:?}|bytes={} done={} aborted={}",
+        world.hosts[0].packet_ledger(),
+        world.hosts[1].packet_ledger(),
+        m.bytes,
+        m.done,
+        m.aborted
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Crash the client while its connect is in (or about to be in)
+    /// flight: no panic, ledgers conserved (`owner_dead` absorbing
+    /// whatever the dead process had queued), and the same kill time is
+    /// bit-identical on every architecture.
+    fn syn_sent_crash_chaos(
+        kill_us in 3_000u64..9_000,
+        seed in any::<u32>(),
+    ) {
+        for arch in [
+            Architecture::Bsd,
+            Architecture::EarlyDemux,
+            Architecture::SoftLrp,
+            Architecture::NiLrp,
+        ] {
+            let first = run_connect_crash_digest(arch, kill_us, seed as u64);
+            let second = run_connect_crash_digest(arch, kill_us, seed as u64);
+            prop_assert_eq!(
+                &first,
+                &second,
+                "same client-crash schedule must be bit-identical on {}",
+                arch.name()
+            );
+        }
     }
 }
 
