@@ -134,7 +134,7 @@ impl AppLogic for PingPongServer {
             SyscallRet::DataFrom(from, data) => SyscallOp::SendTo {
                 sock: self.sock.expect("socket"),
                 dst: from,
-                data,
+                data: data.to_vec(),
             },
             _ => SyscallOp::Recv {
                 sock: self.sock.expect("socket"),

@@ -53,7 +53,10 @@ fn blast_sink_binds_then_loops_on_recv() {
     ));
     // Deliver three datagrams; each must be counted and followed by Recv.
     for i in 1..=3u64 {
-        let op = app.resume(ctx_at(i), SyscallRet::DataFrom(SERVER, vec![0u8; 14]));
+        let op = app.resume(
+            ctx_at(i),
+            SyscallRet::DataFrom(SERVER, (vec![0u8; 14]).into()),
+        );
         assert!(matches!(op, SyscallOp::Recv { .. }));
         assert_eq!(m.borrow().received, i);
         assert_eq!(m.borrow().bytes, 14 * i);
@@ -73,7 +76,10 @@ fn pingpong_client_measures_and_finishes() {
     let op = app.resume(ctx_at(10), SyscallRet::Sent(14));
     assert!(matches!(op, SyscallOp::Recv { .. }));
     // Reply arrives 1 ms later: one RTT sample of ~1 ms.
-    let op = app.resume(ctx_at(11), SyscallRet::DataFrom(SERVER, vec![0u8; 14]));
+    let op = app.resume(
+        ctx_at(11),
+        SyscallRet::DataFrom(SERVER, (vec![0u8; 14]).into()),
+    );
     assert!(
         matches!(op, SyscallOp::SendTo { .. }),
         "second round starts"
@@ -82,7 +88,10 @@ fn pingpong_client_measures_and_finishes() {
     let rtt_us = m.borrow().mean_rtt_us();
     assert!((990.0..=1010.0).contains(&rtt_us), "rtt {rtt_us}us");
     let _ = app.resume(ctx_at(11), SyscallRet::Sent(14));
-    let op = app.resume(ctx_at(13), SyscallRet::DataFrom(SERVER, vec![0u8; 14]));
+    let op = app.resume(
+        ctx_at(13),
+        SyscallRet::DataFrom(SERVER, (vec![0u8; 14]).into()),
+    );
     assert!(matches!(op, SyscallOp::Exit), "count reached");
     assert!(m.borrow().done);
 }
@@ -97,7 +106,10 @@ fn pingpong_server_echoes_back_to_sender() {
         addr: Ipv4Addr::new(10, 9, 9, 9),
         port: 1234,
     };
-    let op = app.resume(ctx(), SyscallRet::DataFrom(from, b"ping!".to_vec()));
+    let op = app.resume(
+        ctx(),
+        SyscallRet::DataFrom(from, (b"ping!".to_vec()).into()),
+    );
     match op {
         SyscallOp::SendTo { dst, data, .. } => {
             assert_eq!(dst, from, "echo goes back to the sender");
@@ -122,7 +134,7 @@ fn udp_window_source_respects_window() {
     assert_eq!(sends, 3, "window bounds outstanding datagrams");
     assert!(matches!(op, SyscallOp::Recv { .. }));
     // One ack frees one window slot: one more send.
-    let op = app.resume(ctx(), SyscallRet::DataFrom(SERVER, vec![0u8; 8]));
+    let op = app.resume(ctx(), SyscallRet::DataFrom(SERVER, (vec![0u8; 8]).into()));
     assert!(matches!(op, SyscallOp::SendTo { .. }));
 }
 
@@ -135,7 +147,7 @@ fn udp_window_sink_acks_with_sequence() {
     let _ = app.resume(ctx(), SyscallRet::Ok);
     let mut data = vec![0xDA; 1000];
     data[..8].copy_from_slice(&7u64.to_be_bytes());
-    let op = app.resume(ctx_at(5), SyscallRet::DataFrom(SERVER, data));
+    let op = app.resume(ctx_at(5), SyscallRet::DataFrom(SERVER, (data).into()));
     match op {
         SyscallOp::SendTo { data, dst, .. } => {
             assert_eq!(dst, SERVER);
@@ -157,7 +169,7 @@ fn rpc_server_computes_then_replies() {
         addr: Ipv4Addr::new(10, 0, 0, 1),
         port: 7200,
     };
-    let op = app.resume(ctx(), SyscallRet::DataFrom(from, vec![0x3F; 32]));
+    let op = app.resume(ctx(), SyscallRet::DataFrom(from, (vec![0x3F; 32]).into()));
     match op {
         SyscallOp::Compute(d) => assert_eq!(d, SimDuration::from_millis(3)),
         other => panic!("expected compute, got {other:?}"),
@@ -187,8 +199,14 @@ fn rpc_client_limits_and_reports_elapsed() {
     let op = app.resume(ctx_at(10), SyscallRet::Sent(32));
     assert!(matches!(op, SyscallOp::Recv { .. }), "window full");
     // Two replies: limit reached, elapsed recorded.
-    let _ = app.resume(ctx_at(20), SyscallRet::DataFrom(SERVER, vec![0; 32]));
-    let op = app.resume(ctx_at(30), SyscallRet::DataFrom(SERVER, vec![0; 32]));
+    let _ = app.resume(
+        ctx_at(20),
+        SyscallRet::DataFrom(SERVER, (vec![0; 32]).into()),
+    );
+    let op = app.resume(
+        ctx_at(30),
+        SyscallRet::DataFrom(SERVER, (vec![0; 32]).into()),
+    );
     assert!(matches!(op, SyscallOp::Exit));
     let elapsed = m.borrow().elapsed.expect("recorded");
     assert_eq!(elapsed, SimDuration::from_millis(20));
@@ -352,7 +370,7 @@ fn icmp_daemon_answers_echo_only() {
         seq: 9,
         payload: vec![1, 2, 3],
     });
-    let op = app.resume(ctx(), SyscallRet::DataFrom(from, req));
+    let op = app.resume(ctx(), SyscallRet::DataFrom(from, (req).into()));
     assert!(matches!(op, SyscallOp::Compute(_)));
     let op = app.resume(ctx(), SyscallRet::Ok);
     match op {
@@ -374,7 +392,7 @@ fn icmp_daemon_answers_echo_only() {
         seq: 0,
         payload: vec![],
     });
-    let op = app.resume(ctx(), SyscallRet::DataFrom(from, other_msg));
+    let op = app.resume(ctx(), SyscallRet::DataFrom(from, (other_msg).into()));
     assert!(matches!(op, SyscallOp::Recv { .. }));
     assert_eq!(m.borrow().other, 1);
 }

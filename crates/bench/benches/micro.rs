@@ -33,7 +33,7 @@ fn bench_demux(c: &mut Criterion) {
             ChannelId(300),
         )
         .unwrap();
-    let udp_frame = Frame::Ipv4(udp::build_datagram(
+    let udp_frame = Frame::ipv4(udp::build_datagram(
         PEER, LOCAL, 5, 9000, 1, &[0u8; 14], false,
     ));
     let tcp_frame = {
@@ -46,7 +46,7 @@ fn bench_demux(c: &mut Criterion) {
             window: 8192,
             mss: None,
         };
-        Frame::Ipv4(tcp::build_datagram(PEER, LOCAL, &h, 1, b""))
+        Frame::ipv4(tcp::build_datagram(PEER, LOCAL, &h, 1, b""))
     };
     g.throughput(Throughput::Elements(1));
     g.bench_function("classify_udp_wildcard", |b| {

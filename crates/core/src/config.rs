@@ -99,6 +99,13 @@ pub struct HostConfig {
     /// (a minimal SYN-cache) instead of dropping it. Off by default —
     /// classic behaviour drops the new SYN at the backlog.
     pub syn_cache: bool,
+    /// Maximum receive-ring frames the driver hands to the kernel per
+    /// interrupt (BSD / SOFT-LRP / Early-Demux). Without interrupt
+    /// coalescing the ring holds exactly one frame when the interrupt
+    /// fires, so any value ≥ 1 is behaviour-identical; under coalescing
+    /// the batch is what lets held frames ride along. Per-frame driver
+    /// cost is charged for every frame in the batch.
+    pub rx_batch: usize,
 }
 
 impl HostConfig {
@@ -124,6 +131,7 @@ impl HostConfig {
             ncpus: 1,
             telemetry: false,
             syn_cache: false,
+            rx_batch: 16,
         }
     }
 

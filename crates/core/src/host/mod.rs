@@ -44,12 +44,12 @@ use crate::syscall::{AppLogic, Errno, SockProto, SyscallOp, SyscallRet};
 use lrp_demux::ChannelId;
 use lrp_nic::{DemuxMode, Nic};
 use lrp_sched::{Account, Pid, SchedConfig, Scheduler, WaitChannel};
-use lrp_sim::{SimDuration, SimTime};
+use lrp_sim::{FastHashMap, SimDuration, SimTime};
 use lrp_stack::sockbuf::DatagramQueue;
 use lrp_stack::tcp::{TcpConn, TcpListener, TcpStats};
 use lrp_stack::{PcbTable, Reassembler, SockId};
 use lrp_wire::{Endpoint, Frame, Ipv4Addr};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Where a packet was dropped — the paper's instrumentation distinguishes
 /// exactly these points to explain each architecture's overload behaviour.
@@ -114,7 +114,7 @@ pub struct HostStats {
     /// TCP payload bytes delivered to applications.
     pub tcp_delivered_bytes: u64,
     /// Packet drops by location.
-    pub drops: HashMap<DropPoint, u64>,
+    pub drops: FastHashMap<DropPoint, u64>,
     /// Hardware interrupt work chunks executed.
     pub hw_chunks: u64,
     /// Software interrupt jobs executed.
@@ -378,8 +378,8 @@ pub struct Host {
     pub(crate) pcb: PcbTable,
     pub(crate) reasm: Reassembler,
     pub(crate) sockets: Vec<Option<Socket>>,
-    pub(crate) apps: HashMap<Pid, Box<dyn AppLogic>>,
-    pub(crate) exec: HashMap<Pid, ProcExec>,
+    pub(crate) apps: FastHashMap<Pid, Box<dyn AppLogic>>,
+    pub(crate) exec: FastHashMap<Pid, ProcExec>,
     /// The simulated CPUs (length `cfg.ncpus`).
     pub(crate) cpus: Vec<Cpu>,
     /// The CPU whose context the host is currently executing in (set at
@@ -388,6 +388,9 @@ pub struct Host {
     pub(crate) cur_cpu: usize,
     /// BSD shared IP queue.
     pub(crate) ip_queue: VecDeque<Frame>,
+    /// Reusable scratch buffer for the driver's per-interrupt ring batch
+    /// (capacity persists across interrupts; contents are always drained).
+    pub(crate) rx_scratch: Vec<Frame>,
     /// Due TCP timer work (socket ids), processed in protocol context.
     pub(crate) tcp_timer_work: VecDeque<SockId>,
     /// Early-Demux: channels with frames awaiting softirq processing.
@@ -404,7 +407,7 @@ pub struct Host {
     pub(crate) forwarding_enabled: bool,
     /// When each process last held a CPU (for away-time-scaled cache
     /// reload penalties).
-    pub(crate) last_ran: HashMap<Pid, SimTime>,
+    pub(crate) last_ran: FastHashMap<Pid, SimTime>,
     pub(crate) iss: u32,
     pub(crate) ip_ident: u16,
     pub(crate) ephemeral_port: u16,
@@ -418,7 +421,7 @@ pub struct Host {
     /// must stay proportional to *live* sockets, not history).
     pub(crate) live_socks: std::collections::BTreeSet<SockId>,
     /// Channel → socket index (replaces linear scans per packet).
-    pub(crate) chan_to_sock: HashMap<lrp_demux::ChannelId, SockId>,
+    pub(crate) chan_to_sock: FastHashMap<lrp_demux::ChannelId, SockId>,
     /// Telemetry state (no-op unless `cfg.telemetry`).
     pub(crate) tele: crate::telemetry::Telemetry,
     /// Receive-timeout deadlines: time → `(pid, sock, seq)` entries. The
@@ -426,17 +429,17 @@ pub struct Host {
     /// fires late from timing out a *later* receive on the same socket.
     pub(crate) recv_deadlines: BTreeMap<SimTime, Vec<(Pid, SockId, u64)>>,
     /// The seq token of each process's currently armed receive timeout.
-    pub(crate) recv_seq: HashMap<Pid, u64>,
+    pub(crate) recv_seq: FastHashMap<Pid, u64>,
     /// Monotonic generator for receive-timeout seq tokens.
     pub(crate) recv_deadline_seq: u64,
     /// Attached end-host fault plan runtime (crash schedule + jitter).
     pub(crate) fault: Option<HostFaultState>,
     /// Respawn recipes for processes spawned restartable.
-    pub(crate) restartable: HashMap<Pid, RestartSpec>,
+    pub(crate) restartable: FastHashMap<Pid, RestartSpec>,
     /// Scheduled restarts: time → crashed pids to respawn.
     pub(crate) restart_at: BTreeMap<SimTime, Vec<Pid>>,
     /// Crashed pid → its restarted successor (chains across restarts).
-    pub(crate) reincarnation: HashMap<Pid, Pid>,
+    pub(crate) reincarnation: FastHashMap<Pid, Pid>,
     /// Crash log: `(time, pid)` per executed crash.
     pub(crate) crash_log: Vec<(SimTime, Pid)>,
     /// Restart log: `(time, old pid, new pid)` per executed restart.
@@ -492,11 +495,12 @@ impl Host {
             pcb: PcbTable::new(),
             reasm: Reassembler::new(16, SimDuration::from_secs(30)),
             sockets: Vec::new(),
-            apps: HashMap::new(),
-            exec: HashMap::new(),
+            apps: FastHashMap::default(),
+            exec: FastHashMap::default(),
             cpus: (0..cfg.ncpus).map(|_| Cpu::default()).collect(),
             cur_cpu: 0,
             ip_queue: VecDeque::new(),
+            rx_scratch: Vec::new(),
             tcp_timer_work: VecDeque::new(),
             ed_pending: VecDeque::new(),
             sleep_until: BTreeMap::new(),
@@ -505,7 +509,7 @@ impl Host {
             icmp_sock: None,
             forward_daemon: None,
             forwarding_enabled: false,
-            last_ran: HashMap::new(),
+            last_ran: FastHashMap::default(),
             iss: 1000,
             ip_ident: 1,
             ephemeral_port: 40_000,
@@ -513,15 +517,15 @@ impl Host {
             next_reasm_sweep: SimTime::from_secs(1),
             pending_charge: None,
             live_socks: std::collections::BTreeSet::new(),
-            chan_to_sock: HashMap::new(),
+            chan_to_sock: FastHashMap::default(),
             tele: crate::telemetry::Telemetry::new(cfg.telemetry),
             recv_deadlines: BTreeMap::new(),
-            recv_seq: HashMap::new(),
+            recv_seq: FastHashMap::default(),
             recv_deadline_seq: 0,
             fault: None,
-            restartable: HashMap::new(),
+            restartable: FastHashMap::default(),
             restart_at: BTreeMap::new(),
-            reincarnation: HashMap::new(),
+            reincarnation: FastHashMap::default(),
             crash_log: Vec::new(),
             restart_log: Vec::new(),
         };

@@ -14,6 +14,7 @@ use lrp_stack::sockbuf::Datagram;
 use lrp_stack::tcp::{Actions, ConnEvent, Segment, TcpConn};
 use lrp_stack::{ReasmOutcome, SockId};
 use lrp_wire::{icmp, ipv4, proto, tcp, udp, Endpoint, FlowKey, Frame};
+use std::borrow::Cow;
 
 /// Execution context of protocol processing: determines cost discounts
 /// and whether the BSD PCB lookup is performed.
@@ -74,8 +75,9 @@ impl Host {
             self.tele.on_drop(now, cpu, DropPoint::BadPacket);
             return total;
         };
-        // Fragment reassembly; whole datagrams pass straight through.
-        let completed: Option<(ipv4::Ipv4Header, Vec<u8>)> = if first_hdr.is_fragment() {
+        // Fragment reassembly; whole datagrams pass straight through —
+        // borrowed from the frame, so the common path copies nothing here.
+        let completed: Option<(ipv4::Ipv4Header, Cow<'_, [u8]>)> = if first_hdr.is_fragment() {
             total += scale(cost.ip_reasm_per_frag);
             match self.reasm.input(now, &first_hdr, first_payload) {
                 ReasmOutcome::Complete {
@@ -83,7 +85,10 @@ impl Host {
                     src,
                     dst,
                     proto: pr,
-                } => Some((ipv4::Ipv4Header::new(src, dst, pr, 0, p.len()), p)),
+                } => Some((
+                    ipv4::Ipv4Header::new(src, dst, pr, 0, p.len()),
+                    Cow::Owned(p),
+                )),
                 ReasmOutcome::Incomplete => {
                     // This frame is now held by the reassembler (the
                     // completing frame inherits the delivery disposition).
@@ -93,7 +98,7 @@ impl Host {
                     if self.cfg.arch.is_lrp() {
                         let (extra, done) = self.drain_fragment_channel(now);
                         total += if lazy { cost.lazy(extra) } else { extra };
-                        done
+                        done.map(|(h, p)| (h, Cow::Owned(p)))
                     } else {
                         None
                     }
@@ -105,7 +110,7 @@ impl Host {
                 }
             }
         } else {
-            Some((first_hdr, first_payload.to_vec()))
+            Some((first_hdr, Cow::Borrowed(first_payload)))
         };
         let Some((ih, payload)) = completed else {
             return total;
@@ -150,7 +155,7 @@ impl Host {
         ih.ttl -= 1;
         let out = ipv4::build_datagram(&ih, payload);
         let total = cost.ip_forward + cost.ip_output + cost.driver_tx_per_pkt;
-        if !self.ifq_enqueue_spanned(Frame::Ipv4(out), None) {
+        if !self.ifq_enqueue_spanned(Frame::ipv4(out), None) {
             self.stats.drop_at(DropPoint::IfQueue);
         }
         total
@@ -206,7 +211,7 @@ impl Host {
         self.tele.note_proto_owner(rightful.0);
         let dgram = Datagram {
             from: Endpoint::new(ih.src, 0),
-            payload: payload.to_vec(),
+            payload: payload.into(),
         };
         if self.sock_mut(sock).rcvq.enqueue(dgram) {
             self.tele.on_icmp_delivered(now, cpu, sock.0 as u64);
@@ -372,7 +377,7 @@ impl Host {
             };
             let reply = icmp::build_datagram(self.addr, ih.src, 0, &msg);
             self.stats.icmp_unreach_sent += 1;
-            if !self.ifq_enqueue_spanned(Frame::Ipv4(reply), None) {
+            if !self.ifq_enqueue_spanned(Frame::ipv4(reply), None) {
                 self.stats.drop_at(DropPoint::IfQueue);
             }
             return total;
@@ -383,7 +388,7 @@ impl Host {
         self.tele.note_proto_owner(rightful.0);
         let dgram = Datagram {
             from: remote,
-            payload: body.to_vec(),
+            payload: body.into(),
         };
         let nbytes = dgram.payload.len() as u64;
         if self.sock_mut(sock).rcvq.enqueue(dgram) {
@@ -623,7 +628,7 @@ impl Host {
                 + cost.csum(seg.payload.len() + 20)
                 + cost.ip_output
                 + cost.driver_tx_per_pkt;
-            if !self.ifq_enqueue_spanned(Frame::Ipv4(dgram), None) {
+            if !self.ifq_enqueue_spanned(Frame::ipv4(dgram), None) {
                 self.stats.drop_at(DropPoint::IfQueue);
             }
         }

@@ -35,21 +35,30 @@ impl Host {
                 match self.nic.rx_frame_at(now.as_nanos(), frame) {
                     RxOutcome::Interrupt(rxq) => {
                         self.tele.on_rx(now, self.nic.stats().rx_frames, span);
-                        let f = self.nic.ring_dequeue_from(rxq).expect("frame just queued");
-                        // Driver: mbuf encapsulation, then the shared IP
-                        // queue; drop (after the driver work!) if full.
-                        if self.ip_queue.len() >= self.cfg.ip_queue_limit {
-                            self.stats.drop_at(DropPoint::IpQueue);
-                            self.tele.on_drop(now, rxq % ncpus, DropPoint::IpQueue);
-                        } else {
-                            self.ip_queue.push_back(f);
-                            let depth = self.ip_queue.len();
-                            self.tele.on_ipq_enqueue(now, depth, span);
+                        // Driver: drain the ring batch (one frame unless
+                        // coalescing held earlier ones back), then mbuf
+                        // encapsulation into the shared IP queue; drop
+                        // (after the driver work!) if full.
+                        let mut batch = std::mem::take(&mut self.rx_scratch);
+                        self.nic
+                            .ring_drain_into(rxq, self.cfg.rx_batch.max(1), &mut batch);
+                        debug_assert!(!batch.is_empty(), "frame just queued");
+                        let n = batch.len() as u64;
+                        for f in batch.drain(..) {
+                            if self.ip_queue.len() >= self.cfg.ip_queue_limit {
+                                self.stats.drop_at(DropPoint::IpQueue);
+                                self.tele.on_drop(now, rxq % ncpus, DropPoint::IpQueue);
+                            } else {
+                                self.ip_queue.push_back(f);
+                                let depth = self.ip_queue.len();
+                                self.tele.on_ipq_enqueue(now, depth, span);
+                            }
                         }
+                        self.rx_scratch = batch;
                         self.raise_hw_on(
                             now,
                             rxq % ncpus,
-                            cost.hw_intr + cost.driver_rx_per_pkt,
+                            cost.hw_intr + cost.driver_rx_per_pkt * n,
                             "rx-intr",
                         );
                     }
@@ -73,13 +82,24 @@ impl Host {
                 match self.nic.rx_frame_at(now.as_nanos(), frame) {
                     RxOutcome::Interrupt(rxq) => {
                         self.tele.on_rx(now, self.nic.stats().rx_frames, span);
-                        let f = self.nic.ring_dequeue_from(rxq).expect("frame just queued");
+                        // Drain the ring batch and demux each frame in
+                        // arrival order; the handler's cost covers the
+                        // whole batch (per-frame driver + demux work).
+                        let mut batch = std::mem::take(&mut self.rx_scratch);
+                        self.nic
+                            .ring_drain_into(rxq, self.cfg.rx_batch.max(1), &mut batch);
+                        debug_assert!(!batch.is_empty(), "frame just queued");
                         self.cur_cpu = rxq % ncpus;
-                        let d = self.soft_demux_deliver(now, f, span);
+                        let n = batch.len() as u64;
+                        let mut d = SimDuration::ZERO;
+                        for f in batch.drain(..) {
+                            d += self.soft_demux_deliver(now, f, span);
+                        }
+                        self.rx_scratch = batch;
                         self.raise_hw_on(
                             now,
                             rxq % ncpus,
-                            cost.hw_intr + cost.driver_rx_per_pkt + d,
+                            cost.hw_intr + cost.driver_rx_per_pkt * n + d,
                             "rx-intr",
                         );
                     }

@@ -509,7 +509,7 @@ impl Host {
         let span = self.tele.on_tx(now, cpu, owner.0);
         let mut dropped = false;
         for f in frames {
-            if !self.ifq_enqueue_spanned(lrp_wire::Frame::Ipv4(f), span) {
+            if !self.ifq_enqueue_spanned(lrp_wire::Frame::ipv4(f), span) {
                 self.stats.drop_at(super::DropPoint::IfQueue);
                 dropped = true;
             }
@@ -535,7 +535,7 @@ impl Host {
             + (cost.ip_output + cost.driver_tx_per_pkt) * nfrags;
         let mut dropped = false;
         for f in frames {
-            if !self.ifq_enqueue_spanned(lrp_wire::Frame::Ipv4(f), None) {
+            if !self.ifq_enqueue_spanned(lrp_wire::Frame::ipv4(f), None) {
                 self.stats.drop_at(super::DropPoint::IfQueue);
                 dropped = true;
             }
@@ -577,8 +577,13 @@ impl Host {
             let cpu = self.cur_cpu;
             let owner = self.sock(sock).owner;
             self.tele.on_recv(now, cpu, sock.0 as u64, owner.0);
-            let mut payload = d.payload;
-            payload.truncate(n);
+            // A user buffer smaller than the datagram truncates it (copy);
+            // the common full-size receive hands the buffer over as-is.
+            let payload = if n < d.payload.len() {
+                lrp_wire::FrameBuf::from(&d.payload[..n])
+            } else {
+                d.payload
+            };
             return PhaseOut::Run {
                 dur,
                 account: Account::System,

@@ -9,7 +9,7 @@
 
 use lrp_sim::{SimDuration, SimTime};
 use lrp_stack::SockId;
-use lrp_wire::Endpoint;
+use lrp_wire::{Endpoint, FrameBuf};
 
 /// Socket protocol selector.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -139,7 +139,7 @@ pub enum SyscallRet {
     /// Received data; for TCP an empty vec means end-of-stream.
     Data(Vec<u8>),
     /// Received datagram with source.
-    DataFrom(Endpoint, Vec<u8>),
+    DataFrom(Endpoint, FrameBuf),
     /// A connection was accepted.
     Accepted(SockId),
     /// Receive-side queue depth of a socket.

@@ -30,10 +30,11 @@
 use crate::host::{DropPoint, Host};
 use lrp_demux::ChannelId;
 use lrp_sim::{
-    CycleAccount, CycleKey, Histogram, MetricsTimeline, SimDuration, SimTime, TraceEvent, TraceRing,
+    CycleAccount, CycleKey, FastHashMap, Histogram, MetricsTimeline, SimDuration, SimTime,
+    TraceEvent, TraceRing,
 };
 use lrp_wire::Frame;
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Default trace-ring capacity, in events.
 pub const DEFAULT_TRACE_CAP: usize = 65_536;
@@ -96,7 +97,7 @@ pub struct Telemetry {
     ipq_ts: VecDeque<(SimTime, Option<SpanId>)>,
     /// Enqueue timestamps + spans paralleling each NI channel's frame
     /// queue.
-    chan_ts: HashMap<ChannelId, VecDeque<(SimTime, Option<SpanId>)>>,
+    chan_ts: FastHashMap<ChannelId, VecDeque<(SimTime, Option<SpanId>)>>,
     /// NIC arrival time of the frame most recently dequeued for protocol
     /// processing (consumed by the delivery hook).
     cur_arrival: Option<SimTime>,
@@ -104,12 +105,12 @@ pub struct Telemetry {
     cur_span: Option<SpanId>,
     /// Spans paralleling each socket's receive queue (keyed by raw sock
     /// id; pushed at delivery, popped at recv).
-    sock_spans: HashMap<u64, VecDeque<Option<SpanId>>>,
+    sock_spans: FastHashMap<u64, VecDeque<Option<SpanId>>>,
     /// Spans paralleling the NIC interface (transmit) queue.
     ifq_spans: VecDeque<Option<SpanId>>,
     /// Per process (raw pid): the span of the last datagram it received,
     /// consumed by its next send — a reply continues the request's span.
-    last_recv_span: HashMap<u32, SpanId>,
+    last_recv_span: FastHashMap<u32, SpanId>,
     /// Tag prefix for spans minted at this host's send path.
     span_tag: SpanId,
     /// Sequence counter for host-minted spans.
@@ -155,7 +156,7 @@ pub struct Telemetry {
     /// close vs. a dead receiver).
     pub owner_dead: u64,
     /// Host-side frame drops by location.
-    pub host_drops: HashMap<DropPoint, u64>,
+    pub host_drops: FastHashMap<DropPoint, u64>,
 }
 
 impl Telemetry {
@@ -169,12 +170,12 @@ impl Telemetry {
             channel_residency: Histogram::new(),
             softirq_dispatch: Histogram::new(),
             ipq_ts: VecDeque::new(),
-            chan_ts: HashMap::new(),
+            chan_ts: FastHashMap::default(),
             cur_arrival: None,
             cur_span: None,
-            sock_spans: HashMap::new(),
+            sock_spans: FastHashMap::default(),
             ifq_spans: VecDeque::new(),
-            last_recv_span: HashMap::new(),
+            last_recv_span: FastHashMap::default(),
             span_tag: 1 << 63,
             local_span_seq: 0,
             span_log: Vec::new(),
@@ -193,7 +194,7 @@ impl Telemetry {
             reasm_expired: 0,
             flushed: 0,
             owner_dead: 0,
-            host_drops: HashMap::new(),
+            host_drops: FastHashMap::default(),
         }
     }
 

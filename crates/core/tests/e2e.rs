@@ -89,7 +89,7 @@ impl AppLogic for UdpSink {
                 max_len: 65_536,
             },
             SyscallRet::DataFrom(_, data) => {
-                self.probe.borrow_mut().received.push(data);
+                self.probe.borrow_mut().received.push(data.to_vec());
                 SyscallOp::Recv {
                     sock: self.sock.unwrap(),
                     max_len: 65_536,
@@ -429,7 +429,7 @@ fn packet_conservation_under_blast() {
             SimTime::from_millis(10),
             42,
             move |_| {
-                lrp_wire::Frame::Ipv4(lrp_wire::udp::build_datagram(
+                lrp_wire::Frame::ipv4(lrp_wire::udp::build_datagram(
                     A, B, 1234, 9000, 1, &[0u8; 14], true,
                 ))
             },

@@ -25,7 +25,7 @@ fn blast_world(arch: Architecture, pps: f64) -> (World, lrp_apps::Shared<lrp_app
         SimTime::from_millis(10),
         3,
         move |seq| {
-            Frame::Ipv4(udp::build_datagram(
+            Frame::ipv4(udp::build_datagram(
                 A,
                 B,
                 6000,
@@ -187,7 +187,7 @@ fn forwarding_respects_ttl() {
             if seq % 2 == 1 {
                 h.ttl = 1; // Will expire at the gateway.
             }
-            Frame::Ipv4(lrp_wire::ipv4::build_datagram(&h, &seg))
+            Frame::ipv4(lrp_wire::ipv4::build_datagram(&h, &seg))
         },
     );
     let idx = world.add_injector(g, inj);

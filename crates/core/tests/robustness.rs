@@ -121,7 +121,7 @@ fn shared_udp_socket_higher_priority_reader_wins() {
             SimTime::from_millis(10),
             5,
             move |seq| {
-                Frame::Ipv4(udp::build_datagram(
+                Frame::ipv4(udp::build_datagram(
                     A,
                     B,
                     6000,
@@ -174,7 +174,7 @@ fn corrupted_packet_flood() {
             SimTime::from_millis(10),
             6,
             move |seq| {
-                Frame::Ipv4(udp::build_datagram(
+                Frame::ipv4(udp::build_datagram(
                     A,
                     B,
                     6000,
@@ -194,7 +194,7 @@ fn corrupted_packet_flood() {
                 let mut d =
                     udp::build_datagram(A, B, 6000, 9000, (seq & 0xFFFF) as u16, &[0u8; 14], false);
                 d[10] ^= 0xFF;
-                Frame::Ipv4(d)
+                Frame::ipv4(d)
             },
         );
         world.add_injector(b, good);
@@ -290,7 +290,7 @@ fn idle_thread_preprocesses_when_idle() {
         SimTime::from_millis(20),
         8,
         move |seq| {
-            Frame::Ipv4(udp::build_datagram(
+            Frame::ipv4(udp::build_datagram(
                 A,
                 B,
                 6000,
@@ -347,7 +347,7 @@ fn interrupt_time_charging_policy() {
             SimTime::from_millis(10),
             9,
             move |seq| {
-                Frame::Ipv4(udp::build_datagram(
+                Frame::ipv4(udp::build_datagram(
                     A,
                     B,
                     6000,
@@ -423,7 +423,7 @@ fn capture_tap_records_traffic() {
         SimTime::from_millis(5),
         10,
         move |seq| {
-            Frame::Ipv4(udp::build_datagram(
+            Frame::ipv4(udp::build_datagram(
                 A,
                 B,
                 6000,
@@ -541,7 +541,7 @@ fn udp_injector(pps: f64, seed: u64, checksum: bool) -> Injector {
         SimTime::from_millis(10),
         seed,
         move |seq| {
-            Frame::Ipv4(udp::build_datagram(
+            Frame::ipv4(udp::build_datagram(
                 A,
                 B,
                 6000,
@@ -705,7 +705,7 @@ fn udp_closed_port_emits_port_unreachable() {
             SimTime::from_millis(10),
             6,
             |seq| {
-                Frame::Ipv4(udp::build_datagram(
+                Frame::ipv4(udp::build_datagram(
                     A,
                     B,
                     6000,
@@ -748,7 +748,7 @@ fn ni_lrp_closed_port_is_silent() {
             SimTime::from_millis(10),
             6,
             |seq| {
-                Frame::Ipv4(udp::build_datagram(
+                Frame::ipv4(udp::build_datagram(
                     A,
                     B,
                     6000,
@@ -793,7 +793,7 @@ fn expired_reassembly_flows_stay_in_the_ledger() {
                     &seg,
                     1500,
                 );
-                Frame::Ipv4(frags[(seq % 2) as usize].clone())
+                Frame::ipv4(frags[(seq % 2) as usize].clone())
             },
         )
         .stop_at(SimTime::from_secs(2)),

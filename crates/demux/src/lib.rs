@@ -34,7 +34,7 @@
 //! table.register(FlowKey::listening(proto::UDP, sock), ChannelId(3)).unwrap();
 //!
 //! let dgram = udp::build_datagram(Ipv4Addr::new(10, 0, 0, 1), local, 5, 7777, 1, b"hi", true);
-//! let verdict = table.classify(&Frame::Ipv4(dgram));
+//! let verdict = table.classify(&Frame::ipv4(dgram));
 //! assert_eq!(verdict, Verdict::Endpoint(ChannelId(3)));
 //! ```
 
@@ -395,7 +395,7 @@ mod tests {
     }
 
     fn udp_frame(sport: u16, dport: u16) -> Frame {
-        Frame::Ipv4(udp::build_datagram(
+        Frame::ipv4(udp::build_datagram(
             PEER, LOCAL, sport, dport, 1, b"x", true,
         ))
     }
@@ -410,7 +410,7 @@ mod tests {
             window: 1024,
             mss: None,
         };
-        Frame::Ipv4(tcp::build_datagram(PEER, LOCAL, &h, 2, b""))
+        Frame::ipv4(tcp::build_datagram(PEER, LOCAL, &h, 2, b""))
     }
 
     #[test]
@@ -465,12 +465,12 @@ mod tests {
         assert!(frags.len() > 1);
         // First fragment carries the UDP header: endpoint match.
         assert_eq!(
-            t.classify(&Frame::Ipv4(frags[0].clone())),
+            t.classify(&Frame::ipv4(frags[0].clone())),
             Verdict::Endpoint(ChannelId(4))
         );
         // Later fragments cannot be classified.
         assert_eq!(
-            t.classify(&Frame::Ipv4(frags[1].clone())),
+            t.classify(&Frame::ipv4(frags[1].clone())),
             Verdict::Fragment
         );
     }
@@ -489,8 +489,8 @@ mod tests {
                 payload: vec![],
             },
         );
-        assert_eq!(t.classify(&Frame::Ipv4(icmp_pkt)), Verdict::IcmpDaemon);
-        assert_eq!(t.classify(&Frame::Arp(vec![0; 20])), Verdict::ArpDaemon);
+        assert_eq!(t.classify(&Frame::ipv4(icmp_pkt)), Verdict::IcmpDaemon);
+        assert_eq!(t.classify(&Frame::arp(vec![0; 20])), Verdict::ArpDaemon);
         assert_eq!(t.stats().daemon, 2);
     }
 
@@ -499,20 +499,20 @@ mod tests {
         let mut t = table();
         let other = Ipv4Addr::new(10, 0, 0, 99);
         let dgram = udp::build_datagram(PEER, other, 1, 2, 1, b"x", true);
-        assert_eq!(t.classify(&Frame::Ipv4(dgram)), Verdict::Forward);
+        assert_eq!(t.classify(&Frame::ipv4(dgram)), Verdict::Forward);
     }
 
     #[test]
     fn malformed_rejected() {
         let mut t = table();
         assert_eq!(
-            t.classify(&Frame::Ipv4(vec![0x45, 0, 0])),
+            t.classify(&Frame::ipv4(vec![0x45, 0, 0])),
             Verdict::Malformed
         );
         // Corrupted IP checksum.
         let mut dgram = udp::build_datagram(PEER, LOCAL, 1, 2, 1, b"x", true);
         dgram[9] ^= 0xFF;
-        assert_eq!(t.classify(&Frame::Ipv4(dgram)), Verdict::Malformed);
+        assert_eq!(t.classify(&Frame::ipv4(dgram)), Verdict::Malformed);
         assert_eq!(t.stats().malformed, 2);
     }
 

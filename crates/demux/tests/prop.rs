@@ -114,7 +114,7 @@ fn materialize(spec: &PacketSpec) -> Frame {
             } else {
                 Ipv4Addr::new(10, 0, 9, 9)
             };
-            Frame::Ipv4(udp::build_datagram(
+            Frame::ipv4(udp::build_datagram(
                 peer(*src_last),
                 dst,
                 *sport,
@@ -143,14 +143,14 @@ fn materialize(spec: &PacketSpec) -> Frame {
                 window: 8192,
                 mss: None,
             };
-            Frame::Ipv4(tcp::build_datagram(peer(*src_last), LOCAL, &h, 2, b""))
+            Frame::ipv4(tcp::build_datagram(peer(*src_last), LOCAL, &h, 2, b""))
         }
         PacketSpec::Frag { dport, first } => {
             let seg = udp::build(peer(1), LOCAL, 55, *dport, &[0u8; 3000], false);
             let frags = ipv4::fragment(peer(1), LOCAL, proto::UDP, 3, &seg, 1500);
-            Frame::Ipv4(frags[usize::from(!*first)].clone())
+            Frame::ipv4(frags[usize::from(!*first)].clone())
         }
-        PacketSpec::Icmp => Frame::Ipv4(lrp_wire::icmp::build_datagram(
+        PacketSpec::Icmp => Frame::ipv4(lrp_wire::icmp::build_datagram(
             peer(1),
             LOCAL,
             4,
@@ -161,10 +161,10 @@ fn materialize(spec: &PacketSpec) -> Frame {
                 payload: vec![],
             },
         )),
-        PacketSpec::Arp => Frame::Arp(vec![
+        PacketSpec::Arp => Frame::arp(vec![
             0, 1, 0, 0, 0, 0, 0, 1, 10, 0, 0, 1, 10, 0, 0, 2, 0, 0, 0, 0,
         ]),
-        PacketSpec::Garbage(b) => Frame::Ipv4(b.clone()),
+        PacketSpec::Garbage(b) => Frame::ipv4(b.clone()),
     }
 }
 
@@ -228,10 +228,10 @@ proptest! {
         nqueues in 1usize..9,
     ) {
         let src = Ipv4Addr::new(10, 0, 0, src_last);
-        let a = Frame::Ipv4(udp::build_datagram(
+        let a = Frame::ipv4(udp::build_datagram(
             src, LOCAL, sport, dport, 1, &payload_a, true,
         ));
-        let b = Frame::Ipv4(udp::build_datagram(
+        let b = Frame::ipv4(udp::build_datagram(
             src, LOCAL, sport, dport, ident, &payload_b, false,
         ));
         let ka = lrp_demux::rss_flow_key(&a, LOCAL).unwrap();

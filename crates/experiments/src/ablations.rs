@@ -61,7 +61,7 @@ pub fn a2_queue_depth(duration: SimTime) -> Series {
             SimTime::from_millis(50),
             77,
             move |seq| {
-                Frame::Ipv4(udp::build_datagram(
+                Frame::ipv4(udp::build_datagram(
                     Ipv4Addr::new(10, 0, 0, 3),
                     crate::HOST_B,
                     6000,
@@ -105,7 +105,7 @@ pub fn a3_demux_cost(duration: SimTime) -> Series {
             SimTime::from_millis(50),
             78,
             move |seq| {
-                Frame::Ipv4(udp::build_datagram(
+                Frame::ipv4(udp::build_datagram(
                     Ipv4Addr::new(10, 0, 0, 3),
                     crate::HOST_B,
                     6000,
@@ -206,7 +206,7 @@ pub fn a5_control_flood(duration: SimTime) -> Vec<Series> {
                 SimTime::from_millis(50),
                 79,
                 move |seq| {
-                    Frame::Ipv4(udp::build_datagram(
+                    Frame::ipv4(udp::build_datagram(
                         Ipv4Addr::new(10, 0, 0, 3),
                         crate::HOST_B,
                         6000,
@@ -232,7 +232,7 @@ pub fn a5_control_flood(duration: SimTime) -> Vec<Series> {
                         window: 8_192,
                         mss: None,
                     };
-                    Frame::Ipv4(tcp::build_datagram(
+                    Frame::ipv4(tcp::build_datagram(
                         Ipv4Addr::new(10, 0, 0, 4),
                         crate::HOST_B,
                         &h,
@@ -323,7 +323,7 @@ pub fn a7_forwarding_priority(duration: SimTime) -> Vec<Series> {
             SimTime::from_millis(20),
             99,
             move |seq| {
-                Frame::Ipv4(udp::build_datagram(
+                Frame::ipv4(udp::build_datagram(
                     Ipv4Addr::new(10, 0, 0, 3),
                     D,
                     6000,
@@ -381,7 +381,7 @@ pub fn a8_technology_trend(duration: SimTime) -> Vec<Series> {
                 SimTime::from_millis(50),
                 101,
                 move |seq| {
-                    Frame::Ipv4(udp::build_datagram(
+                    Frame::ipv4(udp::build_datagram(
                         Ipv4Addr::new(10, 0, 0, 3),
                         crate::HOST_B,
                         6000,

@@ -92,7 +92,7 @@ pub fn build(
             move |seq| {
                 let mut payload = [0u8; 14];
                 payload[..8].copy_from_slice(&seq.to_be_bytes());
-                Frame::Ipv4(udp::build_datagram(
+                Frame::ipv4(udp::build_datagram(
                     BLAST_SRC,
                     HOST_B,
                     6001,

@@ -142,7 +142,7 @@ pub fn build_with_config(cfg: HostConfig, syn_pps: f64) -> (World, Vec<Shared<Ht
                     window: 8_192,
                     mss: Some(1_460),
                 };
-                Frame::Ipv4(tcp::build_datagram(
+                Frame::ipv4(tcp::build_datagram(
                     FLOOD_SRC,
                     HOST_B,
                     &h,

@@ -65,7 +65,7 @@ pub fn build(arch: Architecture, seed: u64) -> (World, Shared<SinkMetrics>, Shar
         move |seq| {
             let mut payload = [0u8; PAYLOAD];
             payload[..8].copy_from_slice(&seq.to_be_bytes());
-            Frame::Ipv4(udp::build_datagram(
+            Frame::ipv4(udp::build_datagram(
                 BLAST_SRC,
                 HOST_B,
                 6000,

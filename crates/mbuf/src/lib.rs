@@ -27,6 +27,10 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
+
+pub use arena::{ArenaStats, BufHandle, FrameArena, PooledBuf};
+
 use std::cell::RefCell;
 use std::rc::Rc;
 

@@ -309,7 +309,7 @@ impl LinkFaults {
             let (Frame::Ipv4(b) | Frame::Arp(b)) = &mut frame;
             if !b.is_empty() {
                 let bit = self.rng.next_below(b.len() as u64 * 8);
-                b[(bit / 8) as usize] ^= 1 << (bit % 8);
+                b.make_mut()[(bit / 8) as usize] ^= 1 << (bit % 8);
                 self.stats.corrupted += 1;
             }
         }
@@ -341,9 +341,10 @@ impl LinkFaults {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lrp_wire::FrameBuf;
 
     fn frame(n: usize) -> Frame {
-        Frame::Ipv4(vec![0xAA; n])
+        Frame::ipv4(vec![0xAA; n])
     }
 
     #[test]
@@ -420,6 +421,20 @@ mod tests {
         assert_eq!(out[0].0, at);
         assert_eq!(f.stats.duplicated, 1);
         assert_eq!(f.stats.delivered, 2);
+    }
+
+    #[test]
+    fn duplicate_shares_the_original_buffer() {
+        // Duplication is a reference-count bump, not a byte copy: both
+        // deliveries must point at the same arena buffer.
+        let mut plan = FaultPlan::none();
+        plan.duplicate_p = 1.0;
+        let mut f = LinkFaults::new(plan);
+        let out = f.apply(SimTime::ZERO, frame(1500));
+        assert_eq!(out.len(), 2);
+        let (Frame::Ipv4(a) | Frame::Arp(a)) = &out[0].1;
+        let (Frame::Ipv4(b) | Frame::Arp(b)) = &out[1].1;
+        assert!(FrameBuf::ptr_eq(a, b), "duplicate copied the frame bytes");
     }
 
     #[test]

@@ -251,7 +251,7 @@ mod tests {
     fn link_serializes_fifo() {
         let cfg = LinkConfig::default();
         let mut link = TxLink::new(cfg);
-        let f = Frame::Ipv4(vec![0; 1000]);
+        let f = Frame::ipv4(vec![0; 1000]);
         assert!(link.idle_at(SimTime::ZERO));
         let (done, arrival) = link.transmit(SimTime::ZERO, &f);
         assert!(done > SimTime::ZERO);
@@ -266,7 +266,7 @@ mod tests {
     #[should_panic]
     fn transmit_on_busy_link_panics() {
         let mut link = TxLink::new(LinkConfig::default());
-        let f = Frame::Ipv4(vec![0; 1000]);
+        let f = Frame::ipv4(vec![0; 1000]);
         link.transmit(SimTime::ZERO, &f);
         link.transmit(SimTime::ZERO, &f);
     }
@@ -277,7 +277,7 @@ mod tests {
             Pattern::FixedRate { pps: 10_000.0 },
             SimTime::ZERO,
             1,
-            |_| Frame::Ipv4(vec![0; 14]),
+            |_| Frame::ipv4(vec![0; 14]),
         );
         let mut last = None;
         for _ in 0..100 {
@@ -295,7 +295,7 @@ mod tests {
     #[test]
     fn poisson_injector_mean_rate() {
         let mut inj = Injector::new(Pattern::Poisson { pps: 5_000.0 }, SimTime::ZERO, 2, |_| {
-            Frame::Ipv4(vec![0; 14])
+            Frame::ipv4(vec![0; 14])
         });
         let mut t = SimTime::ZERO;
         let n = 50_000;
@@ -310,7 +310,7 @@ mod tests {
     #[test]
     fn injector_stops_at_until() {
         let mut inj = Injector::new(Pattern::FixedRate { pps: 1000.0 }, SimTime::ZERO, 3, |_| {
-            Frame::Ipv4(vec![0; 14])
+            Frame::ipv4(vec![0; 14])
         });
         inj.until = SimTime::from_millis(10);
         let mut count = 0;
@@ -327,7 +327,7 @@ mod tests {
             Pattern::FixedRate { pps: 1000.0 },
             SimTime::ZERO,
             4,
-            |seq| Frame::Ipv4(vec![seq as u8; 14]),
+            |seq| Frame::ipv4(vec![seq as u8; 14]),
         );
         let _ = inj.fire();
         let f = inj.fire();

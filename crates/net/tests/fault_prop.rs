@@ -11,7 +11,7 @@ const A: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
 const B: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
 
 fn frame(seq: u16) -> Frame {
-    Frame::Ipv4(udp::build_datagram(
+    Frame::ipv4(udp::build_datagram(
         A, B, 6000, 9000, seq, &[0u8; 32], false,
     ))
 }

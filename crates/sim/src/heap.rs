@@ -1,0 +1,157 @@
+//! The legacy binary-heap event queue, kept for A/B comparison.
+//!
+//! This is the original `EventQueue` implementation with its bloat bug
+//! fixed: cancellation used to be fully lazy (dead entries lingered in
+//! the heap until they surfaced at the top), so timer churn — every TCP
+//! ACK cancelling and rescheduling the retransmit timer — grew the heap
+//! without bound. Two repairs keep it honest:
+//!
+//! 1. after any `pop` or `cancel`, dead entries are purged off the top,
+//!    so the heap top is always live and `peek_time` can take `&self`;
+//! 2. when dead entries outnumber live ones, the heap is compacted by
+//!    rebuilding it from the live entries only.
+//!
+//! Together these bound the physical size to O(live), pinned by the
+//! 100k schedule+cancel regression test in `event.rs`.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::event::EventKey;
+use crate::time::SimTime;
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest time (then the
+        // lowest sequence number) pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic event queue backed by a binary heap.
+pub struct HeapQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    /// Sequence numbers of events that are scheduled and neither fired
+    /// nor cancelled. Heap entries whose seq is absent are dead weight.
+    pending: HashSet<u64>,
+    next_seq: u64,
+}
+
+impl<E> Default for HeapQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> HeapQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        HeapQueue {
+            heap: BinaryHeap::new(),
+            pending: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` at absolute `time`; returns its cancellation key.
+    pub fn schedule(&mut self, time: SimTime, event: E) -> EventKey {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+        self.pending.insert(seq);
+        EventKey::new(seq, time)
+    }
+
+    /// Drops dead entries off the top so the top is always pending, and
+    /// compacts the heap when dead weight outnumbers live entries.
+    fn purge(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.pending.contains(&top.seq) {
+                break;
+            }
+            self.heap.pop();
+        }
+        if self.heap.len() > 2 * self.pending.len() + 64 {
+            let pending = &self.pending;
+            let live: Vec<Entry<E>> = std::mem::take(&mut self.heap)
+                .into_iter()
+                .filter(|e| pending.contains(&e.seq))
+                .collect();
+            self.heap = BinaryHeap::from(live);
+        }
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event was still pending (and is now
+    /// cancelled), `false` if it had already fired or been cancelled.
+    pub fn cancel(&mut self, key: EventKey) -> bool {
+        let hit = self.pending.remove(&key.seq());
+        if hit {
+            self.purge();
+        }
+        hit
+    }
+
+    /// Removes and returns the earliest pending event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(self.pending.contains(&entry.seq), "heap top must be live");
+        self.pending.remove(&entry.seq);
+        self.purge();
+        Some((entry.time, entry.event))
+    }
+
+    /// Removes and returns the earliest pending event if it is due at or
+    /// before `limit`.
+    pub fn pop_before(&mut self, limit: SimTime) -> Option<(SimTime, E)> {
+        if self.heap.peek()?.time > limit {
+            return None;
+        }
+        self.pop()
+    }
+
+    /// The time of the earliest pending event, without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        // purge() keeps the invariant that the heap top is always live.
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Entries physically stored, live or dead — bounded to O(live) by
+    /// the compaction rule.
+    pub fn internal_len(&self) -> usize {
+        self.heap.len()
+    }
+}

@@ -26,17 +26,21 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod heap;
 pub mod profile;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod timeline;
 pub mod trace;
+pub mod wheel;
 
-pub use event::{EventKey, EventQueue};
-pub use profile::{CycleAccount, CycleKey};
+pub use event::{EventKey, EventQueue, QueueImpl};
+pub use heap::HeapQueue;
+pub use profile::{CycleAccount, CycleKey, FastHashMap, FoldHasher};
 pub use rng::SplitMix64;
 pub use stats::{Counter, Histogram, RateSeries, TimeWeighted, Welford};
 pub use time::{SimDuration, SimTime};
 pub use timeline::{MetricsTimeline, TimelineRow};
 pub use trace::{TraceEvent, TraceRing};
+pub use wheel::TimerWheel;

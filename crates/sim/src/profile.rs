@@ -9,10 +9,17 @@
 //! The accumulator is deliberately generic: contexts and stages are
 //! `&'static str` labels chosen by the caller (the LRP host uses
 //! `interrupt`, `softirq`, `app-thread`, `syscall`, `user`, …), billed
-//! processes are raw pid numbers. Storage is a `BTreeMap`, so iteration —
-//! and therefore every export — is deterministic.
+//! processes are raw pid numbers.
+//!
+//! `add` sits on the CPU engine's charging hot path, so accumulation is
+//! keyed by the *pointer identity* of the static labels (a cheap integer
+//! hash, no string comparisons); every export merges and sorts by label
+//! content, so iteration order — and therefore every report — stays
+//! deterministic even if the compiler hands out several addresses for
+//! one literal.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{BuildHasherDefault, Hasher};
 
 /// One attribution key: where a slice of charged time landed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -30,10 +37,61 @@ pub struct CycleKey {
     pub account: Option<&'static str>,
 }
 
+/// Multiplicative folding hasher for small fixed-width keys (integer
+/// ids, label addresses) — a fraction of SipHash's cost. Not
+/// collision-resistant against adversarial keys; use only for
+/// simulator-internal identifiers.
+#[derive(Clone, Default)]
+pub struct FoldHasher(u64);
+
+impl Hasher for FoldHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(b as u64);
+        }
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 ^= self.0 >> 29;
+    }
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(v as u64);
+    }
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+    fn write_u8(&mut self, v: u8) {
+        self.write_u64(v as u64);
+    }
+}
+
+/// A `HashMap` keyed by [`FoldHasher`] — the simulator's hot-path map
+/// for integer-keyed lookups (pids, socket ids, channel ids).
+pub type FastHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FoldHasher>>;
+
+/// Pointer-identity form of a [`CycleKey`]: label addresses instead of
+/// label contents. `billed` is offset by one so `None` is 0.
+type IdKey = (u32, usize, usize, u64, usize);
+
+fn id_key(k: &CycleKey) -> IdKey {
+    (
+        k.cpu,
+        k.context.as_ptr() as usize,
+        k.stage.as_ptr() as usize,
+        k.billed.map(|p| p as u64 + 1).unwrap_or(0),
+        k.account.map(|a| a.as_ptr() as usize).unwrap_or(0),
+    )
+}
+
 /// Deterministic accumulator of charged simulated nanoseconds.
 #[derive(Clone, Debug, Default)]
 pub struct CycleAccount {
-    cycles: BTreeMap<CycleKey, u64>,
+    /// Accumulated entries, insertion-ordered; exports merge + sort.
+    entries: Vec<(CycleKey, u64)>,
+    index: HashMap<IdKey, usize, BuildHasherDefault<FoldHasher>>,
 }
 
 impl CycleAccount {
@@ -43,26 +101,45 @@ impl CycleAccount {
     }
 
     /// Adds `ns` charged nanoseconds under `key`.
+    #[inline]
     pub fn add(&mut self, key: CycleKey, ns: u64) {
-        if ns > 0 {
-            *self.cycles.entry(key).or_insert(0) += ns;
+        if ns == 0 {
+            return;
+        }
+        match self.index.entry(id_key(&key)) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                self.entries[*e.get()].1 += ns;
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(self.entries.len());
+                self.entries.push((key, ns));
+            }
         }
     }
 
+    /// All entries merged by key content, in deterministic (key) order.
+    fn merged(&self) -> BTreeMap<CycleKey, u64> {
+        let mut out = BTreeMap::new();
+        for &(k, v) in &self.entries {
+            *out.entry(k).or_insert(0) += v;
+        }
+        out
+    }
+
     /// All entries in deterministic (key) order.
-    pub fn iter(&self) -> impl Iterator<Item = (&CycleKey, &u64)> {
-        self.cycles.iter()
+    pub fn iter(&self) -> impl Iterator<Item = (CycleKey, u64)> {
+        self.merged().into_iter()
     }
 
     /// Total nanoseconds recorded.
     pub fn total(&self) -> u64 {
-        self.cycles.values().sum()
+        self.entries.iter().map(|&(_, v)| v).sum()
     }
 
     /// Nanoseconds recorded per billed pid (unbilled time excluded).
     pub fn per_billed(&self) -> BTreeMap<u32, u64> {
         let mut out = BTreeMap::new();
-        for (k, v) in &self.cycles {
+        for &(k, v) in &self.entries {
             if let Some(pid) = k.billed {
                 *out.entry(pid).or_insert(0) += v;
             }
@@ -73,7 +150,7 @@ impl CycleAccount {
     /// Nanoseconds recorded per billed pid and account label.
     pub fn per_billed_account(&self) -> BTreeMap<(u32, &'static str), u64> {
         let mut out = BTreeMap::new();
-        for (k, v) in &self.cycles {
+        for &(k, v) in &self.entries {
             if let (Some(pid), Some(acct)) = (k.billed, k.account) {
                 *out.entry((pid, acct)).or_insert(0) += v;
             }
@@ -84,7 +161,7 @@ impl CycleAccount {
     /// Nanoseconds recorded per context label.
     pub fn per_context(&self) -> BTreeMap<&'static str, u64> {
         let mut out = BTreeMap::new();
-        for (k, v) in &self.cycles {
+        for &(k, v) in &self.entries {
             *out.entry(k.context).or_insert(0) += v;
         }
         out
@@ -96,7 +173,7 @@ impl CycleAccount {
     /// processes.
     pub fn folded(&self, host: &str) -> String {
         let mut merged: BTreeMap<String, u64> = BTreeMap::new();
-        for (k, v) in &self.cycles {
+        for &(k, v) in &self.entries {
             let frame = format!("{host};cpu{};{};{}", k.cpu, k.context, k.stage);
             *merged.entry(frame).or_insert(0) += v;
         }
@@ -144,6 +221,23 @@ mod tests {
         let mut a = CycleAccount::new();
         a.add(key(0, "user", "compute", Some(1)), 0);
         assert_eq!(a.iter().count(), 0);
+    }
+
+    #[test]
+    fn iter_is_sorted_and_merged() {
+        let mut a = CycleAccount::new();
+        a.add(key(1, "user", "compute", Some(2)), 20);
+        a.add(key(0, "softirq", "ip-input", Some(1)), 100);
+        // Same logical key through a runtime-built address must merge
+        // with the literal's entry in exports.
+        let ctx: &'static str = Box::leak(String::from("softirq").into_boxed_str());
+        a.add(key(0, ctx, "ip-input", Some(1)), 11);
+        let got: Vec<(CycleKey, u64)> = a.iter().collect();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0.context, "softirq");
+        assert_eq!(got[0].1, 111);
+        assert_eq!(got[1].0.context, "user");
+        assert_eq!(a.total(), 131);
     }
 
     #[test]

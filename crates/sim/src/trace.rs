@@ -18,7 +18,6 @@
 //! * [`TraceRing::to_chrome_trace`] — the chrome://tracing (Perfetto) JSON
 //!   array format, where events with a duration render as spans.
 
-use std::collections::VecDeque;
 use std::fmt::Write as _;
 
 /// One timestamped point in a packet's lifecycle.
@@ -45,9 +44,15 @@ pub struct TraceEvent {
 }
 
 /// Fixed-capacity ring of [`TraceEvent`]s, overwriting oldest-first.
+///
+/// Stored as a flat `Vec` with a wrap cursor: recording at capacity is a
+/// single indexed store, not a dequeue/enqueue pair — this sits on the
+/// per-packet hot path whenever telemetry is on.
 #[derive(Clone, Debug)]
 pub struct TraceRing {
-    buf: VecDeque<TraceEvent>,
+    buf: Vec<TraceEvent>,
+    /// Index of the oldest event once the ring has wrapped.
+    head: usize,
     cap: usize,
     recorded: u64,
 }
@@ -57,22 +62,27 @@ impl TraceRing {
     /// nothing but still counts).
     pub fn new(cap: usize) -> Self {
         TraceRing {
-            buf: VecDeque::with_capacity(cap.min(4096)),
+            buf: Vec::with_capacity(cap.min(4096)),
+            head: 0,
             cap,
             recorded: 0,
         }
     }
 
     /// Appends an event, evicting the oldest if the ring is full.
+    #[inline]
     pub fn record(&mut self, ev: TraceEvent) {
         self.recorded += 1;
-        if self.cap == 0 {
-            return;
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else if self.cap > 0 {
+            // Full: overwrite the oldest in place.
+            self.buf[self.head] = ev;
+            self.head += 1;
+            if self.head == self.cap {
+                self.head = 0;
+            }
         }
-        if self.buf.len() == self.cap {
-            self.buf.pop_front();
-        }
-        self.buf.push_back(ev);
     }
 
     /// Number of events currently held.
@@ -97,7 +107,8 @@ impl TraceRing {
 
     /// Iterates events oldest-first.
     pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
-        self.buf.iter()
+        let (newer, older) = self.buf.split_at(self.head);
+        older.iter().chain(newer.iter())
     }
 
     /// Renders the ring as JSON Lines: one object per event, oldest-first.
@@ -106,7 +117,7 @@ impl TraceRing {
     /// string escaping is required.
     pub fn to_jsonl(&self) -> String {
         let mut out = String::with_capacity(self.buf.len() * 96);
-        for ev in &self.buf {
+        for ev in self.iter() {
             let _ = writeln!(
                 out,
                 "{{\"t_ns\":{},\"kind\":\"{}\",\"stage\":\"{}\",\"id\":{},\"cpu\":{},\"dur_ns\":{}}}",
@@ -125,7 +136,7 @@ impl TraceRing {
     pub fn to_chrome_trace(&self, pid: u32) -> String {
         let mut out = String::with_capacity(self.buf.len() * 160 + 32);
         out.push_str("{\"traceEvents\":[");
-        for (i, ev) in self.buf.iter().enumerate() {
+        for (i, ev) in self.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }

@@ -1,7 +1,7 @@
 //! Property tests for the simulation engine: the event queue against a
 //! reference model, and statistics invariants.
 
-use lrp_sim::{EventQueue, Histogram, RateSeries, SimDuration, SimTime, Welford};
+use lrp_sim::{EventQueue, Histogram, QueueImpl, RateSeries, SimDuration, SimTime, Welford};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -79,6 +79,50 @@ proptest! {
                 q.len(),
                 reference.iter().filter(|(.., dead)| !dead).count()
             );
+        }
+    }
+
+    /// The timer wheel and the legacy heap produce byte-identical
+    /// behaviour under arbitrary schedule/cancel/pop interleavings:
+    /// same keys, same cancel verdicts, same pop stream, same peeks.
+    /// This is the equivalence proof that lets the wheel replace the
+    /// heap without disturbing any golden digest.
+    #[test]
+    fn wheel_and_heap_pop_identical_streams(ops in proptest::collection::vec(arb_qop(), 1..400)) {
+        let mut wheel = EventQueue::with_impl(QueueImpl::Wheel);
+        let mut heap = EventQueue::with_impl(QueueImpl::Heap);
+        let mut keys = Vec::new();
+        let mut next_payload = 0u64;
+        for op in ops {
+            match op {
+                QOp::Schedule { at_us } => {
+                    let t = SimTime::from_micros(at_us);
+                    let kw = wheel.schedule(t, next_payload);
+                    let kh = heap.schedule(t, next_payload);
+                    prop_assert_eq!(kw, kh, "keys diverged");
+                    keys.push(kw);
+                    next_payload += 1;
+                }
+                QOp::Cancel { which } => {
+                    if !keys.is_empty() {
+                        let k = keys[which % keys.len()];
+                        prop_assert_eq!(wheel.cancel(k), heap.cancel(k), "cancel verdicts diverged");
+                    }
+                }
+                QOp::Pop => {
+                    prop_assert_eq!(wheel.pop(), heap.pop(), "pop streams diverged");
+                }
+            }
+            prop_assert_eq!(wheel.peek_time(), heap.peek_time(), "peeks diverged");
+            prop_assert_eq!(wheel.len(), heap.len(), "lengths diverged");
+        }
+        // Drain: the tails must match too.
+        loop {
+            let (w, h) = (wheel.pop(), heap.pop());
+            prop_assert_eq!(w, h, "drain streams diverged");
+            if w.is_none() {
+                break;
+            }
         }
     }
 

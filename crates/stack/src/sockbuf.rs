@@ -8,7 +8,7 @@
 //! [`ByteBuffer`] is the byte-stream buffer used by TCP for both send and
 //! receive sides.
 
-use lrp_wire::Endpoint;
+use lrp_wire::{Endpoint, FrameBuf};
 use std::collections::VecDeque;
 
 /// Minimum buffer space one datagram occupies: a small packet still
@@ -22,8 +22,9 @@ pub const DGRAM_MIN_SPACE: usize = 128;
 pub struct Datagram {
     /// Sender endpoint.
     pub from: Endpoint,
-    /// Payload bytes.
-    pub payload: Vec<u8>,
+    /// Payload bytes (arena-backed: queueing and dequeueing a datagram
+    /// moves a reference-counted buffer, never copies the bytes).
+    pub payload: FrameBuf,
 }
 
 /// Statistics for a datagram queue.
@@ -197,11 +198,11 @@ mod tests {
         let mut q = DatagramQueue::new(1000);
         q.enqueue(Datagram {
             from: from(),
-            payload: b"a".to_vec(),
+            payload: b"a".to_vec().into(),
         });
         q.enqueue(Datagram {
             from: from(),
-            payload: b"b".to_vec(),
+            payload: b"b".to_vec().into(),
         });
         assert_eq!(q.dequeue().unwrap().payload, b"a");
         assert_eq!(q.dequeue().unwrap().payload, b"b");
@@ -213,18 +214,18 @@ mod tests {
         let mut q = DatagramQueue::new(300);
         assert!(q.enqueue(Datagram {
             from: from(),
-            payload: vec![0; 200]
+            payload: vec![0; 200].into()
         }));
         assert!(!q.enqueue(Datagram {
             from: from(),
-            payload: vec![0; 200]
+            payload: vec![0; 200].into()
         }));
         assert_eq!(q.stats().dropped_full, 1);
         assert_eq!(q.space(), 100);
         q.dequeue();
         assert!(q.enqueue(Datagram {
             from: from(),
-            payload: vec![0; 200]
+            payload: vec![0; 200].into()
         }));
     }
 
@@ -233,7 +234,7 @@ mod tests {
         let mut q = DatagramQueue::new(1000);
         let d = || Datagram {
             from: from(),
-            payload: b"x".to_vec(),
+            payload: b"x".to_vec().into(),
         };
         assert_eq!(q.stats().peak_depth, 0);
         q.enqueue(d());
@@ -253,15 +254,15 @@ mod tests {
         let mut q = DatagramQueue::new(2 * DGRAM_MIN_SPACE);
         assert!(q.enqueue(Datagram {
             from: from(),
-            payload: vec![7]
+            payload: vec![7].into()
         }));
         assert!(q.enqueue(Datagram {
             from: from(),
-            payload: vec![7]
+            payload: vec![7].into()
         }));
         assert!(!q.enqueue(Datagram {
             from: from(),
-            payload: vec![7]
+            payload: vec![7].into()
         }));
         assert_eq!(q.bytes(), 2 * DGRAM_MIN_SPACE);
     }

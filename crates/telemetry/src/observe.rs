@@ -28,7 +28,7 @@ pub fn profiler_json(host: &Host) -> Json {
                     k.billed.map(|p| Json::U64(p as u64)).unwrap_or(Json::Null),
                 ),
                 ("account", k.account.map(Json::str).unwrap_or(Json::Null)),
-                ("cycles_ns", Json::U64(*ns)),
+                ("cycles_ns", Json::U64(ns)),
             ])
         })
         .collect();

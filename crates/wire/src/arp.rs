@@ -35,7 +35,7 @@ pub struct ArpMessage {
 
 /// Encodes an ARP message.
 pub fn build(msg: &ArpMessage) -> Vec<u8> {
-    let mut out = Vec::with_capacity(MESSAGE_LEN);
+    let mut out = crate::buf::storage(MESSAGE_LEN);
     out.extend_from_slice(
         &match msg.op {
             ArpOp::Request => 1u16,

@@ -5,18 +5,33 @@
 //! LLC/SNAP type field. Per-frame link overhead (AAL5 trailer, cell tax) is
 //! modelled by the network crate, not stored here.
 
+use crate::buf::FrameBuf;
 use crate::{ipv4, proto, tcp, udp};
 
 /// A frame on the simulated link.
+///
+/// The payload lives in a shared, arena-backed [`FrameBuf`]: cloning a
+/// frame bumps a reference count instead of copying bytes, and dropped
+/// buffers are recycled for later frames.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Frame {
     /// An IPv4 datagram (header + payload bytes).
-    Ipv4(Vec<u8>),
+    Ipv4(FrameBuf),
     /// An ARP message.
-    Arp(Vec<u8>),
+    Arp(FrameBuf),
 }
 
 impl Frame {
+    /// Wraps IPv4 datagram bytes as a frame.
+    pub fn ipv4(bytes: impl Into<FrameBuf>) -> Frame {
+        Frame::Ipv4(bytes.into())
+    }
+
+    /// Wraps ARP message bytes as a frame.
+    pub fn arp(bytes: impl Into<FrameBuf>) -> Frame {
+        Frame::Arp(bytes.into())
+    }
+
     /// The frame's payload bytes.
     pub fn bytes(&self) -> &[u8] {
         match self {
@@ -125,7 +140,7 @@ mod tests {
         use crate::Ipv4Addr;
         let src = Ipv4Addr::new(10, 0, 0, 1);
         let dst = Ipv4Addr::new(10, 0, 0, 2);
-        let u = Frame::Ipv4(udp::build_datagram(src, dst, 5, 9000, 1, b"xyz", true));
+        let u = Frame::ipv4(udp::build_datagram(src, dst, 5, 9000, 1, b"xyz", true));
         assert_eq!(u.describe(), "UDP 10.0.0.1:5 > 10.0.0.2:9000 len=3");
         let h = tcp::TcpHeader {
             src_port: 1,
@@ -136,20 +151,20 @@ mod tests {
             window: 100,
             mss: None,
         };
-        let t = Frame::Ipv4(tcp::build_datagram(src, dst, &h, 2, b""));
+        let t = Frame::ipv4(tcp::build_datagram(src, dst, &h, 2, b""));
         assert!(t.describe().contains("[S] seq=9"));
-        assert!(Frame::Ipv4(vec![9, 9]).describe().contains("malformed"));
-        assert!(Frame::Arp(vec![0; 20]).describe().starts_with("ARP"));
+        assert!(Frame::ipv4(vec![9, 9]).describe().contains("malformed"));
+        assert!(Frame::arp(vec![0; 20]).describe().starts_with("ARP"));
     }
 
     #[test]
     fn accessors() {
-        let f = Frame::Ipv4(vec![1, 2, 3]);
+        let f = Frame::ipv4(vec![1, 2, 3]);
         assert_eq!(f.bytes(), &[1, 2, 3]);
         assert_eq!(f.len(), 3);
         assert!(!f.is_empty());
         assert!(f.is_ipv4());
-        let a = Frame::Arp(vec![]);
+        let a = Frame::arp(vec![]);
         assert!(a.is_empty());
         assert!(!a.is_ipv4());
     }

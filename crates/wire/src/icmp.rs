@@ -55,7 +55,7 @@ pub struct IcmpMessage {
 /// Encodes an ICMP message with a valid checksum.
 pub fn build(msg: &IcmpMessage) -> Vec<u8> {
     let (t, c) = msg.kind.type_code();
-    let mut out = Vec::with_capacity(HEADER_LEN + msg.payload.len());
+    let mut out = crate::buf::storage(HEADER_LEN + msg.payload.len());
     out.push(t);
     out.push(c);
     out.extend_from_slice(&[0, 0]);
@@ -71,7 +71,9 @@ pub fn build(msg: &IcmpMessage) -> Vec<u8> {
 pub fn build_datagram(src: Ipv4Addr, dst: Ipv4Addr, ident: u16, msg: &IcmpMessage) -> Vec<u8> {
     let icmp = build(msg);
     let h = ipv4::Ipv4Header::new(src, dst, proto::ICMP, ident, icmp.len());
-    ipv4::build_datagram(&h, &icmp)
+    let out = ipv4::build_datagram(&h, &icmp);
+    crate::buf::recycle(icmp);
+    out
 }
 
 /// Parses and checksum-verifies an ICMP message.

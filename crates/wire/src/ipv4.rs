@@ -125,7 +125,7 @@ impl Ipv4Header {
 /// Builds a complete datagram: header + payload.
 pub fn build_datagram(header: &Ipv4Header, payload: &[u8]) -> Vec<u8> {
     debug_assert_eq!(header.payload_len(), payload.len());
-    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    let mut out = crate::buf::storage(HEADER_LEN + payload.len());
     out.extend_from_slice(&header.encode());
     out.extend_from_slice(payload);
     out

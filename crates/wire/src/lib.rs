@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod arp;
+pub mod buf;
 pub mod checksum;
 pub mod frame;
 pub mod icmp;
@@ -33,6 +34,7 @@ pub mod ipv4;
 pub mod tcp;
 pub mod udp;
 
+pub use buf::{frame_arena_stats, set_frame_pooling, FrameBuf};
 pub use frame::Frame;
 pub use std::net::Ipv4Addr;
 

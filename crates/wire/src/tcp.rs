@@ -62,7 +62,7 @@ impl TcpHeader {
 pub fn build(src: Ipv4Addr, dst: Ipv4Addr, h: &TcpHeader, payload: &[u8]) -> Vec<u8> {
     let hlen = h.wire_len();
     let total = hlen + payload.len();
-    let mut out = Vec::with_capacity(total);
+    let mut out = crate::buf::storage(total);
     out.extend_from_slice(&h.src_port.to_be_bytes());
     out.extend_from_slice(&h.dst_port.to_be_bytes());
     out.extend_from_slice(&h.seq.to_be_bytes());
@@ -96,7 +96,9 @@ pub fn build_datagram(
 ) -> Vec<u8> {
     let seg = build(src, dst, h, payload);
     let ih = ipv4::Ipv4Header::new(src, dst, proto::TCP, ident, seg.len());
-    ipv4::build_datagram(&ih, &seg)
+    let out = ipv4::build_datagram(&ih, &seg);
+    crate::buf::recycle(seg);
+    out
 }
 
 /// Parses a TCP segment into `(header, payload)`.

@@ -34,7 +34,7 @@ pub fn build(
     checksum_on: bool,
 ) -> Vec<u8> {
     let len = (HEADER_LEN + payload.len()) as u16;
-    let mut out = Vec::with_capacity(len as usize);
+    let mut out = crate::buf::storage(len as usize);
     out.extend_from_slice(&src_port.to_be_bytes());
     out.extend_from_slice(&dst_port.to_be_bytes());
     out.extend_from_slice(&len.to_be_bytes());
@@ -66,7 +66,9 @@ pub fn build_datagram(
 ) -> Vec<u8> {
     let udp = build(src, dst, src_port, dst_port, payload, checksum_on);
     let h = ipv4::Ipv4Header::new(src, dst, proto::UDP, ident, udp.len());
-    ipv4::build_datagram(&h, &udp)
+    let out = ipv4::build_datagram(&h, &udp);
+    crate::buf::recycle(udp);
+    out
 }
 
 /// Parses a UDP packet into `(header, payload)`.

@@ -39,7 +39,7 @@ fn run(nice: i8) -> (f64, f64) {
         SimTime::from_millis(20),
         42,
         move |seq| {
-            Frame::Ipv4(udp::build_datagram(
+            Frame::ipv4(udp::build_datagram(
                 SOURCE,
                 BEHIND,
                 6000,
@@ -75,7 +75,7 @@ fn main() {
         SimTime::from_millis(5),
         1,
         move |seq| {
-            Frame::Ipv4(udp::build_datagram(
+            Frame::ipv4(udp::build_datagram(
                 SOURCE,
                 BEHIND,
                 6000,

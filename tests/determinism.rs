@@ -161,6 +161,65 @@ fn fig3_matches_pre_smp_baseline_for_three_seeds() {
     }
 }
 
+/// The timer wheel must be observationally equivalent to the legacy
+/// binary heap: same seed, same architecture, bit-identical delivered
+/// rate and full host state — on every architecture. The wheel preserves
+/// the `(time, seq)` FIFO tie-break, so nothing downstream may notice
+/// which queue implementation ran.
+#[test]
+fn wheel_and_heap_produce_identical_results_on_all_architectures() {
+    for arch in [
+        Architecture::Bsd,
+        Architecture::EarlyDemux,
+        Architecture::SoftLrp,
+        Architecture::NiLrp,
+    ] {
+        let run = |queue: lrp::sim::QueueImpl| {
+            let (mut world, _m) = fig3::build_seeded(arch, 12_000.0, true, 7);
+            world.use_queue_impl(queue);
+            world.run_until(SimTime::from_secs(1));
+            (host_state_string(&world.hosts[0]), world.events_processed())
+        };
+        let (heap_state, heap_events) = run(lrp::sim::QueueImpl::Heap);
+        let (wheel_state, wheel_events) = run(lrp::sim::QueueImpl::Wheel);
+        assert_eq!(
+            heap_state, wheel_state,
+            "queue implementations diverged ({arch:?})"
+        );
+        assert_eq!(
+            heap_events, wheel_events,
+            "event counts diverged ({arch:?})"
+        );
+    }
+}
+
+/// Frame-arena recycling is a pure allocation strategy: a fault-heavy
+/// TCP run (bursty loss, retransmissions, duplicated frames) must be
+/// byte-identical with pooling on and off. This pins the fault stage's
+/// copy-free duplication — sharing one buffer between both deliveries
+/// may not change what any host observes.
+#[test]
+fn fault_sweep_results_identical_with_and_without_frame_pooling() {
+    use lrp::experiments::fault_sweep;
+    use lrp::stack::tcp::CcAlgo;
+    let run = |pooled: bool| {
+        lrp::wire::set_frame_pooling(pooled);
+        let mut plan = fault_sweep::burst_plan(0xB57, 0.02);
+        plan.duplicate_p = 0.05;
+        let (mut world, _m) =
+            fault_sweep::build_cc(Architecture::Bsd, CcAlgo::NewReno, plan, 1 << 18);
+        world.run_until(SimTime::from_secs(10));
+        let digest = (
+            host_state_string(&world.hosts[0]),
+            host_state_string(&world.hosts[1]),
+            world.events_processed(),
+        );
+        lrp::wire::set_frame_pooling(true);
+        digest
+    };
+    assert_eq!(run(true), run(false), "frame pooling changed results");
+}
+
 #[test]
 fn table2_cell_is_identical_across_runs() {
     let a = table2::measure(Architecture::SoftLrp, table2::Variant::Fast);

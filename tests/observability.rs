@@ -23,7 +23,7 @@ fn profiler_agrees_with_scheduler_accounting() {
 
         let mut per: BTreeMap<(u32, &str), u64> = BTreeMap::new();
         let mut billed_total = 0u64;
-        for (k, &ns) in host.telemetry().profiler().iter() {
+        for (k, ns) in host.telemetry().profiler().iter() {
             if let (Some(pid), Some(acct)) = (k.billed, k.account) {
                 *per.entry((pid, acct)).or_default() += ns;
                 billed_total += ns;
