@@ -70,18 +70,33 @@ struct Row {
     experiment: &'static str,
     arch: &'static str,
     mode: Mode,
+    /// Full telemetry (traces, spans, sketches, watchdog, timeline) on?
+    telemetry: bool,
     events: u64,
     elapsed_ns: u128,
     events_per_sec: f64,
 }
 
 /// Runs one world-building closure to `dur` under `mode`, best of
-/// [`ATTEMPTS`]; returns (events, elapsed_ns, events/sec).
-fn time_world(mode: Mode, dur: SimTime, build: impl Fn() -> World) -> (u64, u128, f64) {
+/// [`ATTEMPTS`]; returns (events, elapsed_ns, events/sec). When
+/// `telemetry` is false every host's telemetry is disabled after build —
+/// the experiment builders turn it on by default, so this is the
+/// with/without pair the <10% overhead budget is measured on.
+fn time_world(
+    mode: Mode,
+    telemetry: bool,
+    dur: SimTime,
+    build: impl Fn() -> World,
+) -> (u64, u128, f64) {
     let mut best: Option<(u64, u128)> = None;
     for _ in 0..ATTEMPTS {
         let mut world = build();
         mode.apply(&mut world);
+        if !telemetry {
+            for h in &mut world.hosts {
+                h.set_telemetry(false);
+            }
+        }
         let start = Instant::now();
         world.run_until(dur);
         let elapsed = start.elapsed().as_nanos();
@@ -115,23 +130,35 @@ fn main() {
         Architecture::NiLrp,
     ] {
         for mode in modes {
-            let (events, elapsed_ns, eps) = time_world(mode, SimTime::from_secs(1), || {
-                fig3::build_seeded(arch, 12_000.0, true, 7).0
-            });
-            println!(
-                "fig3/{}/{}: {events} events in {:.1} ms ({eps:.0} events/s)",
-                arch_tag(arch),
-                mode.name(),
-                elapsed_ns as f64 / 1e6
-            );
-            rows.push(Row {
-                experiment: "fig3",
-                arch: arch_tag(arch),
-                mode,
-                events,
-                elapsed_ns,
-                events_per_sec: eps,
-            });
+            // In current mode also measure with telemetry fully disabled:
+            // the pair enforces the <10% full-telemetry overhead budget.
+            let tele_settings: &[bool] = if mode == Mode::Current {
+                &[true, false]
+            } else {
+                &[true]
+            };
+            for &telemetry in tele_settings {
+                let (events, elapsed_ns, eps) =
+                    time_world(mode, telemetry, SimTime::from_secs(1), || {
+                        fig3::build_seeded(arch, 12_000.0, true, 7).0
+                    });
+                println!(
+                    "fig3/{}/{}/telemetry-{}: {events} events in {:.1} ms ({eps:.0} events/s)",
+                    arch_tag(arch),
+                    mode.name(),
+                    if telemetry { "on" } else { "off" },
+                    elapsed_ns as f64 / 1e6
+                );
+                rows.push(Row {
+                    experiment: "fig3",
+                    arch: arch_tag(arch),
+                    mode,
+                    telemetry,
+                    events,
+                    elapsed_ns,
+                    events_per_sec: eps,
+                });
+            }
         }
     }
 
@@ -139,7 +166,7 @@ fn main() {
     // (telemetry + timeline on — the heaviest per-event path).
     for arch in [Architecture::Bsd, Architecture::NiLrp] {
         for mode in modes {
-            let (events, elapsed_ns, eps) = time_world(mode, SimTime::from_secs(1), || {
+            let (events, elapsed_ns, eps) = time_world(mode, true, SimTime::from_secs(1), || {
                 livelock_timeline::build(arch, livelock_timeline::SEED).0
             });
             println!(
@@ -152,6 +179,7 @@ fn main() {
                 experiment: "livelock",
                 arch: arch_tag(arch),
                 mode,
+                telemetry: true,
                 events,
                 elapsed_ns,
                 events_per_sec: eps,
@@ -164,7 +192,7 @@ fn main() {
     // was about.
     for arch in [Architecture::Bsd, Architecture::NiLrp] {
         for mode in modes {
-            let (events, elapsed_ns, eps) = time_world(mode, SimTime::from_secs(20), || {
+            let (events, elapsed_ns, eps) = time_world(mode, true, SimTime::from_secs(20), || {
                 let plan = fault_sweep::burst_plan(0xB57, 0.02);
                 let (world, _m) = fault_sweep::build_cc(arch, CcAlgo::NewReno, plan, 1 << 20);
                 world
@@ -179,6 +207,7 @@ fn main() {
                 experiment: "cc",
                 arch: arch_tag(arch),
                 mode,
+                telemetry: true,
                 events,
                 elapsed_ns,
                 events_per_sec: eps,
@@ -188,28 +217,47 @@ fn main() {
 
     // fig3 speedup: total events/sec across architectures, current over
     // baseline (the acceptance ratio for the overhaul).
-    let agg = |exp: &str, mode: Mode| {
+    let agg = |exp: &str, mode: Mode, telemetry: bool| {
         let (ev, ns) = rows
             .iter()
-            .filter(|r| r.experiment == exp && r.mode == mode)
+            .filter(|r| r.experiment == exp && r.mode == mode && r.telemetry == telemetry)
             .fold((0u64, 0u128), |(e, n), r| (e + r.events, n + r.elapsed_ns));
         ev as f64 / (ns as f64 / 1e9)
     };
-    let fig3_current = agg("fig3", Mode::Current);
-    let fig3_speedup = fig3_current / agg("fig3", Mode::Baseline);
+    let fig3_current = agg("fig3", Mode::Current, true);
+    let fig3_speedup = fig3_current / agg("fig3", Mode::Baseline, true);
     let fig3_speedup_vs_recorded = fig3_current / RECORDED_PRE_PR_FIG3_EPS;
     println!("fig3 speedup (current/baseline): {fig3_speedup:.2}x");
     println!("fig3 speedup (current/recorded pre-overhaul): {fig3_speedup_vs_recorded:.2}x");
+
+    // The telemetry overhead budget: full telemetry (traces, spans,
+    // sketches, watchdog, timeline, sockstats) must cost <10% events/sec
+    // on the fig3 blast. Enforced here so the bench run itself fails CI
+    // when instrumentation creep breaks the budget.
+    let fig3_tele_off = agg("fig3", Mode::Current, false);
+    let fig3_telemetry_overhead = 1.0 - fig3_current / fig3_tele_off;
+    println!(
+        "fig3 telemetry: on {fig3_current:.0} ev/s, off {fig3_tele_off:.0} ev/s \
+         (overhead {:.1}%)",
+        fig3_telemetry_overhead * 100.0
+    );
+    assert!(
+        fig3_telemetry_overhead < 0.10,
+        "full telemetry costs {:.1}% events/sec on fig3 — budget is <10%",
+        fig3_telemetry_overhead * 100.0
+    );
 
     let entries: Vec<String> = rows
         .iter()
         .map(|r| {
             format!(
                 "    {{ \"experiment\": \"{}\", \"arch\": \"{}\", \"mode\": \"{}\", \
+                 \"telemetry\": {}, \
                  \"events\": {}, \"elapsed_ns\": {}, \"events_per_sec\": {:.1} }}",
                 r.experiment,
                 r.arch,
                 r.mode.name(),
+                r.telemetry,
                 r.events,
                 r.elapsed_ns,
                 r.events_per_sec
@@ -221,6 +269,9 @@ fn main() {
          \"fig3_speedup\": {fig3_speedup:.3},\n  \
          \"recorded_pre_pr_fig3_events_per_sec\": {RECORDED_PRE_PR_FIG3_EPS:.1},\n  \
          \"fig3_speedup_vs_recorded\": {fig3_speedup_vs_recorded:.3},\n  \
+         \"fig3_telemetry_on_events_per_sec\": {fig3_current:.1},\n  \
+         \"fig3_telemetry_off_events_per_sec\": {fig3_tele_off:.1},\n  \
+         \"fig3_telemetry_overhead\": {fig3_telemetry_overhead:.4},\n  \
          \"results\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")
     );

@@ -197,6 +197,13 @@ pub(crate) struct Socket {
     /// retransmit give-up, keepalive abort); surfaced by the next
     /// recv/send/connect instead of a silent stall or a fake EOF.
     pub err: Option<Errno>,
+    /// Frames dropped at this socket's full receive buffer. Kernel state,
+    /// not telemetry: the `SockStats` syscall surfaces it to applications,
+    /// so it is maintained regardless of the telemetry switch.
+    pub drops_sockbuf: u64,
+    /// Frames dropped at this socket's full NI channel (or by Early-Demux
+    /// socket-queue feedback at the interrupt handler).
+    pub drops_channel: u64,
 }
 
 /// Per-process execution state.
@@ -837,6 +844,8 @@ impl Host {
             closed_by_app: false,
             chan_reclaimed: false,
             err: None,
+            drops_sockbuf: 0,
+            drops_channel: 0,
         }));
         id
     }
@@ -854,6 +863,71 @@ impl Host {
             }
         }
         depth
+    }
+
+    /// A netstat-style snapshot of one socket (the `SockStats` syscall);
+    /// `None` if the socket is gone.
+    pub fn sock_stats_of(&self, sock: SockId) -> Option<crate::syscall::SockStats> {
+        let s = self.sock_opt(sock)?;
+        let chan_depth = match s.chan {
+            Some(c) if self.nic.channel_exists(c) => self.nic.channel(c).depth(),
+            _ => 0,
+        };
+        let recv_q = match &s.tcp {
+            Some(conn) => conn.available(),
+            None => s.rcvq.len(),
+        };
+        Some(crate::syscall::SockStats {
+            sock: s.id,
+            proto: s.proto,
+            local: s.local.unwrap_or_else(|| Endpoint::new(self.addr, 0)),
+            remote: s.remote,
+            recv_q,
+            chan_depth,
+            drops_sockbuf: s.drops_sockbuf,
+            drops_channel: s.drops_channel,
+            tcp: s.tcp.as_ref().map(|conn| conn.sock_stats()).or_else(|| {
+                // A listener has no connection object; report its state
+                // machine position anyway.
+                s.listener.as_ref().map(|_| {
+                    let mut st = lrp_stack::TcpSockStats {
+                        state: lrp_stack::TcpState::Listen,
+                        srtt_ns: 0,
+                        rttvar_ns: 0,
+                        rto_ns: 0,
+                        retries: 0,
+                        cwnd: 0,
+                        ssthresh: 0,
+                        snd_q: 0,
+                        rcv_q: 0,
+                        retransmits: 0,
+                        fast_retransmits: 0,
+                        timeouts: 0,
+                        dup_acks: 0,
+                    };
+                    st.rcv_q = s.accept_q.len() as u64;
+                    st
+                })
+            }),
+        })
+    }
+
+    /// The whole-host netstat dump: a [`SockStats`](crate::SockStats)
+    /// snapshot for every live socket, in socket-id order.
+    pub fn host_netstat(&self) -> Vec<crate::syscall::SockStats> {
+        self.live_socks
+            .iter()
+            .filter_map(|&id| self.sock_stats_of(id))
+            .collect()
+    }
+
+    /// Replaces the telemetry state with a fresh one, enabled or not
+    /// (bench harness: measure the same world with telemetry on vs. off).
+    /// Call before running the world — recorded state is discarded.
+    pub fn set_telemetry(&mut self, enabled: bool) {
+        self.tele = crate::telemetry::Telemetry::new(enabled);
+        self.tele
+            .set_span_tag((1u64 << 63) | ((self.addr.octets()[3] as u64) << 48));
     }
 
     /// Iterates live sockets (allocation order).

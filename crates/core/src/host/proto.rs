@@ -225,6 +225,7 @@ impl Host {
             }
         } else {
             self.stats.drop_at(DropPoint::SockBuf);
+            self.sock_mut(sock).drops_sockbuf += 1;
             self.tele.on_drop(now, cpu, DropPoint::SockBuf);
         }
         total
@@ -410,6 +411,7 @@ impl Host {
             // BSD pays everything above and only now discovers the full
             // socket queue — the waste LRP eliminates.
             self.stats.drop_at(DropPoint::SockBuf);
+            self.sock_mut(sock).drops_sockbuf += 1;
             self.tele.on_drop(now, cpu, DropPoint::SockBuf);
         }
         total

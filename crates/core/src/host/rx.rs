@@ -211,6 +211,7 @@ impl Host {
                 let rcvq_full = sk.rcvq.space() < frame.len();
                 if rcvq_full || self.nic.channel(chan).is_full() {
                     self.stats.drop_at(DropPoint::Channel);
+                    self.sock_mut(s).drops_channel += 1;
                     self.tele.on_drop(now, cpu, DropPoint::Channel);
                     return extra;
                 }
@@ -219,6 +220,9 @@ impl Host {
         let was_empty = self.nic.channel(chan).is_empty();
         if !self.nic.channel_mut(chan).enqueue(frame) {
             self.stats.drop_at(DropPoint::Channel);
+            if let Some(s) = sock {
+                self.sock_mut(s).drops_channel += 1;
+            }
             self.tele.on_drop(now, cpu, DropPoint::Channel);
             return extra;
         }

@@ -274,6 +274,17 @@ impl Host {
                     next: Cont::SyscallReturn(SyscallRet::Depth(depth)),
                 }
             }
+            SyscallOp::SockStats { sock } => {
+                let ret = match self.sock_stats_of(sock) {
+                    Some(st) => SyscallRet::Stats(Box::new(st)),
+                    None => SyscallRet::Err(Errno::Invalid),
+                };
+                PhaseOut::Run {
+                    dur: entry,
+                    account: Account::System,
+                    next: Cont::SyscallReturn(ret),
+                }
+            }
             SyscallOp::Close { sock } => {
                 let dur = self.do_close(now, sock);
                 PhaseOut::Run {

@@ -24,16 +24,18 @@ pub mod host;
 pub mod hostfault;
 pub mod syscall;
 pub mod telemetry;
+pub mod watchdog;
 pub mod world;
 
 pub use config::{Architecture, HostConfig};
 pub use cost::CostModel;
 pub use host::{DropPoint, Host, HostStats};
 pub use hostfault::{CrashEvent, HostFaultPlan};
-pub use syscall::{AppCtx, AppLogic, Errno, SockProto, SyscallOp, SyscallRet};
+pub use syscall::{AppCtx, AppLogic, Errno, SockProto, SockStats, SyscallOp, SyscallRet};
 pub use telemetry::{
     PacketLedger, SpanEvent, SpanId, Telemetry, DEFAULT_TRACE_CAP, TIMELINE_COLUMNS,
 };
+pub use watchdog::{AnomalyEvent, AnomalyKind, Watchdog, WatchdogSample};
 pub use world::{Event, World};
 
 pub use lrp_sched::Pid;

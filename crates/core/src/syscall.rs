@@ -8,7 +8,7 @@
 //! alternating between user computation and system calls.
 
 use lrp_sim::{SimDuration, SimTime};
-use lrp_stack::SockId;
+use lrp_stack::{SockId, TcpSockStats};
 use lrp_wire::{Endpoint, FrameBuf};
 
 /// Socket protocol selector.
@@ -116,6 +116,13 @@ pub enum SyscallOp {
         /// Socket.
         sock: SockId,
     },
+    /// Netstat-style introspection: a full [`SockStats`] snapshot of one
+    /// socket (state, RTT/cwnd estimates for TCP, queue depths, per-socket
+    /// drop counts). Non-blocking.
+    SockStats {
+        /// Socket.
+        sock: SockId,
+    },
     /// Close a socket.
     Close {
         /// Socket.
@@ -144,8 +151,37 @@ pub enum SyscallRet {
     Accepted(SockId),
     /// Receive-side queue depth of a socket.
     Depth(usize),
+    /// A netstat-style snapshot (boxed to keep the enum small).
+    Stats(Box<SockStats>),
     /// The operation failed.
     Err(Errno),
+}
+
+/// A netstat-style snapshot of one socket, as returned by
+/// [`SyscallOp::SockStats`] and aggregated by `Host::host_netstat`.
+/// All-integer: durations are nanoseconds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SockStats {
+    /// The socket.
+    pub sock: SockId,
+    /// Protocol.
+    pub proto: SockProto,
+    /// Local endpoint (port 0 when unbound).
+    pub local: Endpoint,
+    /// Remote endpoint (`None` for unconnected/listening sockets).
+    pub remote: Option<Endpoint>,
+    /// Receive-side depth: buffered datagrams / stream bytes pending in
+    /// the socket buffer (same unit as the recv path delivers).
+    pub recv_q: usize,
+    /// Frames still waiting in the socket's NI channel (0 on BSD).
+    pub chan_depth: usize,
+    /// Frames dropped at this socket's full receive buffer.
+    pub drops_sockbuf: u64,
+    /// Frames dropped at this socket's full NI channel (or by ED
+    /// socket-queue feedback).
+    pub drops_channel: u64,
+    /// TCP-only detail (state machine, RTT, cwnd, retransmits).
+    pub tcp: Option<TcpSockStats>,
 }
 
 /// Context handed to applications on each upcall.

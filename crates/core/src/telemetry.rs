@@ -28,16 +28,21 @@
 //! count. Experiments run this self-check at the end of every run.
 
 use crate::host::{DropPoint, Host};
+use crate::watchdog::{AnomalyEvent, Watchdog, WatchdogSample};
 use lrp_demux::ChannelId;
 use lrp_sim::{
-    CycleAccount, CycleKey, FastHashMap, Histogram, MetricsTimeline, SimDuration, SimTime,
-    TraceEvent, TraceRing,
+    CycleAccount, CycleKey, FastHashMap, Histogram, MetricsTimeline, QuantileSketch, SimDuration,
+    SimTime, TraceEvent, TraceRing,
 };
 use lrp_wire::Frame;
 use std::collections::{BTreeMap, VecDeque};
 
-/// Default trace-ring capacity, in events.
-pub const DEFAULT_TRACE_CAP: usize = 65_536;
+/// Default trace-ring capacity, in events. Sized to stay L2-resident
+/// (~80 KB of [`TraceEvent`]s): the ring sits on the per-packet hot path
+/// and a larger tail buffer measurably slows the simulator down by
+/// streaming every record through the cache (the <10% telemetry overhead
+/// budget in `bench_sim` is measured with this default).
+pub const DEFAULT_TRACE_CAP: usize = 2_048;
 
 /// Maximum stored span events per host; further events are counted in
 /// [`Telemetry::span_events_dropped`] and discarded.
@@ -62,6 +67,28 @@ pub struct SpanEvent {
     pub cpu: u32,
 }
 
+/// Span path stage names, indexed by the packed stage byte.
+const SPAN_STAGES: [&str; 7] = ["inject", "rx", "enq", "deq", "deliver", "recv", "tx"];
+const SP_INJECT: u8 = 0;
+const SP_RX: u8 = 1;
+const SP_ENQ: u8 = 2;
+const SP_DEQ: u8 = 3;
+const SP_DELIVER: u8 = 4;
+const SP_RECV: u8 = 5;
+const SP_TX: u8 = 6;
+
+/// In-memory form of one span event: 24 bytes instead of [`SpanEvent`]'s
+/// 32. The span log takes several entries per packet on the hot path, so
+/// the packing is a measurable slice of the telemetry overhead budget;
+/// [`Telemetry::span_log`] unpacks on export.
+#[derive(Clone, Copy, Debug)]
+struct PackedSpanEvent {
+    span: SpanId,
+    t_ns: u64,
+    cpu: u16,
+    stage: u8,
+}
+
 /// Column names of the per-host metrics timeline, in recording order.
 /// Counter columns are cumulative; `*_depth` and `runq` are gauges.
 pub const TIMELINE_COLUMNS: &[&str] = &[
@@ -78,7 +105,54 @@ pub const TIMELINE_COLUMNS: &[&str] = &[
     "charged_ns",
     "tcp_cwnd",
     "tcp_ssthresh",
+    "anomalies",
 ];
+
+/// A tiny association list. The per-host cardinality of live channels,
+/// sockets, and processes is small, and these sidecars sit on the
+/// per-frame hot path: a linear scan over a compact vector beats hash
+/// probes there (and stays deterministic).
+#[derive(Debug)]
+struct FlatMap<K, V>(Vec<(K, V)>);
+
+impl<K, V> Default for FlatMap<K, V> {
+    fn default() -> Self {
+        FlatMap(Vec::new())
+    }
+}
+
+impl<K: Copy + PartialEq, V> FlatMap<K, V> {
+    fn get_or_insert(&mut self, k: K) -> &mut V
+    where
+        V: Default,
+    {
+        match self.0.iter().position(|(kk, _)| *kk == k) {
+            Some(i) => &mut self.0[i].1,
+            None => {
+                self.0.push((k, V::default()));
+                &mut self.0.last_mut().unwrap().1
+            }
+        }
+    }
+
+    fn get_mut(&mut self, k: K) -> Option<&mut V> {
+        self.0.iter_mut().find(|(kk, _)| *kk == k).map(|(_, v)| v)
+    }
+
+    fn insert(&mut self, k: K, v: V) {
+        match self.0.iter_mut().find(|(kk, _)| *kk == k) {
+            Some(e) => e.1 = v,
+            None => self.0.push((k, v)),
+        }
+    }
+
+    fn remove(&mut self, k: K) -> Option<V> {
+        self.0
+            .iter()
+            .position(|(kk, _)| *kk == k)
+            .map(|i| self.0.swap_remove(i).1)
+    }
+}
 
 /// Per-host telemetry state (see the module docs).
 #[derive(Debug)]
@@ -92,12 +166,21 @@ pub struct Telemetry {
     pub channel_residency: Histogram,
     /// Enqueue (IP queue / ED channel) → softirq dispatch delay, ns.
     pub softirq_dispatch: Histogram,
+    /// Mergeable sketch shadowing [`Self::arrival_to_deliver`]; backs
+    /// p999/p9999 and cross-host/CPU aggregation.
+    pub arrival_to_deliver_sketch: QuantileSketch,
+    /// Mergeable sketch shadowing [`Self::channel_residency`].
+    pub channel_residency_sketch: QuantileSketch,
+    /// Mergeable sketch shadowing [`Self::softirq_dispatch`].
+    pub softirq_dispatch_sketch: QuantileSketch,
+    /// The anomaly watchdog, fed one sample per statclock tick.
+    watchdog: Watchdog,
     /// Enqueue timestamps + spans paralleling the BSD IP queue (FIFO,
     /// tail-drop before enqueue — mirrors the frame queue exactly).
     ipq_ts: VecDeque<(SimTime, Option<SpanId>)>,
     /// Enqueue timestamps + spans paralleling each NI channel's frame
     /// queue.
-    chan_ts: FastHashMap<ChannelId, VecDeque<(SimTime, Option<SpanId>)>>,
+    chan_ts: FlatMap<ChannelId, VecDeque<(SimTime, Option<SpanId>)>>,
     /// NIC arrival time of the frame most recently dequeued for protocol
     /// processing (consumed by the delivery hook).
     cur_arrival: Option<SimTime>,
@@ -105,18 +188,18 @@ pub struct Telemetry {
     cur_span: Option<SpanId>,
     /// Spans paralleling each socket's receive queue (keyed by raw sock
     /// id; pushed at delivery, popped at recv).
-    sock_spans: FastHashMap<u64, VecDeque<Option<SpanId>>>,
+    sock_spans: FlatMap<u64, VecDeque<Option<SpanId>>>,
     /// Spans paralleling the NIC interface (transmit) queue.
     ifq_spans: VecDeque<Option<SpanId>>,
     /// Per process (raw pid): the span of the last datagram it received,
     /// consumed by its next send — a reply continues the request's span.
-    last_recv_span: FastHashMap<u32, SpanId>,
+    last_recv_span: FlatMap<u32, SpanId>,
     /// Tag prefix for spans minted at this host's send path.
     span_tag: SpanId,
     /// Sequence counter for host-minted spans.
     local_span_seq: u64,
-    /// Recorded span events, in time order.
-    span_log: Vec<SpanEvent>,
+    /// Recorded span events, in time order (packed; unpacked on export).
+    span_log: Vec<PackedSpanEvent>,
     /// Span events discarded past [`SPAN_LOG_CAP`].
     pub span_events_dropped: u64,
     /// The simulated-cycle profiler: every charged chunk attributed to a
@@ -124,7 +207,10 @@ pub struct Telemetry {
     profiler: CycleAccount,
     /// Protocol cycles by `(billed process, rightful receiver)` — the
     /// charge-attribution ledger behind the paper's accounting claim.
-    proto_attr: BTreeMap<(Option<u32>, u32), u64>,
+    /// Stored as a flat vector (the pair cardinality is tiny and a linear
+    /// scan beats tree lookups on the per-chunk hot path); sorted on
+    /// export.
+    proto_attr: Vec<((Option<u32>, u32), u64)>,
     /// Rightful owner (raw pid) of the protocol work most recently
     /// performed at job-creation time; consumed when its chunk starts.
     pending_proto_owner: Option<u32>,
@@ -169,19 +255,23 @@ impl Telemetry {
             arrival_to_deliver: Histogram::new(),
             channel_residency: Histogram::new(),
             softirq_dispatch: Histogram::new(),
+            arrival_to_deliver_sketch: QuantileSketch::new(),
+            channel_residency_sketch: QuantileSketch::new(),
+            softirq_dispatch_sketch: QuantileSketch::new(),
+            watchdog: Watchdog::new(),
             ipq_ts: VecDeque::new(),
-            chan_ts: FastHashMap::default(),
+            chan_ts: FlatMap::default(),
             cur_arrival: None,
             cur_span: None,
-            sock_spans: FastHashMap::default(),
+            sock_spans: FlatMap::default(),
             ifq_spans: VecDeque::new(),
-            last_recv_span: FastHashMap::default(),
+            last_recv_span: FlatMap::default(),
             span_tag: 1 << 63,
             local_span_seq: 0,
             span_log: Vec::new(),
             span_events_dropped: 0,
             profiler: CycleAccount::new(),
-            proto_attr: BTreeMap::new(),
+            proto_attr: Vec::new(),
             pending_proto_owner: None,
             timeline: MetricsTimeline::new(TIMELINE_COLUMNS.to_vec()),
             timeline_proc_cpu: Vec::new(),
@@ -215,24 +305,24 @@ impl Telemetry {
     }
 
     /// Appends one span event, bounded by [`SPAN_LOG_CAP`].
-    fn span_ev(&mut self, now: SimTime, stage: &'static str, span: Option<SpanId>, cpu: usize) {
+    fn span_ev(&mut self, now: SimTime, stage: u8, span: Option<SpanId>, cpu: usize) {
         let Some(span) = span else { return };
         if self.span_log.len() >= SPAN_LOG_CAP {
             self.span_events_dropped += 1;
             return;
         }
-        self.span_log.push(SpanEvent {
+        self.span_log.push(PackedSpanEvent {
             span,
             t_ns: now.as_nanos(),
+            cpu: cpu as u16,
             stage,
-            cpu: cpu as u32,
         });
     }
 
     /// A traffic injector minted `span` for a frame bound for this host.
     pub(crate) fn on_span_inject(&mut self, now: SimTime, span: SpanId) {
         if self.enabled {
-            self.span_ev(now, "inject", Some(span), 0);
+            self.span_ev(now, SP_INJECT, Some(span), 0);
         }
     }
 
@@ -241,7 +331,7 @@ impl Telemetry {
     pub(crate) fn on_rx(&mut self, now: SimTime, ordinal: u64, span: Option<SpanId>) {
         if self.enabled {
             self.ev(now, "rx-dma", "link", ordinal, 0);
-            self.span_ev(now, "rx", span, 0);
+            self.span_ev(now, SP_RX, span, 0);
         }
     }
 
@@ -266,7 +356,7 @@ impl Telemetry {
         if self.enabled {
             self.ipq_ts.push_back((now, span));
             self.ev(now, "enqueue", "ip-queue", depth as u64, 0);
-            self.span_ev(now, "enq", span, 0);
+            self.span_ev(now, SP_ENQ, span, 0);
         }
     }
 
@@ -276,9 +366,10 @@ impl Telemetry {
         if self.enabled {
             if let Some((t, span)) = self.ipq_ts.pop_front() {
                 self.softirq_dispatch.record_duration(now - t);
+                self.softirq_dispatch_sketch.record_duration(now - t);
                 self.cur_arrival = Some(t);
                 self.cur_span = span;
-                self.span_ev(now, "deq", span, cpu);
+                self.span_ev(now, SP_DEQ, span, cpu);
             }
             self.ev(now, "softirq", "ip-input", 0, cpu);
         }
@@ -302,9 +393,9 @@ impl Telemetry {
         span: Option<SpanId>,
     ) {
         if self.enabled {
-            self.chan_ts.entry(chan).or_default().push_back((now, span));
+            self.chan_ts.get_or_insert(chan).push_back((now, span));
             self.ev(now, "enqueue", "channel", chan.0 as u64, cpu);
-            self.span_ev(now, "enq", span, cpu);
+            self.span_ev(now, SP_ENQ, span, cpu);
         }
     }
 
@@ -312,11 +403,12 @@ impl Telemetry {
     /// sample and arrival bookkeeping.
     pub(crate) fn on_chan_dequeue(&mut self, now: SimTime, cpu: usize, chan: ChannelId) {
         if self.enabled {
-            if let Some((t, span)) = self.chan_ts.get_mut(&chan).and_then(|q| q.pop_front()) {
+            if let Some((t, span)) = self.chan_ts.get_mut(chan).and_then(|q| q.pop_front()) {
                 self.channel_residency.record_duration(now - t);
+                self.channel_residency_sketch.record_duration(now - t);
                 self.cur_arrival = Some(t);
                 self.cur_span = span;
-                self.span_ev(now, "deq", span, cpu);
+                self.span_ev(now, SP_DEQ, span, cpu);
             }
             self.ev(now, "dequeue", "channel", chan.0 as u64, cpu);
         }
@@ -328,6 +420,7 @@ impl Telemetry {
         if self.enabled {
             if let Some(arr) = self.cur_arrival {
                 self.softirq_dispatch.record_duration(now - arr);
+                self.softirq_dispatch_sketch.record_duration(now - arr);
             }
             self.ev(now, "softirq", tag, 0, cpu);
         }
@@ -360,10 +453,11 @@ impl Telemetry {
             self.delivered_udp += 1;
             if let Some(arr) = self.cur_arrival.take() {
                 self.arrival_to_deliver.record_duration(now - arr);
+                self.arrival_to_deliver_sketch.record_duration(now - arr);
             }
             let span = self.cur_span.take();
-            self.sock_spans.entry(sock).or_default().push_back(span);
-            self.span_ev(now, "deliver", span, cpu);
+            self.sock_spans.get_or_insert(sock).push_back(span);
+            self.span_ev(now, SP_DELIVER, span, cpu);
             self.ev(now, "deliver", "udp", sock, cpu);
         }
     }
@@ -374,9 +468,10 @@ impl Telemetry {
             self.delivered_icmp += 1;
             if let Some(arr) = self.cur_arrival.take() {
                 self.arrival_to_deliver.record_duration(now - arr);
+                self.arrival_to_deliver_sketch.record_duration(now - arr);
             }
             let span = self.cur_span.take();
-            self.span_ev(now, "deliver", span, cpu);
+            self.span_ev(now, SP_DELIVER, span, cpu);
             self.ev(now, "deliver", "icmp", sock, cpu);
         }
     }
@@ -440,7 +535,7 @@ impl Telemetry {
     pub(crate) fn on_chan_flush(&mut self, chan: ChannelId, n: usize) {
         if self.enabled {
             self.flushed += n as u64;
-            self.chan_ts.remove(&chan);
+            self.chan_ts.remove(chan);
         }
     }
 
@@ -449,7 +544,7 @@ impl Telemetry {
     pub(crate) fn on_chan_owner_dead(&mut self, now: SimTime, chan: ChannelId, n: usize) {
         if self.enabled {
             self.owner_dead += n as u64;
-            self.chan_ts.remove(&chan);
+            self.chan_ts.remove(chan);
             if n > 0 {
                 self.ev(now, "drop", "OwnerDead", n as u64, 0);
             }
@@ -484,8 +579,8 @@ impl Telemetry {
     /// ping-pong session would chain every round into one giant span).
     pub(crate) fn on_recv(&mut self, now: SimTime, cpu: usize, sock: u64, pid: u32) {
         if self.enabled {
-            if let Some(span) = self.sock_spans.get_mut(&sock).and_then(|q| q.pop_front()) {
-                self.span_ev(now, "recv", span, cpu);
+            if let Some(span) = self.sock_spans.get_mut(sock).and_then(|q| q.pop_front()) {
+                self.span_ev(now, SP_RECV, span, cpu);
                 if let Some(s) = span {
                     if s >> 48 != self.span_tag >> 48 {
                         self.last_recv_span.insert(pid, s);
@@ -499,7 +594,7 @@ impl Telemetry {
     /// A socket is being freed: drop its span sidecar (any still-queued
     /// datagrams' spans end here).
     pub(crate) fn on_sock_close(&mut self, sock: u64) {
-        self.sock_spans.remove(&sock);
+        self.sock_spans.remove(sock);
     }
 
     /// Sets the prefix for host-minted spans (from the host address).
@@ -514,14 +609,14 @@ impl Telemetry {
         if !self.enabled {
             return None;
         }
-        let span = match self.last_recv_span.remove(&pid) {
+        let span = match self.last_recv_span.remove(pid) {
             Some(s) => s,
             None => {
                 self.local_span_seq += 1;
                 self.span_tag | self.local_span_seq
             }
         };
-        self.span_ev(now, "tx", Some(span), cpu);
+        self.span_ev(now, SP_TX, Some(span), cpu);
         Some(span)
     }
 
@@ -539,9 +634,18 @@ impl Telemetry {
         self.ifq_spans.pop_front().flatten()
     }
 
-    /// Recorded span events, in time order.
-    pub fn span_log(&self) -> &[SpanEvent] {
-        &self.span_log
+    /// Recorded span events, in time order (unpacked from the compact
+    /// in-memory form).
+    pub fn span_log(&self) -> Vec<SpanEvent> {
+        self.span_log
+            .iter()
+            .map(|p| SpanEvent {
+                span: p.span,
+                t_ns: p.t_ns,
+                stage: SPAN_STAGES[p.stage as usize],
+                cpu: p.cpu as u32,
+            })
+            .collect()
     }
 
     /// Protocol work for the socket owned by `owner` was just performed
@@ -584,10 +688,11 @@ impl Telemetry {
             ns,
         );
         if let Some(owner) = owner {
-            *self
-                .proto_attr
-                .entry((billed.map(|(pid, _)| pid), owner))
-                .or_insert(0) += ns;
+            let key = (billed.map(|(pid, _)| pid), owner);
+            match self.proto_attr.iter_mut().find(|(k, _)| *k == key) {
+                Some(e) => e.1 += ns,
+                None => self.proto_attr.push((key, ns)),
+            }
         }
     }
 
@@ -596,11 +701,12 @@ impl Telemetry {
         &self.profiler
     }
 
-    /// Protocol cycles by `(billed process, rightful receiver)`. `None`
-    /// billing means the cycles ran with no process context (charged to
-    /// nobody — e.g. interrupts taken while idle).
-    pub fn proto_attribution(&self) -> &BTreeMap<(Option<u32>, u32), u64> {
-        &self.proto_attr
+    /// Protocol cycles by `(billed process, rightful receiver)`, in
+    /// deterministic key order. `None` billing means the cycles ran with
+    /// no process context (charged to nobody — e.g. interrupts taken
+    /// while idle).
+    pub fn proto_attribution(&self) -> BTreeMap<(Option<u32>, u32), u64> {
+        self.proto_attr.iter().copied().collect()
     }
 
     /// Records one timeline row (values aligned with
@@ -624,6 +730,24 @@ impl Telemetry {
     /// The interval-sampled metrics timeline.
     pub fn timeline(&self) -> &MetricsTimeline {
         &self.timeline
+    }
+
+    /// Feeds the anomaly watchdog one statclock-tick sample (no-op when
+    /// telemetry is disabled — the watchdog is pure observation).
+    pub(crate) fn watchdog_feed(&mut self, now: SimTime, tick_ns: u64, sample: &WatchdogSample) {
+        if self.enabled {
+            self.watchdog.feed(now.as_nanos(), tick_ns, sample);
+        }
+    }
+
+    /// Anomalies detected by the watchdog, in detection order.
+    pub fn anomalies(&self) -> &[AnomalyEvent] {
+        self.watchdog.events()
+    }
+
+    /// Total anomaly detections (stored + discarded past the log cap).
+    pub fn anomaly_total(&self) -> u64 {
+        self.watchdog.total()
     }
 
     /// Per timeline row: per-process `(total_charged_ns, user_ns)`,
@@ -781,6 +905,38 @@ impl Host {
             return;
         }
         let nic = self.nic.stats();
+        let host_dropped = self.tele.host_drops.values().sum::<u64>();
+        // Feed the watchdog before recording the row so the row's
+        // cumulative `anomalies` column includes this tick's detections.
+        let sample = WatchdogSample {
+            delivered: self.tele.delivered_udp + self.tele.delivered_icmp + self.tele.tcp_frames,
+            dropped: host_dropped + nic.ring_drops + nic.early_discards + nic.stall_drops,
+            charged_ns: self.sched.total_charged().as_nanos(),
+            user_ns: self
+                .sched
+                .procs()
+                .iter()
+                .map(|p| p.acct.user.as_nanos())
+                .sum(),
+            ipq_depth: self.ip_queue.len() as u64,
+            ipq_limit: self.cfg.ip_queue_limit as u64,
+            chan_depth_max: self.nic.channel_depth_max() as u64,
+            chan_limit: self.cfg.channel_limit as u64,
+            procs: self
+                .sched
+                .procs()
+                .iter()
+                .map(|p| {
+                    let runnable = matches!(
+                        p.state,
+                        lrp_sched::ProcState::Runnable | lrp_sched::ProcState::Running
+                    );
+                    (p.pid.0, runnable, p.acct.total().as_nanos())
+                })
+                .collect(),
+        };
+        self.tele
+            .watchdog_feed(now, self.cfg.tick.as_nanos(), &sample);
         // Congestion-window gauges: the widest live connection's view
         // (cc_sweep plots per-controller cwnd evolution from these).
         let (tcp_cwnd, tcp_ssthresh) = self
@@ -793,7 +949,7 @@ impl Host {
             self.tele.delivered_udp,
             self.tele.delivered_icmp,
             self.tele.tcp_frames,
-            self.tele.host_drops.values().sum::<u64>(),
+            host_dropped,
             nic.ring_drops,
             nic.early_discards,
             self.ip_queue.len() as u64,
@@ -803,6 +959,7 @@ impl Host {
             self.sched.total_charged().as_nanos(),
             tcp_cwnd,
             tcp_ssthresh,
+            self.tele.anomaly_total(),
         ];
         let proc_cpu = self
             .sched

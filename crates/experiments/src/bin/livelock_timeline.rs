@@ -63,6 +63,29 @@ fn main() {
         }
     }
 
+    // The watchdog's headline claim: under the Figure-3 blast, BSD trips
+    // receiver-livelock onset and NI-LRP never does — the detector, not a
+    // human reading the timeline, distinguishes livelock from a busy but
+    // healthy host.
+    for r in &runs {
+        let onsets = r.world.hosts[0]
+            .telemetry()
+            .anomalies()
+            .iter()
+            .filter(|e| e.kind == lrp_core::AnomalyKind::LivelockOnset)
+            .count();
+        match r.arch {
+            lrp_core::Architecture::Bsd => assert!(
+                onsets >= 1,
+                "watchdog detected no livelock onset on BSD under the blast"
+            ),
+            lrp_core::Architecture::NiLrp => {
+                assert_eq!(onsets, 0, "watchdog false-fired livelock onset on NI-LRP")
+            }
+            _ => {}
+        }
+    }
+
     let doc = experiment_json(
         "livelock_timeline",
         vec![

@@ -24,7 +24,8 @@ use lrp_core::{Architecture, Host, World};
 use lrp_net::{Injector, Pattern};
 use lrp_sim::SimTime;
 use lrp_telemetry::{
-    attribution_json, misattributed_fraction, span_breakdown_json, timeline_json, Json,
+    anomalies_json, attribution_json, misattributed_fraction, span_breakdown_json, timeline_json,
+    Json,
 };
 use lrp_wire::{udp, Frame, Ipv4Addr};
 
@@ -229,6 +230,7 @@ pub fn data_json(runs: &[ArchRun]) -> Json {
                         Json::F64(tail_mean(&shares, 0.5)),
                     ),
                     ("attribution", attribution_json(host)),
+                    ("anomalies", anomalies_json(host)),
                     ("timeline", timeline_json(host)),
                     ("span_breakdown", span_breakdown_json(&r.world, "recv")),
                 ])

@@ -29,6 +29,7 @@ pub mod event;
 pub mod heap;
 pub mod profile;
 pub mod rng;
+pub mod sketch;
 pub mod stats;
 pub mod time;
 pub mod timeline;
@@ -39,6 +40,7 @@ pub use event::{EventKey, EventQueue, QueueImpl};
 pub use heap::HeapQueue;
 pub use profile::{CycleAccount, CycleKey, FastHashMap, FoldHasher};
 pub use rng::SplitMix64;
+pub use sketch::QuantileSketch;
 pub use stats::{Counter, Histogram, RateSeries, TimeWeighted, Welford};
 pub use time::{SimDuration, SimTime};
 pub use timeline::{MetricsTimeline, TimelineRow};

@@ -92,6 +92,10 @@ pub struct CycleAccount {
     /// Accumulated entries, insertion-ordered; exports merge + sort.
     entries: Vec<(CycleKey, u64)>,
     index: HashMap<IdKey, usize, BuildHasherDefault<FoldHasher>>,
+    /// Memo of the most recent `(id-key, slot)`: consecutive chunks on a
+    /// busy host usually bill to the same key, and the hot path skips the
+    /// hash-map probe entirely when they do.
+    last: Option<(IdKey, usize)>,
 }
 
 impl CycleAccount {
@@ -106,15 +110,27 @@ impl CycleAccount {
         if ns == 0 {
             return;
         }
-        match self.index.entry(id_key(&key)) {
-            std::collections::hash_map::Entry::Occupied(e) => {
-                self.entries[*e.get()].1 += ns;
-            }
-            std::collections::hash_map::Entry::Vacant(v) => {
-                v.insert(self.entries.len());
-                self.entries.push((key, ns));
+        let id = id_key(&key);
+        if let Some((last_id, slot)) = self.last {
+            if last_id == id {
+                self.entries[slot].1 += ns;
+                return;
             }
         }
+        let slot = match self.index.entry(id) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                let slot = *e.get();
+                self.entries[slot].1 += ns;
+                slot
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                let slot = self.entries.len();
+                v.insert(slot);
+                self.entries.push((key, ns));
+                slot
+            }
+        };
+        self.last = Some((id, slot));
     }
 
     /// All entries merged by key content, in deterministic (key) order.

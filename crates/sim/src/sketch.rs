@@ -1,0 +1,352 @@
+//! A DDSketch-style mergeable quantile sketch with a configurable
+//! relative-error guarantee.
+//!
+//! [`QuantileSketch`] buckets non-negative integer samples (latencies in
+//! nanoseconds) into exponentially spaced buckets, like DDSketch's
+//! log-gamma mapping, but the index function is pure integer arithmetic
+//! (leading-zero count + mantissa bits) so the sketch is deterministic
+//! bit-for-bit across runs and across [`merge`](QuantileSketch::merge)
+//! orders: merging per-CPU (or per-host, or per-seed) shards produces a
+//! state identical to recording the whole stream into one sketch. There
+//! are no floats anywhere in the recorded state.
+//!
+//! With `k` sub-buckets per power of two, every bucket's width is at most
+//! `2/k` of its lower bound, so reporting a quantile as its bucket's
+//! lower bound under-estimates the true sample by strictly less than a
+//! `2/k` relative error. [`with_relative_error`]
+//! (QuantileSketch::with_relative_error) picks the smallest power-of-two
+//! `k` meeting a requested bound; the effective guarantee is exposed by
+//! [`relative_error`](QuantileSketch::relative_error).
+//!
+//! This is the fleet-grade counterpart to the exact [`Histogram`]
+//! (crate::Histogram): cheaper per-sample, bounded-error, and mergeable
+//! across CPUs/hosts, where the exact histogram serves as the in-tree
+//! equivalence reference.
+
+use crate::time::SimDuration;
+
+/// Default relative-error target: 1%.
+pub const DEFAULT_RELATIVE_ERROR: f64 = 0.01;
+
+/// A deterministic, mergeable, bounded-relative-error quantile sketch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuantileSketch {
+    /// log2 of the sub-bucket count per power of two.
+    sub_bits: u32,
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    max: u64,
+    min: u64,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl QuantileSketch {
+    /// Creates a sketch with the default 1% relative-error guarantee.
+    pub fn new() -> Self {
+        Self::with_relative_error(DEFAULT_RELATIVE_ERROR)
+    }
+
+    /// Creates a sketch whose quantile estimates are within `alpha`
+    /// relative error of the true sample values.
+    ///
+    /// The guarantee is one-sided: estimates never exceed the true
+    /// quantile and undershoot it by strictly less than `alpha * value`.
+    /// `alpha` is rounded down to the nearest `2 / 2^b` (power-of-two
+    /// sub-bucketing), clamped to `[2^-9, 1/2]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not finite and positive.
+    pub fn with_relative_error(alpha: f64) -> Self {
+        assert!(
+            alpha.is_finite() && alpha > 0.0,
+            "invalid relative error: {alpha}"
+        );
+        // Smallest b with 2 / 2^b <= alpha, i.e. bucket width <= alpha.
+        let mut sub_bits = 2u32;
+        while sub_bits < 10 && 2.0 / (1u64 << sub_bits) as f64 > alpha {
+            sub_bits += 1;
+        }
+        QuantileSketch {
+            sub_bits,
+            buckets: Vec::new(),
+            count: 0,
+            sum: 0,
+            max: 0,
+            min: u64::MAX,
+        }
+    }
+
+    /// Highest valid bucket index (the bucket of `u64::MAX`).
+    fn last_index(&self) -> usize {
+        let subs = 1usize << self.sub_bits;
+        ((64 - self.sub_bits as usize) + 1) * subs - 1
+    }
+
+    /// The guaranteed relative-error bound of this sketch (`2 / 2^b`).
+    pub fn relative_error(&self) -> f64 {
+        2.0 / (1u64 << self.sub_bits) as f64
+    }
+
+    fn index_of(&self, value: u64) -> usize {
+        let subs = 1u64 << self.sub_bits;
+        if value < subs {
+            return value as usize;
+        }
+        let msb = 63 - value.leading_zeros() as u64;
+        let shift = msb - self.sub_bits as u64 + 1;
+        let exp = shift as usize;
+        let mantissa = ((value >> shift) - subs / 2) as usize;
+        subs as usize + exp * (subs as usize / 2) + mantissa - (subs as usize / 2)
+    }
+
+    fn value_of(&self, index: usize) -> u64 {
+        let subs = 1usize << self.sub_bits;
+        if index < subs {
+            return index as u64;
+        }
+        let rel = index - subs / 2;
+        let exp = rel / (subs / 2);
+        let mantissa = rel % (subs / 2) + subs / 2;
+        (mantissa as u64) << exp
+    }
+
+    /// Records one sample.
+    ///
+    /// Bucket storage grows lazily to the highest index touched, so a
+    /// sketch's cache footprint tracks its sample range (microsecond
+    /// latencies touch a few kilobytes, not the full 64-octave table).
+    pub fn record(&mut self, value: u64) {
+        let idx = self.index_of(value).min(self.last_index());
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.max = self.max.max(value);
+        self.min = self.min.min(value);
+    }
+
+    /// Records a duration sample in nanoseconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_nanos());
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all samples (exact), or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Exact maximum sample, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Exact minimum sample, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`, within the sketch's
+    /// relative-error bound. A quantile resolving to the highest occupied
+    /// bucket reports the exact tracked maximum, so `quantile(1.0) ==
+    /// max()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "invalid quantile: {q}");
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                if seen == self.count {
+                    return self.max;
+                }
+                return self.value_of(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds `other` into `self`. Because the state is pure integer
+    /// counters, the result is bit-for-bit identical to having recorded
+    /// both streams into one sketch, in any order and any sharding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sketches were built with different relative-error
+    /// parameters (their buckets are not alignable).
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        assert_eq!(
+            self.sub_bits, other.sub_bits,
+            "cannot merge sketches with different relative-error parameters"
+        );
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+
+    #[test]
+    fn small_values_exact() {
+        let mut s = QuantileSketch::new();
+        for v in 0..100 {
+            s.record(v);
+        }
+        assert_eq!(s.count(), 100);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.max(), 99);
+        assert_eq!(s.quantile(0.0), 0);
+        assert_eq!(s.quantile(1.0), 99);
+    }
+
+    #[test]
+    fn empty_sketch_is_zero() {
+        let s = QuantileSketch::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.max(), 0);
+    }
+
+    #[test]
+    fn relative_error_parameter_rounding() {
+        assert!(QuantileSketch::with_relative_error(0.01).relative_error() <= 0.01);
+        assert!(QuantileSketch::with_relative_error(0.5).relative_error() <= 0.5);
+        // Clamped at b=10 (~0.2%): asking for finer keeps the floor.
+        let fine = QuantileSketch::with_relative_error(1e-9);
+        assert!((fine.relative_error() - 2.0 / 1024.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_within_relative_error_of_sorted_truth() {
+        let mut s = QuantileSketch::with_relative_error(0.01);
+        let mut vals: Vec<u64> = Vec::new();
+        let mut rng = SplitMix64::new(42);
+        for _ in 0..50_000 {
+            // Heavy-tailed-ish spread over six decades.
+            let v = 1 + rng.next_below(1_000) * (1 + rng.next_below(1_000_000));
+            s.record(v);
+            vals.push(v);
+        }
+        vals.sort_unstable();
+        for q in [0.5, 0.9, 0.99, 0.999, 0.9999] {
+            let target = ((q * vals.len() as f64).ceil() as usize).max(1);
+            let truth = vals[target - 1];
+            let est = s.quantile(q);
+            assert!(est <= truth, "q={q}: est {est} exceeds truth {truth}");
+            let err = (truth - est) as f64 / truth as f64;
+            assert!(
+                err < s.relative_error(),
+                "q={q}: err {err} (est {est}, truth {truth})"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_merge_is_bit_identical_to_whole_stream() {
+        let mut whole = QuantileSketch::new();
+        let mut shards = vec![QuantileSketch::new(); 4];
+        let mut rng = SplitMix64::new(7);
+        for i in 0..20_000u64 {
+            let v = rng.next_below(1 << 40);
+            whole.record(v);
+            shards[(i % 4) as usize].record(v);
+        }
+        // Merge in a scrambled order: still bit-identical.
+        let mut merged = QuantileSketch::new();
+        for idx in [2usize, 0, 3, 1] {
+            merged.merge(&shards[idx]);
+        }
+        assert_eq!(merged, whole);
+        assert_eq!(merged.quantile(0.999), whole.quantile(0.999));
+    }
+
+    #[test]
+    fn rerun_same_seed_is_bit_identical() {
+        let run = |seed: u64| {
+            let mut s = QuantileSketch::new();
+            let mut rng = SplitMix64::new(seed);
+            for _ in 0..10_000 {
+                s.record(rng.next_below(1 << 50));
+            }
+            s
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "different relative-error parameters")]
+    fn merge_rejects_mismatched_parameters() {
+        let mut a = QuantileSketch::with_relative_error(0.01);
+        let b = QuantileSketch::with_relative_error(0.25);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn top_bucket_reports_exact_max() {
+        let mut s = QuantileSketch::new();
+        s.record(1_000_000_007);
+        assert_eq!(s.quantile(0.5), 1_000_000_007);
+        assert_eq!(s.quantile(1.0), 1_000_000_007);
+        s.record(u64::MAX);
+        assert_eq!(s.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn bucket_edges_roundtrip() {
+        let s = QuantileSketch::new();
+        let last = s.index_of(u64::MAX);
+        for idx in 0..=last {
+            let v = s.value_of(idx);
+            assert_eq!(s.index_of(v), idx, "edge v={v}");
+            if v > 0 {
+                assert_eq!(s.index_of(v - 1), idx - 1, "below edge v={v}");
+            }
+        }
+    }
+}

@@ -115,7 +115,7 @@ impl Welford {
 ///
 /// Buckets have ~9% relative width (32 sub-buckets per power of two), which
 /// is plenty for percentile reporting in the experiments.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Histogram {
     buckets: Vec<u64>,
     count: u64,
@@ -137,12 +137,17 @@ impl Histogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
         Histogram {
-            buckets: vec![0; ((64 - SUB_BUCKET_BITS as usize) + 1) * SUB_BUCKETS as usize],
+            buckets: Vec::new(),
             count: 0,
             sum: 0,
             max: 0,
             min: u64::MAX,
         }
+    }
+
+    /// Highest valid bucket index (the bucket of `u64::MAX`).
+    fn last_index() -> usize {
+        ((64 - SUB_BUCKET_BITS as usize) + 1) * SUB_BUCKETS as usize - 1
     }
 
     fn index_of(value: u64) -> usize {
@@ -170,11 +175,18 @@ impl Histogram {
     }
 
     /// Records one sample.
+    ///
+    /// Bucket storage grows lazily to the highest index touched, so the
+    /// histogram's cache footprint tracks its sample range instead of the
+    /// full 64-octave table.
     pub fn record(&mut self, value: u64) {
-        // `index_of` maps every u64 inside the bucket array; saturate
+        // `index_of` maps every u64 inside the bucket range; saturate
         // defensively rather than clamp-and-lie, and let `quantile`
         // report the exact tracked `max` for the top occupied bucket.
-        let idx = Self::index_of(value).min(self.buckets.len() - 1);
+        let idx = Self::index_of(value).min(Self::last_index());
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
         self.buckets[idx] += 1;
         self.count += 1;
         self.sum += value as u128;
@@ -250,6 +262,23 @@ impl Histogram {
     /// Median (p50) to bucket precision.
     pub fn median(&self) -> u64 {
         self.quantile(0.5)
+    }
+
+    /// Folds `other` into `self`: buckets are summed element-wise and the
+    /// exact count/sum/min/max tracking is preserved, so the result is
+    /// identical to having recorded both sample streams into one
+    /// histogram. Used to fold per-CPU histograms into per-host reports.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
     }
 }
 
@@ -496,6 +525,47 @@ mod tests {
         assert_eq!(h.count(), 2);
         assert_eq!(h.max(), u64::MAX);
         assert_eq!(h.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_merge_equals_whole_stream() {
+        let mut whole = Histogram::new();
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut rng = crate::rng::SplitMix64::new(3);
+        for i in 0..10_000u64 {
+            let v = rng.next_below(1 << 40);
+            whole.record(v);
+            if i % 2 == 0 { &mut a } else { &mut b }.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+        assert_eq!(a.quantile(0.99), whole.quantile(0.99));
+        assert_eq!(a.mean(), whole.mean());
+    }
+
+    #[test]
+    fn histogram_merge_empty_boundaries() {
+        // empty.merge(empty) stays empty with min sentinel intact.
+        let mut e = Histogram::new();
+        e.merge(&Histogram::new());
+        assert_eq!(e.count(), 0);
+        assert_eq!(e.min(), 0);
+        assert_eq!(e.max(), 0);
+        // empty.merge(x) == x, and x.merge(empty) == x.
+        let mut x = Histogram::new();
+        x.record(7);
+        x.record(u64::MAX);
+        let mut from_empty = Histogram::new();
+        from_empty.merge(&x);
+        assert_eq!(from_empty, x);
+        let snapshot = x.clone();
+        x.merge(&Histogram::new());
+        assert_eq!(x, snapshot);
+        // Exact max/min tracking survives the fold.
+        assert_eq!(x.max(), u64::MAX);
+        assert_eq!(x.min(), 7);
+        assert_eq!(x.quantile(1.0), u64::MAX);
     }
 
     #[test]

@@ -22,4 +22,4 @@ pub mod tcp;
 pub use pcb::{PcbTable, SockId};
 pub use reasm::{ReasmOutcome, Reassembler};
 pub use sockbuf::{ByteBuffer, DatagramQueue};
-pub use tcp::{ConnEvent, TcpConfig, TcpConn, TcpListener, TcpState};
+pub use tcp::{ConnEvent, TcpConfig, TcpConn, TcpListener, TcpSockStats, TcpState};

@@ -82,6 +82,59 @@ pub enum TcpState {
     TimeWait,
 }
 
+impl TcpState {
+    /// Stable netstat-style name used in reports (`SYN_SENT`, ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            TcpState::Closed => "CLOSED",
+            TcpState::Listen => "LISTEN",
+            TcpState::SynSent => "SYN_SENT",
+            TcpState::SynReceived => "SYN_RCVD",
+            TcpState::Established => "ESTABLISHED",
+            TcpState::FinWait1 => "FIN_WAIT_1",
+            TcpState::FinWait2 => "FIN_WAIT_2",
+            TcpState::CloseWait => "CLOSE_WAIT",
+            TcpState::Closing => "CLOSING",
+            TcpState::LastAck => "LAST_ACK",
+            TcpState::TimeWait => "TIME_WAIT",
+        }
+    }
+}
+
+/// A netstat-style snapshot of one TCP connection, all-integer so it can
+/// ride a syscall return value and serialize without float drift. Times
+/// are nanoseconds; `srtt_ns`/`rttvar_ns` are 0 until the first RTT
+/// sample.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TcpSockStats {
+    /// Connection state.
+    pub state: TcpState,
+    /// Smoothed RTT estimate, ns (0 before the first sample).
+    pub srtt_ns: u64,
+    /// RTT variance estimate, ns.
+    pub rttvar_ns: u64,
+    /// Current retransmission timeout, ns.
+    pub rto_ns: u64,
+    /// Consecutive retransmissions of the oldest outstanding segment.
+    pub retries: u32,
+    /// Congestion window, bytes.
+    pub cwnd: u64,
+    /// Slow-start threshold, bytes.
+    pub ssthresh: u64,
+    /// Unacked + unsent bytes queued in the send buffer.
+    pub snd_q: u64,
+    /// In-order bytes awaiting the application.
+    pub rcv_q: u64,
+    /// Retransmitted segments (lifetime).
+    pub retransmits: u64,
+    /// Fast retransmits triggered (lifetime).
+    pub fast_retransmits: u64,
+    /// RTO timer fires (lifetime).
+    pub timeouts: u64,
+    /// Duplicate ACKs received (lifetime).
+    pub dup_acks: u64,
+}
+
 /// Events surfaced to the socket layer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ConnEvent {
@@ -355,6 +408,26 @@ impl TcpConn {
     /// Free space in the send buffer.
     pub fn send_space(&self) -> usize {
         self.snd_buf.space()
+    }
+
+    /// A netstat-style snapshot of this connection's live state (see
+    /// [`TcpSockStats`]).
+    pub fn sock_stats(&self) -> TcpSockStats {
+        TcpSockStats {
+            state: self.state,
+            srtt_ns: self.recovery.srtt.map_or(0, |s| (s * 1e9) as u64),
+            rttvar_ns: (self.recovery.rttvar * 1e9) as u64,
+            rto_ns: self.recovery.rto().as_nanos(),
+            retries: self.recovery.retries(),
+            cwnd: self.cc.cwnd() as u64,
+            ssthresh: self.cc.ssthresh() as u64,
+            snd_q: self.snd_buf.len() as u64,
+            rcv_q: self.rcv_buf.len() as u64,
+            retransmits: self.stats.retransmits,
+            fast_retransmits: self.stats.fast_retransmits,
+            timeouts: self.stats.timeouts,
+            dup_acks: self.stats.dup_acks,
+        }
     }
 
     /// True once the connection has left the state machine entirely.

@@ -163,6 +163,68 @@ fn check_file(path: &Path, schemas: &Schemas, errs: &mut Vec<String>) {
             }
         }
     }
+    // The watchdog gate: the livelock timeline must show the paper's
+    // headline asymmetry as detected anomalies — 4.4BSD trips livelock
+    // onset under the blast, NI-LRP never does.
+    if exp == "livelock_timeline" {
+        check_livelock_anomalies(name, &doc, errs);
+    }
+}
+
+/// Counts `livelock_onset` anomaly events in one architecture's data
+/// entry of the livelock timeline document.
+fn livelock_onsets(doc: &Json, arch: &str) -> Option<u64> {
+    let entry = doc
+        .get("data")
+        .and_then(Json::as_arr)?
+        .iter()
+        .find(|e| e.get("arch").and_then(Json::as_str) == Some(arch))?;
+    let events = entry
+        .get("anomalies")?
+        .get("events")
+        .and_then(Json::as_arr)?;
+    Some(
+        events
+            .iter()
+            .filter(|e| e.get("kind").and_then(Json::as_str) == Some("livelock_onset"))
+            .count() as u64,
+    )
+}
+
+fn check_livelock_anomalies(name: &str, doc: &Json, errs: &mut Vec<String>) {
+    match livelock_onsets(doc, "4.4BSD") {
+        Some(0) => errs.push(format!(
+            "{name}: 4.4BSD shows no livelock_onset anomaly — the watchdog must detect the blast"
+        )),
+        Some(_) => {}
+        None => errs.push(format!("{name}: no anomalies section for 4.4BSD")),
+    }
+    match livelock_onsets(doc, "NI-LRP") {
+        Some(0) => {}
+        Some(n) => errs.push(format!(
+            "{name}: NI-LRP shows {n} livelock_onset anomalies — LRP must not livelock"
+        )),
+        None => errs.push(format!("{name}: no anomalies section for NI-LRP")),
+    }
+}
+
+/// The telemetry-budget gate on `BENCH_sim.json`: both telemetry modes
+/// must have been measured (the overhead number is meaningless without
+/// its off baseline), and the enforced budget itself is pinned by the
+/// schema's `maximum` on `fig3_telemetry_overhead`.
+fn check_bench_telemetry_modes(name: &str, doc: &Json, errs: &mut Vec<String>) {
+    let rows = doc.get("results").and_then(Json::as_arr).unwrap_or(&[]);
+    for want in [true, false] {
+        let present = rows.iter().any(|r| {
+            r.get("telemetry").and_then(Json::as_bool) == Some(want)
+                && r.get("mode").and_then(Json::as_str) == Some("current")
+        });
+        if !present {
+            errs.push(format!(
+                "{name}: no current-mode row with telemetry={want} — both modes must be benchmarked"
+            ));
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -203,6 +265,9 @@ fn main() -> ExitCode {
             if let Some(doc) = load_json(&path, doc_name, &mut errs) {
                 for e in schema::validate(&doc, bench_schema, "$") {
                     errs.push(format!("{doc_name}: {e}"));
+                }
+                if doc_name == "BENCH_sim.json" {
+                    check_bench_telemetry_modes(doc_name, &doc, &mut errs);
                 }
             }
         }

@@ -64,7 +64,7 @@ pub fn attribution_json(host: &Host) -> Json {
     let mut unbilled: u64 = 0;
     let mut per_pair: Vec<Json> = Vec::new();
     let mut misbilled_by: BTreeMap<u32, u64> = BTreeMap::new();
-    for (&(billed, owner), &ns) in attr {
+    for (&(billed, owner), &ns) in &attr {
         total += ns;
         match billed {
             Some(b) if b == owner => correct += ns,
@@ -116,7 +116,7 @@ pub fn misattributed_fraction(host: &Host) -> f64 {
     let attr = host.telemetry().proto_attribution();
     let mut total = 0u64;
     let mut correct = 0u64;
-    for (&(billed, owner), &ns) in attr {
+    for (&(billed, owner), &ns) in &attr {
         total += ns;
         if billed == Some(owner) {
             correct += ns;
@@ -185,7 +185,7 @@ pub fn timeline_gnuplot(host: &Host) -> String {
 /// request by flow arrows keyed on the span id.
 pub fn span_trace_chrome(world: &World) -> String {
     // Collect (host, event) in deterministic order.
-    let mut all: Vec<(usize, &SpanEvent)> = Vec::new();
+    let mut all: Vec<(usize, SpanEvent)> = Vec::new();
     for (h, host) in world.hosts.iter().enumerate() {
         for ev in host.telemetry().span_log() {
             all.push((h, ev));

@@ -2,8 +2,13 @@
 //! structure every experiment binary emits next to its text output.
 
 use crate::json::Json;
-use lrp_core::{Host, PacketLedger, World};
-use lrp_sim::Histogram;
+use lrp_core::{Host, PacketLedger, SockStats, World};
+use lrp_sim::{Histogram, QuantileSketch};
+
+/// The exact [`Histogram`]'s worst-case relative error: 32 sub-buckets
+/// per octave give bucket widths of at most 1/16 of the lower bound
+/// (quantiles report bucket lower bounds, same convention as the sketch).
+const HISTOGRAM_RELATIVE_ERROR: f64 = 1.0 / 16.0;
 
 /// Summarizes a latency histogram: count, mean and the percentiles the
 /// reports quote. All values are nanoseconds.
@@ -18,7 +23,145 @@ pub fn histogram_json(h: &Histogram) -> Json {
         ("p50", Json::U64(h.quantile(0.50))),
         ("p90", Json::U64(h.quantile(0.90))),
         ("p99", Json::U64(h.quantile(0.99))),
+        ("p999", Json::U64(h.quantile(0.999))),
         ("max", Json::U64(h.max())),
+    ])
+}
+
+/// A latency report backed by both the exact histogram and its mergeable
+/// sketch shadow: exact percentiles up to p999, sketch percentiles up to
+/// p9999, and a `backend` map stating which structure produced each
+/// percentile so schema consumers can tell them apart.
+///
+/// # Panics
+///
+/// Panics if the sketch disagrees with the exact histogram beyond the
+/// combined relative-error bound — the per-run equivalence pin for the
+/// sketch's correctness.
+pub fn latency_json(h: &Histogram, s: &QuantileSketch) -> Json {
+    assert_eq!(
+        h.count(),
+        s.count(),
+        "histogram and sketch shadow diverged in sample count"
+    );
+    if h.count() > 0 {
+        // Both report lower bounds of the bucket holding the same true
+        // sample v*, so they differ by at most v* · max(eh, es) with
+        // v* ≤ exact/(1 − eh). Small absolute slack for tiny samples.
+        let eh = HISTOGRAM_RELATIVE_ERROR;
+        let e = eh.max(s.relative_error()) / (1.0 - eh);
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let exact = h.quantile(q);
+            let est = s.quantile(q);
+            let tol = (exact as f64 * e) as u64 + 64;
+            assert!(
+                est.abs_diff(exact) <= tol,
+                "sketch p{q} = {est} vs exact {exact} exceeds tolerance {tol}"
+            );
+        }
+    }
+    let mut obj = histogram_json(h);
+    if let Json::Obj(members) = &mut obj {
+        if h.count() > 0 {
+            members.push((
+                "sketch".to_string(),
+                Json::obj(vec![
+                    ("relative_error", Json::F64(s.relative_error())),
+                    ("p99", Json::U64(s.quantile(0.99))),
+                    ("p999", Json::U64(s.quantile(0.999))),
+                    ("p9999", Json::U64(s.quantile(0.9999))),
+                ]),
+            ));
+            members.push((
+                "backend".to_string(),
+                Json::obj(vec![
+                    ("p50", Json::str("exact")),
+                    ("p90", Json::str("exact")),
+                    ("p99", Json::str("exact")),
+                    ("p999", Json::str("exact")),
+                    ("p9999", Json::str("sketch")),
+                ]),
+            ));
+        }
+    }
+    obj
+}
+
+/// One socket's netstat row.
+pub fn sock_stats_json(st: &SockStats) -> Json {
+    let proto = match st.proto {
+        lrp_core::SockProto::Udp => "udp",
+        lrp_core::SockProto::Tcp => "tcp",
+        lrp_core::SockProto::Icmp => "icmp",
+    };
+    let mut members = vec![
+        ("sock", Json::U64(st.sock.0 as u64)),
+        ("proto", Json::str(proto)),
+        (
+            "local",
+            Json::str(format!("{}:{}", st.local.addr, st.local.port)),
+        ),
+        (
+            "remote",
+            match st.remote {
+                Some(r) => Json::str(format!("{}:{}", r.addr, r.port)),
+                None => Json::Null,
+            },
+        ),
+        ("recv_q", Json::U64(st.recv_q as u64)),
+        ("chan_depth", Json::U64(st.chan_depth as u64)),
+        ("drops_sockbuf", Json::U64(st.drops_sockbuf)),
+        ("drops_channel", Json::U64(st.drops_channel)),
+    ];
+    if let Some(t) = &st.tcp {
+        members.push((
+            "tcp",
+            Json::obj(vec![
+                ("state", Json::str(t.state.name())),
+                ("srtt_ns", Json::U64(t.srtt_ns)),
+                ("rttvar_ns", Json::U64(t.rttvar_ns)),
+                ("rto_ns", Json::U64(t.rto_ns)),
+                ("retries", Json::U64(t.retries as u64)),
+                ("cwnd", Json::U64(t.cwnd)),
+                ("ssthresh", Json::U64(t.ssthresh)),
+                ("snd_q", Json::U64(t.snd_q)),
+                ("rcv_q", Json::U64(t.rcv_q)),
+                ("retransmits", Json::U64(t.retransmits)),
+                ("fast_retransmits", Json::U64(t.fast_retransmits)),
+                ("timeouts", Json::U64(t.timeouts)),
+                ("dup_acks", Json::U64(t.dup_acks)),
+            ]),
+        ));
+    }
+    Json::obj(members)
+}
+
+/// The watchdog's detected anomalies for one host.
+pub fn anomalies_json(host: &Host) -> Json {
+    let tele = host.telemetry();
+    let events: Vec<Json> = tele
+        .anomalies()
+        .iter()
+        .map(|e| {
+            Json::obj(vec![
+                ("t_ns", Json::U64(e.t_ns)),
+                ("kind", Json::str(e.kind.name())),
+                (
+                    "pid",
+                    match e.pid {
+                        Some(p) => Json::U64(p as u64),
+                        None => Json::Null,
+                    },
+                ),
+                ("detail", Json::str(e.detail)),
+                ("value", Json::U64(e.value)),
+                ("limit", Json::U64(e.limit)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("total", Json::U64(tele.anomaly_total())),
+        ("events", Json::Arr(events)),
     ])
 }
 
@@ -113,13 +256,24 @@ pub fn host_report(host: &Host) -> Json {
             Json::obj(vec![
                 (
                     "arrival_to_deliver",
-                    histogram_json(&tele.arrival_to_deliver),
+                    latency_json(&tele.arrival_to_deliver, &tele.arrival_to_deliver_sketch),
                 ),
-                ("channel_residency", histogram_json(&tele.channel_residency)),
-                ("softirq_dispatch", histogram_json(&tele.softirq_dispatch)),
+                (
+                    "channel_residency",
+                    latency_json(&tele.channel_residency, &tele.channel_residency_sketch),
+                ),
+                (
+                    "softirq_dispatch",
+                    latency_json(&tele.softirq_dispatch, &tele.softirq_dispatch_sketch),
+                ),
             ]),
         ),
         ("drops", drops),
+        (
+            "netstat",
+            Json::Arr(host.host_netstat().iter().map(sock_stats_json).collect()),
+        ),
+        ("anomalies", anomalies_json(host)),
         (
             "nic",
             Json::obj(vec![

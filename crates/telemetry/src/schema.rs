@@ -2,9 +2,10 @@
 //!
 //! Implements the JSON-Schema subset the checked-in
 //! `schemas/results.schema.json` uses: `type` (scalar or list),
-//! `required`, `properties`, `items` and `additionalProperties` (as a
-//! schema applied to keys not listed in `properties`). Enough for CI to
-//! reject malformed reports without pulling in an external validator.
+//! `required`, `properties`, `items`, `additionalProperties` (as a
+//! schema applied to keys not listed in `properties`), `enum` (scalar
+//! members) and `maximum`. Enough for CI to reject malformed reports
+//! without pulling in an external validator.
 
 use crate::json::Json;
 
@@ -50,6 +51,20 @@ fn check(value: &Json, schema: &Json, path: &str, errs: &mut Vec<String>) {
                 type_name(value)
             ));
             return;
+        }
+    }
+    if let Some(allowed) = schema.get("enum").and_then(Json::as_arr) {
+        if !allowed.contains(value) {
+            errs.push(format!("{path}: {value:?} not in enum {allowed:?}"));
+            return;
+        }
+    }
+    if let Some(max) = schema.get("maximum").and_then(Json::as_f64) {
+        match value.as_f64() {
+            Some(v) if v > max => {
+                errs.push(format!("{path}: {v} exceeds maximum {max}"));
+            }
+            _ => {}
         }
     }
     if let Some(req) = schema.get("required").and_then(Json::as_arr) {
@@ -116,6 +131,25 @@ mod tests {
         assert_eq!(errs.len(), 2, "{errs:?}");
         assert!(errs[0].contains("$.experiment"));
         assert!(errs[1].contains("$.hosts[0].conserved"));
+    }
+
+    #[test]
+    fn enum_accepts_member_rejects_other() {
+        let s = Json::parse(r#"{"enum": ["exact", "sketch"]}"#).unwrap();
+        assert!(validate(&Json::str("exact"), &s, "$").is_empty());
+        let errs = validate(&Json::str("guess"), &s, "$");
+        assert_eq!(errs.len(), 1, "{errs:?}");
+        assert!(errs[0].contains("not in enum"));
+    }
+
+    #[test]
+    fn maximum_bounds_numbers() {
+        let s = Json::parse(r#"{"type": "number", "maximum": 0.1}"#).unwrap();
+        assert!(validate(&Json::F64(0.063), &s, "$").is_empty());
+        assert!(validate(&Json::F64(0.1), &s, "$").is_empty());
+        let errs = validate(&Json::F64(0.129), &s, "$");
+        assert_eq!(errs.len(), 1, "{errs:?}");
+        assert!(errs[0].contains("exceeds maximum"));
     }
 
     #[test]

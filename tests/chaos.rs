@@ -510,6 +510,74 @@ fn connect_to_listenerless_host_times_out() {
     }
 }
 
+/// Mid-handshake introspection: freeze the listener-less probe while the
+/// client's SYN is still unanswered and the `SockStats` surface must
+/// report the half-open socket — TCP, `SYN_SENT`, the dialed remote —
+/// then crash the client out of that state and keep conserving.
+#[test]
+fn netstat_reports_syn_sent_before_client_crash() {
+    for arch in [
+        Architecture::Bsd,
+        Architecture::EarlyDemux,
+        Architecture::SoftLrp,
+        Architecture::NiLrp,
+    ] {
+        let (mut world, log) = probe_world(arch, false, 12);
+        let probe = pid_by_name(&world.hosts[0], "probe");
+        world.hosts[0].set_fault_plan(&HostFaultPlan {
+            seed: 3,
+            crashes: vec![CrashEvent::kill(probe, SimTime::from_millis(40))],
+        });
+        // Connect fires at 5 ms; by 10 ms the SYN is in the blackhole and
+        // the socket sits half-open in SYN_SENT.
+        world.run_until(SimTime::from_millis(10));
+        let netstat = world.hosts[0].host_netstat();
+        let half_open = netstat
+            .iter()
+            .find(|s| s.proto == SockProto::Tcp)
+            .unwrap_or_else(|| panic!("no TCP socket in netstat on {}", arch.name()));
+        let tcp = half_open
+            .tcp
+            .as_ref()
+            .unwrap_or_else(|| panic!("no TCP detail on {}", arch.name()));
+        assert_eq!(
+            tcp.state.name(),
+            "SYN_SENT",
+            "unanswered connect must sit half-open on {}",
+            arch.name()
+        );
+        assert_eq!(
+            half_open.remote,
+            Some(Endpoint::new(HOST_B, PROBE_PORT)),
+            "the half-open socket remembers whom it dialed on {}",
+            arch.name()
+        );
+        assert_eq!(half_open.recv_q, 0);
+        // The crash at 40 ms lands mid-SYN_SENT: connect never returns,
+        // the world survives, conservation holds on both hosts.
+        world.run_until(SimTime::from_secs(5));
+        assert_eq!(world.hosts[0].crashes().len(), 1);
+        assert_eq!(
+            *log.borrow(),
+            ProbeLog::default(),
+            "a process crashed in SYN_SENT never observes its connect on {}",
+            arch.name()
+        );
+        assert!(
+            world.hosts[0].host_netstat().is_empty(),
+            "the crashed client's socket must be reaped on {}",
+            arch.name()
+        );
+        let errs = lrp::telemetry::conservation_errors(&world);
+        assert!(
+            errs.is_empty(),
+            "conservation violated on {}:\n{}",
+            arch.name(),
+            errs.join("\n")
+        );
+    }
+}
+
 /// Killing the server after the handshake aborts its sockets with an RST
 /// per RFC 793; the client blocked in `recv` must be woken with
 /// `Err(ConnReset)`. Conservation holds with the `owner_dead` bucket

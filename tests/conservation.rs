@@ -174,3 +174,31 @@ fn telemetry_does_not_perturb_request_reply() {
     assert!(!on.hosts[0].telemetry().span_log().is_empty());
     assert!(off.hosts[0].telemetry().span_log().is_empty());
 }
+
+/// The quantile sketches are deterministic observers: rerunning the same
+/// seeded blast produces bit-identical sketch state (the merge/aggregation
+/// story across hosts and seeds depends on this), and the sketch stays
+/// within its error bound of the exact histogram it shadows.
+#[test]
+fn sketches_are_deterministic_and_agree_with_exact_histograms() {
+    let a = blast_world(Architecture::NiLrp, true);
+    let b = blast_world(Architecture::NiLrp, true);
+    let (ta, tb) = (a.hosts[0].telemetry(), b.hosts[0].telemetry());
+    assert!(ta.arrival_to_deliver_sketch.count() > 0);
+    assert_eq!(ta.arrival_to_deliver_sketch, tb.arrival_to_deliver_sketch);
+    assert_eq!(ta.channel_residency_sketch, tb.channel_residency_sketch);
+    assert_eq!(ta.softirq_dispatch_sketch, tb.softirq_dispatch_sketch);
+    // Sketch and exact histogram describe the same samples: counts match
+    // exactly, quantiles within the two estimators' combined quantization.
+    let (h, s) = (&ta.arrival_to_deliver, &ta.arrival_to_deliver_sketch);
+    assert_eq!(h.count(), s.count());
+    assert_eq!(h.max(), s.max());
+    for q in [0.5, 0.9, 0.99, 0.999] {
+        let (eh, es) = (h.quantile(q), s.quantile(q));
+        let tol = (eh.max(es) as f64 * (1.0 / 16.0 + s.relative_error())) as u64 + 64;
+        assert!(
+            eh.abs_diff(es) <= tol,
+            "q={q}: exact {eh} vs sketch {es} (tol {tol})"
+        );
+    }
+}
