@@ -31,6 +31,12 @@ pub struct HttpMetrics {
     pub first: Option<SimTime>,
     /// Last completion.
     pub last: Option<SimTime>,
+    /// Per-successful-connect handshake latency (Connect issued →
+    /// established), nanoseconds, in completion order.
+    pub connect_ns: Vec<u64>,
+    /// Timestamp of every completed transaction, in order (the
+    /// `syn_flood` reboot scenario windows goodput around the outage).
+    pub completions: Vec<SimTime>,
 }
 
 impl Default for HttpMetrics {
@@ -41,6 +47,8 @@ impl Default for HttpMetrics {
             series: RateSeries::new(SimTime::ZERO, SimDuration::from_secs(1)),
             first: None,
             last: None,
+            connect_ns: Vec::new(),
+            completions: Vec::new(),
         }
     }
 }
@@ -54,6 +62,19 @@ impl HttpMetrics {
             }
             _ => 0.0,
         }
+    }
+
+    /// First completed transaction at or after `t`, if any.
+    pub fn first_completion_since(&self, t: SimTime) -> Option<SimTime> {
+        self.completions.iter().copied().find(|&c| c >= t)
+    }
+
+    /// Completed transactions in the half-open window `[a, b)`.
+    pub fn completions_in(&self, a: SimTime, b: SimTime) -> u64 {
+        self.completions
+            .iter()
+            .filter(|&&c| c >= a && c < b)
+            .count() as u64
     }
 }
 
@@ -197,6 +218,7 @@ pub struct HttpClient {
     sock: Option<SockId>,
     got: usize,
     state: u8,
+    connect_started: Option<SimTime>,
 }
 
 impl HttpClient {
@@ -215,6 +237,7 @@ impl HttpClient {
             sock: None,
             got: 0,
             state: 0,
+            connect_started: None,
         }
     }
 
@@ -226,6 +249,7 @@ impl HttpClient {
     }
 
     fn fail(&mut self, ctx: AppCtx) -> SyscallOp {
+        self.connect_started = None;
         let mut m = self.metrics.borrow_mut();
         m.failures += 1;
         drop(m);
@@ -249,12 +273,19 @@ impl AppLogic for HttpClient {
             (0, SyscallRet::Socket(s)) => {
                 self.sock = Some(s);
                 self.state = 1;
+                self.connect_started = Some(ctx.now);
                 SyscallOp::Connect {
                     sock: s,
                     dst: self.server,
                 }
             }
             (1, SyscallRet::Ok) => {
+                if let Some(t0) = self.connect_started.take() {
+                    self.metrics
+                        .borrow_mut()
+                        .connect_ns
+                        .push(ctx.now.since(t0).as_nanos());
+                }
                 self.state = 2;
                 SyscallOp::Send {
                     sock: self.sock.expect("socket"),
@@ -285,6 +316,7 @@ impl AppLogic for HttpClient {
                         m.first = Some(ctx.now);
                     }
                     m.last = Some(ctx.now);
+                    m.completions.push(ctx.now);
                     drop(m);
                     self.state = 9;
                     return SyscallOp::Close {

@@ -15,9 +15,10 @@
 
 use crate::Shared;
 use lrp_core::{AppCtx, AppLogic, Errno, SockProto, SyscallOp, SyscallRet};
-use lrp_sim::{SimDuration, SimTime, SplitMix64};
+use lrp_sim::{FastHashMap, SimDuration, SimTime, SplitMix64};
 use lrp_stack::SockId;
 use lrp_wire::Endpoint;
+use std::collections::VecDeque;
 
 /// Reply status byte: request served.
 pub const STATUS_OK: u8 = 0;
@@ -259,11 +260,25 @@ pub struct ServerStats {
     pub served: u64,
     /// Requests answered `Busy` above the watermark.
     pub shed: u64,
+    /// Duplicate requests answered from the at-most-once reply cache
+    /// (the work was *not* recomputed).
+    pub replayed: u64,
 }
+
+/// How many executed replies a [`ResilientRpcServer`] remembers for
+/// duplicate suppression (FIFO-evicted).
+pub const REPLY_CACHE_CAP: usize = 1024;
 
 /// A UDP RPC server that answers `Busy` instead of computing whenever its
 /// receive-side queue depth exceeds `watermark` — bounding queueing delay
 /// under overload so clients back off instead of piling on.
+///
+/// Execution is **at most once**: the server remembers the last
+/// [`REPLY_CACHE_CAP`] `(client, id)` pairs it executed and answers a
+/// duplicate (a retry whose original reply was lost, or crossed its
+/// retransmission in flight) by replaying the cached reply instead of
+/// computing again. `Busy` replies are *not* cached — the request was
+/// never executed, so a retry deserves a fresh admission decision.
 pub struct ResilientRpcServer {
     port: u16,
     work: SimDuration,
@@ -273,6 +288,10 @@ pub struct ResilientRpcServer {
     reply_to: Option<Endpoint>,
     cur_id: u64,
     state: u8,
+    /// Executed-request cache: `(client, id)` → status byte replied.
+    replies: FastHashMap<(Endpoint, u64), u8>,
+    /// FIFO eviction order for `replies`.
+    reply_order: VecDeque<(Endpoint, u64)>,
 }
 
 impl ResilientRpcServer {
@@ -288,6 +307,20 @@ impl ResilientRpcServer {
             reply_to: None,
             cur_id: 0,
             state: 0,
+            replies: FastHashMap::default(),
+            reply_order: VecDeque::new(),
+        }
+    }
+
+    /// Records an executed reply for duplicate suppression.
+    fn cache_reply(&mut self, key: (Endpoint, u64), status: u8) {
+        if self.replies.insert(key, status).is_none() {
+            self.reply_order.push_back(key);
+            if self.reply_order.len() > REPLY_CACHE_CAP {
+                if let Some(old) = self.reply_order.pop_front() {
+                    self.replies.remove(&old);
+                }
+            }
         }
     }
 
@@ -334,6 +367,12 @@ impl AppLogic for ResilientRpcServer {
                 }
                 self.reply_to = Some(from);
                 self.cur_id = u64::from_le_bytes(req[..8].try_into().expect("checked"));
+                // At-most-once: a request we already executed is answered
+                // from the cache, skipping both admission and compute.
+                if let Some(&status) = self.replies.get(&(from, self.cur_id)) {
+                    self.stats.borrow_mut().replayed += 1;
+                    return self.reply(status);
+                }
                 self.state = 3;
                 SyscallOp::SockDepth {
                     sock: self.sock.expect("socket"),
@@ -350,6 +389,8 @@ impl AppLogic for ResilientRpcServer {
             }
             (4, SyscallRet::Ok) => {
                 self.stats.borrow_mut().served += 1;
+                let key = (self.reply_to.expect("reply endpoint"), self.cur_id);
+                self.cache_reply(key, STATUS_OK);
                 self.reply(STATUS_OK)
             }
             (5, SyscallRet::Sent(_)) | (5, SyscallRet::Err(_)) => self.recv(),
@@ -386,6 +427,75 @@ mod tests {
             assert!(!b.is_zero());
             assert!(b.as_nanos() <= policy.backoff_cap.as_nanos());
         }
+    }
+
+    #[test]
+    fn duplicate_request_is_replayed_not_recomputed() {
+        let stats: Shared<ServerStats> = Shared::default();
+        let mut srv =
+            ResilientRpcServer::new(9000, SimDuration::from_micros(100), 4, stats.clone());
+        let ctx = AppCtx {
+            now: SimTime::ZERO,
+            pid: lrp_sched::Pid(1),
+        };
+        let client = Endpoint::new("10.0.0.9".parse().unwrap(), 7000);
+        let mut req = vec![0x3F; 32];
+        req[..8].copy_from_slice(&1u64.to_le_bytes());
+        // Boot: socket, bind, first recv.
+        assert!(matches!(srv.start(ctx), SyscallOp::Socket(_)));
+        assert!(matches!(
+            srv.resume(ctx, SyscallRet::Socket(SockId(5))),
+            SyscallOp::Bind { .. }
+        ));
+        assert!(matches!(
+            srv.resume(ctx, SyscallRet::Ok),
+            SyscallOp::Recv { .. }
+        ));
+        // First copy of request 1: full admission + compute + OK reply.
+        assert!(matches!(
+            srv.resume(ctx, SyscallRet::DataFrom(client, req.clone().into())),
+            SyscallOp::SockDepth { .. }
+        ));
+        assert!(matches!(
+            srv.resume(ctx, SyscallRet::Depth(0)),
+            SyscallOp::Compute(_)
+        ));
+        let reply = srv.resume(ctx, SyscallRet::Ok);
+        match &reply {
+            SyscallOp::SendTo { data, .. } => assert_eq!(data[8], STATUS_OK),
+            other => panic!("expected OK reply, got {other:?}"),
+        }
+        assert!(matches!(
+            srv.resume(ctx, SyscallRet::Sent(9)),
+            SyscallOp::Recv { .. }
+        ));
+        // Duplicate of request 1: replied straight from the cache — no
+        // SockDepth, no Compute.
+        let replay = srv.resume(ctx, SyscallRet::DataFrom(client, req.into()));
+        match &replay {
+            SyscallOp::SendTo { data, .. } => assert_eq!(data[8], STATUS_OK),
+            other => panic!("expected replayed reply, got {other:?}"),
+        }
+        let st = stats.borrow();
+        assert_eq!(st.served, 1, "compute ran once");
+        assert_eq!(st.replayed, 1, "duplicate suppressed");
+    }
+
+    #[test]
+    fn reply_cache_is_bounded() {
+        let stats: Shared<ServerStats> = Shared::default();
+        let mut srv = ResilientRpcServer::new(9000, SimDuration::ZERO, 4, stats);
+        let client = Endpoint::new("10.0.0.9".parse().unwrap(), 7000);
+        for id in 0..(REPLY_CACHE_CAP as u64 + 100) {
+            srv.cache_reply((client, id), STATUS_OK);
+        }
+        assert_eq!(srv.replies.len(), REPLY_CACHE_CAP);
+        assert_eq!(srv.reply_order.len(), REPLY_CACHE_CAP);
+        // Oldest entries evicted, newest retained.
+        assert!(!srv.replies.contains_key(&(client, 0)));
+        assert!(srv
+            .replies
+            .contains_key(&(client, REPLY_CACHE_CAP as u64 + 99)));
     }
 
     #[test]

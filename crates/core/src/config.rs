@@ -43,6 +43,20 @@ impl std::fmt::Display for Architecture {
     }
 }
 
+/// Stateless SYN-cookie policy (see `lrp_stack::tcp::cookie`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SynCookies {
+    /// Never mint cookies — bit-identical to the pre-cookie stack.
+    Off,
+    /// Mint cookies only while the listen backlog is full (the classic
+    /// high-watermark trigger): normal handshakes keep full fidelity,
+    /// floods fall back to stateless operation. Takes precedence over
+    /// the SYN-cache eviction when both are enabled.
+    Auto,
+    /// Mint a cookie for every SYN (maximum robustness, quantized MSS).
+    Always,
+}
+
 /// Full host configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct HostConfig {
@@ -99,6 +113,11 @@ pub struct HostConfig {
     /// (a minimal SYN-cache) instead of dropping it. Off by default —
     /// classic behaviour drops the new SYN at the backlog.
     pub syn_cache: bool,
+    /// Stateless SYN cookies ([`SynCookies::Off`] by default). In `Auto`
+    /// mode a full backlog switches the listener to stateless SYN|ACKs;
+    /// the returning ACK re-derives the connection from the cookie. Off
+    /// takes no new code paths — goldens are bit-identical.
+    pub syn_cookies: SynCookies,
     /// Maximum receive-ring frames the driver hands to the kernel per
     /// interrupt (BSD / SOFT-LRP / Early-Demux). Without interrupt
     /// coalescing the ring holds exactly one frame when the interrupt
@@ -131,6 +150,7 @@ impl HostConfig {
             ncpus: 1,
             telemetry: false,
             syn_cache: false,
+            syn_cookies: SynCookies::Off,
             rx_batch: 16,
         }
     }

@@ -39,7 +39,7 @@ mod rx;
 mod syscalls;
 
 use crate::config::{Architecture, HostConfig};
-use crate::hostfault::{HostFaultPlan, HostFaultState};
+use crate::hostfault::{FaultKind, HostFaultPlan, HostFaultState};
 use crate::syscall::{AppLogic, Errno, SockProto, SyscallOp, SyscallRet};
 use lrp_demux::ChannelId;
 use lrp_nic::{DemuxMode, Nic};
@@ -451,6 +451,14 @@ pub struct Host {
     pub(crate) crash_log: Vec<(SimTime, Pid)>,
     /// Restart log: `(time, old pid, new pid)` per executed restart.
     pub(crate) restart_log: Vec<(SimTime, Pid, Pid)>,
+    /// When the host finishes booting after a whole-host reboot; `None`
+    /// while up. The NIC stays stalled for the whole down window.
+    pub(crate) boot_at: Option<SimTime>,
+    /// Reboot log: the time of each executed whole-host reboot.
+    pub(crate) reboot_log: Vec<SimTime>,
+    /// Niceness the forwarding daemon was enabled with (reboots recreate
+    /// it at the same priority).
+    pub(crate) forwarding_nice: i8,
 }
 
 /// Everything needed to respawn a crashed process: the original spawn
@@ -535,6 +543,9 @@ impl Host {
             reincarnation: FastHashMap::default(),
             crash_log: Vec::new(),
             restart_log: Vec::new(),
+            boot_at: None,
+            reboot_log: Vec::new(),
+            forwarding_nice: 0,
         };
         // Host-minted span ids: tagged with the address's last octet so
         // spans from different hosts never collide.
@@ -710,6 +721,149 @@ impl Host {
         Some(pid)
     }
 
+    /// Whole-host reboot *now* ([`FaultKind::Reboot`]): power fails, the
+    /// host comes back `boot_delay` later. Deterministic teardown in a
+    /// fixed order:
+    ///
+    /// 1. The NIC loses power for the whole down window — arriving frames
+    ///    die on the device as conserved `nic_stall_drops`.
+    /// 2. Frames already accepted but not yet delivered (receive rings,
+    ///    NI channels, the shared IP queue) move to the `reboot_flushed`
+    ///    ledger bucket; queued TX frames vanish untransmitted.
+    /// 3. Every process dies instantly. No RSTs, no FINs — the NIC is
+    ///    already off; peers observe the outage through retransmit
+    ///    give-up, exactly like a real power cut.
+    /// 4. All sockets, PCBs, demux filters, reassembly state and kernel
+    ///    timers go cold; per-CPU state is wiped (generation bump cancels
+    ///    in-flight completions).
+    /// 5. At `now + boot_delay` the kernel daemons are recreated and
+    ///    every restartable process respawns as a fresh incarnation.
+    pub fn reboot(&mut self, now: SimTime, boot_delay: SimDuration) {
+        let boot_at = now + boot_delay;
+        // (1) NIC down window, modelled as an injected stall: the device
+        // fault machinery already conserves these drops.
+        let mut plan = self.nic.faults().clone();
+        plan.stall_ns.push((now.as_nanos(), boot_at.as_nanos()));
+        self.nic.set_faults(plan);
+        // (2) Flush accepted-but-undelivered frames.
+        let ring = self.nic.ring_depth() as u64;
+        self.tele.on_reboot_flush(now, ring);
+        self.nic.set_rx_queues(self.cfg.ncpus);
+        for chan in self.nic.channel_ids() {
+            self.reboot_flush_channel(now, chan);
+        }
+        let ipq = self.ip_queue.len() as u64;
+        self.ip_queue.clear();
+        self.tele.on_reboot_flush(now, ipq);
+        let _ = self.nic.ifq_clear();
+        self.tele.on_reboot_clear_sidecars();
+        // (3) Kill every process, applications first (sorted for
+        // determinism), then the kernel daemons.
+        let mut pids: Vec<Pid> = self.apps.keys().copied().collect();
+        pids.sort_by_key(|p| p.0);
+        for pid in pids {
+            self.exec.insert(pid, ProcExec::Exited);
+            self.sched.exit(pid);
+            self.apps.remove(&pid);
+            self.crash_log.push((now, pid));
+        }
+        let daemons = [
+            self.app_thread.take(),
+            self.idle_thread.take(),
+            self.forward_daemon.take(),
+        ];
+        for t in daemons.into_iter().flatten() {
+            self.exec.insert(t, ProcExec::Exited);
+            self.sched.exit(t);
+        }
+        // (4) All sockets go cold — freed directly, no protocol goodbye.
+        // The per-socket channels were drained in (2), so the `flushed`
+        // bucket gains nothing here.
+        let socks: Vec<SockId> = self.live_socks.iter().copied().collect();
+        for sock in socks {
+            self.free_socket(sock);
+        }
+        self.reasm = Reassembler::new(16, SimDuration::from_secs(30));
+        self.tcp_timer_work.clear();
+        self.ed_pending.clear();
+        self.sleep_until.clear();
+        self.recv_deadlines.clear();
+        self.recv_seq = FastHashMap::default();
+        self.restart_at.clear();
+        self.chan_to_sock = FastHashMap::default();
+        self.icmp_sock = None;
+        self.last_ran = FastHashMap::default();
+        self.pending_charge = None;
+        self.rx_scratch.clear();
+        for cpu in self.cpus.iter_mut() {
+            cpu.gen += 1;
+            cpu.running = None;
+            cpu.susp_proc = None;
+            cpu.susp_soft = None;
+            cpu.pending_hw.clear();
+            cpu.last_on_cpu = None;
+        }
+        self.reboot_log.push(now);
+        self.boot_at = Some(boot_at);
+    }
+
+    /// Boot completion: recreates the kernel daemons exactly as
+    /// [`Host::new`] does and respawns every restartable application as a
+    /// fresh incarnation.
+    fn complete_boot(&mut self, now: SimTime) {
+        self.boot_at = None;
+        if self.cfg.arch == Architecture::NiLrp {
+            let frag = self.nic.fragment_channel;
+            self.nic.channel_mut(frag).intr_requested = true;
+        }
+        if self.cfg.arch.is_lrp() {
+            if self.cfg.tcp_app_processing {
+                let app = self.sched.spawn_fixed("app-thread", lrp_sched::PUSER);
+                self.exec.insert(app, ProcExec::Cont(Cont::AppThreadStep));
+                self.sched.set_affinity(app, Some(0));
+                self.app_thread = Some(app);
+            }
+            if self.cfg.idle_thread {
+                let idle = self.sched.spawn_fixed("idle-proto", 126);
+                self.exec.insert(idle, ProcExec::Cont(Cont::IdleThreadStep));
+                self.sched.set_affinity(idle, Some(0));
+                self.idle_thread = Some(idle);
+            }
+            if self.forwarding_enabled {
+                let pid = self
+                    .sched
+                    .spawn("ipfwd", self.forwarding_nice, SimDuration::ZERO);
+                self.exec.insert(pid, ProcExec::Cont(Cont::ForwardStep));
+                self.sched.set_affinity(pid, Some(0));
+                self.forward_daemon = Some(pid);
+                // The forward proxy channel belongs to the NIC, not a
+                // socket — it survived; only re-arm its interrupt.
+                if self.cfg.arch == Architecture::NiLrp {
+                    if let Some(chan) = self.nic.proxies().forward {
+                        if self.nic.channel_exists(chan) {
+                            self.nic.channel_mut(chan).intr_requested = true;
+                        }
+                    }
+                }
+            }
+        }
+        let mut olds: Vec<Pid> = self.restartable.keys().copied().collect();
+        olds.sort_by_key(|p| p.0);
+        for old in olds {
+            self.restart_process(now, old);
+        }
+    }
+
+    /// Executed whole-host reboots (time of each power cut).
+    pub fn reboots(&self) -> &[SimTime] {
+        &self.reboot_log
+    }
+
+    /// True while the host is powered down awaiting boot completion.
+    pub fn is_down(&self) -> bool {
+        self.boot_at.is_some()
+    }
+
     /// Starts execution (initial dispatch). Call once after spawning apps.
     pub fn start(&mut self, now: SimTime) {
         self.dispatch(now);
@@ -758,6 +912,7 @@ impl Host {
         fold(self.sleep_until.keys().next().copied());
         fold(self.recv_deadlines.keys().next().copied());
         fold(self.restart_at.keys().next().copied());
+        fold(self.boot_at);
         if let Some(f) = &self.fault {
             fold(f.next_at());
         }
@@ -802,6 +957,19 @@ impl Host {
             .filter_map(|s| s.listener.as_ref())
             .map(|l| l.syn_cache_evictions)
             .sum()
+    }
+
+    /// Total stateless SYN-cookie counters `(sent, validated, rejected)`
+    /// across live listening sockets (only non-zero when
+    /// [`HostConfig::syn_cookies`] engaged).
+    pub fn cookie_totals(&self) -> (u64, u64, u64) {
+        let mut t = (0, 0, 0);
+        for l in self.live_sockets().filter_map(|s| s.listener.as_ref()) {
+            t.0 += l.cookies_sent;
+            t.1 += l.cookies_validated;
+            t.2 += l.cookies_rejected;
+        }
+        t
     }
 
     /// Looks up a socket's owner (None if the socket is gone).
@@ -886,6 +1054,17 @@ impl Host {
             chan_depth,
             drops_sockbuf: s.drops_sockbuf,
             drops_channel: s.drops_channel,
+            listen: s.listener.as_ref().map(|l| crate::syscall::ListenStats {
+                backlog: l.backlog,
+                syn_queue: l.syn_queue,
+                accept_queue: l.accept_queue,
+                half_open: l.half_open.len(),
+                syn_drops: l.syn_drops,
+                syn_cache_evictions: l.syn_cache_evictions,
+                cookies_sent: l.cookies_sent,
+                cookies_validated: l.cookies_validated,
+                cookies_rejected: l.cookies_rejected,
+            }),
             tcp: s.tcp.as_ref().map(|conn| conn.sock_stats()).or_else(|| {
                 // A listener has no connection object; report its state
                 // machine position anyway.
@@ -976,6 +1155,7 @@ impl Host {
     /// forwarding runs eagerly in software-interrupt context.
     pub fn enable_forwarding(&mut self, nice: i8) {
         self.forwarding_enabled = true;
+        self.forwarding_nice = nice;
         if self.cfg.arch.is_lrp() {
             let pid = self.sched.spawn("ipfwd", nice, SimDuration::ZERO);
             self.exec.insert(pid, ProcExec::Cont(Cont::ForwardStep));
@@ -1009,6 +1189,12 @@ impl Host {
     pub fn on_timer(&mut self, now: SimTime) {
         // Kernel timers fire on the boot CPU.
         self.cur_cpu = 0;
+        // Boot completion first: a rebooting host has no other live
+        // timers, and anything due at the same instant should see the
+        // freshly booted kernel.
+        if self.boot_at.is_some_and(|b| b <= now) {
+            self.complete_boot(now);
+        }
         // Timed sleeps.
         let due: Vec<SimTime> = self.sleep_until.range(..=now).map(|(t, _)| *t).collect();
         for t in due {
@@ -1101,19 +1287,30 @@ impl Host {
                 .pending
                 .pop()
                 .expect("due event");
-            let target = self.live_incarnation(ev.pid);
-            self.crash_process(now, target);
-            if let Some(after) = ev.restart_after {
-                let jitter = if ev.restart_jitter.is_zero() {
-                    SimDuration::ZERO
-                } else {
-                    let f = self.fault.as_mut().expect("checked");
-                    SimDuration::from_nanos(f.rng.next_below(ev.restart_jitter.as_nanos()))
-                };
-                self.restart_at
-                    .entry(now + after + jitter)
-                    .or_default()
-                    .push(target);
+            match ev.kind {
+                FaultKind::Reboot => {
+                    // `restart_after` is the boot delay; a plan that
+                    // somehow omits it gets a conventional 50 ms cold
+                    // boot rather than a host that never returns.
+                    let delay = ev.restart_after.unwrap_or(SimDuration::from_millis(50));
+                    self.reboot(now, delay);
+                }
+                FaultKind::Process => {
+                    let target = self.live_incarnation(ev.pid);
+                    self.crash_process(now, target);
+                    if let Some(after) = ev.restart_after {
+                        let jitter = if ev.restart_jitter.is_zero() {
+                            SimDuration::ZERO
+                        } else {
+                            let f = self.fault.as_mut().expect("checked");
+                            SimDuration::from_nanos(f.rng.next_below(ev.restart_jitter.as_nanos()))
+                        };
+                        self.restart_at
+                            .entry(now + after + jitter)
+                            .or_default()
+                            .push(target);
+                    }
+                }
             }
         }
         self.kick(now);

@@ -7,11 +7,11 @@
 //! according to its architecture's policy.
 
 use super::{sock_wchan, DropPoint, Host, WC_CONNECT, WC_RECV, WC_SEND};
-use crate::config::Architecture;
+use crate::config::{Architecture, SynCookies};
 use crate::syscall::{Errno, SockProto};
 use lrp_sim::{SimDuration, SimTime};
 use lrp_stack::sockbuf::Datagram;
-use lrp_stack::tcp::{Actions, ConnEvent, Segment, TcpConn};
+use lrp_stack::tcp::{cookie, Actions, ConnEvent, Segment, TcpConn};
 use lrp_stack::{ReasmOutcome, SockId};
 use lrp_wire::{icmp, ipv4, proto, tcp, udp, Endpoint, FlowKey, Frame};
 use std::borrow::Cow;
@@ -472,6 +472,17 @@ impl Host {
         {
             return total + self.tcp_handle_syn(now, sock, local, remote, &th);
         }
+        // A bare ACK at a *listening* socket with cookies enabled is the
+        // returning half of a stateless handshake: no child exists yet —
+        // the cookie in the ACK field *is* the connection state.
+        if self.cfg.syn_cookies != SynCookies::Off
+            && self.sock(sock).listener.is_some()
+            && th.has(tcp::flags::ACK)
+            && !th.has(tcp::flags::SYN)
+            && !th.has(tcp::flags::RST)
+        {
+            return total + self.tcp_cookie_ack(now, sock, local, remote, &th, body);
+        }
         // Established (or embryonic) connection.
         if self.sock(sock).tcp.is_none() {
             self.stats.drop_at(DropPoint::NoSocket);
@@ -522,6 +533,20 @@ impl Host {
             .as_ref()
             .expect("listener")
             .can_accept_syn();
+        // Stateless SYN cookies: answer with a SYN|ACK whose sequence
+        // number encodes the connection (no child socket, no half-open
+        // entry — nothing for a flood to exhaust). In `Auto` mode this
+        // engages only once the backlog is full, and takes precedence
+        // over the SYN-cache eviction below: dropping *state* beats
+        // recycling it when the flood outruns the table.
+        let engaged = match self.cfg.syn_cookies {
+            SynCookies::Always => true,
+            SynCookies::Auto => !can,
+            SynCookies::Off => false,
+        };
+        if engaged {
+            return total + self.tcp_send_cookie_synack(lsock, local, remote, th, now);
+        }
         if !can {
             // SYN-cache: evict the oldest half-open child to admit the
             // fresh SYN (bounded table, oldest-first), instead of letting
@@ -589,6 +614,142 @@ impl Host {
             let _ = self.nic.demux.register(key, chan);
             self.nic.channel_mut(chan).intr_requested = true;
         }
+        total += self.apply_tcp_actions(now, child, actions);
+        total
+    }
+
+    /// Emits a stateless cookie SYN|ACK for a SYN at `lsock`. The segment
+    /// is built by hand — there is no child socket to transmit through;
+    /// the sequence number carries the keyed hash of the 4-tuple, the
+    /// quantized peer MSS and a coarse timestamp (see
+    /// [`lrp_stack::tcp::cookie`]). Returns the output cost.
+    fn tcp_send_cookie_synack(
+        &mut self,
+        lsock: SockId,
+        local: Endpoint,
+        remote: Endpoint,
+        th: &tcp::TcpHeader,
+        now: SimTime,
+    ) -> SimDuration {
+        let cost = self.cfg.cost;
+        let key = cookie::host_key(self.addr);
+        let hdr = tcp::TcpHeader {
+            src_port: local.port,
+            dst_port: remote.port,
+            seq: cookie::encode(key, local, remote, th.mss, now),
+            ack: th.seq.wrapping_add(1),
+            flags: tcp::flags::SYN | tcp::flags::ACK,
+            // Advertise what a fresh child would: an empty receive buffer.
+            window: self.cfg.tcp.rcv_buf.min(65_535) as u16,
+            mss: Some(self.cfg.tcp.mss),
+        };
+        let ident = self.next_ident();
+        let dgram = tcp::build_datagram(local.addr, remote.addr, &hdr, ident, &[]);
+        if !self.ifq_enqueue_spanned(Frame::ipv4(dgram), None) {
+            self.stats.drop_at(DropPoint::IfQueue);
+        }
+        self.sock_mut(lsock)
+            .listener
+            .as_mut()
+            .expect("listener")
+            .on_cookie_sent();
+        cost.tcp_output + cost.csum(20) + cost.ip_output + cost.driver_tx_per_pkt
+    }
+
+    /// Handshake ACK returning to a listening socket under SYN cookies:
+    /// validates the cookie (ACK − 1) and, on success, fabricates the
+    /// fully-established child the SYN|ACK never instantiated. The child
+    /// skips the SYN queue entirely — only the accept queue bounds it.
+    fn tcp_cookie_ack(
+        &mut self,
+        now: SimTime,
+        lsock: SockId,
+        local: Endpoint,
+        remote: Endpoint,
+        th: &tcp::TcpHeader,
+        body: &[u8],
+    ) -> SimDuration {
+        let cost = self.cfg.cost;
+        let mut total = cost.tcp_input;
+        let cpu = self.cur_cpu;
+        // An exact-match child already owns this flow (e.g. the peer
+        // retransmitted the ACK after the first copy established it):
+        // hand the segment over rather than re-deriving a connection.
+        let exact = self.pcb.lookup(proto::TCP, local, remote);
+        if let Some(child) = exact.sock {
+            if child != lsock {
+                if self.sock_opt(child).and_then(|s| s.tcp.as_ref()).is_some() {
+                    let mut conn = self.sock_mut(child).tcp.take().expect("checked");
+                    let actions = conn.on_segment(now, th, body);
+                    self.sock_mut(child).tcp = Some(conn);
+                    total += self.apply_tcp_actions(now, child, actions);
+                }
+                return total;
+            }
+        }
+        let key = cookie::host_key(self.addr);
+        let Some(mss) = cookie::decode(key, local, remote, th.ack.wrapping_sub(1), now) else {
+            // Forged or expired cookie: silent drop, separately ledgered —
+            // under a flood this is the common case and must stay cheap.
+            self.sock_mut(lsock)
+                .listener
+                .as_mut()
+                .expect("listener")
+                .on_cookie_rejected();
+            self.tele.on_cookie_rejected(now, cpu);
+            return total;
+        };
+        // Valid cookie, but the accept queue still bounds admission: a
+        // listener nobody accepts from must not grow without limit.
+        {
+            let l = self.sock(lsock).listener.as_ref().expect("listener");
+            if l.accept_queue >= l.backlog {
+                self.sock_mut(lsock)
+                    .listener
+                    .as_mut()
+                    .expect("listener")
+                    .on_syn_dropped();
+                self.stats.drop_at(DropPoint::Backlog);
+                self.tele.on_backlog_drop(now, cpu);
+                return total;
+            }
+        }
+        // Reconstruct the child the stateless SYN|ACK stood in for.
+        let owner = self.sock(lsock).owner;
+        let child = self.alloc_sock(owner, SockProto::Tcp);
+        let conn = TcpConn::cookie_established(self.tcp_config(), local, remote, th, mss, now);
+        {
+            let s = self.sock_mut(child);
+            s.local = Some(local);
+            s.remote = Some(remote);
+            s.tcp = Some(conn);
+            s.parent = Some(lsock);
+            // Established from birth: never counted into the SYN queue,
+            // reported straight into the accept queue below.
+            s.established_reported = true;
+        }
+        let key = FlowKey::new(proto::TCP, local, remote);
+        let _ = self.pcb.insert(key, child);
+        if self.cfg.arch != Architecture::Bsd {
+            let chan = self.nic.create_default_channel();
+            self.sock_mut(child).chan = Some(chan);
+            self.bind_channel(chan, child);
+            let _ = self.nic.demux.register(key, chan);
+            self.nic.channel_mut(chan).intr_requested = true;
+        }
+        self.sock_mut(lsock)
+            .listener
+            .as_mut()
+            .expect("listener")
+            .on_cookie_child_established();
+        self.sock_mut(lsock).accept_q.push_back(child);
+        self.stats.tcp_accepted += 1;
+        self.tele.on_cookie_validated(now, cpu);
+        self.wake_sock(lsock, super::WC_ACCEPT);
+        // Any data riding on the ACK is processed by the new connection.
+        let mut conn = self.sock_mut(child).tcp.take().expect("just set");
+        let actions = conn.on_segment(now, th, body);
+        self.sock_mut(child).tcp = Some(conn);
         total += self.apply_tcp_actions(now, child, actions);
         total
     }

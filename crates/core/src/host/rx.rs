@@ -498,8 +498,12 @@ impl Host {
             if let Some(l) = &self.sock(sock).listener {
                 // §3.4: protocol processing is disabled for listeners
                 // whose backlog is exhausted; the channel then fills and
-                // the NI discards further SYNs without host work.
-                let enabled = l.can_accept_syn();
+                // the NI discards further SYNs without host work. With
+                // SYN cookies engaged the listener keeps draining: a
+                // full backlog answers SYNs statelessly instead of
+                // going deaf, so legitimate peers can still get in.
+                let enabled =
+                    l.can_accept_syn() || self.cfg.syn_cookies != crate::config::SynCookies::Off;
                 self.nic.channel_mut(chan).processing_enabled = enabled;
                 if !enabled {
                     continue;

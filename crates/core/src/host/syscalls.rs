@@ -900,9 +900,59 @@ impl Host {
             }
             cost.accept_sock + tx
         } else {
-            // UDP (or listener): free immediately.
+            // A closing listener reaps its children first: embryonic
+            // (half-open) connections die silently — their peers are mid-
+            // handshake and time out, exactly as under SYN-cache eviction
+            // — and completed-but-unaccepted connections are aborted with
+            // an RST (BSD `soabort`). Without this, a close during a SYN
+            // flood would leak every child socket, its NI channel and the
+            // frames queued on it.
+            let mut reap = SimDuration::ZERO;
+            if self.sock(sock).listener.is_some() {
+                while let Some(victim) = self
+                    .sock(sock)
+                    .listener
+                    .as_ref()
+                    .and_then(|l| l.oldest_half_open())
+                {
+                    if self.sock_opt(victim).is_none() {
+                        // Stale entry: drop it and keep draining.
+                        if let Some(l) = self.sock_mut(sock).listener.as_mut() {
+                            l.untrack_half_open(victim);
+                        }
+                        continue;
+                    }
+                    // Silent teardown; the orphan path frees the slot and
+                    // flushes the child's channel.
+                    self.sock_mut(victim).tcp = None;
+                    self.teardown_tcp_sock(victim);
+                }
+                let pending: Vec<SockId> = self.sock(sock).accept_q.iter().copied().collect();
+                for child in pending {
+                    if self.sock_opt(child).is_none() {
+                        continue;
+                    }
+                    self.sock_mut(child).closed_by_app = true;
+                    if self.sock(child).tcp.is_some() {
+                        let mut conn = self.sock_mut(child).tcp.take().expect("checked");
+                        let actions = conn.abort();
+                        self.sock_mut(child).tcp = Some(conn);
+                        reap += self.apply_tcp_actions(now, child, actions);
+                    } else {
+                        self.free_socket(child);
+                    }
+                }
+                if let Some(s) = self
+                    .sockets
+                    .get_mut(sock.0 as usize)
+                    .and_then(|x| x.as_mut())
+                {
+                    s.accept_q.clear();
+                }
+            }
+            // UDP (or the reaped listener): free immediately.
             self.free_socket(sock);
-            cost.accept_sock
+            cost.accept_sock + reap
         }
     }
 

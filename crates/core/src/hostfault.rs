@@ -7,24 +7,51 @@
 //! plan — no crash events — draws **no** RNG at all, keeping fault-free
 //! runs bit-identical to builds without this module.
 //!
-//! A crash is a *process* failure, not a host reboot: the kernel survives
-//! and runs a deterministic teardown (sockets closed, NI channels
-//! unmapped with in-flight frames attributed to the conserved
-//! `owner_dead` ledger bucket, PCBs freed, RST sent on established TCP
-//! connections per RFC 793). An optional restart re-registers the
-//! process through its registered factory; the app then re-binds its
-//! sockets and (on LRP architectures) re-creates its channels exactly as
-//! it did at boot.
+//! Two failure granularities share one schedule, distinguished by
+//! [`FaultKind`]:
+//!
+//! - **Process crash** ([`FaultKind::Process`]): the kernel survives and
+//!   runs a deterministic teardown (sockets closed, NI channels unmapped
+//!   with in-flight frames attributed to the conserved `owner_dead`
+//!   ledger bucket, PCBs freed, RST sent on established TCP connections
+//!   per RFC 793). An optional restart re-registers the process through
+//!   its registered factory; the app then re-binds its sockets and (on
+//!   LRP architectures) re-creates its channels exactly as it did at
+//!   boot.
+//! - **Whole-host reboot** ([`FaultKind::Reboot`]): power fails. The NIC
+//!   goes down for the whole boot delay (arriving frames are conserved
+//!   as `nic_stall_drops`); frames already sitting in the receive rings,
+//!   NI channels and the shared IP queue move to the `reboot_flushed`
+//!   ledger bucket; every process dies and all kernel state — sockets,
+//!   PCBs, demux filters, reassembly, timers — goes cold. No RSTs are
+//!   sent (the NIC is off); peers observe the death through retransmit
+//!   give-up, exactly like a real power cut. After the boot delay the
+//!   kernel daemons are recreated and every restartable process respawns
+//!   as a fresh incarnation.
 
 use lrp_sched::Pid;
 use lrp_sim::{SimDuration, SimTime, SplitMix64};
 
-/// One scheduled crash (and optional restart) of a process.
+/// What a [`CrashEvent`] takes down.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// One process dies; the kernel survives.
+    Process,
+    /// The whole host power-cycles; see the module docs for the teardown
+    /// order. `restart_after` is the boot delay (the NIC stays down for
+    /// its whole span); `pid` is ignored.
+    Reboot,
+}
+
+/// One scheduled crash (and optional restart) of a process, or a
+/// whole-host reboot.
 #[derive(Clone, Debug)]
 pub struct CrashEvent {
+    /// Process or host granularity.
+    pub kind: FaultKind,
     /// Process to crash. Must have been spawned with
     /// [`crate::Host::spawn_app_restartable`] for the restart half to
-    /// work; a plain process can still be crashed.
+    /// work; a plain process can still be crashed. Ignored for reboots.
     pub pid: Pid,
     /// Absolute sim time of the crash.
     pub at: SimTime,
@@ -40,6 +67,7 @@ impl CrashEvent {
     /// Crash `pid` at `at` with no restart.
     pub fn kill(pid: Pid, at: SimTime) -> Self {
         CrashEvent {
+            kind: FaultKind::Process,
             pid,
             at,
             restart_after: None,
@@ -50,9 +78,23 @@ impl CrashEvent {
     /// Crash `pid` at `at`, restarting it `after` later (no jitter).
     pub fn crash_restart(pid: Pid, at: SimTime, after: SimDuration) -> Self {
         CrashEvent {
+            kind: FaultKind::Process,
             pid,
             at,
             restart_after: Some(after),
+            restart_jitter: SimDuration::ZERO,
+        }
+    }
+
+    /// Reboot the whole host at `at`, coming back up `boot_delay` later.
+    /// The delay is deterministic (no jitter draw — the inert-plan rule
+    /// extends to armed-but-unfired reboot plans being bit-identical).
+    pub fn reboot(at: SimTime, boot_delay: SimDuration) -> Self {
+        CrashEvent {
+            kind: FaultKind::Reboot,
+            pid: Pid(0),
+            at,
+            restart_after: Some(boot_delay),
             restart_jitter: SimDuration::ZERO,
         }
     }

@@ -27,11 +27,13 @@ pub mod telemetry;
 pub mod watchdog;
 pub mod world;
 
-pub use config::{Architecture, HostConfig};
+pub use config::{Architecture, HostConfig, SynCookies};
 pub use cost::CostModel;
 pub use host::{DropPoint, Host, HostStats};
-pub use hostfault::{CrashEvent, HostFaultPlan};
-pub use syscall::{AppCtx, AppLogic, Errno, SockProto, SockStats, SyscallOp, SyscallRet};
+pub use hostfault::{CrashEvent, FaultKind, HostFaultPlan};
+pub use syscall::{
+    AppCtx, AppLogic, Errno, ListenStats, SockProto, SockStats, SyscallOp, SyscallRet,
+};
 pub use telemetry::{
     PacketLedger, SpanEvent, SpanId, Telemetry, DEFAULT_TRACE_CAP, TIMELINE_COLUMNS,
 };

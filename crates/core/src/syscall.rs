@@ -182,6 +182,32 @@ pub struct SockStats {
     pub drops_channel: u64,
     /// TCP-only detail (state machine, RTT, cwnd, retransmits).
     pub tcp: Option<TcpSockStats>,
+    /// Listener-only detail (backlog occupancy, SYN-flood defenses).
+    pub listen: Option<ListenStats>,
+}
+
+/// Listener-side detail of a [`SockStats`] snapshot: backlog occupancy
+/// and the SYN-flood defense counters (SYN cache, stateless cookies).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct ListenStats {
+    /// Configured backlog limit.
+    pub backlog: usize,
+    /// Embryonic (SynReceived) children.
+    pub syn_queue: usize,
+    /// Completed connections awaiting `accept`.
+    pub accept_queue: usize,
+    /// Depth of the half-open tracking queue (SYN-cache ordering).
+    pub half_open: usize,
+    /// SYNs dropped at a full backlog.
+    pub syn_drops: u64,
+    /// Half-open children evicted by the SYN cache.
+    pub syn_cache_evictions: u64,
+    /// Stateless cookie SYN|ACKs minted.
+    pub cookies_sent: u64,
+    /// Handshake ACKs whose cookie validated (children established).
+    pub cookies_validated: u64,
+    /// Handshake ACKs whose cookie failed validation.
+    pub cookies_rejected: u64,
 }
 
 /// Context handed to applications on each upcall.

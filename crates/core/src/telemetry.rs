@@ -241,6 +241,17 @@ pub struct Telemetry {
     /// were queued on its NI channel (distinct from `flushed`: an orderly
     /// close vs. a dead receiver).
     pub owner_dead: u64,
+    /// Frames lost to a whole-host reboot while queued in the NIC
+    /// receive rings, NI channels or the shared IP queue (distinct from
+    /// `owner_dead`: the entire kernel died, not one receiver).
+    pub reboot_flushed: u64,
+    /// Handshake ACKs whose SYN cookie validated (moved out of
+    /// `tcp_frames` — the frame's terminal disposition is the stateless
+    /// connection establishment it performed).
+    pub cookie_validated: u64,
+    /// Handshake ACKs whose SYN cookie failed validation (stale or
+    /// forged; moved out of `tcp_frames`).
+    pub cookie_rejected: u64,
     /// Host-side frame drops by location.
     pub host_drops: FastHashMap<DropPoint, u64>,
 }
@@ -284,6 +295,9 @@ impl Telemetry {
             reasm_expired: 0,
             flushed: 0,
             owner_dead: 0,
+            reboot_flushed: 0,
+            cookie_validated: 0,
+            cookie_rejected: 0,
             host_drops: FastHashMap::default(),
         }
     }
@@ -564,6 +578,54 @@ impl Telemetry {
         }
     }
 
+    /// A handshake ACK's SYN cookie validated and established a
+    /// connection statelessly: re-attribute the frame from the TCP
+    /// bucket to its own disposition (same pattern as
+    /// [`Self::on_backlog_drop`]).
+    pub(crate) fn on_cookie_validated(&mut self, now: SimTime, cpu: usize) {
+        if self.enabled {
+            debug_assert!(self.tcp_frames > 0, "cookie ACK outside TCP input");
+            self.tcp_frames = self.tcp_frames.saturating_sub(1);
+            self.cookie_validated += 1;
+            self.ev(now, "deliver", "cookie-ok", 0, cpu);
+        }
+    }
+
+    /// A handshake ACK's SYN cookie failed validation (stale, forged, or
+    /// a bare ACK sprayed at the listener): re-attribute the frame from
+    /// the TCP bucket to the rejected-cookie disposition.
+    pub(crate) fn on_cookie_rejected(&mut self, now: SimTime, cpu: usize) {
+        if self.enabled {
+            debug_assert!(self.tcp_frames > 0, "cookie ACK outside TCP input");
+            self.tcp_frames = self.tcp_frames.saturating_sub(1);
+            self.cookie_rejected += 1;
+            self.ev(now, "drop", "CookieRejected", 0, cpu);
+        }
+    }
+
+    /// Whole-host reboot: `n` frames that were sitting in NIC receive
+    /// rings, an NI channel, or the shared IP queue die with the kernel.
+    pub(crate) fn on_reboot_flush(&mut self, now: SimTime, n: u64) {
+        if self.enabled && n > 0 {
+            self.reboot_flushed += n;
+            self.ev(now, "drop", "RebootFlushed", n, 0);
+        }
+    }
+
+    /// Whole-host reboot: drop every queue sidecar in lockstep with the
+    /// queues themselves (rings, channels, IP queue, transmit queue,
+    /// reply-span associations). Socket sidecars are cleared socket by
+    /// socket through [`Self::on_sock_close`]. Unconditional — the
+    /// sidecars are empty when telemetry is off, so this is a no-op then.
+    pub(crate) fn on_reboot_clear_sidecars(&mut self) {
+        self.ipq_ts.clear();
+        self.chan_ts = FlatMap::default();
+        self.ifq_spans.clear();
+        self.last_recv_span = FlatMap::default();
+        self.cur_arrival = None;
+        self.cur_span = None;
+    }
+
     /// A blocked receiver was woken for delivered data.
     pub(crate) fn on_wakeup(&mut self, now: SimTime, cpu: usize, sock: u64) {
         if self.enabled {
@@ -797,6 +859,13 @@ pub struct PacketLedger {
     /// Frames that died with their crashed owner (channel unmapped at
     /// process-crash teardown).
     pub owner_dead: u64,
+    /// Frames lost in queues (rings/channels/IP queue) to a whole-host
+    /// reboot.
+    pub reboot_flushed: u64,
+    /// Handshake ACKs consumed by successful SYN-cookie validation.
+    pub cookie_validated: u64,
+    /// Handshake ACKs rejected by SYN-cookie validation.
+    pub cookie_rejected: u64,
     /// Host-side drops, sorted by drop-point name.
     pub host_drops: Vec<(&'static str, u64)>,
 }
@@ -822,6 +891,9 @@ impl PacketLedger {
             + self.reasm_expired
             + self.flushed
             + self.owner_dead
+            + self.reboot_flushed
+            + self.cookie_validated
+            + self.cookie_rejected
             + self.host_dropped()
     }
 
@@ -865,6 +937,9 @@ impl Host {
             reasm_expired: self.tele.reasm_expired,
             flushed: self.tele.flushed,
             owner_dead: self.tele.owner_dead,
+            reboot_flushed: self.tele.reboot_flushed,
+            cookie_validated: self.tele.cookie_validated,
+            cookie_rejected: self.tele.cookie_rejected,
             host_drops,
         }
     }
@@ -895,6 +970,20 @@ impl Host {
         let n = self.nic.channel(chan).depth();
         self.tele.on_chan_owner_dead(now, chan, n);
         self.nic.destroy_channel(chan);
+    }
+
+    /// Whole-host reboot: drains one NI channel's still-queued frames
+    /// into the `reboot_flushed` bucket without destroying the channel
+    /// (per-socket channels are destroyed by the socket teardown that
+    /// follows; the fragment and proxy channels are permanent and merely
+    /// emptied). Returns the number of frames flushed.
+    pub(crate) fn reboot_flush_channel(&mut self, now: SimTime, chan: ChannelId) -> u64 {
+        let mut n = 0u64;
+        while self.nic.channel_mut(chan).dequeue().is_some() {
+            n += 1;
+        }
+        self.tele.on_reboot_flush(now, n);
+        n
     }
 
     /// Records one metrics-timeline sample (driven from the statclock

@@ -18,6 +18,7 @@ pub mod livelock_timeline;
 pub mod mlfrr;
 pub mod plot;
 pub mod smp_scaling;
+pub mod syn_flood;
 pub mod table1;
 pub mod table2;
 

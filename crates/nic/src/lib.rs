@@ -390,6 +390,16 @@ impl Nic {
         self.channels.iter().filter(|c| c.is_some()).count()
     }
 
+    /// The ids of all live channels, in id order (includes the permanent
+    /// fragment channel). Used by whole-host reboot to flush every
+    /// channel coherently.
+    pub fn channel_ids(&self) -> Vec<ChannelId> {
+        self.channels
+            .iter()
+            .filter_map(|c| c.as_ref().map(|c| c.id))
+            .collect()
+    }
+
     /// Accesses a channel.
     ///
     /// # Panics
@@ -586,6 +596,15 @@ impl Nic {
             self.stats.tx_frames += 1;
         }
         f
+    }
+
+    /// Discards every frame queued for transmission (whole-host reboot:
+    /// power fails before the link takes them). Returns the count; unlike
+    /// [`ifq_dequeue`](Self::ifq_dequeue) nothing is counted transmitted.
+    pub fn ifq_clear(&mut self) -> usize {
+        let n = self.ifq.len();
+        self.ifq.clear();
+        n
     }
 
     /// Frames currently waiting to transmit.

@@ -1,0 +1,190 @@
+//! Stateless SYN cookies (RFC 4987 §3.6 style, adapted to the simulator).
+//!
+//! Under a SYN flood the half-open table is the resource the attacker
+//! exhausts. The SYN cache (PR 5) bounds the damage by evicting the
+//! oldest embryonic entry; cookies remove the table from the equation
+//! entirely: the listener answers every SYN with a SYN|ACK whose initial
+//! sequence number *is* the connection state, keyed so only a peer that
+//! actually received the SYN|ACK can echo it back. No memory is
+//! allocated until the final ACK of the handshake validates.
+//!
+//! Cookie layout (32 bits, the ISN of the SYN|ACK):
+//!
+//! ```text
+//!  31        27 26    25 24                         0
+//! ┌────────────┬────────┬────────────────────────────┐
+//! │ tick mod 32│ mss idx│ keyed hash (25 bits)       │
+//! └────────────┴────────┴────────────────────────────┘
+//! ```
+//!
+//! - `tick` — coarse timestamp ([`COOKIE_TICK`] granularity). A cookie
+//!   is accepted for the current and the previous tick, so a handshake
+//!   straddling a tick boundary still completes while replayed cookies
+//!   go stale within two ticks.
+//! - `mss idx` — index into [`MSS_TABLE`]: the largest entry ≤ the MSS
+//!   the SYN advertised. The connection's effective MSS is recovered
+//!   from the validated cookie (quantized — the price of statelessness).
+//! - `hash` — SplitMix64-finalizer hash of the 4-tuple, tick, MSS index
+//!   and the per-host key. The key is derived deterministically from the
+//!   host address so same-seed simulations stay bit-identical and no
+//!   shared RNG stream is perturbed.
+//!
+//! Everything here is pure integer math on arguments — no I/O, no
+//! global state — matching the rest of the TCP machine.
+
+use lrp_sim::{SimDuration, SimTime};
+use lrp_wire::{Endpoint, Ipv4Addr};
+
+/// Granularity of the cookie timestamp. Two ticks bound cookie lifetime
+/// (accept current + previous), comfortably longer than any sane
+/// SYN|ACK→ACK round trip and far shorter than a flood.
+pub const COOKIE_TICK: SimDuration = SimDuration::from_secs(4);
+
+/// The MSS values a cookie can encode (2 bits). Chosen for the simulated
+/// ATM LAN (9140 default) plus classic Ethernet/conservative fallbacks.
+pub const MSS_TABLE: [u16; 4] = [536, 1460, 4380, 9140];
+
+/// SplitMix64 finalizer: a strong 64→64 bit mixer (Steele et al.).
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives the per-host cookie key from the host's own address. Purely
+/// deterministic — reboots and same-seed reruns mint identical cookies,
+/// which the chaos digests rely on.
+pub fn host_key(addr: Ipv4Addr) -> u64 {
+    mix64(u64::from(u32::from(addr)) ^ 0x5EED_C00C_1E5A_FE00)
+}
+
+/// The largest [`MSS_TABLE`] index whose value is ≤ `mss` (index 0 when
+/// everything is larger — the conservative floor).
+fn mss_index(mss: u16) -> u8 {
+    let mut idx = 0u8;
+    for (i, &m) in MSS_TABLE.iter().enumerate() {
+        if m <= mss {
+            idx = i as u8;
+        }
+    }
+    idx
+}
+
+fn tick_of(now: SimTime) -> u64 {
+    now.as_nanos() / COOKIE_TICK.as_nanos()
+}
+
+fn hash25(key: u64, local: Endpoint, remote: Endpoint, tick: u64, mss_idx: u8) -> u32 {
+    let tuple = (u64::from(u32::from(local.addr)) << 32) | u64::from(u32::from(remote.addr));
+    let ports = (u64::from(local.port) << 48) | (u64::from(remote.port) << 32);
+    let h = mix64(key ^ tuple).wrapping_add(mix64(ports ^ (tick << 8) ^ u64::from(mss_idx)));
+    (mix64(h) & 0x01FF_FFFF) as u32
+}
+
+/// Mints the cookie ISN for a SYN from `remote` advertising `peer_mss`.
+pub fn encode(
+    key: u64,
+    local: Endpoint,
+    remote: Endpoint,
+    peer_mss: Option<u16>,
+    now: SimTime,
+) -> u32 {
+    let tick = tick_of(now);
+    let mss_idx = mss_index(peer_mss.unwrap_or(MSS_TABLE[0]));
+    let h = hash25(key, local, remote, tick, mss_idx);
+    ((tick as u32 & 0x1F) << 27) | (u32::from(mss_idx) << 25) | h
+}
+
+/// Validates a cookie echoed back as `ack - 1` on the handshake's final
+/// ACK. Returns the MSS the cookie carries when the hash matches and the
+/// cookie is at most one tick old; `None` otherwise.
+pub fn decode(
+    key: u64,
+    local: Endpoint,
+    remote: Endpoint,
+    cookie: u32,
+    now: SimTime,
+) -> Option<u16> {
+    let cur = tick_of(now);
+    let tick5 = (cookie >> 27) & 0x1F;
+    let mss_idx = ((cookie >> 25) & 0x3) as u8;
+    let h = cookie & 0x01FF_FFFF;
+    // Reconstruct the full tick from its low 5 bits: it must be the
+    // current or previous tick.
+    let tick = [cur, cur.wrapping_sub(1)]
+        .into_iter()
+        .find(|t| (*t as u32) & 0x1F == tick5)?;
+    if hash25(key, local, remote, tick, mss_idx) != h {
+        return None;
+    }
+    Some(MSS_TABLE[mss_idx as usize])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const L: Endpoint = Endpoint {
+        addr: Ipv4Addr::new(10, 0, 0, 2),
+        port: 80,
+    };
+    const R: Endpoint = Endpoint {
+        addr: Ipv4Addr::new(10, 0, 0, 7),
+        port: 40_001,
+    };
+
+    fn key() -> u64 {
+        host_key(L.addr)
+    }
+
+    #[test]
+    fn round_trips_within_validity() {
+        let t0 = SimTime::ZERO;
+        let c = encode(key(), L, R, Some(9140), t0);
+        assert_eq!(decode(key(), L, R, c, t0), Some(9140));
+        // Still valid one tick later.
+        let t1 = SimTime::ZERO + COOKIE_TICK;
+        assert_eq!(decode(key(), L, R, c, t1), Some(9140));
+        // Stale after two ticks.
+        let t2 = SimTime::ZERO + COOKIE_TICK + COOKIE_TICK;
+        assert_eq!(decode(key(), L, R, c, t2), None);
+    }
+
+    #[test]
+    fn mss_is_quantized_to_table_floor() {
+        let t0 = SimTime::ZERO;
+        for (adv, want) in [
+            (Some(100), 536),
+            (Some(536), 536),
+            (Some(1459), 536),
+            (Some(1460), 1460),
+            (Some(5000), 4380),
+            (Some(9140), 9140),
+            (Some(65_000), 9140),
+            (None, 536),
+        ] {
+            let c = encode(key(), L, R, adv, t0);
+            assert_eq!(decode(key(), L, R, c, t0), Some(want), "adv {adv:?}");
+        }
+    }
+
+    #[test]
+    fn wrong_tuple_or_key_rejects() {
+        let t0 = SimTime::ZERO;
+        let c = encode(key(), L, R, Some(1460), t0);
+        let other = Endpoint::new(Ipv4Addr::new(10, 0, 0, 9), 40_001);
+        assert_eq!(decode(key(), L, other, c, t0), None, "wrong remote");
+        assert_eq!(decode(key() ^ 1, L, R, c, t0), None, "wrong key");
+        // A guessed ISN (bit flip in the hash) never validates.
+        assert_eq!(decode(key(), L, R, c ^ 1, t0), None, "forged hash");
+    }
+
+    #[test]
+    fn host_key_is_per_host_and_deterministic() {
+        let a = host_key(Ipv4Addr::new(10, 0, 0, 1));
+        let b = host_key(Ipv4Addr::new(10, 0, 0, 2));
+        assert_ne!(a, b);
+        assert_eq!(a, host_key(Ipv4Addr::new(10, 0, 0, 1)));
+    }
+}

@@ -47,6 +47,7 @@ use std::collections::{BTreeMap, VecDeque};
 
 pub mod ack;
 pub mod cc;
+pub mod cookie;
 pub mod recovery;
 
 pub use ack::{AckDecision, AckStrategy};
@@ -517,6 +518,36 @@ impl TcpConn {
             events: vec![],
         };
         (c, acts)
+    }
+
+    /// Creates a connection directly in `Established` from a validated
+    /// SYN-cookie ACK (see [`cookie`]). The SYN|ACK was stateless, so the
+    /// whole handshake is reconstructed from the ACK: `iss = ack - 1`
+    /// (the cookie we minted), `irs = seq - 1`, and the MSS comes out of
+    /// the cookie itself (quantized by [`cookie::MSS_TABLE`]). No
+    /// segments are emitted — the caller feeds the ACK through
+    /// [`on_segment`](Self::on_segment) for window/payload handling.
+    pub fn cookie_established(
+        cfg: TcpConfig,
+        local: Endpoint,
+        remote: Endpoint,
+        ack: &TcpHeader,
+        cookie_mss: u16,
+        now: SimTime,
+    ) -> TcpConn {
+        let iss = ack.ack.wrapping_sub(1);
+        let mut c = TcpConn::new(cfg, local, remote, iss);
+        c.state = TcpState::Established;
+        c.snd_una = iss.wrapping_add(1);
+        c.snd_nxt = c.snd_una;
+        c.snd_max = c.snd_una;
+        c.irs = ack.seq.wrapping_sub(1);
+        c.rcv_nxt = ack.seq;
+        c.mss_effective = c.cfg.mss.min(cookie_mss);
+        c.cc.on_mss_negotiated(c.mss_effective as usize);
+        c.snd_wnd = ack.window as u32;
+        c.arm_keepalive(now);
+        c
     }
 
     // ---- timers ----
@@ -1231,6 +1262,12 @@ pub struct TcpListener {
     pub half_open: VecDeque<SockId>,
     /// Half-open entries evicted by the SYN-cache to admit new SYNs.
     pub syn_cache_evictions: u64,
+    /// Stateless SYN|ACKs minted with a cookie ISN (see [`cookie`]).
+    pub cookies_sent: u64,
+    /// Handshake ACKs whose cookie validated (connection established).
+    pub cookies_validated: u64,
+    /// Handshake ACKs whose cookie failed validation (stale or forged).
+    pub cookies_rejected: u64,
 }
 
 impl TcpListener {
@@ -1244,6 +1281,9 @@ impl TcpListener {
             syn_drops: 0,
             half_open: VecDeque::new(),
             syn_cache_evictions: 0,
+            cookies_sent: 0,
+            cookies_validated: 0,
+            cookies_rejected: 0,
         }
     }
 
@@ -1270,6 +1310,24 @@ impl TcpListener {
         self.accept_queue += 1;
     }
 
+    /// A cookie-validated child entered the accept queue directly: it was
+    /// never in the SYN queue (the SYN|ACK was stateless), so only the
+    /// accept side moves.
+    pub fn on_cookie_child_established(&mut self) {
+        self.cookies_validated += 1;
+        self.accept_queue += 1;
+    }
+
+    /// Records minting a stateless cookie SYN|ACK.
+    pub fn on_cookie_sent(&mut self) {
+        self.cookies_sent += 1;
+    }
+
+    /// Records a handshake ACK whose cookie failed validation.
+    pub fn on_cookie_rejected(&mut self) {
+        self.cookies_rejected += 1;
+    }
+
     /// A child died before the handshake completed.
     pub fn on_child_failed(&mut self) {
         debug_assert!(self.syn_queue > 0);
@@ -1290,8 +1348,21 @@ impl TcpListener {
 
     /// Forgets a child that left the half-open set (established, failed,
     /// or evicted).
+    ///
+    /// The deque is bounded by the listen backlog (tens of entries, even
+    /// under flood: admission is gated by `can_accept_syn`), so a linear
+    /// scan cannot blow up — but the *common* exits are the front (SYN
+    /// cache evicts oldest-first; handshakes complete roughly FIFO), so
+    /// take the O(1) pop when the child is at either end and fall back
+    /// to the scan only for out-of-order completions.
     pub fn untrack_half_open(&mut self, child: SockId) {
-        self.half_open.retain(|&s| s != child);
+        if self.half_open.front() == Some(&child) {
+            self.half_open.pop_front();
+        } else if self.half_open.back() == Some(&child) {
+            self.half_open.pop_back();
+        } else {
+            self.half_open.retain(|&s| s != child);
+        }
     }
 
     /// The oldest half-open child — the SYN-cache eviction victim.

@@ -113,6 +113,22 @@ pub fn sock_stats_json(st: &SockStats) -> Json {
         ("drops_sockbuf", Json::U64(st.drops_sockbuf)),
         ("drops_channel", Json::U64(st.drops_channel)),
     ];
+    if let Some(l) = &st.listen {
+        members.push((
+            "listen",
+            Json::obj(vec![
+                ("backlog", Json::U64(l.backlog as u64)),
+                ("syn_queue", Json::U64(l.syn_queue as u64)),
+                ("accept_queue", Json::U64(l.accept_queue as u64)),
+                ("half_open", Json::U64(l.half_open as u64)),
+                ("syn_drops", Json::U64(l.syn_drops)),
+                ("syn_cache_evictions", Json::U64(l.syn_cache_evictions)),
+                ("cookies_sent", Json::U64(l.cookies_sent)),
+                ("cookies_validated", Json::U64(l.cookies_validated)),
+                ("cookies_rejected", Json::U64(l.cookies_rejected)),
+            ]),
+        ));
+    }
     if let Some(t) = &st.tcp {
         members.push((
             "tcp",
@@ -188,6 +204,9 @@ pub fn ledger_json(l: &PacketLedger) -> Json {
         ("reasm_expired", Json::U64(l.reasm_expired)),
         ("flushed", Json::U64(l.flushed)),
         ("owner_dead", Json::U64(l.owner_dead)),
+        ("reboot_flushed", Json::U64(l.reboot_flushed)),
+        ("cookie_validated", Json::U64(l.cookie_validated)),
+        ("cookie_rejected", Json::U64(l.cookie_rejected)),
         ("host_drops", Json::Obj(drops)),
         ("host_dropped", Json::U64(l.host_dropped())),
         ("disposed", Json::U64(l.disposed())),

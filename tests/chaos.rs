@@ -215,6 +215,7 @@ fn run_crash_digest(arch: Architecture, sched: &CrashSchedule) -> String {
     let server_pid = pid_by_name(&world.hosts[1], "rpc-server");
     let mut crashes = vec![match sched.restart {
         Some((after_ms, jitter_ms)) => CrashEvent {
+            kind: lrp::core::FaultKind::Process,
             pid: server_pid,
             at: SimTime::from_millis(sched.server_crash_ms),
             restart_after: Some(SimDuration::from_millis(after_ms)),
@@ -684,6 +685,145 @@ proptest! {
                 arch.name()
             );
         }
+    }
+}
+
+// ---- whole-host reboot coverage ----
+
+/// Runs the adversarial SYN-flood world (stateless cookies engaged) with
+/// the victim power-cycled mid-flood; asserts no panic, conservation
+/// with the `reboot_flushed` bucket folded in, and that exactly the
+/// scheduled reboot executed. Returns a digest of the final state.
+fn run_reboot_flood_digest(
+    arch: Architecture,
+    syn_pps: f64,
+    reboot_ms: u64,
+    boot_delay_ms: u64,
+) -> String {
+    use lrp::experiments::syn_flood::{self, Defense};
+    let (mut world, metrics) = syn_flood::build(
+        syn_flood::config(arch, Defense::Cookies),
+        syn_pps,
+        Some((
+            SimTime::from_millis(reboot_ms),
+            SimDuration::from_millis(boot_delay_ms),
+        )),
+    );
+    world.run_until(SimTime::from_millis(1_200));
+
+    let errs = lrp::telemetry::conservation_errors(&world);
+    assert!(
+        errs.is_empty(),
+        "conservation violated on {} (reboot at {reboot_ms} ms under {syn_pps} SYN/s):\n{}",
+        arch.name(),
+        errs.join("\n")
+    );
+    let server = &world.hosts[1];
+    assert_eq!(
+        server.reboots(),
+        &[SimTime::from_millis(reboot_ms)],
+        "exactly the scheduled reboot executes on {}",
+        arch.name()
+    );
+    assert!(
+        !server.is_down(),
+        "the host must be back up after the boot delay on {}",
+        arch.name()
+    );
+    let (tx, fails): (u64, u64) = metrics
+        .iter()
+        .map(|m| {
+            let m = m.borrow();
+            (m.transactions, m.failures)
+        })
+        .fold((0, 0), |(a, b), (c, d)| (a + c, b + d));
+    let ledger = server.packet_ledger();
+    format!(
+        "reboots={:?} flushed={} stalled={} ledger={:?}|{:?}|tx={} fails={}",
+        server.reboots(),
+        ledger.reboot_flushed,
+        ledger.nic_stall_drops,
+        ledger,
+        world.hosts[0].packet_ledger(),
+        tx,
+        fails
+    )
+}
+
+proptest! {
+    // Four cases: each runs 8 flooded worlds (4 architectures, twice
+    // for bit-identity), which is the most expensive soak in this file.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Power-cycle the flooded victim at an arbitrary point: no panic,
+    /// both ledgers conserved (`reboot_flushed` and `nic_stall_drops`
+    /// absorbing the teardown and the dead-NIC window), and the same
+    /// schedule is bit-identical on every architecture.
+    fn reboot_during_flood_chaos(
+        syn_pps in 500.0f64..2_500.0,
+        reboot_ms in 200u64..800,
+        boot_delay_ms in 20u64..200,
+    ) {
+        for arch in [
+            Architecture::Bsd,
+            Architecture::EarlyDemux,
+            Architecture::SoftLrp,
+            Architecture::NiLrp,
+        ] {
+            let first = run_reboot_flood_digest(arch, syn_pps, reboot_ms, boot_delay_ms);
+            let second = run_reboot_flood_digest(arch, syn_pps, reboot_ms, boot_delay_ms);
+            prop_assert_eq!(
+                &first,
+                &second,
+                "same reboot schedule must be bit-identical on {}",
+                arch.name()
+            );
+        }
+    }
+}
+
+/// An armed reboot plan whose event lies beyond the end of the run must
+/// be byte-identical to no plan at all: arming draws no randomness and
+/// the pending event perturbs neither timers nor traffic.
+#[test]
+fn armed_unfired_reboot_plan_matches_no_plan() {
+    for arch in [
+        Architecture::Bsd,
+        Architecture::EarlyDemux,
+        Architecture::SoftLrp,
+        Architecture::NiLrp,
+    ] {
+        let digest = |arm: bool| {
+            let (mut world, cstats, _sstats) = crash_recovery::build_recovery(arch);
+            // Replace the builder's crash plan either way (mirrors
+            // `inert_host_fault_plan_matches_no_plan`).
+            if arm {
+                world.hosts[1].set_fault_plan(&HostFaultPlan {
+                    seed: 0xB007,
+                    crashes: vec![CrashEvent::reboot(
+                        SimTime::from_secs(100),
+                        SimDuration::from_millis(80),
+                    )],
+                });
+            } else {
+                world.hosts[1].set_fault_plan(&HostFaultPlan::none());
+            }
+            world.run_until(SimTime::from_millis(600));
+            assert!(world.hosts[1].reboots().is_empty());
+            assert!(world.hosts[1].crashes().is_empty());
+            format!(
+                "{:?}|{:?}|{}",
+                world.hosts[1].stats,
+                world.hosts[1].packet_ledger(),
+                cstats.borrow().completions.len()
+            )
+        };
+        assert_eq!(
+            digest(false),
+            digest(true),
+            "an armed-but-unfired reboot plan must not perturb {}",
+            arch.name()
+        );
     }
 }
 
